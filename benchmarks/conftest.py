@@ -1,0 +1,41 @@
+"""Shared configuration for the benchmark harness.
+
+Each benchmark regenerates one paper artifact (table/figure) at the
+bench scale — sized so the whole suite runs in minutes — and asserts
+the paper's qualitative *shape* (who wins, what saturates, what
+correlates).  EXPERIMENTS.md records a full run at the larger
+``default`` scale; set ``REPRO_SCALE=full`` for the paper's literal
+parameters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.experiments.presets import SMOKE
+
+#: The scale every benchmark runs at.
+BENCH_SCALE = replace(
+    SMOKE,
+    injections=30,
+    suite_scale=0.6,
+    silifuzz_rounds=400,
+    silifuzz_aggregate=250,
+    program_scale=0.04,
+    loop_scale=0.012,
+    detection_sample_every=4,
+)
+
+
+@pytest.fixture(scope="session")
+def bench_scale():
+    return BENCH_SCALE
+
+
+@pytest.fixture(scope="session")
+def bench_workloads(bench_scale):
+    from repro.experiments.harness import baseline_workloads
+
+    return baseline_workloads(bench_scale)

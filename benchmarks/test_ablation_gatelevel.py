@@ -1,0 +1,86 @@
+"""Ablations — gate-level modelling choices (DESIGN.md callouts).
+
+1. **Adder topology**: the same program graded against ripple-carry vs
+   carry-lookahead netlists — same function, different gate population.
+   Detection capabilities should be in the same band (the methodology
+   is topology-robust), and both netlists must agree functionally.
+2. **Static differential vs exact live-unit fault model**: outcome
+   agreement across a fault sample, with the static model much faster
+   — justifying its use as the campaign default.
+"""
+
+import time
+
+from repro.faults.injector import FaultInjector, campaign_gate_permanent
+from repro.faults.models import GatePermanent
+from repro.gatelevel.adder import build_cla_adder
+from repro.gatelevel.units import IntAdderUnit
+from repro.isa.instructions import FUClass
+from repro.sim.cosim import golden_run
+
+from tests.conftest import build_mixed_program
+from repro.isa.isa_x64 import x64
+
+
+def _mixed_golden():
+    program = build_mixed_program(x64(), count=150, seed=21)
+    golden = golden_run(program)
+    assert not golden.crashed
+    return golden
+
+
+def test_ablation_adder_topology(benchmark):
+    golden = _mixed_golden()
+
+    def run_both():
+        ripple = campaign_gate_permanent(
+            golden, FUClass.INT_ADDER, 40, seed=5,
+            unit=IntAdderUnit(),
+        )
+        cla = campaign_gate_permanent(
+            golden, FUClass.INT_ADDER, 40, seed=5,
+            unit=IntAdderUnit(netlist=build_cla_adder(64)),
+        )
+        return ripple, cla
+
+    ripple, cla = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    print()
+    print(f"ripple-carry: {ripple.summary()}")
+    print(f"carry-lookahead: {cla.summary()}")
+    assert abs(
+        ripple.detection_capability - cla.detection_capability
+    ) < 0.35
+
+
+def test_ablation_static_vs_exact(benchmark):
+    golden = _mixed_golden()
+    injector = FaultInjector(golden)
+    unit = injector.unit_for(FUClass.INT_ADDER)
+    sites = unit.fault_sites()
+    sample = [sites[i] for i in range(0, len(sites), 37)]
+
+    def static_pass():
+        return [
+            injector.inject_gate_permanent(
+                GatePermanent(FUClass.INT_ADDER, 0, site)
+            ).outcome
+            for site in sample
+        ]
+
+    static_outcomes = benchmark.pedantic(static_pass, rounds=1,
+                                         iterations=1)
+    started = time.perf_counter()
+    exact_outcomes = [
+        injector.inject_gate_permanent(
+            GatePermanent(FUClass.INT_ADDER, 0, site), exact=True
+        ).outcome
+        for site in sample
+    ]
+    exact_seconds = time.perf_counter() - started
+    agreement = sum(
+        1 for a, b in zip(static_outcomes, exact_outcomes) if a is b
+    ) / len(sample)
+    print()
+    print(f"sample={len(sample)} agreement={agreement:.1%} "
+          f"(exact pass took {exact_seconds:.2f}s)")
+    assert agreement >= 0.9

@@ -1,0 +1,34 @@
+"""Extension — fault-type interplay (paper Fig 2 nesting argument).
+
+Reproduced shape: detection grows with fault duration — a permanent
+stuck-at is the easiest to detect, a single-cycle-window intermittent
+the hardest — matching the Fig 2 containment of fault types and the
+paper's observation that permanents in FUs are much easier to detect
+than transients in bit arrays.
+"""
+
+from repro.experiments.fault_types import run as run_fault_types
+from repro.isa.isa_x64 import x64
+
+from tests.conftest import build_mixed_program
+
+
+def test_fault_type_interplay(benchmark):
+    program = build_mixed_program(x64(), count=150, seed=77)
+    results = benchmark.pedantic(
+        run_fault_types, args=(program,),
+        kwargs={"injections": 40, "seed": 3}, rounds=1, iterations=1,
+    )
+    print()
+    irf, adder = results
+    print(irf.render())
+    print()
+    print(adder.render())
+
+    # Longer faults detect at least as well (within noise).
+    assert irf.roughly_monotonic()
+    assert adder.roughly_monotonic()
+
+    # Permanent FU faults beat the single-flip PRF transient (the
+    # paper's "discrepancy observed in detection capability").
+    assert adder.detection("permanent") > irf.detection("transient")

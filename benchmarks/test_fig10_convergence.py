@@ -1,0 +1,47 @@
+"""E-FIG10 — Fig. 10: coverage and detection across optimization.
+
+Reproduced claims, per structure: the loop's best coverage is
+non-decreasing and improves start→end, and detection capability rises
+along with it — the correlation the whole methodology rests on.  The
+functional-unit targets converge with small populations (the paper's
+"smaller population and program size ... perfectly adequate").
+"""
+
+import pytest
+
+from repro.core.targets import scaled_targets
+from repro.experiments.fig10 import run_target
+
+
+@pytest.mark.parametrize("key", ["int_adder", "int_mul", "fp_adder",
+                                 "fp_mul", "irf", "l1d"])
+def test_fig10_convergence(benchmark, bench_scale, key):
+    targets = scaled_targets(
+        program_scale=bench_scale.program_scale,
+        loop_scale=bench_scale.loop_scale,
+    )
+    curve = benchmark.pedantic(
+        run_target, args=(targets[key], bench_scale),
+        rounds=1, iterations=1,
+    )
+    print()
+    print(curve.render())
+    print(f"final detection: {curve.final_detection:.1%}")
+
+    coverages = [p.coverage for p in curve.points]
+    # Elitism makes the best-coverage curve non-decreasing (Fig 10:
+    # "the maximum coverage is retained for subsequent iterations").
+    assert all(b >= a - 1e-12 for a, b in zip(coverages, coverages[1:]))
+    assert curve.coverage_improved()
+    # The crux: rising coverage translates to rising detection
+    # (statistical: finite injection counts make single points noisy).
+    assert curve.detection_tracks_coverage(tolerance=0.15)
+    if key in ("int_adder", "int_mul", "fp_adder", "fp_mul"):
+        # Permanent FU faults: the evolved program detects most of them
+        # even at bench scale (paper: ~99%+ at full scale).
+        assert curve.final_detection > 0.4
+    else:
+        # Bit-array transients are far harder (paper Fig 4: baselines
+        # under 5%); at bench-scale injection counts the estimate can
+        # be small — the claim checked here is the coverage climb.
+        assert curve.final_detection >= 0.0

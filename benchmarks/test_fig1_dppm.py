@@ -1,0 +1,15 @@
+"""E-FIG1 — Fig. 1: reported CPU DPPM by hyperscalers."""
+
+from repro.experiments import fig1
+
+
+def test_fig1_dppm(benchmark):
+    rows = benchmark(fig1.run)
+    print()
+    print(fig1.render())
+    values = {row.reporter.split()[0]: row.dppm for row in rows}
+    # The reported ordering: Meta ≈ Google ≈ 1000, Alibaba 361, all far
+    # above the automotive 10-DPPM bound.
+    assert values["Meta"] == values["Google"] == 1000.0
+    assert values["Alibaba"] == 361.0
+    assert min(values.values()) > fig1.SAFETY_CRITICAL_DPPM

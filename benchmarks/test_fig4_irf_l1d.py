@@ -1,0 +1,34 @@
+"""E-FIG4 — Fig. 4: baseline coverage and detection, IRF & L1D.
+
+Reproduced shapes: IRF transient detection is low for every baseline
+framework; L1D detection is substantially higher with OpenDCDiag
+posting strong programs; ACE coverage upper-bounds measured detection
+for both bit arrays.
+"""
+
+from repro.experiments.fig456 import run_fig4
+
+
+def test_fig4_irf_l1d(benchmark, bench_scale, bench_workloads):
+    sweep = benchmark.pedantic(
+        run_fig4, args=(bench_scale, bench_workloads),
+        rounds=1, iterations=1,
+    )
+    print()
+    print(sweep.render("Fig 4 — IRF & L1D coverage/detection"))
+
+    irf_rows = sweep.for_structure("irf")
+    l1d_rows = sweep.for_structure("l1d")
+    assert irf_rows and l1d_rows
+
+    # IRF detection is low across the board (paper: < ~10% typical).
+    irf_avg = sum(r.detection for r in irf_rows) / len(irf_rows)
+    assert irf_avg < 0.35
+
+    # L1D: detection reaches much higher than the IRF average.
+    best_l1d = max(r.detection for r in l1d_rows)
+    assert best_l1d > irf_avg
+
+    # ACE upper-bound property (statistical: small sample tolerance).
+    for row in irf_rows + l1d_rows:
+        assert row.detection <= row.coverage + 0.25

@@ -1,0 +1,30 @@
+"""E-FIG6 — Fig. 6: baseline coverage and detection, SSE FP units.
+
+Reproduced shapes: most workloads never touch the SSE units (zero
+detection); the FP-heavy OpenDCDiag tests (MxM, SVD) are the
+exception and post the best baseline FP numbers.
+"""
+
+from repro.experiments.fig456 import run_fig6
+
+
+def test_fig6_fp_units(benchmark, bench_scale, bench_workloads):
+    sweep = benchmark.pedantic(
+        run_fig6, args=(bench_scale, bench_workloads),
+        rounds=1, iterations=1,
+    )
+    print()
+    print(sweep.render("Fig 6 — SSE FP adder & multiplier"))
+
+    for structure in ("fp_add", "fp_mul"):
+        rows = sweep.for_structure(structure)
+        # Most workloads have zero detection (no SSE activity).
+        zeros = sum(1 for r in rows if r.detection == 0.0)
+        assert zeros >= len(rows) // 2
+
+        # OpenDCDiag's FP-heavy tests are the best baseline (paper:
+        # "OpenDCDiag performs best ... as much of its workloads are
+        # FP-heavy: MxM, SVD").
+        best = max(rows, key=lambda r: r.detection)
+        if best.detection > 0:
+            assert best.framework == "opendcdiag"

@@ -1,0 +1,24 @@
+"""E-TAB1 — Table I: single loop-step duration breakdown.
+
+Reproduced shape: generation dominates the step, mutation is nearly
+free, and the derived runnable-instruction throughput is the input to
+the §VI-A rate comparison.
+"""
+
+from repro.experiments.table1 import run as run_table1
+
+
+def test_table1_loop_step(benchmark, bench_scale):
+    result = benchmark.pedantic(
+        run_table1, args=(bench_scale,), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    timing = result.timing
+
+    # Stage shape (Table I): mutation << generation; every stage ran.
+    assert timing.mutation_seconds < timing.generation_seconds
+    assert timing.generation_seconds > 0
+    assert timing.compilation_seconds > 0
+    assert timing.evaluation_seconds > 0
+    assert timing.instructions_per_second > 0

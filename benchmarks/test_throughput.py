@@ -1,0 +1,67 @@
+"""Infrastructure micro-benchmarks: simulator, netlist, injection.
+
+Not paper artifacts, but the quantities that determine how far the
+paper-scale presets are reachable on a given machine; they also guard
+against performance regressions in the hot loops.
+"""
+
+import random
+
+from repro.baselines.mibench import build_sha
+from repro.faults.injector import campaign_register_transient
+from repro.gatelevel.multiplier import build_array_multiplier
+from repro.gatelevel.netlist import StuckAt
+from repro.isa.isa_x64 import x64
+from repro.sim.cosim import golden_run
+from repro.sim.functional import FunctionalSimulator
+
+from tests.conftest import build_mixed_program
+
+
+def test_functional_sim_throughput(benchmark):
+    program = build_mixed_program(x64(), count=250, seed=33)
+    simulator = FunctionalSimulator()
+
+    result = benchmark(
+        lambda: simulator.run(program, collect_records=False)
+    )
+    assert not result.crashed
+    instructions_per_second = len(program) / benchmark.stats["mean"]
+    print(f"\nfunctional: {instructions_per_second:,.0f} instr/s")
+
+
+def test_cosim_throughput(benchmark):
+    program = build_mixed_program(x64(), count=150, seed=34)
+    golden = benchmark(lambda: golden_run(program))
+    assert not golden.crashed
+    instructions_per_second = len(program) / benchmark.stats["mean"]
+    print(f"\nco-simulation: {instructions_per_second:,.0f} instr/s")
+
+
+def test_netlist_batch_eval_throughput(benchmark):
+    netlist = build_array_multiplier(16)
+    rng = random.Random(0)
+    inputs = {
+        "a": [rng.getrandbits(16) for _ in range(512)],
+        "b": [rng.getrandbits(16) for _ in range(512)],
+    }
+    fault = StuckAt(netlist.gates[100].out, 1)
+
+    outputs = benchmark(lambda: netlist.evaluate_values(inputs, fault))
+    assert len(outputs["product"]) == 512
+    ops_per_second = 512 / benchmark.stats["mean"]
+    print(f"\nnetlist: {ops_per_second:,.0f} faulty mults/s "
+          f"({netlist.gate_count} gates)")
+
+
+def test_injection_throughput(benchmark):
+    golden = golden_run(build_sha(scale=6))
+    assert not golden.crashed
+
+    report = benchmark.pedantic(
+        campaign_register_transient, args=(golden, 100),
+        kwargs={"seed": 1}, rounds=1, iterations=1,
+    )
+    assert report.total == 100
+    rate = report.total / benchmark.stats["mean"]
+    print(f"\ninjection: {rate:,.0f} register transients/s")

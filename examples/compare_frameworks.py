@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Compare Harpocrates against MiBench/OpenDCDiag/SiliFuzz workloads.
+
+Grades every baseline workload and a Harpocrates-evolved program on the
+integer multiplier (coverage = IBR, faults = permanent gate stuck-ats)
+and prints a Fig-11-style comparison table.
+"""
+
+from dataclasses import replace
+
+from repro import Manager, golden_run, scaled_targets
+from repro.baselines import SiliFuzz, SiliFuzzConfig, mibench_suite, \
+    opendcdiag_suite
+from repro.coverage import ibr
+from repro.faults import campaign_gate_permanent
+from repro.isa import FUClass
+from repro.util import format_table
+
+INJECTIONS = 60
+
+
+def grade(framework: str, program, machine=None):
+    golden = golden_run(program) if machine is None else \
+        golden_run(program, machine)
+    if golden.crashed:
+        return None
+    coverage = ibr(golden.schedule, FUClass.INT_MUL).ibr
+    report = campaign_gate_permanent(
+        golden, FUClass.INT_MUL, INJECTIONS, 0
+    )
+    return [framework, program.name, f"{coverage:.4f}",
+            f"{report.detection_capability:.3f}"]
+
+
+def main() -> None:
+    rows = []
+    for program in mibench_suite(0.6):
+        row = grade("mibench", program)
+        if row:
+            rows.append(row)
+    for program in opendcdiag_suite(0.6):
+        row = grade("opendcdiag", program)
+        if row:
+            rows.append(row)
+
+    fuzzer = SiliFuzz(SiliFuzzConfig(rounds=400, seed=1))
+    aggregate, stats = fuzzer.build_aggregate(250)
+    row = grade("silifuzz", aggregate)
+    if row:
+        rows.append(row)
+
+    targets = scaled_targets(program_scale=0.05, loop_scale=0.01)
+    target = targets["int_mul"]
+    manager = Manager(target)
+    result = manager.run_loop(iterations=12)
+    rows.append(
+        grade("harpocrates", result.best_program.program,
+              target.machine)
+    )
+
+    print(format_table(
+        ["framework", "program", "IBR coverage", "detection"],
+        rows,
+        title="Integer multiplier: coverage and permanent-fault "
+              "detection",
+    ))
+
+
+if __name__ == "__main__":
+    main()

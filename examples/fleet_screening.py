@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Fleet-screening use cases (paper §IV-B).
+
+Two deployment modes from the paper's use-case list:
+
+* **Ripple mode** — fast periodic in-production scan: Harpocrates is
+  constrained to very short programs and asked to maximize detection
+  under that budget.
+* **Fleetscanner mode** — out-of-production comprehensive scan: no
+  execution-time constraint, the loop runs until detection is very
+  high.
+
+Both target the SSE FP multiplier (hyperscalers identify FP units as
+likely SDC sources, §III-B2).
+"""
+
+from dataclasses import replace
+
+from repro import Manager, golden_run, scaled_targets
+
+
+def run_mode(name: str, target, iterations: int, injections: int) -> None:
+    manager = Manager(target)
+    result = manager.run_loop(iterations=iterations)
+    best = result.best_program
+    golden = golden_run(best.program, target.machine)
+    report = target.campaign(golden, injections, 0)
+    print(f"{name}:")
+    print(f"  program length : {len(best.program)} instructions")
+    print(f"  runtime        : {golden.total_cycles} cycles")
+    print(f"  coverage (IBR) : {best.fitness:.4f}")
+    print(f"  detection      : {report.detection_capability:.1%}")
+    print()
+
+
+def main() -> None:
+    targets = scaled_targets(program_scale=0.05, loop_scale=0.01)
+    base = targets["fp_mul"]
+
+    # Ripple: constrain the generator to a tiny program budget.
+    ripple = replace(
+        base,
+        generation=replace(base.generation, num_instructions=60),
+    )
+    run_mode("Ripple (short periodic scan)", ripple,
+             iterations=8, injections=80)
+
+    # Fleetscanner: full budget, more refinement.
+    run_mode("Fleetscanner (comprehensive scan)", base,
+             iterations=16, injections=80)
+
+
+if __name__ == "__main__":
+    main()

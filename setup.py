@@ -1,0 +1,6 @@
+"""Legacy setup shim: environments without the `wheel` package cannot do
+PEP 660 editable installs; `pip install -e . --no-use-pep517` (or plain
+`pip install -e .` on older pips) works through this file."""
+from setuptools import setup
+
+setup()

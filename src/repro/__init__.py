@@ -1,0 +1,103 @@
+"""Harpocrates (ISCA 2024) reproduction.
+
+Hardware-in-the-loop generation of short functional test programs that
+maximize CPU fault detection, rebuilt as a self-contained Python
+library: an x86-64-style ISA, a MicroProbe-equivalent generator, a
+cycle-level out-of-order core model, gate-level functional units,
+ACE/IBR hardware-coverage metrics, statistical fault injection, the
+genetic refinement loop, and the baseline frameworks the paper compares
+against (MiBench-, OpenDCDiag- and SiliFuzz-style).
+
+Quickstart::
+
+    from repro import Manager, scaled_targets, golden_run
+
+    target = scaled_targets()["int_adder"]
+    manager = Manager(target)
+    result = manager.run_loop(iterations=10)
+    best = result.best_program
+    golden = golden_run(best.program, target.machine)
+    report = target.campaign(golden, 100, 0)
+    print(report.summary())
+"""
+
+from repro.core import (
+    EvaluatedProgram,
+    Evaluator,
+    Generator,
+    HarpocratesLoop,
+    InstructionReplacementMutator,
+    LoopConfig,
+    LoopResult,
+    Manager,
+    TargetSpec,
+    paper_targets,
+    scaled_targets,
+)
+from repro.coverage import (
+    AceIrfCoverage,
+    AceL1dCoverage,
+    CoverageMetric,
+    IbrCoverage,
+    ace_l1d,
+    ace_register_file,
+    ibr,
+)
+from repro.faults import (
+    DetectionReport,
+    FaultInjector,
+    Outcome,
+    campaign_cache_transient,
+    campaign_gate_permanent,
+    campaign_register_transient,
+)
+from repro.isa import FUClass, Instruction, Program, x64
+from repro.microprobe import GenerationConfig, Synthesizer
+from repro.sim import (
+    DEFAULT_MACHINE,
+    GoldenRun,
+    MachineConfig,
+    golden_run,
+    run_program,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "EvaluatedProgram",
+    "Evaluator",
+    "Generator",
+    "HarpocratesLoop",
+    "InstructionReplacementMutator",
+    "LoopConfig",
+    "LoopResult",
+    "Manager",
+    "TargetSpec",
+    "paper_targets",
+    "scaled_targets",
+    "AceIrfCoverage",
+    "AceL1dCoverage",
+    "CoverageMetric",
+    "IbrCoverage",
+    "ace_l1d",
+    "ace_register_file",
+    "ibr",
+    "DetectionReport",
+    "FaultInjector",
+    "Outcome",
+    "campaign_cache_transient",
+    "campaign_gate_permanent",
+    "campaign_register_transient",
+    "FUClass",
+    "Instruction",
+    "Program",
+    "x64",
+    "GenerationConfig",
+    "Synthesizer",
+    "DEFAULT_MACHINE",
+    "GoldenRun",
+    "MachineConfig",
+    "golden_run",
+    "run_program",
+    "__version__",
+]

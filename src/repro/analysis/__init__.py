@@ -1,0 +1,9 @@
+"""Program characterization utilities."""
+
+from repro.analysis.profile import (
+    ProgramProfile,
+    characterize,
+    compare_profiles,
+)
+
+__all__ = ["ProgramProfile", "characterize", "compare_profiles"]

@@ -1,0 +1,25 @@
+"""Baseline frameworks: MiBench-, OpenDCDiag- and SiliFuzz-style."""
+
+from repro.baselines.kernelbuilder import KernelBuilder
+from repro.baselines.mibench import MIBENCH_BUILDERS, mibench_suite
+from repro.baselines.opendcdiag import OPENDCDIAG_BUILDERS, opendcdiag_suite
+from repro.baselines.silifuzz import (
+    FuzzResult,
+    FuzzStats,
+    SiliFuzz,
+    SiliFuzzConfig,
+    Snapshot,
+)
+
+__all__ = [
+    "KernelBuilder",
+    "MIBENCH_BUILDERS",
+    "mibench_suite",
+    "OPENDCDIAG_BUILDERS",
+    "opendcdiag_suite",
+    "FuzzResult",
+    "FuzzStats",
+    "SiliFuzz",
+    "SiliFuzzConfig",
+    "Snapshot",
+]

@@ -1,0 +1,143 @@
+"""A tiny DSL for writing benchmark kernels as linear programs.
+
+The baseline suites (MiBench-style and OpenDCDiag-style) are real
+algorithms — matrix multiply, CRC, Feistel rounds, Jacobi sweeps —
+expressed in the ISA.  Because every program in this reproduction is a
+linear instruction sequence (DESIGN.md), kernels are *unrolled at build
+time*: Python-level loops emit straight-line code, and data-dependent
+selects use branchless min/max idioms instead of control flow.
+
+Kernels read their inputs from the seeded data region (the wrapper
+fills it with deterministic pseudo-random bytes) and write results
+back, so faults propagate into the output signature exactly as they
+would for the real suites.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.isa.instructions import Instruction, InstructionSet
+from repro.isa.isa_x64 import x64
+from repro.isa.operands import imm, mem, reg
+from repro.isa.program import Program
+
+
+class KernelBuilder:
+    """Accumulates instructions and finalizes them into a Program."""
+
+    def __init__(
+        self,
+        name: str,
+        data_size: int = 8 * 1024,
+        isa: Optional[InstructionSet] = None,
+        source: str = "kernel",
+    ):
+        self.name = name
+        self.data_size = data_size
+        self.isa = isa if isa is not None else x64()
+        self.source = source
+        self.instructions: List[Instruction] = []
+
+    # -- raw emission -----------------------------------------------------
+
+    def emit(self, def_name: str, *operands) -> None:
+        """Emit one instruction by definition name."""
+        definition = self.isa.by_name(def_name)
+        self.instructions.append(Instruction(definition, tuple(operands)))
+
+    # -- common idioms -----------------------------------------------------
+
+    def mov_imm(self, register: str, value: int) -> None:
+        self.emit("mov_r64_imm64", reg(register), imm(value, 64))
+
+    def load(self, register: str, offset: int, base: str = "rbp") -> None:
+        self.emit("mov_r64_m64", reg(register), mem(base, offset))
+
+    def load32(self, register: str, offset: int, base: str = "rbp") -> None:
+        self.emit("mov_r32_m32", reg(register), mem(base, offset))
+
+    def store(self, offset: int, register: str, base: str = "rbp") -> None:
+        self.emit("mov_m64_r64", mem(base, offset), reg(register))
+
+    def store32(self, offset: int, register: str, base: str = "rbp") -> None:
+        self.emit("mov_m32_r32", mem(base, offset), reg(register))
+
+    def binop(self, op: str, dst: str, src: str, width: int = 64) -> None:
+        """Register-register ALU op: ``add``, ``sub``, ``and``, ...."""
+        self.emit(f"{op}_r{width}_r{width}", reg(dst), reg(src))
+
+    def binop_imm(self, op: str, dst: str, value: int,
+                  width: int = 64) -> None:
+        self.emit(f"{op}_r{width}_imm32", reg(dst), imm(value, 32))
+
+    def shift(self, op: str, dst: str, amount: int, width: int = 64) -> None:
+        self.emit(f"{op}_r{width}_imm8", reg(dst), imm(amount, 8))
+
+    def mul(self, dst: str, src: str, width: int = 64) -> None:
+        self.emit(f"imul_r{width}_r{width}", reg(dst), reg(src))
+
+    def mov(self, dst: str, src: str) -> None:
+        self.emit("mov_r64_r64", reg(dst), reg(src))
+
+    def branchless_min(self, dst_a: str, src_b: str, scratch: str) -> None:
+        """``dst_a = min(dst_a, src_b)`` (signed) without branches.
+
+        Classic idiom: ``d = a - b; mask = d >> 63 (arithmetic);
+        min = b + (d & mask)``.
+        """
+        self.mov(scratch, dst_a)
+        self.binop("sub", scratch, src_b)        # scratch = a - b
+        self.mov(dst_a, scratch)
+        self.shift("sar", dst_a, 63)             # dst_a = sign mask
+        self.binop("and", scratch, dst_a)        # scratch = d & mask
+        self.mov(dst_a, src_b)
+        self.binop("add", dst_a, scratch)        # b + (d & mask)
+
+    def branchless_max(self, dst_a: str, src_b: str, scratch: str) -> None:
+        """``dst_a = max(dst_a, src_b)`` (signed) without branches.
+
+        ``a + max(0, b - a)``: the sign mask of ``b - a`` is inverted
+        so the delta only survives when it is non-negative.  Clobbers
+        ``src_b`` (it holds the mask afterwards).
+        """
+        self.mov(scratch, src_b)
+        self.binop("sub", scratch, dst_a)        # scratch = b - a
+        self.mov(src_b, scratch)                 # clobbers src_b!
+        self.shift("sar", src_b, 63)             # ones when b < a
+        self.emit("not_r64", reg(src_b))
+        self.binop("and", scratch, src_b)        # keep only d >= 0
+        self.binop("add", dst_a, scratch)        # a + max(0, b - a)
+
+    # -- SSE idioms ----------------------------------------------------------
+
+    def sse_load(self, xmm_reg: str, offset: int, base: str = "rbp") -> None:
+        aligned = offset - (offset % 16)
+        self.emit("movaps_x_m", reg(xmm_reg), mem(base, aligned))
+
+    def sse_store(self, offset: int, xmm_reg: str, base: str = "rbp") -> None:
+        aligned = offset - (offset % 16)
+        self.emit("movaps_m_x", mem(base, aligned), reg(xmm_reg))
+
+    def sse_op(self, mnemonic: str, dst: str, src: str) -> None:
+        """Packed/scalar SSE arithmetic: ``addps``, ``mulss``, ...."""
+        self.emit(f"{mnemonic}_x_x", reg(dst), reg(src))
+
+    def checkpoint(self, register: str, offset: int) -> None:
+        """Fold a register into an output slot (keeps values live so
+        software masking does not silently discard kernel results)."""
+        self.load("r15", offset)
+        self.binop("xor", "r15", register)
+        self.store(offset, "r15")
+
+    # -- finalization ---------------------------------------------------------
+
+    def build(self, seed: int = 0) -> Program:
+        """Wrap the accumulated instructions into a Program."""
+        return Program(
+            instructions=tuple(self.instructions),
+            name=self.name,
+            init_seed=seed,
+            data_size=self.data_size,
+            source=self.source,
+        )

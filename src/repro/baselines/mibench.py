@@ -1,0 +1,349 @@
+"""MiBench-style general-purpose workload suite (paper §III-C).
+
+Twelve small kernels with the classic embedded-suite mix: integer math,
+bit manipulation, sorting, image smoothing, graph relaxation, trie
+walking, string search, two ciphers, a hash, CRC, ADPCM, and one FP
+FFT.  As in the real MiBench, only a few kernels touch the SSE units —
+which is why the baseline's FP-unit fault detection is near zero
+(Fig 6), the effect this suite exists to reproduce.
+
+Each builder takes a ``scale`` (unroll factor) so experiments can dial
+program length; all data comes from the wrapper's seeded data region.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.baselines.kernelbuilder import KernelBuilder
+from repro.isa.operands import imm, reg
+from repro.isa.program import Program
+
+
+def build_basicmath(scale: int = 24, seed: int = 11) -> Program:
+    """Polynomial evaluation and safe integer division chains."""
+    kb = KernelBuilder("mibench_basicmath", source="mibench")
+    for i in range(scale):
+        base = (i * 88) % 2048
+        kb.load("rbx", base)
+        kb.load("rcx", base + 8)
+        # y = x^3 + 3x^2 + 5x + 7 (Horner)
+        kb.mov("rsi", "rbx")
+        kb.binop_imm("add", "rsi", 3)
+        kb.mul("rsi", "rbx")
+        kb.binop_imm("add", "rsi", 5)
+        kb.mul("rsi", "rbx")
+        kb.binop_imm("add", "rsi", 7)
+        # safe division: divisor forced odd, dividend high half zeroed
+        kb.emit("mov_r64_r64", reg("rax"), reg("rsi"))
+        kb.emit("xor_r64_r64", reg("rdx"), reg("rdx"))
+        kb.binop_imm("or", "rcx", 1)
+        kb.emit("div_r64", reg("rcx"))
+        kb.checkpoint("rax", 4096 + (i * 88) % 2048)
+        kb.checkpoint("rsi", 6144 + (i * 88) % 2048)
+    return kb.build(seed)
+
+
+def build_bitcount(scale: int = 30, seed: int = 12) -> Program:
+    """Parallel popcount (the SWAR algorithm) over data words."""
+    kb = KernelBuilder("mibench_bitcount", source="mibench")
+    masks = (0x5555555555555555, 0x3333333333333333, 0x0F0F0F0F0F0F0F0F)
+    kb.mov_imm("r8", masks[0])
+    kb.mov_imm("r9", masks[1])
+    kb.mov_imm("r10", masks[2])
+    kb.emit("xor_r64_r64", reg("r11"), reg("r11"))  # running total
+    for i in range(scale):
+        kb.load("rbx", (i * 72) % 2048)
+        # v = v - ((v >> 1) & 0x5555...)
+        kb.mov("rcx", "rbx")
+        kb.shift("shr", "rcx", 1)
+        kb.binop("and", "rcx", "r8")
+        kb.binop("sub", "rbx", "rcx")
+        # v = (v & 0x3333...) + ((v >> 2) & 0x3333...)
+        kb.mov("rcx", "rbx")
+        kb.shift("shr", "rcx", 2)
+        kb.binop("and", "rcx", "r9")
+        kb.binop("and", "rbx", "r9")
+        kb.binop("add", "rbx", "rcx")
+        # v = (v + (v >> 4)) & 0x0f0f...; total += v * 0x0101.. >> 56
+        kb.mov("rcx", "rbx")
+        kb.shift("shr", "rcx", 4)
+        kb.binop("add", "rbx", "rcx")
+        kb.binop("and", "rbx", "r10")
+        kb.mov_imm("rcx", 0x0101010101010101)
+        kb.mul("rbx", "rcx")
+        kb.shift("shr", "rbx", 56)
+        kb.binop("add", "r11", "rbx")
+    kb.store(4096, "r11")
+    return kb.build(seed)
+
+
+def build_qsort(scale: int = 6, seed: int = 13) -> Program:
+    """Branchless sorting network passes over an 8-element window."""
+    kb = KernelBuilder("mibench_qsort", source="mibench")
+    lanes = ["rax", "rbx", "rcx", "rsi", "rdi", "r8", "r9", "r10"]
+    for round_index in range(scale):
+        base = (round_index * 256) % 1536
+        for lane, register in enumerate(lanes):
+            kb.load(register, base + lane * 8)
+            # sort 32-bit keys: the branchless compare-exchange's
+            # sign-mask trick needs |a - b| < 2^63
+            kb.shift("shr", register, 32)
+        # odd-even transposition passes (branchless compare-exchange)
+        for parity in range(len(lanes)):
+            start = parity % 2
+            for i in range(start, len(lanes) - 1, 2):
+                low, high = lanes[i], lanes[i + 1]
+                # r11 = min, then high = low + high - min, low = min
+                kb.mov("r11", low)
+                kb.branchless_min("r11", high, "r12")
+                kb.binop("add", high, low)
+                kb.binop("sub", high, "r11")
+                kb.mov(low, "r11")
+        for lane, register in enumerate(lanes):
+            kb.store(4096 + base + lane * 8, register)
+    return kb.build(seed)
+
+
+def build_susan(scale: int = 28, seed: int = 14) -> Program:
+    """Image smoothing: (a + 2b + c + 2) >> 2 over 32-bit pixels."""
+    kb = KernelBuilder("mibench_susan", source="mibench")
+    for i in range(scale):
+        row = (i * 76) % 2048
+        kb.load32("rax", row)
+        kb.load32("rbx", row + 4)
+        kb.load32("rcx", row + 8)
+        kb.shift("shl", "rbx", 1, width=64)
+        kb.binop("add", "rax", "rbx")
+        kb.binop("add", "rax", "rcx")
+        kb.binop_imm("add", "rax", 2)
+        kb.shift("shr", "rax", 2)
+        kb.store32(4096 + (i * 76) % 2048, "rax")
+        kb.checkpoint("rax", 6144 + (i * 72) % 2048)
+    return kb.build(seed)
+
+
+def build_dijkstra(scale: int = 10, seed: int = 15) -> Program:
+    """Edge relaxations over a fixed ring+chord graph (branchless min)."""
+    kb = KernelBuilder("mibench_dijkstra", source="mibench")
+    nodes = 8
+    for sweep in range(scale):
+        for u in range(nodes):
+            v = (u + 1) % nodes
+            w = (u * 3 + sweep) % nodes
+            kb.load("rax", u * 8)                 # dist[u]
+            kb.load("rbx", 2048 + ((u * 8 + sweep * 72) % 2048))  # weight(u,v)
+            kb.binop_imm("and", "rbx", 0xFFFF)    # keep weights modest
+            kb.binop("add", "rbx", "rax")         # cand = dist[u] + w
+            kb.load("rcx", v * 8)                 # dist[v]
+            kb.branchless_min("rcx", "rbx", "rsi")
+            kb.store(v * 8, "rcx")
+            kb.load("rdi", w * 8)
+            kb.checkpoint("rdi", 4096 + w * 8)
+    return kb.build(seed)
+
+
+def build_patricia(scale: int = 26, seed: int = 16) -> Program:
+    """Trie-walk surrogate: bit tests and masked pointer mixing."""
+    kb = KernelBuilder("mibench_patricia", source="mibench")
+    for i in range(scale):
+        kb.load("rax", (i * 80) % 2048)
+        kb.load("rbx", (i * 80 + 8) % 2048)
+        for bit in (1, 7, 13, 19):
+            kb.mov("rcx", "rax")
+            kb.shift("shr", "rcx", bit)
+            kb.binop_imm("and", "rcx", 1)
+            kb.binop("xor", "rbx", "rcx")
+            kb.shift("rol", "rbx", 3)
+        kb.binop("xor", "rax", "rbx")
+        kb.checkpoint("rax", 4096 + (i * 72) % 2048)
+    return kb.build(seed)
+
+
+def build_stringsearch(scale: int = 24, seed: int = 17) -> Program:
+    """Window comparison: XOR-difference accumulation over byte runs."""
+    kb = KernelBuilder("mibench_stringsearch", source="mibench")
+    kb.emit("xor_r64_r64", reg("r11"), reg("r11"))
+    for i in range(scale):
+        hay = (i * 72) % 1536
+        needle = 1536 + (i * 24) % 512
+        kb.load("rax", hay)
+        kb.load("rbx", needle)
+        kb.mov("rcx", "rax")
+        kb.binop("xor", "rcx", "rbx")      # 0 where equal
+        # fold mismatch indicator: rcx | rcx>>32 | ... -> low bit
+        for shift_amount in (32, 16, 8):
+            kb.mov("rsi", "rcx")
+            kb.shift("shr", "rsi", shift_amount)
+            kb.binop("or", "rcx", "rsi")
+        kb.binop_imm("and", "rcx", 0xFF)
+        kb.shift("shl", "r11", 1)
+        kb.binop("or", "r11", "rcx")
+        kb.store(4096 + (i * 72) % 2048, "r11")
+    return kb.build(seed)
+
+
+def build_blowfish(scale: int = 12, seed: int = 18) -> Program:
+    """Feistel cipher rounds (Blowfish-style F function)."""
+    kb = KernelBuilder("mibench_blowfish", source="mibench")
+    for block in range(scale):
+        base = (block * 176) % 2048
+        kb.load("rax", base)          # L
+        kb.load("rbx", base + 8)      # R
+        for round_index in range(4):
+            key_offset = 2048 + ((block * 4 + round_index) * 48) % 2048
+            kb.load("rcx", key_offset)
+            # F(R) = ((R << 4) + K) ^ (R >> 7) + rotl(R, 11)
+            kb.mov("rsi", "rbx")
+            kb.shift("shl", "rsi", 4)
+            kb.binop("add", "rsi", "rcx")
+            kb.mov("rdi", "rbx")
+            kb.shift("shr", "rdi", 7)
+            kb.binop("xor", "rsi", "rdi")
+            kb.mov("rdi", "rbx")
+            kb.shift("rol", "rdi", 11)
+            kb.binop("add", "rsi", "rdi")
+            kb.binop("xor", "rax", "rsi")
+            kb.emit("xchg_r64_r64", reg("rax"), reg("rbx"))
+        kb.store(4096 + base, "rax")
+        kb.store(4096 + base + 8, "rbx")
+    return kb.build(seed)
+
+
+def build_sha(scale: int = 10, seed: int = 19) -> Program:
+    """SHA-style compression rounds: rotate, xor, add, 32-bit."""
+    kb = KernelBuilder("mibench_sha", source="mibench")
+    state = ["rax", "rbx", "rcx", "rsi", "rdi"]
+    for index, register in enumerate(state):
+        kb.load(register, index * 8)
+    for round_index in range(scale * 4):
+        a, b, c, d, e = state
+        w_offset = 1024 + (round_index * 24) % 1024
+        kb.load("r8", w_offset)
+        # temp = rotl(a,5) + ch(b,c,d) + e + w + K
+        kb.mov("r9", a)
+        kb.shift("rol", "r9", 5)
+        kb.mov("r10", b)
+        kb.binop("and", "r10", c)
+        kb.mov("r11", b)
+        kb.emit("not_r64", reg("r11"))
+        kb.binop("and", "r11", d)
+        kb.binop("or", "r10", "r11")
+        kb.binop("add", "r9", "r10")
+        kb.binop("add", "r9", e)
+        kb.binop("add", "r9", "r8")
+        kb.binop_imm("add", "r9", 0x5A827999)
+        # e=d, d=c, c=rotl(b,30), b=a, a=temp
+        kb.mov(e, d)
+        kb.mov(d, c)
+        kb.mov(c, b)
+        kb.shift("rol", c, 30)
+        kb.mov(b, a)
+        kb.mov(a, "r9")
+        state = [a, b, c, d, e]
+        kb.store(4096 + (round_index * 48) % 2048, "r9")
+    for index, register in enumerate(state):
+        kb.checkpoint(register, 4096 + index * 8)
+    return kb.build(seed)
+
+
+def build_crc32(scale: int = 16, seed: int = 20) -> Program:
+    """Bitwise CRC-32 with a branchless conditional-poly fold."""
+    kb = KernelBuilder("mibench_crc32", source="mibench")
+    kb.mov_imm("r8", 0xEDB88320)       # reflected poly
+    kb.mov_imm("rax", 0xFFFFFFFF)      # crc
+    for i in range(scale):
+        kb.load("rbx", (i * 120) % 2048)
+        kb.binop("xor", "rax", "rbx")
+        for _bit in range(4):
+            # mask = -(crc & 1); crc = (crc >> 1) ^ (poly & mask)
+            kb.mov("rcx", "rax")
+            kb.binop_imm("and", "rcx", 1)
+            kb.emit("neg_r64", reg("rcx"))
+            kb.binop("and", "rcx", "r8")
+            kb.shift("shr", "rax", 1)
+            kb.binop("xor", "rax", "rcx")
+        kb.store(4096 + (i * 120) % 2048, "rax")
+    return kb.build(seed)
+
+
+def build_adpcm(scale: int = 20, seed: int = 21) -> Program:
+    """ADPCM-style delta accumulation with branchless clamping."""
+    kb = KernelBuilder("mibench_adpcm", source="mibench")
+    kb.mov_imm("rax", 0)               # predicted sample
+    kb.mov_imm("rbx", 7)               # step size
+    kb.mov_imm("r13", 32767)
+    kb.mov_imm("r14", -32768 & ((1 << 64) - 1))
+    for i in range(scale):
+        kb.load("rcx", (i * 96) % 2048)
+        kb.binop_imm("and", "rcx", 0xF)        # 4-bit code
+        kb.mov("rsi", "rcx")
+        kb.mul("rsi", "rbx")                    # delta = code * step
+        kb.shift("shr", "rsi", 2)
+        kb.binop("add", "rax", "rsi")
+        # clamp to [-32768, 32767] branchlessly
+        kb.branchless_min("rax", "r13", "rdi")
+        kb.mov("r12", "r14")
+        kb.branchless_max("rax", "r12", "rdi")
+        # adapt step: step += step >> 1 when code >= 8
+        kb.shift("shr", "rcx", 3)
+        kb.mov("rsi", "rbx")
+        kb.shift("shr", "rsi", 1)
+        kb.mul("rsi", "rcx")
+        kb.binop("add", "rbx", "rsi")
+        kb.binop_imm("and", "rbx", 0x7FFF)
+        kb.binop_imm("or", "rbx", 1)
+        kb.store(4096 + (i * 96) % 2048, "rax")
+    return kb.build(seed)
+
+
+def build_fft(scale: int = 14, seed: int = 22) -> Program:
+    """Radix-2 FFT butterflies on packed single-precision lanes —
+    one of the few MiBench-style kernels exercising the SSE units."""
+    kb = KernelBuilder("mibench_fft", source="mibench")
+    for stage in range(scale):
+        base = (stage * 144) % 1536
+        twiddle = 2048 + (stage * 48) % 1024
+        kb.sse_load("xmm0", base)            # even
+        kb.sse_load("xmm1", base + 16)       # odd
+        kb.sse_load("xmm2", twiddle)         # twiddle factors
+        kb.sse_op("mulps", "xmm1", "xmm2")   # t = odd * w
+        kb.emit("movaps_x_x", reg("xmm3"), reg("xmm0"))
+        kb.sse_op("addps", "xmm0", "xmm1")   # even + t
+        kb.sse_op("subps", "xmm3", "xmm1")   # even - t
+        kb.sse_store(4096 + base, "xmm0")
+        kb.sse_store(4096 + base + 16, "xmm3")
+    # fold one lane into an integer checkpoint so results stay live
+    kb.emit("movq_r64_x", reg("rax"), reg("xmm0"))
+    kb.checkpoint("rax", 7168)
+    return kb.build(seed)
+
+
+#: The twelve-kernel suite, name → builder.
+MIBENCH_BUILDERS: Dict[str, Callable[..., Program]] = {
+    "basicmath": build_basicmath,
+    "bitcount": build_bitcount,
+    "qsort": build_qsort,
+    "susan": build_susan,
+    "dijkstra": build_dijkstra,
+    "patricia": build_patricia,
+    "stringsearch": build_stringsearch,
+    "blowfish": build_blowfish,
+    "sha": build_sha,
+    "crc32": build_crc32,
+    "adpcm": build_adpcm,
+    "fft": build_fft,
+}
+
+
+def mibench_suite(scale: float = 1.0) -> List[Program]:
+    """Build all twelve kernels, optionally scaling unroll factors."""
+    programs = []
+    for name, builder in MIBENCH_BUILDERS.items():
+        import inspect
+
+        default_scale = inspect.signature(builder).parameters["scale"].default
+        programs.append(
+            builder(scale=max(int(default_scale * scale), 2))
+        )
+    return programs

@@ -1,0 +1,201 @@
+"""OpenDCDiag-style datacenter CPU test suite (paper §III-A2).
+
+Manually specified tests "built around a CPU testing framework":
+compression, cryptographic operations, integer and FP matrix
+multiplication, singular value decomposition sweeps, and a memory
+pattern check.  These algorithms are chosen because "corruption in
+their inputs or intermediate results is highly likely to result in
+corruption in the output data" — several are FP-heavy (MxM, SVD),
+which is why OpenDCDiag posts the best baseline numbers on the SSE
+units (Fig 6).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.baselines.kernelbuilder import KernelBuilder
+from repro.isa.operands import imm, reg
+from repro.isa.program import Program
+
+
+def build_compress(scale: int = 8, seed: int = 31) -> Program:
+    """LZ-style window matching + RLE fold over the data region."""
+    kb = KernelBuilder("dcdiag_compress", source="opendcdiag")
+    kb.emit("xor_r64_r64", reg("r11"), reg("r11"))   # match accumulator
+    for i in range(scale * 4):
+        cursor = (i * 56) % 1536
+        window = (cursor + 512) % 1536
+        kb.load("rax", cursor)
+        kb.load("rbx", window)
+        # match length surrogate: xor, fold to byte-equality mask
+        kb.mov("rcx", "rax")
+        kb.binop("xor", "rcx", "rbx")
+        for shift_amount in (32, 16, 8):
+            kb.mov("rsi", "rcx")
+            kb.shift("shr", "rsi", shift_amount)
+            kb.binop("or", "rcx", "rsi")
+        kb.emit("not_r64", reg("rcx"))
+        kb.binop_imm("and", "rcx", 0xFF)
+        kb.shift("rol", "r11", 8)
+        kb.binop("add", "r11", "rcx")
+        # RLE fold: run-length of the low byte
+        kb.mov("rdi", "rax")
+        kb.shift("shr", "rdi", 8)
+        kb.binop("xor", "rdi", "rax")
+        kb.binop_imm("and", "rdi", 0xFF)
+        kb.binop("add", "r11", "rdi")
+        kb.store(4096 + (i * 56) % 2048, "r11")
+    return kb.build(seed)
+
+
+def build_crypto(scale: int = 8, seed: int = 32) -> Program:
+    """AES-round-flavoured mixing: sbox-free sub/shift/mix columns."""
+    kb = KernelBuilder("dcdiag_crypto", source="opendcdiag")
+    cols = ["rax", "rbx", "rcx", "rsi"]
+    for index, register in enumerate(cols):
+        kb.load(register, index * 8)
+    for round_index in range(scale * 3):
+        key = 1024 + (round_index * 40) % 1024
+        kb.load("r8", key)
+        for register in cols:
+            # sub-bytes surrogate: x ^= rotl(x,13) * 5; x += key
+            kb.mov("r9", register)
+            kb.shift("rol", "r9", 13)
+            kb.mov_imm("r10", 5)
+            kb.mul("r9", "r10")
+            kb.binop("xor", register, "r9")
+            kb.binop("add", register, "r8")
+        # mix-columns surrogate: cross-xor neighbours
+        kb.mov("r9", cols[0])
+        kb.binop("xor", cols[0], cols[1])
+        kb.binop("xor", cols[1], cols[2])
+        kb.binop("xor", cols[2], cols[3])
+        kb.binop("xor", cols[3], "r9")
+        kb.store(4096 + (round_index * 80) % 2048, cols[0])
+    for index, register in enumerate(cols):
+        kb.checkpoint(register, 4096 + index * 8)
+    return kb.build(seed)
+
+
+def build_mxm_int(scale: int = 4, seed: int = 33) -> Program:
+    """Integer matrix multiply, 4x4 blocks fully unrolled."""
+    kb = KernelBuilder("dcdiag_mxm_int", source="opendcdiag")
+    n = 4
+    for block in range(scale):
+        a_base = (block * 128) % 2048
+        b_base = 2048 + (block * 128) % 2048
+        c_base = 4096 + (block * 128) % 2048
+        for i in range(n):
+            for j in range(n):
+                kb.emit("xor_r64_r64", reg("rax"), reg("rax"))
+                for k in range(n):
+                    kb.load("rbx", a_base + (i * n + k) * 8)
+                    kb.load("rcx", b_base + (k * n + j) * 8)
+                    kb.mul("rbx", "rcx")
+                    kb.binop("add", "rax", "rbx")
+                kb.store(c_base + (i * n + j) * 8, "rax")
+    return kb.build(seed)
+
+
+def build_mxm_fp(scale: int = 5, seed: int = 34) -> Program:
+    """Single-precision matrix multiply on packed SSE lanes (MxM)."""
+    kb = KernelBuilder("dcdiag_mxm_fp", source="opendcdiag")
+    for block in range(scale):
+        a_base = (block * 64) % 2048
+        b_base = 2048 + (block * 64) % 1024
+        c_base = 4096 + (block * 64) % 2048
+        for row in range(4):
+            kb.sse_load("xmm0", a_base + row * 16)
+            kb.emit("xorps_x_x", reg("xmm4"), reg("xmm4"))
+            for k in range(4):
+                kb.sse_load("xmm1", b_base + k * 16)
+                kb.emit("movaps_x_x", reg("xmm2"), reg("xmm0"))
+                kb.sse_op("mulps", "xmm2", "xmm1")
+                kb.sse_op("addps", "xmm4", "xmm2")
+            kb.sse_store(c_base + row * 16, "xmm4")
+    kb.emit("movq_r64_x", reg("rax"), reg("xmm4"))
+    kb.checkpoint("rax", 7168)
+    return kb.build(seed)
+
+
+def build_svd(scale: int = 5, seed: int = 35) -> Program:
+    """One-sided Jacobi SVD sweeps: column dot products and rotations
+    in single precision (the suite's second FP-heavy test)."""
+    kb = KernelBuilder("dcdiag_svd", source="opendcdiag")
+    for sweep in range(scale):
+        for pair in range(3):
+            col_a = ((sweep * 3 + pair) * 32) % 1024
+            col_b = 1024 + ((sweep * 3 + pair) * 32) % 1024
+            # dot products: aa = a.a, bb = b.b, ab = a.b
+            kb.sse_load("xmm0", col_a)
+            kb.sse_load("xmm1", col_b)
+            kb.emit("movaps_x_x", reg("xmm2"), reg("xmm0"))
+            kb.sse_op("mulps", "xmm2", "xmm0")      # a*a
+            kb.emit("movaps_x_x", reg("xmm3"), reg("xmm1"))
+            kb.sse_op("mulps", "xmm3", "xmm1")      # b*b
+            kb.emit("movaps_x_x", reg("xmm4"), reg("xmm0"))
+            kb.sse_op("mulps", "xmm4", "xmm1")      # a*b
+            # rotation surrogate: a' = a*c - b*s ; b' = a*s + b*c with
+            # (c, s) taken from the data region
+            kb.sse_load("xmm5", 2048 + (sweep * 16) % 512)
+            kb.emit("movaps_x_x", reg("xmm6"), reg("xmm0"))
+            kb.sse_op("mulps", "xmm6", "xmm5")
+            kb.emit("movaps_x_x", reg("xmm7"), reg("xmm1"))
+            kb.sse_op("mulps", "xmm7", "xmm5")
+            kb.sse_op("subps", "xmm6", "xmm7")      # a'
+            kb.sse_op("addps", "xmm0", "xmm1")
+            kb.sse_op("mulps", "xmm0", "xmm5")      # b'
+            kb.sse_store(4096 + col_a % 1024, "xmm6")
+            kb.sse_store(5120 + col_a % 1024, "xmm0")
+            # accumulate off-diagonal magnitude into the signature
+            kb.sse_op("addps", "xmm2", "xmm3")
+            kb.sse_op("addps", "xmm2", "xmm4")
+            kb.sse_store(6144 + (sweep * 16) % 512, "xmm2")
+    return kb.build(seed)
+
+
+def build_pattern(scale: int = 10, seed: int = 36) -> Program:
+    """Memory pattern march: write/readback/complement over the region
+    (the framework's memory-integrity style test)."""
+    kb = KernelBuilder("dcdiag_pattern", source="opendcdiag")
+    patterns = (0xAAAAAAAAAAAAAAAA, 0x5555555555555555,
+                0xCCCCCCCCCCCCCCCC)
+    kb.emit("xor_r64_r64", reg("r11"), reg("r11"))
+    for i in range(scale * 3):
+        pattern = patterns[i % len(patterns)]
+        offset = 4096 + (i * 64) % 2048
+        kb.mov_imm("rax", pattern)
+        kb.store(offset, "rax")
+        kb.load("rbx", offset)
+        kb.emit("not_r64", reg("rbx"))
+        kb.store(offset, "rbx")
+        kb.load("rcx", offset)
+        kb.binop("xor", "rcx", "rbx")      # zero when readback matches
+        kb.binop("or", "r11", "rcx")
+        kb.load("rdx", (i * 56) % 2048)   # sweep reads over input too
+        kb.binop("add", "r11", "rdx")
+    kb.store(7168, "r11")
+    return kb.build(seed)
+
+
+#: The suite, name → builder.
+OPENDCDIAG_BUILDERS: Dict[str, Callable[..., Program]] = {
+    "compress": build_compress,
+    "crypto": build_crypto,
+    "mxm_int": build_mxm_int,
+    "mxm_fp": build_mxm_fp,
+    "svd": build_svd,
+    "pattern": build_pattern,
+}
+
+
+def opendcdiag_suite(scale: float = 1.0) -> List[Program]:
+    """Build the full suite with optionally scaled unroll factors."""
+    import inspect
+
+    programs = []
+    for name, builder in OPENDCDIAG_BUILDERS.items():
+        default_scale = inspect.signature(builder).parameters["scale"].default
+        programs.append(builder(scale=max(int(default_scale * scale), 2)))
+    return programs

@@ -1,0 +1,276 @@
+"""SiliFuzz-style baseline: fuzzing CPUs by proxy (paper §III-A1).
+
+Reproduces the architecture of SiliFuzz as the paper characterizes it
+(Fig 8): programs are raw *byte sequences* mutated with no notion of
+the ISA encoding; a software **proxy** (here: the functional simulator)
+filters the corpus, keeping only inputs that decode, run without
+crashing, and are deterministic; a *software coverage* signal (opcode
+and opcode-pair edges executed in the proxy) decides which inputs are
+"interesting" enough to join the corpus.
+
+Because the encoding is sparse, a realistic majority of mutated byte
+strings fail to decode or crash — the paper measured "more than 2 out
+of 3 produced sequences being eventually unusable", and the fuzz
+statistics here land in the same regime.
+
+Surviving snapshots (≤ ``max_snapshot_bytes`` each, like SiliFuzz's
+100-byte snapshots) are aggregated into a single test of the target
+length for the fault-injection comparison (§III-A1).
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import FrozenSet, List, Optional, Tuple
+
+from repro.isa.encoding import DecodeError, decode_program
+from repro.isa.instructions import Instruction, InstructionSet
+from repro.isa.isa_x64 import x64
+from repro.isa.program import Program
+from repro.sim.config import DEFAULT_MACHINE, MachineConfig
+from repro.sim.functional import FunctionalSimulator
+from repro.sim.overrides import Overrides
+
+
+@dataclass(frozen=True)
+class SiliFuzzConfig:
+    """Fuzzing campaign parameters."""
+
+    seed: int = 0
+    rounds: int = 400
+    max_snapshot_bytes: int = 100
+    #: Dynamic-instruction budget for each proxy execution.
+    proxy_budget: int = 256
+    data_size: int = 8 * 1024
+    #: Fresh random inputs seeded into the corpus before mutation.
+    initial_inputs: int = 16
+
+
+@dataclass
+class Snapshot:
+    """One runnable, deterministic corpus entry."""
+
+    data: bytes
+    instructions: Tuple[Instruction, ...]
+    coverage: FrozenSet[str]
+
+
+@dataclass
+class FuzzStats:
+    """Campaign statistics (the §VI-A throughput comparison inputs)."""
+
+    total_inputs: int = 0
+    decode_failures: int = 0
+    crashes: int = 0
+    nondeterministic: int = 0
+    runnable: int = 0
+    kept: int = 0
+    runnable_instructions: int = 0
+    elapsed_seconds: float = 0.0
+
+    @property
+    def discard_fraction(self) -> float:
+        if self.total_inputs == 0:
+            return 0.0
+        discarded = self.total_inputs - self.runnable
+        return discarded / self.total_inputs
+
+    @property
+    def instructions_per_second(self) -> float:
+        if self.elapsed_seconds == 0:
+            return 0.0
+        return self.runnable_instructions / self.elapsed_seconds
+
+
+@dataclass
+class FuzzResult:
+    corpus: List[Snapshot] = field(default_factory=list)
+    stats: FuzzStats = field(default_factory=FuzzStats)
+
+
+class SiliFuzz:
+    """The byte-mutation fuzzer with a simulator proxy."""
+
+    def __init__(
+        self,
+        config: Optional[SiliFuzzConfig] = None,
+        isa: Optional[InstructionSet] = None,
+        machine: MachineConfig = DEFAULT_MACHINE,
+    ):
+        self.config = config if config is not None else SiliFuzzConfig()
+        self.isa = isa if isa is not None else x64()
+        self.machine = machine.for_program(self.config.data_size)
+        self._simulator = FunctionalSimulator(self.machine)
+
+    # -- byte-level mutation (no ISA knowledge) ---------------------------
+
+    def _random_bytes(self, rng: random.Random) -> bytes:
+        # Fresh inputs start short: long fully-random strings almost
+        # never decode end to end, exactly as with real x86 bytes.
+        length = rng.randrange(3, 16)
+        return bytes(rng.getrandbits(8) for _ in range(length))
+
+    def _mutate_bytes(self, data: bytes, rng: random.Random) -> bytes:
+        buffer = bytearray(data)
+        choice = rng.randrange(4)
+        if choice == 0 and buffer:           # flip a byte
+            buffer[rng.randrange(len(buffer))] ^= 1 << rng.randrange(8)
+        elif choice == 1:                    # insert a byte
+            buffer.insert(
+                rng.randrange(len(buffer) + 1), rng.getrandbits(8)
+            )
+        elif choice == 2 and len(buffer) > 1:  # delete a byte
+            del buffer[rng.randrange(len(buffer))]
+        else:                                # duplicate a slice
+            if buffer:
+                start = rng.randrange(len(buffer))
+                end = min(len(buffer), start + rng.randrange(1, 9))
+                buffer.extend(buffer[start:end])
+        return bytes(buffer[: self.config.max_snapshot_bytes])
+
+    # -- proxy execution ----------------------------------------------------
+
+    def _proxy_check(
+        self, data: bytes, stats: FuzzStats
+    ) -> Optional[Snapshot]:
+        """Decode and run twice; keep only deterministic non-crashers."""
+        stats.total_inputs += 1
+        try:
+            instructions = decode_program(self.isa, data)
+        except DecodeError:
+            stats.decode_failures += 1
+            return None
+        if not instructions:
+            stats.decode_failures += 1
+            return None
+        program = Program(
+            instructions=tuple(instructions),
+            name="snapshot",
+            data_size=self.config.data_size,
+            source="silifuzz",
+        )
+        outputs = []
+        coverage = set()
+        for salt in (1, 2):
+            result = self._simulator.run(
+                program,
+                overrides=Overrides(nondet_salt=salt),
+                collect_records=(salt == 1),
+                max_dynamic=self.config.proxy_budget,
+            )
+            if result.crashed:
+                stats.crashes += 1
+                return None
+            outputs.append(result.output)
+            if salt == 1:
+                previous = None
+                for record in result.records:
+                    name = record.instruction.definition.name
+                    coverage.add(name)
+                    if previous is not None:
+                        coverage.add(f"{previous}->{name}")
+                    previous = name
+        if outputs[0] != outputs[1]:
+            stats.nondeterministic += 1
+            return None
+        stats.runnable += 1
+        stats.runnable_instructions += len(instructions)
+        return Snapshot(
+            data=data,
+            instructions=tuple(instructions),
+            coverage=frozenset(coverage),
+        )
+
+    # -- the campaign ---------------------------------------------------------
+
+    def fuzz(self) -> FuzzResult:
+        """Run the fuzzing campaign; returns the coverage-driven corpus."""
+        config = self.config
+        rng = random.Random(config.seed)
+        stats = FuzzStats()
+        corpus: List[Snapshot] = []
+        seen_coverage: set = set()
+        started = time.perf_counter()
+        for round_index in range(config.rounds):
+            if corpus and round_index >= config.initial_inputs \
+                    and rng.random() < 0.8:
+                parent = rng.choice(corpus)
+                candidate = self._mutate_bytes(parent.data, rng)
+            else:
+                candidate = self._random_bytes(rng)
+            snapshot = self._proxy_check(candidate, stats)
+            if snapshot is None:
+                continue
+            new_edges = snapshot.coverage - seen_coverage
+            if new_edges or not corpus:
+                seen_coverage |= snapshot.coverage
+                corpus.append(snapshot)
+                stats.kept += 1
+        stats.elapsed_seconds = time.perf_counter() - started
+        return FuzzResult(corpus=corpus, stats=stats)
+
+    # -- aggregation (§III-A1) --------------------------------------------------
+
+    def aggregate_test(
+        self,
+        corpus: List[Snapshot],
+        target_instructions: int,
+        name: str = "silifuzz_aggregate",
+        seed: int = 0,
+    ) -> Program:
+        """Concatenate snapshot instructions into one long test.
+
+        "Instructions from multiple snapshots are aggregated into a
+        single 10K instructions test" — snapshots are appended in a
+        seeded random order; any snapshot whose addition makes the
+        aggregate crash (state interactions) is skipped.
+        """
+        if not corpus:
+            raise ValueError("empty corpus")
+        rng = random.Random(seed)
+        accepted: List[Instruction] = []
+        order = list(corpus)
+        rng.shuffle(order)
+        cursor = 0
+        while len(accepted) < target_instructions:
+            snapshot = order[cursor % len(order)]
+            cursor += 1
+            candidate = accepted + list(snapshot.instructions)
+            program = Program(
+                instructions=tuple(candidate[:target_instructions]),
+                name=name,
+                data_size=self.config.data_size,
+                source="silifuzz",
+            )
+            result = self._simulator.run(
+                program,
+                collect_records=False,
+                max_dynamic=4 * target_instructions + 1000,
+            )
+            if result.crashed:
+                if cursor > 4 * len(order) and not accepted:
+                    raise RuntimeError(
+                        "could not build a non-crashing aggregate"
+                    )
+                if cursor > 8 * len(order):
+                    break  # accept a shorter aggregate
+                continue
+            accepted = candidate[:target_instructions]
+        return Program(
+            instructions=tuple(accepted),
+            name=name,
+            data_size=self.config.data_size,
+            source="silifuzz",
+        )
+
+    def build_aggregate(
+        self, target_instructions: int, name: str = "silifuzz_aggregate"
+    ) -> Tuple[Program, FuzzStats]:
+        """Fuzz then aggregate — the full baseline pipeline."""
+        result = self.fuzz()
+        program = self.aggregate_test(
+            result.corpus, target_instructions, name, seed=self.config.seed
+        )
+        return program, result.stats

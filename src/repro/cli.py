@@ -1,0 +1,167 @@
+"""Command-line entry point: ``harpocrates <command>``.
+
+Commands:
+
+* ``report`` — regenerate every paper table/figure at a scale preset,
+* ``loop`` — run the Harpocrates loop for one target and print the
+  convergence curve plus final detection,
+* ``baselines`` — grade the baseline suites on the six structures,
+* ``generate`` — emit a constrained-random program as assembly,
+* ``fuzz`` — run the SiliFuzz-style campaign and print its statistics.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments.presets import DEFAULT, FULL, SMOKE
+
+_PRESETS = {"smoke": SMOKE, "default": DEFAULT, "full": FULL}
+
+
+def _add_scale_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--scale",
+        choices=sorted(_PRESETS),
+        default="default",
+        help="experiment scale preset",
+    )
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.experiments.report import run_all
+
+    if args.output:
+        with open(args.output, "w") as stream:
+            run_all(_PRESETS[args.scale], stream=stream,
+                    workers=args.workers)
+        print(f"report written to {args.output}")
+    else:
+        run_all(_PRESETS[args.scale], workers=args.workers)
+    return 0
+
+
+def _cmd_loop(args: argparse.Namespace) -> int:
+    from repro.core import scaled_targets
+    from repro.experiments.fig10 import run_target
+
+    scale = _PRESETS[args.scale]
+    targets = scaled_targets(
+        program_scale=scale.program_scale, loop_scale=scale.loop_scale
+    )
+    if args.target not in targets:
+        print(f"unknown target {args.target!r}; "
+              f"choose one of {sorted(targets)}", file=sys.stderr)
+        return 2
+    curve = run_target(targets[args.target], scale, workers=args.workers)
+    print(curve.render())
+    print(f"final detection: {curve.final_detection:.1%}")
+    return 0
+
+
+def _cmd_baselines(args: argparse.Namespace) -> int:
+    from repro.experiments.fig456 import run_fig4, run_fig5, run_fig6
+    from repro.experiments.harness import baseline_workloads
+
+    scale = _PRESETS[args.scale]
+    workloads = baseline_workloads(scale)
+    print(run_fig4(scale, workloads).render("Fig 4 — IRF & L1D"))
+    print()
+    print(run_fig5(scale, workloads).render("Fig 5 — INT units"))
+    print()
+    print(run_fig6(scale, workloads).render("Fig 6 — SSE FP units"))
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    from repro.microprobe import GenerationConfig, Synthesizer
+
+    synthesizer = Synthesizer(
+        config=GenerationConfig(num_instructions=args.instructions)
+    )
+    program = synthesizer.synthesize_random(args.seed)
+    print(f"# {program.summary()}")
+    print(program.to_asm())
+    return 0
+
+
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    from repro.baselines.silifuzz import SiliFuzz, SiliFuzzConfig
+
+    fuzzer = SiliFuzz(SiliFuzzConfig(rounds=args.rounds, seed=args.seed))
+    result = fuzzer.fuzz()
+    stats = result.stats
+    print(
+        f"inputs={stats.total_inputs} "
+        f"decode_failures={stats.decode_failures} "
+        f"crashes={stats.crashes} "
+        f"nondeterministic={stats.nondeterministic} "
+        f"runnable={stats.runnable} kept={stats.kept}"
+    )
+    print(
+        f"discard={stats.discard_fraction:.0%} "
+        f"rate={stats.instructions_per_second:,.0f} runnable instr/s"
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="harpocrates",
+        description="Harpocrates (ISCA 2024) reproduction toolkit",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    report_parser = subparsers.add_parser(
+        "report", help="regenerate every paper table/figure"
+    )
+    _add_scale_argument(report_parser)
+    report_parser.add_argument("--workers", type=int, default=1)
+    report_parser.add_argument(
+        "--output", default=None,
+        help="write the report to a file instead of stdout",
+    )
+    report_parser.set_defaults(handler=_cmd_report)
+
+    loop_parser = subparsers.add_parser(
+        "loop", help="run the loop for one target structure"
+    )
+    loop_parser.add_argument(
+        "target",
+        help="irf | l1d | int_adder | int_mul | fp_adder | fp_mul",
+    )
+    _add_scale_argument(loop_parser)
+    loop_parser.add_argument("--workers", type=int, default=1)
+    loop_parser.set_defaults(handler=_cmd_loop)
+
+    baselines_parser = subparsers.add_parser(
+        "baselines", help="grade the baseline suites (Figs 4/5/6)"
+    )
+    _add_scale_argument(baselines_parser)
+    baselines_parser.set_defaults(handler=_cmd_baselines)
+
+    generate_parser = subparsers.add_parser(
+        "generate", help="emit one constrained-random program"
+    )
+    generate_parser.add_argument("--instructions", type=int, default=100)
+    generate_parser.add_argument("--seed", type=int, default=0)
+    generate_parser.set_defaults(handler=_cmd_generate)
+
+    fuzz_parser = subparsers.add_parser(
+        "fuzz", help="run the SiliFuzz-style campaign"
+    )
+    fuzz_parser.add_argument("--rounds", type=int, default=1000)
+    fuzz_parser.add_argument("--seed", type=int, default=0)
+    fuzz_parser.set_defaults(handler=_cmd_fuzz)
+    return parser
+
+
+def main(argv=None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

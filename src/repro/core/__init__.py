@@ -1,0 +1,45 @@
+"""The Harpocrates core: Generator, Mutator, Evaluator, and the loop."""
+
+from repro.core.evaluator import EvaluatedProgram, Evaluator
+from repro.core.generator import Generator
+from repro.core.loop import (
+    HarpocratesLoop,
+    IterationStats,
+    LoopConfig,
+    LoopResult,
+)
+from repro.core.manager import LoopStepTiming, Manager
+from repro.core.mutator import (
+    Genome,
+    InstructionReplacementMutator,
+    KPointCrossover,
+    Mutator,
+    SingleSiteReplacementMutator,
+)
+from repro.core.targets import (
+    SCALED_L1D_MACHINE,
+    TargetSpec,
+    paper_targets,
+    scaled_targets,
+)
+
+__all__ = [
+    "EvaluatedProgram",
+    "Evaluator",
+    "Generator",
+    "HarpocratesLoop",
+    "IterationStats",
+    "LoopConfig",
+    "LoopResult",
+    "LoopStepTiming",
+    "Manager",
+    "Genome",
+    "InstructionReplacementMutator",
+    "KPointCrossover",
+    "Mutator",
+    "SingleSiteReplacementMutator",
+    "SCALED_L1D_MACHINE",
+    "TargetSpec",
+    "paper_targets",
+    "scaled_targets",
+]

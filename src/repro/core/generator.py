@@ -1,0 +1,65 @@
+"""The Generator component of the Harpocrates loop (paper §IV-A).
+
+Wraps the MuSeqGen synthesizer: bootstraps the initial constrained-
+random population (loop step 0) and re-materializes mutated genomes
+into runnable programs (the "generation" stage of every loop step).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.isa.program import Program
+from repro.microprobe.arch_module import ArchitectureModule
+from repro.microprobe.policies import GenerationConfig
+from repro.microprobe.synthesizer import Synthesizer
+from repro.core.mutator import Genome
+
+
+class Generator:
+    """Produces valid-by-construction test programs."""
+
+    def __init__(
+        self,
+        config: Optional[GenerationConfig] = None,
+        arch: Optional[ArchitectureModule] = None,
+    ):
+        self.arch = arch if arch is not None else ArchitectureModule()
+        self.config = config if config is not None else GenerationConfig()
+        self.synthesizer = Synthesizer(self.arch, self.config)
+
+    def initial_population(
+        self, count: int, base_seed: int = 0
+    ) -> List[Program]:
+        """Step 0: the bootstrap population of random programs."""
+        return [
+            self.synthesizer.synthesize_random(
+                base_seed + index, name=f"gen0_{index:03d}"
+            )
+            for index in range(count)
+        ]
+
+    def realize(self, genome: Genome, seed: int, name: str = "") -> Program:
+        """Materialize a (possibly mutated) genome into a program.
+
+        Operand resolution re-runs under ``seed``, so two realizations
+        of one genome with the same seed are identical — generation is
+        fully reproducible.
+        """
+        definitions = [self.arch.isa.by_name(entry) for entry in genome]
+        return self.synthesizer.synthesize_from_sequence(
+            definitions, seed, name=name
+        )
+
+    @staticmethod
+    def genome_of(program: Program) -> Genome:
+        """The genome recorded at synthesis time."""
+        genome = program.metadata.get("genome")
+        if genome is None:
+            # Programs not produced by the synthesizer (e.g. baseline
+            # kernels) expose their raw definition sequence.
+            genome = tuple(
+                instruction.definition.name
+                for instruction in program.instructions
+            )
+        return tuple(genome)

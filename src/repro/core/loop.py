@@ -1,0 +1,201 @@
+"""The Harpocrates program-refinement loop (paper §V-C, Fig 7).
+
+* **Step 0** — the Generator bootstraps a random population.
+* **Step 1** — the Evaluator co-simulates every program and computes
+  its fitness (the structure's hardware-coverage metric).
+* **Step 2** — selection: the top-K programs advance.
+* **Step 3** — the Mutator produces each parent's offspring; the new
+  generation returns to step 1.  The process repeats until the metric
+  converges (or the configured iteration budget ends).
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.core.evaluator import EvaluatedProgram, Evaluator
+from repro.core.generator import Generator
+from repro.core.mutator import (
+    Genome,
+    InstructionReplacementMutator,
+    KPointCrossover,
+    Mutator,
+)
+
+
+@dataclass(frozen=True)
+class LoopConfig:
+    """Genetic-loop parameters (per-structure values in §VI-B)."""
+
+    population: int = 32
+    keep: int = 8
+    iterations: int = 50
+    #: Offspring per surviving parent; ``population // keep`` when None.
+    offspring_per_parent: Optional[int] = None
+    seed: int = 0
+    #: Stop early when the best fitness has not improved by more than
+    #: ``convergence_epsilon`` for this many consecutive iterations
+    #: (None disables early stopping, as in the paper's full-length
+    #: convergence graphs).
+    convergence_patience: Optional[int] = None
+    convergence_epsilon: float = 1e-4
+    #: Probability that an offspring is produced by k-point crossover
+    #: of two surviving parents before mutation.  The paper evaluated
+    #: crossover and settled on pure instruction replacement (§V-B1);
+    #: 0.0 reproduces that production configuration.
+    crossover_rate: float = 0.0
+    crossover_points: int = 2
+
+    @property
+    def effective_offspring(self) -> int:
+        if self.offspring_per_parent is not None:
+            return self.offspring_per_parent
+        return max(self.population // max(self.keep, 1), 1)
+
+
+@dataclass
+class IterationStats:
+    """Per-iteration convergence record (the data behind Fig 10)."""
+
+    iteration: int
+    best_fitness: float
+    mean_fitness: float
+    top_fitnesses: List[float]
+    elapsed_seconds: float
+
+
+@dataclass
+class LoopResult:
+    """Outcome of a full Harpocrates run for one target structure."""
+
+    best: List[EvaluatedProgram]
+    history: List[IterationStats] = field(default_factory=list)
+    iterations_run: int = 0
+    converged_at: Optional[int] = None
+
+    @property
+    def best_program(self) -> EvaluatedProgram:
+        return self.best[0]
+
+    def fitness_curve(self) -> List[float]:
+        return [stats.best_fitness for stats in self.history]
+
+
+class HarpocratesLoop:
+    """Generator + Mutator + Evaluator wired into the full loop."""
+
+    def __init__(
+        self,
+        generator: Generator,
+        evaluator: Evaluator,
+        mutator: Optional[Mutator] = None,
+        config: Optional[LoopConfig] = None,
+    ):
+        self.generator = generator
+        self.evaluator = evaluator
+        self.mutator = mutator if mutator is not None else \
+            InstructionReplacementMutator(generator.arch)
+        self.config = config if config is not None else LoopConfig()
+
+    def _next_generation(
+        self,
+        survivors: Sequence[EvaluatedProgram],
+        iteration: int,
+        rng: random.Random,
+    ):
+        """Step 3: recombine/mutate survivors into their offspring."""
+        offspring = []
+        per_parent = self.config.effective_offspring
+        crossover = KPointCrossover(self.config.crossover_points)
+        genomes = [
+            self.generator.genome_of(parent.program)
+            for parent in survivors
+        ]
+        for parent_index, genome in enumerate(genomes):
+            for child_index in range(per_parent):
+                base: Genome = genome
+                if (
+                    len(genomes) > 1
+                    and rng.random() < self.config.crossover_rate
+                ):
+                    other = rng.choice(
+                        [g for i, g in enumerate(genomes)
+                         if i != parent_index]
+                    )
+                    base = crossover.crossover(genome, other, rng)
+                mutated = self.mutator.mutate(base, rng)
+                seed = rng.getrandbits(32)
+                name = (
+                    f"it{iteration:05d}_p{parent_index:02d}"
+                    f"c{child_index:02d}"
+                )
+                offspring.append(
+                    self.generator.realize(mutated, seed, name=name)
+                )
+        return offspring[: self.config.population]
+
+    def run(
+        self,
+        iterations: Optional[int] = None,
+        on_iteration=None,
+    ) -> LoopResult:
+        """Execute the loop; returns the surviving elite and history.
+
+        ``on_iteration`` (if given) is called with each
+        :class:`IterationStats` — the experiment harness uses it to
+        sample detection capability along the convergence curve.
+        """
+        config = self.config
+        iterations = iterations if iterations is not None \
+            else config.iterations
+        rng = random.Random(config.seed)
+        population = self.generator.initial_population(
+            config.population, base_seed=config.seed
+        )
+        result = LoopResult(best=[])
+        best_so_far = float("-inf")
+        stale = 0
+        for iteration in range(iterations):
+            started = time.perf_counter()
+            ranked = self.evaluator.rank(population)
+            survivors = ranked[: config.keep]
+            elapsed = time.perf_counter() - started
+            stats = IterationStats(
+                iteration=iteration,
+                best_fitness=survivors[0].fitness if survivors else 0.0,
+                mean_fitness=(
+                    sum(entry.fitness for entry in ranked) / len(ranked)
+                    if ranked
+                    else 0.0
+                ),
+                top_fitnesses=[entry.fitness for entry in survivors],
+                elapsed_seconds=elapsed,
+            )
+            result.history.append(stats)
+            result.best = list(survivors)
+            result.iterations_run = iteration + 1
+            if on_iteration is not None:
+                on_iteration(stats, survivors)
+            improvement = stats.best_fitness - best_so_far
+            if improvement > config.convergence_epsilon:
+                best_so_far = stats.best_fitness
+                stale = 0
+            else:
+                stale += 1
+                if (
+                    config.convergence_patience is not None
+                    and stale >= config.convergence_patience
+                ):
+                    result.converged_at = iteration
+                    break
+            if iteration + 1 < iterations:
+                # Elitism: survivors carry over unchanged alongside
+                # their offspring, so the maximum coverage attained is
+                # retained across iterations (as in Fig 10).
+                offspring = self._next_generation(survivors, iteration, rng)
+                carried = [entry.program for entry in survivors]
+                population = (carried + offspring)[: config.population]
+        return result

@@ -1,0 +1,170 @@
+"""The Generation and Mutation Manager (paper §V-B2) plus loop-step
+instrumentation.
+
+The Manager "orchestrates the most common flows in the framework":
+configurable constrained-random generation, bulk mutate-and-generate
+flows, and the fully wired Harpocrates loop for a target structure.
+It also times the four stages of a single loop step — Mutation,
+Generation, Compilation, Evaluation — which is exactly the breakdown
+the paper's Table I reports.  ("Compilation" here is lowering the
+program to its binary encoding, the stand-in for the paper's pass
+through a C compiler.)
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.core.evaluator import Evaluator
+from repro.core.generator import Generator
+from repro.core.loop import HarpocratesLoop, LoopConfig, LoopResult
+from repro.core.mutator import InstructionReplacementMutator, Mutator
+from repro.core.targets import TargetSpec
+from repro.isa.encoding import encode_program
+from repro.isa.program import Program
+
+
+@dataclass(frozen=True)
+class LoopStepTiming:
+    """Wall-clock breakdown of one loop step (Table I)."""
+
+    mutation_seconds: float
+    generation_seconds: float
+    compilation_seconds: float
+    evaluation_seconds: float
+    programs: int
+    instructions: int
+
+    @property
+    def total_seconds(self) -> float:
+        return (
+            self.mutation_seconds
+            + self.generation_seconds
+            + self.compilation_seconds
+            + self.evaluation_seconds
+        )
+
+    @property
+    def instructions_per_second(self) -> float:
+        """Runnable-and-evaluated instruction throughput (§VI-A)."""
+        if self.total_seconds == 0:
+            return 0.0
+        return self.instructions / self.total_seconds
+
+
+class Manager:
+    """Orchestrates generation/mutation/evaluation flows for a target."""
+
+    def __init__(self, target: TargetSpec, workers: int = 1):
+        self.target = target
+        self.generator = Generator(target.generation)
+        self.evaluator = Evaluator(
+            target.metric, target.machine, workers=workers
+        )
+        self.mutator: Mutator = InstructionReplacementMutator(
+            self.generator.arch, pool_names=target.pool_names
+        )
+
+    # -- §V-B2 flows -------------------------------------------------------
+
+    def generate(self, count: int, base_seed: int = 0) -> List[Program]:
+        """Flow: configurable constrained-random generation."""
+        return self.generator.initial_population(count, base_seed)
+
+    def mutate_and_generate(
+        self,
+        programs: Sequence[Program],
+        mutations_each: int,
+        seed: int = 0,
+    ) -> List[Program]:
+        """Flow: "generate N random programs, randomly mutate each
+        sequence M times, generate programs from the mutated
+        sequences" (§V-B2)."""
+        rng = random.Random(seed)
+        offspring: List[Program] = []
+        for index, program in enumerate(programs):
+            genome = self.generator.genome_of(program)
+            for mutation in range(mutations_each):
+                mutated = self.mutator.mutate(genome, rng)
+                offspring.append(
+                    self.generator.realize(
+                        mutated,
+                        rng.getrandbits(32),
+                        name=f"{program.name}_m{mutation}",
+                    )
+                )
+        return offspring
+
+    # -- the full loop -----------------------------------------------------
+
+    def build_loop(
+        self, config: Optional[LoopConfig] = None
+    ) -> HarpocratesLoop:
+        return HarpocratesLoop(
+            self.generator,
+            self.evaluator,
+            self.mutator,
+            config if config is not None else self.target.loop,
+        )
+
+    def run_loop(
+        self,
+        iterations: Optional[int] = None,
+        on_iteration: Optional[Callable] = None,
+    ) -> LoopResult:
+        return self.build_loop().run(iterations, on_iteration)
+
+    # -- Table I instrumentation ---------------------------------------------
+
+    def timed_loop_step(
+        self, population: Sequence[Program], seed: int = 0
+    ) -> Tuple[List[Program], LoopStepTiming]:
+        """Run one full loop step, timing each stage.
+
+        Returns the next generation and the stage breakdown.  Stage
+        order matches Table I: Mutation, Generation, Compilation,
+        Evaluation.
+        """
+        rng = random.Random(seed)
+        config = self.target.loop
+
+        started = time.perf_counter()
+        ranked = self.evaluator.rank(population)
+        evaluation_seconds = time.perf_counter() - started
+        survivors = ranked[: config.keep]
+
+        started = time.perf_counter()
+        genomes = []
+        for parent in survivors:
+            genome = self.generator.genome_of(parent.program)
+            for _ in range(config.effective_offspring):
+                genomes.append(self.mutator.mutate(genome, rng))
+        mutation_seconds = time.perf_counter() - started
+
+        started = time.perf_counter()
+        next_generation = [
+            self.generator.realize(
+                genome, rng.getrandbits(32), name=f"step_{index:03d}"
+            )
+            for index, genome in enumerate(genomes)
+        ]
+        generation_seconds = time.perf_counter() - started
+
+        started = time.perf_counter()
+        for program in next_generation:
+            encode_program(list(program.instructions))
+        compilation_seconds = time.perf_counter() - started
+
+        instructions = sum(len(p) for p in next_generation)
+        timing = LoopStepTiming(
+            mutation_seconds=mutation_seconds,
+            generation_seconds=generation_seconds,
+            compilation_seconds=compilation_seconds,
+            evaluation_seconds=evaluation_seconds,
+            programs=len(next_generation),
+            instructions=instructions,
+        )
+        return next_generation, timing

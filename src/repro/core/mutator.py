@@ -1,0 +1,120 @@
+"""MuSeqGen's mutation engine (paper §V-B1).
+
+Operates on *genomes*: sequences of instruction-definition names (the
+same mnemonic with different operand types counts as a distinct
+instruction).  The production strategy is **uniform instruction
+replacement**: pick one definition appearing in the sequence and
+replace *all* of its occurrences with another definition drawn
+uniformly from the pool.  The paper settled on this strategy because it
+optimizes any objective without per-target tuning and avoids the
+local-optima pitfalls of "too explicit" mutations.
+
+K-point crossover and single-site replacement are implemented as
+alternatives (the paper evaluated and rejected them; the ablation
+benchmarks compare them).
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from typing import List, Optional, Sequence, Tuple
+
+from repro.microprobe.arch_module import ArchitectureModule
+
+Genome = Tuple[str, ...]
+
+
+class Mutator(ABC):
+    """Rewrites genomes between generations."""
+
+    name = "mutator"
+
+    @abstractmethod
+    def mutate(self, genome: Genome, rng: random.Random) -> Genome:
+        """Return a mutated copy of ``genome``."""
+
+
+class InstructionReplacementMutator(Mutator):
+    """Replace all occurrences of one random instruction with another
+    (the paper's production strategy)."""
+
+    name = "instruction_replacement"
+
+    def __init__(
+        self,
+        arch: Optional[ArchitectureModule] = None,
+        pool_names: Optional[Sequence[str]] = None,
+    ):
+        arch = arch if arch is not None else ArchitectureModule()
+        if pool_names is not None:
+            self.pool: List[str] = list(pool_names)
+        else:
+            self.pool = [
+                definition.name for definition in arch.generatable_defs()
+            ]
+        if not self.pool:
+            raise ValueError("empty replacement pool")
+
+    def mutate(self, genome: Genome, rng: random.Random) -> Genome:
+        if not genome:
+            return genome
+        target = rng.choice(genome)
+        replacement = rng.choice(self.pool)
+        return tuple(
+            replacement if name == target else name for name in genome
+        )
+
+
+class SingleSiteReplacementMutator(Mutator):
+    """Replace one occurrence at one random position (a weaker,
+    slower-converging alternative kept for the ablation study)."""
+
+    name = "single_site_replacement"
+
+    def __init__(
+        self,
+        arch: Optional[ArchitectureModule] = None,
+        pool_names: Optional[Sequence[str]] = None,
+    ):
+        arch = arch if arch is not None else ArchitectureModule()
+        self.pool = list(pool_names) if pool_names is not None else [
+            definition.name for definition in arch.generatable_defs()
+        ]
+
+    def mutate(self, genome: Genome, rng: random.Random) -> Genome:
+        if not genome:
+            return genome
+        position = rng.randrange(len(genome))
+        mutated = list(genome)
+        mutated[position] = rng.choice(self.pool)
+        return tuple(mutated)
+
+
+class KPointCrossover:
+    """K-point crossover between two parent genomes (§V-B1 lists it
+    among the evaluated recombination strategies)."""
+
+    def __init__(self, k: int = 2):
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        self.k = k
+
+    def crossover(
+        self, parent_a: Genome, parent_b: Genome, rng: random.Random
+    ) -> Genome:
+        length = min(len(parent_a), len(parent_b))
+        if length < 2:
+            return parent_a
+        points = sorted(
+            rng.sample(range(1, length), min(self.k, length - 1))
+        )
+        child: List[str] = []
+        take_from_a = True
+        previous = 0
+        for point in points + [length]:
+            source = parent_a if take_from_a else parent_b
+            child.extend(source[previous:point])
+            take_from_a = not take_from_a
+            previous = point
+        return tuple(child)

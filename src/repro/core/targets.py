@@ -1,0 +1,208 @@
+"""Target-structure presets (paper §VI-B).
+
+A :class:`TargetSpec` bundles everything Harpocrates needs to attack
+one hardware structure: the generation constraints, the GA loop shape,
+the coverage metric (fitness), the machine model, and the fault-
+injection campaign that measures final detection capability.
+
+``paper_targets()`` returns the six structures at the paper's literal
+parameters; ``scaled_targets()`` shrinks program sizes, populations and
+iteration counts by 1–2 orders of magnitude so a full reproduction run
+fits a laptop-scale pure-Python budget (see EXPERIMENTS.md for the
+scaling table).  The scaled L1D target also shrinks the cache (and its
+matching data region) so that coverage saturation — the paper's Fig 10
+shape — is reachable at the scaled program length.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from functools import partial
+from typing import Callable, Dict, List, Optional
+
+from repro.core.loop import LoopConfig
+from repro.coverage.metrics import (
+    AceIrfCoverage,
+    AceL1dCoverage,
+    CoverageMetric,
+    IbrCoverage,
+)
+from repro.faults.injector import (
+    campaign_cache_transient,
+    campaign_gate_permanent,
+    campaign_register_transient,
+)
+from repro.faults.outcomes import DetectionReport
+from repro.isa.instructions import FUClass
+from repro.isa.isa_x64 import x64
+from repro.microprobe.passes import MemoryAccessMode
+from repro.microprobe.policies import GenerationConfig
+from repro.sim.config import CacheConfig, DEFAULT_MACHINE, MachineConfig
+from repro.sim.cosim import GoldenRun
+
+CampaignFn = Callable[[GoldenRun, int, int], DetectionReport]
+
+
+@dataclass(frozen=True)
+class TargetSpec:
+    """Everything needed to run Harpocrates against one structure."""
+
+    key: str
+    title: str
+    metric: CoverageMetric
+    generation: GenerationConfig
+    loop: LoopConfig
+    campaign: CampaignFn
+    fault_model: str
+    machine: MachineConfig = DEFAULT_MACHINE
+    #: Mutation replacement pool (None = the full generatable set).
+    pool_names: Optional[List[str]] = None
+
+
+def _sse_f32_pool() -> List[str]:
+    """Instruction pool for the SSE FP targets: single-precision
+    arithmetic plus the data movement needed to keep values flowing
+    (paper §V-D: target-specific generation constraints)."""
+    isa = x64()
+    names = [
+        definition.name
+        for definition in isa.generatable()
+        if definition.mnemonic
+        in (
+            "addss", "addps", "subss", "subps", "mulss", "mulps",
+            "movaps", "movq", "movd", "xorps", "andps", "orps",
+            "cvtsi2ss", "cvtss2si", "ucomiss",
+        )
+    ]
+    # A sprinkle of integer traffic keeps addresses and GPR feeds alive.
+    names += ["mov_r64_r64", "add_r64_r64", "mov_r64_m64", "mov_m64_r64"]
+    return names
+
+
+def paper_targets() -> Dict[str, TargetSpec]:
+    """The six structures at the paper's literal §VI-B parameters."""
+    big_loop = LoopConfig(
+        population=96, keep=16, offspring_per_parent=6, iterations=10_000
+    )
+    unit_loop = LoopConfig(
+        population=32, keep=8, offspring_per_parent=4, iterations=1_000
+    )
+    fp_loop = replace(unit_loop, iterations=5_000)
+    sse_pool = _sse_f32_pool()
+    return {
+        "irf": TargetSpec(
+            key="irf",
+            title="Integer Register File",
+            metric=AceIrfCoverage(),
+            generation=GenerationConfig(num_instructions=10_000),
+            loop=big_loop,
+            campaign=campaign_register_transient,
+            fault_model="transient",
+        ),
+        "l1d": TargetSpec(
+            key="l1d",
+            title="L1 Data Cache",
+            metric=AceL1dCoverage(),
+            generation=GenerationConfig(
+                num_instructions=30_000,
+                data_size=32 * 1024,   # exactly the L1D capacity (§VI-B2)
+                stride=8,
+                memory_mode=MemoryAccessMode.SEQUENTIAL,
+            ),
+            loop=replace(big_loop, iterations=2_000),
+            campaign=campaign_cache_transient,
+            fault_model="transient",
+        ),
+        "int_adder": TargetSpec(
+            key="int_adder",
+            title="Integer Adder",
+            metric=IbrCoverage(FUClass.INT_ADDER),
+            generation=GenerationConfig(num_instructions=5_000),
+            loop=unit_loop,
+            campaign=partial(_unit_campaign, FUClass.INT_ADDER),
+            fault_model="permanent",
+        ),
+        "int_mul": TargetSpec(
+            key="int_mul",
+            title="Integer Multiplier",
+            metric=IbrCoverage(FUClass.INT_MUL),
+            generation=GenerationConfig(num_instructions=5_000),
+            loop=unit_loop,
+            campaign=partial(_unit_campaign, FUClass.INT_MUL),
+            fault_model="permanent",
+        ),
+        "fp_adder": TargetSpec(
+            key="fp_adder",
+            title="SSE FP Adder",
+            metric=IbrCoverage(FUClass.FP_ADD),
+            generation=GenerationConfig(
+                num_instructions=5_000, pool_names=tuple(sse_pool)
+            ),
+            loop=fp_loop,
+            campaign=partial(_unit_campaign, FUClass.FP_ADD),
+            fault_model="permanent",
+            pool_names=sse_pool,
+        ),
+        "fp_mul": TargetSpec(
+            key="fp_mul",
+            title="SSE FP Multiplier",
+            metric=IbrCoverage(FUClass.FP_MUL),
+            generation=GenerationConfig(
+                num_instructions=5_000, pool_names=tuple(sse_pool)
+            ),
+            loop=fp_loop,
+            campaign=partial(_unit_campaign, FUClass.FP_MUL),
+            fault_model="permanent",
+            pool_names=sse_pool,
+        ),
+    }
+
+
+def _unit_campaign(
+    fu_class: FUClass, golden: GoldenRun, num_injections: int, seed: int = 0
+) -> DetectionReport:
+    return campaign_gate_permanent(golden, fu_class, num_injections, seed)
+
+
+#: Cache geometry for the scaled L1D target: small enough that
+#: scaled-length programs (both Harpocrates' and the baseline
+#: kernels') can cover it, preserving Fig 10's high-start/saturating
+#: shape and Fig 4's baseline ordering.
+SCALED_L1D_MACHINE = MachineConfig(
+    cache=CacheConfig(size=2 * 1024, line_size=64, associativity=4),
+)
+
+
+def scaled_targets(
+    program_scale: float = 0.06,
+    loop_scale: float = 0.02,
+) -> Dict[str, TargetSpec]:
+    """The six targets shrunk for tractable pure-Python runs.
+
+    ``program_scale`` multiplies program sizes, ``loop_scale``
+    multiplies iteration counts; populations shrink to 16/4.  All
+    paper ratios (who wins, saturation shapes) are preserved.
+    """
+    scaled: Dict[str, TargetSpec] = {}
+    for key, spec in paper_targets().items():
+        instructions = max(int(spec.generation.num_instructions
+                               * program_scale), 120)
+        iterations = max(int(spec.loop.iterations * loop_scale), 12)
+        generation = replace(
+            spec.generation, num_instructions=instructions
+        )
+        machine = spec.machine
+        if key == "l1d":
+            machine = SCALED_L1D_MACHINE
+            generation = replace(generation, data_size=2 * 1024)
+        loop = LoopConfig(
+            population=16,
+            keep=4,
+            offspring_per_parent=3,
+            iterations=iterations,
+            seed=spec.loop.seed,
+        )
+        scaled[key] = replace(
+            spec, generation=generation, loop=loop, machine=machine
+        )
+    return scaled

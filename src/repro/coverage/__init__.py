@@ -1,0 +1,25 @@
+"""Hardware-coverage metrics: ACE lifetime analysis and IBR."""
+
+from repro.coverage.ace import AceReport, ace_l1d, ace_register_file
+from repro.coverage.ibr import UNIT_INPUT_WIDTH, IbrReport, ibr
+from repro.coverage.metrics import (
+    AceIrfCoverage,
+    AceL1dCoverage,
+    CoverageMetric,
+    IbrCoverage,
+    standard_metrics,
+)
+
+__all__ = [
+    "AceReport",
+    "ace_l1d",
+    "ace_register_file",
+    "UNIT_INPUT_WIDTH",
+    "IbrReport",
+    "ibr",
+    "AceIrfCoverage",
+    "AceL1dCoverage",
+    "CoverageMetric",
+    "IbrCoverage",
+    "standard_metrics",
+]

@@ -1,0 +1,80 @@
+"""Coverage metric objects: the fitness functions of the Harpocrates loop.
+
+A coverage metric is "any objective (reward) function tied to a specific
+CPU hardware structure ... expected to correlate well with the fault
+detection capability of functional programs targeting the structure"
+(paper §II-C).  Each metric grades one :class:`GoldenRun` into a scalar
+fitness score in [0, 1]; the evaluator ranks programs by it.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, Optional
+
+from repro.coverage.ace import ace_l1d, ace_register_file
+from repro.coverage.ibr import ibr
+from repro.isa.instructions import FUClass
+from repro.sim.cosim import GoldenRun
+
+
+class CoverageMetric(ABC):
+    """A structure-specific hardware-coverage reward function."""
+
+    name: str = "coverage"
+
+    @abstractmethod
+    def evaluate(self, golden: GoldenRun) -> float:
+        """Grade one fault-free co-simulation into a fitness score."""
+
+    def __call__(self, golden: GoldenRun) -> float:
+        if golden.crashed:
+            return 0.0  # crashing candidates are worthless tests
+        return self.evaluate(golden)
+
+
+class AceIrfCoverage(CoverageMetric):
+    """ACE vulnerability of the physical integer register file
+    (transitive-liveness refined — see :func:`ace_register_file`)."""
+
+    name = "ace_irf"
+
+    def evaluate(self, golden: GoldenRun) -> float:
+        return ace_register_file(
+            golden.schedule, golden.result.records
+        ).vulnerability
+
+
+class AceL1dCoverage(CoverageMetric):
+    """ACE vulnerability of the L1 data cache."""
+
+    name = "ace_l1d"
+
+    def evaluate(self, golden: GoldenRun) -> float:
+        return ace_l1d(golden.schedule).vulnerability
+
+
+class IbrCoverage(CoverageMetric):
+    """IBR of one functional-unit instance."""
+
+    def __init__(self, fu_class: FUClass, instance: Optional[int] = 0):
+        self.fu_class = fu_class
+        self.instance = instance
+        self.name = f"ibr_{fu_class.value}" + (
+            "" if instance is None else f"_{instance}"
+        )
+
+    def evaluate(self, golden: GoldenRun) -> float:
+        return ibr(golden.schedule, self.fu_class, self.instance).ibr
+
+
+def standard_metrics() -> Dict[str, CoverageMetric]:
+    """The six metrics matching the paper's evaluated structures."""
+    return {
+        "irf": AceIrfCoverage(),
+        "l1d": AceL1dCoverage(),
+        "int_adder": IbrCoverage(FUClass.INT_ADDER),
+        "int_mul": IbrCoverage(FUClass.INT_MUL),
+        "fp_adder": IbrCoverage(FUClass.FP_ADD),
+        "fp_mul": IbrCoverage(FUClass.FP_MUL),
+    }

@@ -1,0 +1,49 @@
+"""Experiment harness: one module per paper table/figure.
+
+| Module    | Paper artifact                                   |
+|-----------|--------------------------------------------------|
+| fig1      | Fig 1 — reported DPPM                            |
+| fig456    | Figs 4/5/6 — baseline coverage & detection       |
+| table1    | Table I — loop-step duration breakdown           |
+| genrate   | §VI-A — instruction generation rate              |
+| fig10     | Fig 10 — convergence curves, six structures      |
+| fig11     | Fig 11 — max/avg detection comparison            |
+| speed     | §VI-C — cycles-to-detection comparison           |
+| report    | everything, printed in order                     |
+"""
+
+from repro.experiments import (
+    fault_types,
+    fig1,
+    fig10,
+    fig11,
+    fig456,
+    genrate,
+    report,
+    speed,
+    table1,
+)
+from repro.experiments.presets import (
+    DEFAULT,
+    FULL,
+    SMOKE,
+    ExperimentScale,
+    active_scale,
+)
+
+__all__ = [
+    "fault_types",
+    "fig1",
+    "fig10",
+    "fig11",
+    "fig456",
+    "genrate",
+    "report",
+    "speed",
+    "table1",
+    "DEFAULT",
+    "FULL",
+    "SMOKE",
+    "ExperimentScale",
+    "active_scale",
+]

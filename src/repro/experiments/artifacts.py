@@ -1,0 +1,106 @@
+"""Machine-readable experiment artifacts.
+
+The text tables in :mod:`repro.experiments.report` are for humans;
+this module serializes the same result objects to JSON so downstream
+tooling (plotting scripts, regression trackers) can consume a run
+without re-parsing tables.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.experiments.fig10 import ConvergenceCurve
+from repro.experiments.fig11 import Fig11Result
+from repro.experiments.genrate import GenRateResult
+from repro.experiments.harness import SweepResult
+from repro.experiments.speed import SpeedResult
+from repro.faults.outcomes import DetectionReport
+
+
+def to_jsonable(result) -> Union[dict, list]:
+    """Convert a known experiment result object to plain JSON data."""
+    if isinstance(result, SweepResult):
+        return [
+            {
+                "framework": row.framework,
+                "program": row.program,
+                "structure": row.structure,
+                "coverage": row.coverage,
+                "detection": row.detection,
+                "cycles": row.cycles,
+                "instructions": row.instructions,
+            }
+            for row in result.rows
+        ]
+    if isinstance(result, ConvergenceCurve):
+        return {
+            "target": result.target,
+            "title": result.title,
+            "final_detection": result.final_detection,
+            "points": [
+                {
+                    "iteration": point.iteration,
+                    "coverage": point.coverage,
+                    "detection": point.detection,
+                }
+                for point in result.points
+            ],
+        }
+    if isinstance(result, Fig11Result):
+        return [
+            {
+                "structure": row.structure,
+                "framework": row.framework,
+                "max_detection": row.max_detection,
+                "avg_detection": row.avg_detection,
+            }
+            for row in result.rows
+        ]
+    if isinstance(result, SpeedResult):
+        return {
+            "target_detection": result.target_detection,
+            "harpocrates_cycles": result.harpocrates_cycles,
+            "baseline_cycles": result.baseline_cycles,
+            "speedup": result.speedup,
+            "curves": {
+                name: [
+                    {
+                        "instructions": point.instructions,
+                        "cycles": point.cycles,
+                        "detection": point.detection,
+                    }
+                    for point in curve.points
+                ]
+                for name, curve in (
+                    ("harpocrates", result.harpocrates),
+                    ("baseline", result.baseline),
+                )
+            },
+        }
+    if isinstance(result, GenRateResult):
+        return {
+            "silifuzz_rate": result.silifuzz_rate,
+            "harpocrates_rate": result.harpocrates_rate,
+            "speedup": result.speedup,
+            "silifuzz_discard_fraction":
+                result.silifuzz.discard_fraction,
+        }
+    if isinstance(result, DetectionReport):
+        return {
+            "structure": result.structure,
+            "fault_model": result.fault_model,
+            "total": result.total,
+            "detection_capability": result.detection_capability,
+            "breakdown": result.breakdown(),
+        }
+    raise TypeError(f"no JSON form for {type(result).__name__}")
+
+
+def save(result, path: Union[str, Path]) -> Path:
+    """Serialize a result object to a JSON file; returns the path."""
+    path = Path(path)
+    path.write_text(json.dumps(to_jsonable(result), indent=2))
+    return path

@@ -1,0 +1,152 @@
+"""Extension experiment — fault-type interplay (paper §II-D, Fig 2).
+
+The paper's Fig 2 argues the three fault types nest: permanents are
+transients that last the whole run, intermittents sit in between, and
+"a program that detects all transient faults is also very likely to
+detect the other two types".  This experiment quantifies that interplay
+on our stack: for one program and one structure, detection capability
+is measured under all three fault types, sweeping the intermittent
+duration from near-transient to near-permanent.
+
+Expected shape: detection grows monotonically (modulo sampling noise)
+with fault duration — permanent ≥ long-intermittent ≥
+short-intermittent, with the transient point at the bottom for the
+register file (single flip) and the gate-level permanent at the top.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.faults.injector import (
+    campaign_gate_intermittent,
+    campaign_gate_permanent,
+    campaign_register_intermittent,
+    campaign_register_transient,
+)
+from repro.isa.instructions import FUClass
+from repro.isa.program import Program
+from repro.sim.cosim import GoldenRun, golden_run
+from repro.util.tables import format_table
+
+
+@dataclass
+class FaultTypePoint:
+    """Detection under one fault type / duration."""
+
+    label: str
+    duration: Optional[int]
+    detection: float
+
+
+@dataclass
+class FaultTypeResult:
+    structure: str
+    program: str
+    points: List[FaultTypePoint] = field(default_factory=list)
+
+    def detection(self, label: str) -> float:
+        for point in self.points:
+            if point.label == label:
+                return point.detection
+        raise KeyError(label)
+
+    def roughly_monotonic(self, tolerance: float = 0.15) -> bool:
+        """Detection should not *drop* as fault duration grows."""
+        values = [p.detection for p in self.points]
+        return all(
+            b >= a - tolerance for a, b in zip(values, values[1:])
+        )
+
+    def render(self) -> str:
+        rows = [
+            [p.label, "-" if p.duration is None else p.duration,
+             f"{p.detection:.3f}"]
+            for p in self.points
+        ]
+        return format_table(
+            ["fault type", "duration (cycles)", "detection"],
+            rows,
+            title=(
+                f"Fault-type interplay — {self.structure} "
+                f"({self.program})"
+            ),
+        )
+
+
+def run_register_file(
+    golden: GoldenRun,
+    injections: int = 60,
+    seed: int = 0,
+    durations: Optional[List[int]] = None,
+) -> FaultTypeResult:
+    """Transient vs intermittent (duration sweep) in the integer PRF."""
+    result = FaultTypeResult(
+        structure="int_register_file", program=golden.program.name
+    )
+    transient = campaign_register_transient(golden, injections, seed)
+    result.points.append(
+        FaultTypePoint("transient", None,
+                       transient.detection_capability)
+    )
+    if durations is None:
+        total = max(golden.total_cycles, 4)
+        durations = [max(total // 20, 1), max(total // 4, 2),
+                     total + 1]
+    for duration in durations:
+        report = campaign_register_intermittent(
+            golden, injections, duration, seed
+        )
+        result.points.append(
+            FaultTypePoint(
+                f"intermittent", duration,
+                report.detection_capability,
+            )
+        )
+    return result
+
+
+def run_functional_unit(
+    golden: GoldenRun,
+    fu_class: FUClass = FUClass.INT_ADDER,
+    injections: int = 60,
+    seed: int = 0,
+    durations: Optional[List[int]] = None,
+) -> FaultTypeResult:
+    """Intermittent (duration sweep) vs permanent stuck-ats in an FU."""
+    result = FaultTypeResult(
+        structure=fu_class.value, program=golden.program.name
+    )
+    if durations is None:
+        total = max(golden.total_cycles, 4)
+        durations = [max(total // 20, 1), max(total // 4, 2)]
+    for duration in durations:
+        report = campaign_gate_intermittent(
+            golden, fu_class, injections, duration, seed
+        )
+        result.points.append(
+            FaultTypePoint(
+                "intermittent", duration, report.detection_capability
+            )
+        )
+    permanent = campaign_gate_permanent(golden, fu_class, injections,
+                                        seed)
+    result.points.append(
+        FaultTypePoint("permanent", None,
+                       permanent.detection_capability)
+    )
+    return result
+
+
+def run(program: Program, injections: int = 60,
+        seed: int = 0) -> List[FaultTypeResult]:
+    """Both sweeps for one program."""
+    golden = golden_run(program)
+    if golden.crashed:
+        raise ValueError("program crashes fault-free")
+    return [
+        run_register_file(golden, injections, seed),
+        run_functional_unit(golden, FUClass.INT_ADDER, injections,
+                            seed),
+    ]

@@ -1,0 +1,129 @@
+"""Fig. 11 — maximum and average detection per method per structure.
+
+The paper's headline comparison: for each of the six hardware
+structures, the detection capability of the best (and average) MiBench,
+SiliFuzz and OpenDCDiag workload against the single Harpocrates-
+generated program.  The reproduced claims:
+
+* IRF: Harpocrates detects several times more transient faults than
+  any baseline (paper: ~10×),
+* L1D: Harpocrates edges out the best OpenDCDiag test (~90% vs ~80%),
+* integer adder/multiplier and both SSE FP units: Harpocrates reaches
+  near-full detection; baselines only sporadically approach it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.targets import scaled_targets
+from repro.experiments.fig456 import run_fig4, run_fig5, run_fig6
+from repro.experiments.fig10 import run_target
+from repro.experiments.harness import SweepResult, baseline_workloads
+from repro.experiments.presets import DEFAULT, ExperimentScale
+from repro.util.tables import format_table
+
+#: Maps target keys to the structure keys used by the fig4/5/6 sweeps.
+_STRUCTURE_KEYS = {
+    "irf": "irf",
+    "l1d": "l1d",
+    "int_adder": "int_adder",
+    "int_mul": "int_mul",
+    "fp_adder": "fp_add",
+    "fp_mul": "fp_mul",
+}
+
+
+@dataclass
+class Fig11Row:
+    structure: str
+    framework: str
+    max_detection: float
+    avg_detection: float
+
+
+@dataclass
+class Fig11Result:
+    rows: List[Fig11Row] = field(default_factory=list)
+
+    def detection(self, structure: str, framework: str) -> float:
+        for row in self.rows:
+            if row.structure == structure and row.framework == framework:
+                return row.max_detection
+        return 0.0
+
+    def render(self) -> str:
+        return format_table(
+            ["structure", "framework", "max detection", "avg detection"],
+            [
+                [
+                    row.structure,
+                    row.framework,
+                    f"{row.max_detection:.3f}",
+                    f"{row.avg_detection:.3f}",
+                ]
+                for row in self.rows
+            ],
+            title="Fig 11 — max/avg detection per method per structure",
+        )
+
+
+def run(
+    scale: ExperimentScale = DEFAULT,
+    target_keys: Optional[List[str]] = None,
+    workers: int = 1,
+    baseline_sweeps: Optional[Tuple[SweepResult, ...]] = None,
+    curves: Optional[Dict[str, object]] = None,
+) -> Fig11Result:
+    """Build the full comparison.
+
+    ``baseline_sweeps`` lets callers (the report harness) reuse already
+    computed Fig 4/5/6 sweeps instead of re-grading the baselines, and
+    ``curves`` (key → Fig 10 ConvergenceCurve) reuses already-run
+    Harpocrates loops instead of re-running them.
+    """
+    targets = scaled_targets(
+        program_scale=scale.program_scale, loop_scale=scale.loop_scale
+    )
+    if target_keys is None:
+        target_keys = list(targets)
+    if baseline_sweeps is None:
+        workloads = baseline_workloads(scale)
+        baseline_sweeps = (
+            run_fig4(scale, workloads),
+            run_fig5(scale, workloads),
+            run_fig6(scale, workloads),
+        )
+    merged = SweepResult(
+        rows=[row for sweep in baseline_sweeps for row in sweep.rows]
+    )
+    result = Fig11Result()
+    for key in target_keys:
+        structure_key = _STRUCTURE_KEYS[key]
+        for framework in ("mibench", "silifuzz", "opendcdiag"):
+            result.rows.append(
+                Fig11Row(
+                    structure=key,
+                    framework=framework,
+                    max_detection=merged.max_detection(
+                        framework, structure_key
+                    ),
+                    avg_detection=merged.avg_detection(
+                        framework, structure_key
+                    ),
+                )
+            )
+        if curves is not None and key in curves:
+            curve = curves[key]
+        else:
+            curve = run_target(targets[key], scale, workers)
+        result.rows.append(
+            Fig11Row(
+                structure=key,
+                framework="harpocrates",
+                max_detection=curve.final_detection,
+                avg_detection=curve.final_detection,
+            )
+        )
+    return result

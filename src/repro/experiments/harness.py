@@ -1,0 +1,218 @@
+"""Shared experiment machinery: workloads, grading, result rows.
+
+Fig 4/5/6 all have the same shape — for every workload of every
+framework, plot hardware coverage (light dots) against fault detection
+capability (dark crosses) for one structure.  This module provides the
+generic sweep; the ``fig4``/``fig5``/``fig6`` modules instantiate it
+per structure pair.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.baselines.mibench import mibench_suite
+from repro.baselines.opendcdiag import opendcdiag_suite
+from repro.baselines.silifuzz import SiliFuzz, SiliFuzzConfig
+from repro.coverage.ace import ace_l1d, ace_register_file
+from repro.coverage.ibr import ibr
+from repro.experiments.presets import ExperimentScale
+from repro.faults.injector import (
+    campaign_cache_transient,
+    campaign_gate_permanent,
+    campaign_register_transient,
+)
+from repro.faults.outcomes import DetectionReport
+from repro.isa.instructions import FUClass
+from repro.isa.program import Program
+from repro.sim.config import DEFAULT_MACHINE, MachineConfig
+from repro.sim.cosim import GoldenRun, golden_run
+from repro.util.tables import format_table
+
+
+@dataclass
+class StructureSpec:
+    """One hardware structure's coverage metric + fault campaign.
+
+    ``machine`` overrides the machine model the structure is graded
+    on; scaled experiment presets grade the L1D on a proportionally
+    smaller cache (see :data:`repro.core.targets.SCALED_L1D_MACHINE`)
+    so that scaled-length programs can cover it, exactly as the
+    scaled Harpocrates L1D target does.
+    """
+
+    key: str
+    title: str
+    coverage_fn: Callable[[GoldenRun], float]
+    campaign_fn: Callable[[GoldenRun, int, int], DetectionReport]
+    fault_model: str
+    machine: Optional[MachineConfig] = None
+
+
+def structure_irf() -> StructureSpec:
+    return StructureSpec(
+        key="irf",
+        title="Integer Register File",
+        coverage_fn=lambda g: ace_register_file(
+            g.schedule, g.result.records
+        ).vulnerability,
+        campaign_fn=campaign_register_transient,
+        fault_model="transient",
+    )
+
+
+def structure_l1d(
+    machine: Optional[MachineConfig] = None,
+) -> StructureSpec:
+    return StructureSpec(
+        key="l1d",
+        title="L1 Data Cache",
+        coverage_fn=lambda g: ace_l1d(g.schedule).vulnerability,
+        campaign_fn=campaign_cache_transient,
+        fault_model="transient",
+        machine=machine,
+    )
+
+
+def structure_unit(fu_class: FUClass, title: str) -> StructureSpec:
+    return StructureSpec(
+        key=fu_class.value,
+        title=title,
+        coverage_fn=lambda g: ibr(g.schedule, fu_class).ibr,
+        campaign_fn=(
+            lambda g, n, seed: campaign_gate_permanent(g, fu_class, n, seed)
+        ),
+        fault_model="permanent",
+    )
+
+
+@dataclass
+class WorkloadRow:
+    """One (framework, program, structure) measurement."""
+
+    framework: str
+    program: str
+    structure: str
+    coverage: float
+    detection: float
+    cycles: int
+    instructions: int
+
+
+@dataclass
+class SweepResult:
+    """All rows of one coverage/detection sweep."""
+
+    rows: List[WorkloadRow] = field(default_factory=list)
+
+    def frameworks(self) -> List[str]:
+        seen: List[str] = []
+        for row in self.rows:
+            if row.framework not in seen:
+                seen.append(row.framework)
+        return seen
+
+    def for_structure(self, structure: str) -> List[WorkloadRow]:
+        return [row for row in self.rows if row.structure == structure]
+
+    def max_detection(self, framework: str, structure: str) -> float:
+        values = [
+            row.detection
+            for row in self.rows
+            if row.framework == framework and row.structure == structure
+        ]
+        return max(values) if values else 0.0
+
+    def avg_detection(self, framework: str, structure: str) -> float:
+        values = [
+            row.detection
+            for row in self.rows
+            if row.framework == framework and row.structure == structure
+        ]
+        return sum(values) / len(values) if values else 0.0
+
+    def max_coverage(self, framework: str, structure: str) -> float:
+        values = [
+            row.coverage
+            for row in self.rows
+            if row.framework == framework and row.structure == structure
+        ]
+        return max(values) if values else 0.0
+
+    def render(self, title: str) -> str:
+        return format_table(
+            ["framework", "program", "structure", "coverage",
+             "detection", "cycles"],
+            [
+                [
+                    row.framework,
+                    row.program,
+                    row.structure,
+                    f"{row.coverage:.3f}",
+                    f"{row.detection:.3f}",
+                    row.cycles,
+                ]
+                for row in self.rows
+            ],
+            title=title,
+        )
+
+
+def baseline_workloads(
+    scale: ExperimentScale,
+) -> List[Tuple[str, Program]]:
+    """The (framework, program) list Fig 4–6 evaluate: twelve MiBench
+    kernels, the OpenDCDiag suite, and one SiliFuzz aggregate."""
+    workloads: List[Tuple[str, Program]] = []
+    for program in mibench_suite(scale.suite_scale):
+        workloads.append(("mibench", program))
+    for program in opendcdiag_suite(scale.suite_scale):
+        workloads.append(("opendcdiag", program))
+    fuzzer = SiliFuzz(
+        SiliFuzzConfig(rounds=scale.silifuzz_rounds, seed=scale.seed)
+    )
+    aggregate, _stats = fuzzer.build_aggregate(scale.silifuzz_aggregate)
+    workloads.append(("silifuzz", aggregate))
+    return workloads
+
+
+def grade_workloads(
+    workloads: Sequence[Tuple[str, Program]],
+    structures: Sequence[StructureSpec],
+    scale: ExperimentScale,
+    machine: MachineConfig = DEFAULT_MACHINE,
+) -> SweepResult:
+    """Measure coverage and detection for every workload × structure.
+
+    Golden runs are cached per machine model: structures graded on the
+    default machine share one co-simulation per workload.
+    """
+    result = SweepResult()
+    for framework, program in workloads:
+        goldens: Dict[int, GoldenRun] = {}
+        for structure in structures:
+            structure_machine = structure.machine or machine
+            cache_key = id(structure_machine)
+            golden = goldens.get(cache_key)
+            if golden is None:
+                golden = golden_run(program, structure_machine)
+                goldens[cache_key] = golden
+            if golden.crashed:
+                continue
+            coverage = structure.coverage_fn(golden)
+            report = structure.campaign_fn(
+                golden, scale.injections, scale.seed
+            )
+            result.rows.append(
+                WorkloadRow(
+                    framework=framework,
+                    program=program.name,
+                    structure=structure.key,
+                    coverage=coverage,
+                    detection=report.detection_capability,
+                    cycles=golden.total_cycles,
+                    instructions=len(program),
+                )
+            )
+    return result

@@ -1,0 +1,91 @@
+"""Experiment scale presets.
+
+Paper-scale experiments (10K–30K instruction programs, 10,000 GA
+iterations, thousands of injections on a 96-thread EPYC) would take
+days in pure Python, so every experiment accepts an
+:class:`ExperimentScale`:
+
+* ``SMOKE`` — seconds; used by the pytest benchmarks and CI,
+* ``DEFAULT`` — minutes; the scale EXPERIMENTS.md numbers come from,
+* ``FULL`` — the paper's literal parameters (provided for completeness;
+  expect very long runtimes).
+
+Scaling shrinks program sizes, population sizes, iteration counts and
+injection counts while preserving every ratio the paper's claims rest
+on.  Select via the ``REPRO_SCALE`` environment variable
+(``smoke``/``default``/``full``) or pass a preset explicitly.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """All experiment size knobs in one place."""
+
+    name: str
+    #: Statistical fault injections per (program, structure) pair.
+    injections: int
+    #: Unroll multiplier for the MiBench/OpenDCDiag kernels.
+    suite_scale: float
+    #: SiliFuzz fuzzing rounds and aggregate test length.
+    silifuzz_rounds: int
+    silifuzz_aggregate: int
+    #: Harpocrates: program-size and iteration-count multipliers
+    #: relative to the paper's §VI-B parameters.
+    program_scale: float
+    loop_scale: float
+    #: Convergence-curve sampling: measure detection every N iterations.
+    detection_sample_every: int
+    seed: int = 0
+
+
+SMOKE = ExperimentScale(
+    name="smoke",
+    injections=25,
+    suite_scale=0.3,
+    silifuzz_rounds=250,
+    silifuzz_aggregate=200,
+    program_scale=0.03,
+    loop_scale=0.008,
+    detection_sample_every=3,
+)
+
+DEFAULT = ExperimentScale(
+    name="default",
+    injections=80,
+    suite_scale=1.0,
+    silifuzz_rounds=1200,
+    silifuzz_aggregate=600,
+    program_scale=0.08,
+    loop_scale=0.03,
+    detection_sample_every=5,
+)
+
+FULL = ExperimentScale(
+    name="full",
+    injections=1000,
+    suite_scale=12.0,
+    silifuzz_rounds=500_000,
+    silifuzz_aggregate=10_000,
+    program_scale=1.0,
+    loop_scale=1.0,
+    detection_sample_every=100,
+)
+
+_PRESETS = {"smoke": SMOKE, "default": DEFAULT, "full": FULL}
+
+
+def active_scale() -> ExperimentScale:
+    """The preset selected by ``REPRO_SCALE`` (default: ``default``)."""
+    name = os.environ.get("REPRO_SCALE", "default").lower()
+    try:
+        return _PRESETS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown REPRO_SCALE={name!r}; "
+            f"choose one of {sorted(_PRESETS)}"
+        ) from None

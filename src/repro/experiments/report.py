@@ -1,0 +1,74 @@
+"""Full experiment report: regenerate every table and figure.
+
+``python -m repro.experiments.report`` (or ``harpocrates report``)
+runs Fig 1, Fig 4, Fig 5, Fig 6, Table I, the §VI-A generation-rate
+comparison, Fig 10 convergence for all six targets, Fig 11, and the
+§VI-C detection-speed comparison, printing each artifact in order.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Optional
+
+from repro.experiments import (
+    fig1,
+    fig10,
+    fig11,
+    fig456,
+    genrate,
+    speed,
+    table1,
+)
+from repro.experiments.harness import baseline_workloads
+from repro.experiments.presets import ExperimentScale, active_scale
+
+
+def run_all(
+    scale: Optional[ExperimentScale] = None,
+    stream=None,
+    workers: int = 1,
+) -> None:
+    """Run and print every experiment at the given scale."""
+    scale = scale if scale is not None else active_scale()
+    stream = stream if stream is not None else sys.stdout
+
+    def emit(text: str) -> None:
+        stream.write(text + "\n\n")
+        stream.flush()
+
+    started = time.time()
+    emit(f"Harpocrates reproduction report (scale preset: {scale.name})")
+    emit(fig1.render())
+
+    workloads = baseline_workloads(scale)
+    sweep4 = fig456.run_fig4(scale, workloads)
+    emit(sweep4.render("Fig 4 — IRF & L1D coverage/detection"))
+    sweep5 = fig456.run_fig5(scale, workloads)
+    emit(sweep5.render("Fig 5 — INT adder & multiplier coverage/detection"))
+    sweep6 = fig456.run_fig6(scale, workloads)
+    emit(sweep6.render("Fig 6 — SSE FP adder & multiplier "
+                       "coverage/detection"))
+
+    emit(table1.run(scale, workers=workers).render())
+    emit(genrate.run(scale).render())
+
+    curves = fig10.run(scale, workers=workers)
+    for curve in curves.values():
+        emit(curve.render())
+
+    comparison = fig11.run(
+        scale,
+        workers=workers,
+        baseline_sweeps=(sweep4, sweep5, sweep6),
+        curves=curves,
+    )
+    emit(comparison.render())
+
+    emit(speed.run(scale, workers=workers).render())
+    emit(f"Report complete in {time.time() - started:.0f}s.")
+
+
+if __name__ == "__main__":
+    run_all()

@@ -1,0 +1,41 @@
+"""Fault models and statistical fault injection (GeFIN equivalent)."""
+
+from repro.faults.injector import (
+    DynamicUnitFault,
+    FaultInjector,
+    campaign_cache_transient,
+    campaign_gate_intermittent,
+    campaign_gate_permanent,
+    campaign_register_intermittent,
+    campaign_register_transient,
+)
+from repro.faults.models import (
+    CacheTransient,
+    FaultType,
+    GateIntermittent,
+    GatePermanent,
+    RegisterIntermittent,
+    RegisterPermanent,
+    RegisterTransient,
+)
+from repro.faults.outcomes import DetectionReport, InjectionResult, Outcome
+
+__all__ = [
+    "DynamicUnitFault",
+    "FaultInjector",
+    "campaign_cache_transient",
+    "campaign_gate_intermittent",
+    "campaign_gate_permanent",
+    "campaign_register_intermittent",
+    "campaign_register_transient",
+    "CacheTransient",
+    "FaultType",
+    "GateIntermittent",
+    "GatePermanent",
+    "RegisterIntermittent",
+    "RegisterPermanent",
+    "RegisterTransient",
+    "DetectionReport",
+    "InjectionResult",
+    "Outcome",
+]

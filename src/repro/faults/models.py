@@ -1,0 +1,119 @@
+"""Fault model descriptors (paper §II-B fault types).
+
+Fault *types* describe temporal behaviour (transient / intermittent /
+permanent — Fig 2); fault *sites* locate them in a hardware structure.
+The injector draws sites uniformly at random (statistical fault
+injection, §II-E) and evaluates each against the golden run.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.gatelevel.netlist import StuckAt
+from repro.isa.instructions import FUClass
+
+
+class FaultType(enum.Enum):
+    """Temporal behaviour of a fault (paper Fig 2)."""
+
+    TRANSIENT = "transient"
+    INTERMITTENT = "intermittent"
+    PERMANENT = "permanent"
+
+
+@dataclass(frozen=True)
+class RegisterTransient:
+    """Single bit flip in the physical integer register file at a
+    uniformly random (register, bit, cycle) — paper §III-C."""
+
+    preg: int
+    bit: int
+    cycle: int
+
+    fault_type = FaultType.TRANSIENT
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"irf p{self.preg}[{self.bit}]@c{self.cycle}"
+
+
+@dataclass(frozen=True)
+class RegisterIntermittent:
+    """A register-file bit that reads flipped during a cycle window,
+    then recovers (oscillating defect behaviour)."""
+
+    preg: int
+    bit: int
+    start_cycle: int
+    duration: int
+
+    fault_type = FaultType.INTERMITTENT
+
+    @property
+    def end_cycle(self) -> int:
+        return self.start_cycle + self.duration
+
+
+@dataclass(frozen=True)
+class RegisterPermanent:
+    """A register-file bit stuck at 0 or 1 for the whole run."""
+
+    preg: int
+    bit: int
+    stuck_value: int
+
+    fault_type = FaultType.PERMANENT
+
+
+@dataclass(frozen=True)
+class CacheTransient:
+    """Single bit flip in an L1D data array slot at a random cycle."""
+
+    set_index: int
+    way: int
+    bit_in_line: int
+    cycle: int
+
+    fault_type = FaultType.TRANSIENT
+
+    @property
+    def byte_in_line(self) -> int:
+        return self.bit_in_line // 8
+
+    @property
+    def bit_in_byte(self) -> int:
+        return self.bit_in_line % 8
+
+
+@dataclass(frozen=True)
+class GatePermanent:
+    """Stuck-at fault on one gate of a functional unit's netlist,
+    persisting to the end of execution (paper §III-C)."""
+
+    fu_class: FUClass
+    instance: int
+    stuck: StuckAt
+
+    fault_type = FaultType.PERMANENT
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.fu_class.value}#{self.instance} {self.stuck}"
+
+
+@dataclass(frozen=True)
+class GateIntermittent:
+    """Stuck-at fault active only for operations issued inside a
+    cycle window."""
+
+    fu_class: FUClass
+    instance: int
+    stuck: StuckAt
+    start_cycle: int
+    duration: int
+
+    fault_type = FaultType.INTERMITTENT
+
+    @property
+    def end_cycle(self) -> int:
+        return self.start_cycle + self.duration

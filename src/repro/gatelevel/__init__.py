@@ -1,0 +1,38 @@
+"""Gate-level functional unit models and stuck-at fault machinery."""
+
+from repro.gatelevel.adder import build_cla_adder, build_ripple_adder
+from repro.gatelevel.multiplier import build_array_multiplier
+from repro.gatelevel.netlist import (
+    Gate,
+    GateOp,
+    Netlist,
+    StuckAt,
+    full_adder,
+    ripple_add,
+)
+from repro.gatelevel.units import (
+    Fp32AddUnit,
+    Fp32MulUnit,
+    GradedUnit,
+    IntAdderUnit,
+    IntMulUnit,
+    build_graded_unit,
+)
+
+__all__ = [
+    "build_cla_adder",
+    "build_ripple_adder",
+    "build_array_multiplier",
+    "Gate",
+    "GateOp",
+    "Netlist",
+    "StuckAt",
+    "full_adder",
+    "ripple_add",
+    "Fp32AddUnit",
+    "Fp32MulUnit",
+    "GradedUnit",
+    "IntAdderUnit",
+    "IntMulUnit",
+    "build_graded_unit",
+]

@@ -1,0 +1,70 @@
+"""Gate-level integer adder netlists.
+
+Two implementations of the 64-bit integer adder fault target:
+
+* :func:`build_ripple_adder` — the classic ripple-carry chain (the
+  default fault target, 5 gates per bit),
+* :func:`build_cla_adder` — 4-bit carry-lookahead blocks chained
+  together, provided for the ablation benchmarks (different netlist
+  topology, same function — fault populations differ).
+
+Both expose inputs ``a``, ``b`` (width bits) and ``cin`` (1 bit) and
+outputs ``sum`` (width bits) and ``cout`` (1 bit).  Subtraction is
+performed, as in hardware, by feeding the inverted second operand with
+carry-in 1 — see :mod:`repro.gatelevel.units`.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.gatelevel.netlist import Netlist, ripple_add
+
+
+def build_ripple_adder(width: int = 64) -> Netlist:
+    """Build a ripple-carry adder netlist."""
+    netlist = Netlist(name=f"ripple_adder{width}")
+    a_wires = netlist.add_inputs("a", width)
+    b_wires = netlist.add_inputs("b", width)
+    carry_in = netlist.add_inputs("cin", 1)[0]
+    sums, carry_out = ripple_add(netlist, a_wires, b_wires, carry_in)
+    netlist.set_outputs("sum", sums)
+    netlist.set_outputs("cout", [carry_out])
+    return netlist
+
+
+def build_cla_adder(width: int = 64, block: int = 4) -> Netlist:
+    """Build a carry-lookahead adder from ``block``-bit CLA groups.
+
+    Within each group the carries are computed from generate/propagate
+    terms (``g = a AND b``, ``p = a XOR b``); groups are chained
+    ripple-style, the common "CLA blocks + ripple between blocks"
+    arrangement.
+    """
+    if width % block:
+        raise ValueError("width must be a multiple of the block size")
+    netlist = Netlist(name=f"cla_adder{width}")
+    a_wires = netlist.add_inputs("a", width)
+    b_wires = netlist.add_inputs("b", width)
+    carry = netlist.add_inputs("cin", 1)[0]
+    sums: List[int] = []
+    for base in range(0, width, block):
+        generates = []
+        propagates = []
+        for offset in range(block):
+            a = a_wires[base + offset]
+            b = b_wires[base + offset]
+            generates.append(netlist.AND(a, b))
+            propagates.append(netlist.XOR(a, b))
+        carries = [carry]
+        for offset in range(block):
+            # c[i+1] = g[i] OR (p[i] AND c[i]) expanded over the group.
+            term = generates[offset]
+            chain = netlist.AND(propagates[offset], carries[offset])
+            carries.append(netlist.OR(term, chain))
+        for offset in range(block):
+            sums.append(netlist.XOR(propagates[offset], carries[offset]))
+        carry = carries[block]
+    netlist.set_outputs("sum", sums)
+    netlist.set_outputs("cout", [carry])
+    return netlist

@@ -1,0 +1,58 @@
+"""Gate-level array multiplier netlist.
+
+An unsigned ``width x width -> 2*width`` carry-save array multiplier:
+``width^2`` partial-product AND gates reduced row by row with ripple
+adders.  Gate count grows quadratically (~6·width²), so the *modelled*
+width is configurable: fault campaigns default to a narrower array than
+the architectural 64 bits and apply the fault differential to the low
+product bits (see :mod:`repro.gatelevel.units` and DESIGN.md — the
+substitution preserves the stuck-at fault population structure of a
+real array multiplier at tractable simulation cost).
+
+Inputs ``a``, ``b`` (width bits); output ``product`` (2*width bits).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.gatelevel.netlist import Netlist, full_adder
+
+
+def build_array_multiplier(width: int = 16) -> Netlist:
+    """Build an unsigned array multiplier netlist."""
+    netlist = Netlist(name=f"array_multiplier{width}")
+    a_wires = netlist.add_inputs("a", width)
+    b_wires = netlist.add_inputs("b", width)
+    zero = Netlist.CONST0
+
+    # Row 0: partial products of b[0], zero-extended to 2*width.
+    accumulator: List[int] = [
+        netlist.AND(a_wires[column], b_wires[0]) for column in range(width)
+    ]
+    accumulator += [zero] * width
+
+    for row in range(1, width):
+        partial = [
+            netlist.AND(a_wires[column], b_wires[row])
+            for column in range(width)
+        ]
+        # Add the shifted partial product row into the accumulator.
+        carry = zero
+        for offset in range(width):
+            position = row + offset
+            total, carry = full_adder(
+                netlist, accumulator[position], partial[offset], carry
+            )
+            accumulator[position] = total
+        # Propagate the final carry up the accumulator.
+        position = row + width
+        while carry != zero and position < 2 * width:
+            total, carry = full_adder(
+                netlist, accumulator[position], zero, carry
+            )
+            accumulator[position] = total
+            position += 1
+
+    netlist.set_outputs("product", accumulator)
+    return netlist

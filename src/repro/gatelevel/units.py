@@ -1,0 +1,382 @@
+"""Graded functional units: netlists wrapped for whole-program grading.
+
+A *graded unit* connects a gate-level netlist to the stream of
+operations a program sent to the corresponding functional unit.  Fault
+campaigns use the **differential** method:
+
+    ``faulty_architectural_result = golden_architectural_result XOR
+    (netlist_golden XOR netlist_faulty)``
+
+i.e. only the *difference* a stuck-at causes in the netlist is applied
+to the (exact) architectural result.  This keeps fault grading sound
+even where a modelled netlist is narrower than the 64-bit architectural
+datapath (the array multiplier) or simplifies rounding (the FP units'
+behavioural normalization wrappers) — a fault with no netlist effect
+never perturbs the program, and every netlist effect lands on the bits
+the real datapath would corrupt.
+
+The FP units model the mantissa datapath (where the overwhelming
+majority of gates live) structurally and perform exponent alignment /
+normalization behaviourally around the netlist; DESIGN.md records this
+substitution.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.gatelevel.adder import build_ripple_adder
+from repro.gatelevel.multiplier import build_array_multiplier
+from repro.gatelevel.netlist import Netlist, StuckAt
+from repro.isa.instructions import FUClass
+from repro.util.bitops import mask
+
+#: Guard bits appended below the mantissa in the FP adder datapath.
+_FP_GUARD = 3
+#: FP adder mantissa datapath width: 24-bit mantissa + guard + carry room.
+_FP_ADD_WIDTH = 24 + _FP_GUARD + 1
+
+
+class GradedUnit:
+    """Base class: one fault-gradeable functional unit instance."""
+
+    name: str
+    fu_class: FUClass
+
+    def __init__(self, netlist: Netlist):
+        self.netlist = netlist
+
+    def fault_sites(self) -> List[StuckAt]:
+        """Every (gate output, stuck value) pair."""
+        sites: List[StuckAt] = []
+        for wire in self.netlist.fault_sites():
+            sites.append(StuckAt(wire, 0))
+            sites.append(StuckAt(wire, 1))
+        return sites
+
+    @property
+    def gate_count(self) -> int:
+        return self.netlist.gate_count
+
+    def result_diffs(
+        self, ops: Sequence, fault: StuckAt
+    ) -> List[int]:
+        """XOR difference per operation between faulty and golden unit
+        output.  Zero means the fault was not activated or not
+        propagated to the unit output by that operation."""
+        raise NotImplementedError
+
+
+class IntAdderUnit(GradedUnit):
+    """64-bit integer adder (default fault target: ripple-carry)."""
+
+    fu_class = FUClass.INT_ADDER
+
+    def __init__(self, netlist: Optional[Netlist] = None, width: int = 64):
+        super().__init__(netlist or build_ripple_adder(width))
+        self.width = width
+        self.name = f"int_adder{width}"
+
+    def _evaluate(
+        self, ops: Sequence[Tuple[int, int, int]], fault: Optional[StuckAt]
+    ) -> List[int]:
+        inputs = {
+            "a": [a & mask(self.width) for a, _b, _c in ops],
+            "b": [b & mask(self.width) for _a, b, _c in ops],
+            "cin": [c & 1 for _a, _b, c in ops],
+        }
+        outputs = self.netlist.evaluate_values(inputs, fault)
+        return outputs["sum"]
+
+    def golden_results(
+        self, ops: Sequence[Tuple[int, int, int]]
+    ) -> List[int]:
+        """Fault-free results, computed arithmetically (the netlist is
+        verified equivalent by the test suite)."""
+        width_mask = mask(self.width)
+        return [
+            ((a & width_mask) + (b & width_mask) + (c & 1)) & width_mask
+            for a, b, c in ops
+        ]
+
+    def result_diffs(
+        self, ops: Sequence[Tuple[int, int, int]], fault: StuckAt
+    ) -> List[int]:
+        if not ops:
+            return []
+        golden = self.golden_results(ops)
+        faulty = self._evaluate(ops, fault)
+        return [g ^ f for g, f in zip(golden, faulty)]
+
+
+class IntMulUnit(GradedUnit):
+    """Array integer multiplier.
+
+    The modelled array is ``width`` bits (default 16) against the
+    64-bit architectural datapath; operands are truncated into the
+    array and the output difference lands on the low ``2*width`` bits
+    of the architectural product (differential grading, see module
+    docstring).
+    """
+
+    fu_class = FUClass.INT_MUL
+
+    def __init__(self, netlist: Optional[Netlist] = None, width: int = 16):
+        super().__init__(netlist or build_array_multiplier(width))
+        self.width = width
+        self.name = f"int_mul{width}"
+
+    def _evaluate(
+        self, ops: Sequence[Tuple[int, ...]], fault: Optional[StuckAt]
+    ) -> List[int]:
+        inputs = {
+            "a": [op[0] & mask(self.width) for op in ops],
+            "b": [op[1] & mask(self.width) for op in ops],
+        }
+        return self.netlist.evaluate_values(inputs, fault)["product"]
+
+    def golden_results(self, ops: Sequence[Tuple[int, ...]]) -> List[int]:
+        """Fault-free products, computed arithmetically."""
+        width_mask = mask(self.width)
+        return [(op[0] & width_mask) * (op[1] & width_mask) for op in ops]
+
+    def result_diffs(
+        self, ops: Sequence[Tuple[int, ...]], fault: StuckAt
+    ) -> List[int]:
+        if not ops:
+            return []
+        golden = self.golden_results(ops)
+        faulty = self._evaluate(ops, fault)
+        return [g ^ f for g, f in zip(golden, faulty)]
+
+
+def _unpack_f32(bits: int) -> Tuple[int, int, int]:
+    """Split binary32 into (sign, biased exponent, 24-bit mantissa).
+
+    Subnormals are flushed to zero (a common hardware mode); the hidden
+    bit is materialized for normal numbers.
+    """
+    sign = (bits >> 31) & 1
+    exponent = (bits >> 23) & 0xFF
+    fraction = bits & ((1 << 23) - 1)
+    if exponent == 0:
+        return sign, 0, 0
+    return sign, exponent, (1 << 23) | fraction
+
+
+def _pack_f32(sign: int, exponent: int, mantissa24: int) -> int:
+    if mantissa24 == 0 or exponent <= 0:
+        return sign << 31  # flush underflow to signed zero
+    if exponent >= 255:
+        return (sign << 31) | (0xFF << 23)  # overflow to infinity
+    return (sign << 31) | (exponent << 23) | (mantissa24 & ((1 << 23) - 1))
+
+
+def _is_special_f32(bits: int) -> bool:
+    return ((bits >> 23) & 0xFF) == 0xFF
+
+
+class Fp32AddUnit(GradedUnit):
+    """SSE FP adder lane: mantissa add/sub datapath at gate level.
+
+    Exponent comparison, operand alignment and result normalization are
+    performed behaviourally around a 28-bit gate-level adder (24-bit
+    mantissa + 3 guard bits + carry headroom).  Operations involving
+    NaN/Inf inputs bypass the netlist (handled by dedicated special-
+    value logic in real designs) and can therefore never be corrupted,
+    a conservative under-approximation.
+    """
+
+    fu_class = FUClass.FP_ADD
+
+    def __init__(self, netlist: Optional[Netlist] = None):
+        super().__init__(netlist or build_ripple_adder(_FP_ADD_WIDTH))
+        self.name = "fp32_add"
+
+    @staticmethod
+    def _prepare(
+        op_name: str, a_bits: int, b_bits: int
+    ) -> Optional[Tuple[int, int, int, int, int]]:
+        """Alignment: returns (big_mant, small_eff, cin, sign, exponent)
+        netlist inputs plus normalization context, or ``None`` for
+        special-value bypass."""
+        if op_name not in ("fp_add", "fp_sub"):
+            # min/max/compare ops use the comparator, not the mantissa
+            # adder datapath — they bypass this netlist.
+            return None
+        if _is_special_f32(a_bits) or _is_special_f32(b_bits):
+            return None
+        sign_a, exp_a, mant_a = _unpack_f32(a_bits)
+        sign_b, exp_b, mant_b = _unpack_f32(b_bits)
+        if op_name == "fp_sub":
+            sign_b ^= 1
+        if mant_a == 0 and mant_b == 0:
+            return None
+        # Order by magnitude (exponent, then mantissa) so the netlist
+        # subtraction never borrows.
+        if (exp_a, mant_a) >= (exp_b, mant_b):
+            big = (sign_a, exp_a, mant_a)
+            small = (sign_b, exp_b, mant_b)
+        else:
+            big = (sign_b, exp_b, mant_b)
+            small = (sign_a, exp_a, mant_a)
+        shift = big[1] - small[1]
+        big_m = big[2] << _FP_GUARD
+        small_m = (small[2] << _FP_GUARD) >> min(shift, 31)
+        subtract = big[0] != small[0]
+        if subtract:
+            small_eff = (~small_m) & mask(_FP_ADD_WIDTH)
+            cin = 1
+        else:
+            small_eff = small_m & mask(_FP_ADD_WIDTH)
+            cin = 0
+        return big_m, small_eff, cin, big[0], big[1]
+
+    @staticmethod
+    def _normalize(raw_sum: int, sign: int, exponent: int) -> int:
+        """Post-netlist normalization and packing (truncating)."""
+        value = raw_sum & mask(_FP_ADD_WIDTH)
+        if value == 0:
+            return sign << 31
+        top = value.bit_length() - 1
+        target = 23 + _FP_GUARD
+        exponent += top - target
+        if top > target:
+            value >>= top - target
+        else:
+            value <<= target - top
+        mantissa = value >> _FP_GUARD
+        return _pack_f32(sign, exponent, mantissa)
+
+    def _evaluate(
+        self,
+        prepared: List[Optional[Tuple[int, int, int, int, int]]],
+        fault: Optional[StuckAt],
+    ) -> List[int]:
+        active = [(i, p) for i, p in enumerate(prepared) if p is not None]
+        results = [0] * len(prepared)
+        if not active:
+            return results
+        inputs = {
+            "a": [p[0] for _i, p in active],
+            "b": [p[1] for _i, p in active],
+            "cin": [p[2] for _i, p in active],
+        }
+        sums = self.netlist.evaluate_values(inputs, fault)["sum"]
+        for (index, p), raw in zip(active, sums):
+            results[index] = self._normalize(raw, p[3], p[4])
+        return results
+
+    def golden_results(
+        self, prepared: List[Optional[Tuple[int, int, int, int, int]]]
+    ) -> List[int]:
+        """Fault-free results with the mantissa sum computed
+        arithmetically (netlist-equivalence is covered by tests)."""
+        results = [0] * len(prepared)
+        width_mask = mask(_FP_ADD_WIDTH)
+        for index, p in enumerate(prepared):
+            if p is None:
+                continue
+            raw = (p[0] + p[1] + p[2]) & width_mask
+            results[index] = self._normalize(raw, p[3], p[4])
+        return results
+
+    def result_diffs(
+        self, ops: Sequence[Tuple[str, int, int]], fault: StuckAt
+    ) -> List[int]:
+        if not ops:
+            return []
+        prepared = [self._prepare(*op) for op in ops]
+        golden = self.golden_results(prepared)
+        faulty = self._evaluate(prepared, fault)
+        return [g ^ f for g, f in zip(golden, faulty)]
+
+
+class Fp32MulUnit(GradedUnit):
+    """SSE FP multiplier lane: 24x24 mantissa array at gate level.
+
+    Sign/exponent arithmetic and normalization are behavioural;
+    special values bypass the netlist (see :class:`Fp32AddUnit`).
+    """
+
+    fu_class = FUClass.FP_MUL
+
+    def __init__(self, netlist: Optional[Netlist] = None):
+        super().__init__(netlist or build_array_multiplier(24))
+        self.name = "fp32_mul"
+
+    @staticmethod
+    def _prepare(
+        op_name: str, a_bits: int, b_bits: int
+    ) -> Optional[Tuple[int, int, int, int]]:
+        if _is_special_f32(a_bits) or _is_special_f32(b_bits):
+            return None
+        sign_a, exp_a, mant_a = _unpack_f32(a_bits)
+        sign_b, exp_b, mant_b = _unpack_f32(b_bits)
+        if mant_a == 0 or mant_b == 0:
+            return None
+        return mant_a, mant_b, sign_a ^ sign_b, exp_a + exp_b - 127
+
+    @staticmethod
+    def _normalize(product: int, sign: int, exponent: int) -> int:
+        if product == 0:
+            return sign << 31
+        if product >> 47:  # product in [2, 4): shift down one
+            exponent += 1
+            mantissa = product >> 24
+        else:
+            mantissa = product >> 23
+        return _pack_f32(sign, exponent, mantissa)
+
+    def _evaluate(
+        self,
+        prepared: List[Optional[Tuple[int, int, int, int]]],
+        fault: Optional[StuckAt],
+    ) -> List[int]:
+        active = [(i, p) for i, p in enumerate(prepared) if p is not None]
+        results = [0] * len(prepared)
+        if not active:
+            return results
+        inputs = {
+            "a": [p[0] for _i, p in active],
+            "b": [p[1] for _i, p in active],
+        }
+        products = self.netlist.evaluate_values(inputs, fault)["product"]
+        for (index, p), product in zip(active, products):
+            results[index] = self._normalize(product, p[2], p[3])
+        return results
+
+    def golden_results(
+        self, prepared: List[Optional[Tuple[int, int, int, int]]]
+    ) -> List[int]:
+        """Fault-free results with the mantissa product computed
+        arithmetically."""
+        results = [0] * len(prepared)
+        for index, p in enumerate(prepared):
+            if p is None:
+                continue
+            results[index] = self._normalize(p[0] * p[1], p[2], p[3])
+        return results
+
+    def result_diffs(
+        self, ops: Sequence[Tuple[str, int, int]], fault: StuckAt
+    ) -> List[int]:
+        if not ops:
+            return []
+        prepared = [self._prepare(*op) for op in ops]
+        golden = self.golden_results(prepared)
+        faulty = self._evaluate(prepared, fault)
+        return [g ^ f for g, f in zip(golden, faulty)]
+
+
+def build_graded_unit(fu_class: FUClass, **kwargs) -> GradedUnit:
+    """Factory for the four gradeable unit types."""
+    if fu_class is FUClass.INT_ADDER:
+        return IntAdderUnit(**kwargs)
+    if fu_class is FUClass.INT_MUL:
+        return IntMulUnit(**kwargs)
+    if fu_class is FUClass.FP_ADD:
+        return Fp32AddUnit(**kwargs)
+    if fu_class is FUClass.FP_MUL:
+        return Fp32MulUnit(**kwargs)
+    raise ValueError(f"no gate-level model for {fu_class}")

@@ -1,0 +1,67 @@
+"""The x86-64-style ISA substrate.
+
+Public surface: registers, operand constructors, instruction
+definitions/instances, the shared :func:`x64` instruction set, executable
+semantics, and the binary encoder/decoder.
+"""
+
+from repro.isa import registers
+from repro.isa.encoding import (
+    DecodeError,
+    decode_instruction,
+    decode_program,
+    encode_instruction,
+    encode_program,
+)
+from repro.isa.flags import Flags
+from repro.isa.instructions import (
+    FUClass,
+    Instruction,
+    InstructionDef,
+    InstructionSet,
+    make,
+)
+from repro.isa.isa_x64 import build_x64_isa, x64
+from repro.isa.operands import (
+    ImmOperand,
+    MemOperand,
+    Operand,
+    OperandKind,
+    OperandSpec,
+    RegOperand,
+    RelOperand,
+    imm,
+    mem,
+    reg,
+    rel,
+)
+from repro.isa.program import Program
+
+__all__ = [
+    "registers",
+    "DecodeError",
+    "decode_instruction",
+    "decode_program",
+    "encode_instruction",
+    "encode_program",
+    "Flags",
+    "FUClass",
+    "Instruction",
+    "InstructionDef",
+    "InstructionSet",
+    "make",
+    "build_x64_isa",
+    "x64",
+    "ImmOperand",
+    "MemOperand",
+    "Operand",
+    "OperandKind",
+    "OperandSpec",
+    "RegOperand",
+    "RelOperand",
+    "imm",
+    "mem",
+    "reg",
+    "rel",
+    "Program",
+]

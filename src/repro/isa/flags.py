@@ -1,0 +1,110 @@
+"""RFLAGS condition-code modelling.
+
+Only the six status flags x86 arithmetic updates are modelled (CF, PF,
+AF, ZF, SF, OF), at their architectural bit positions, so the flags
+register round-trips through a 64-bit value like any other register.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.bitops import mask, parity8, sign_bit, to_signed
+
+CF_BIT = 0
+PF_BIT = 2
+AF_BIT = 4
+ZF_BIT = 6
+SF_BIT = 7
+OF_BIT = 11
+
+FLAG_BITS = {
+    "cf": CF_BIT,
+    "pf": PF_BIT,
+    "af": AF_BIT,
+    "zf": ZF_BIT,
+    "sf": SF_BIT,
+    "of": OF_BIT,
+}
+
+#: RFLAGS bit 1 is architecturally always 1.
+RESERVED_ONE = 1 << 1
+
+ALL_STATUS_MASK = sum(1 << bit_index for bit_index in FLAG_BITS.values())
+
+
+@dataclass
+class Flags:
+    """Mutable view of the six status flags."""
+
+    cf: int = 0
+    pf: int = 0
+    af: int = 0
+    zf: int = 0
+    sf: int = 0
+    of: int = 0
+
+    def to_rflags(self) -> int:
+        """Pack into the architectural RFLAGS encoding."""
+        value = RESERVED_ONE
+        for name, bit_index in FLAG_BITS.items():
+            value |= (getattr(self, name) & 1) << bit_index
+        return value
+
+    @classmethod
+    def from_rflags(cls, value: int) -> "Flags":
+        """Unpack from the architectural RFLAGS encoding."""
+        flags = cls()
+        for name, bit_index in FLAG_BITS.items():
+            setattr(flags, name, (value >> bit_index) & 1)
+        return flags
+
+    def copy(self) -> "Flags":
+        return Flags(self.cf, self.pf, self.af, self.zf, self.sf, self.of)
+
+    def set_result_flags(self, result: int, width: int) -> None:
+        """Set ZF/SF/PF from a ``width``-bit result (common to most ops)."""
+        result &= mask(width)
+        self.zf = 1 if result == 0 else 0
+        self.sf = sign_bit(result, width)
+        self.pf = parity8(result)
+
+
+def flags_add(a: int, b: int, carry_in: int, width: int) -> "tuple[int, Flags]":
+    """Compute ``a + b + carry_in`` at ``width`` bits with x86 flags."""
+    a &= mask(width)
+    b &= mask(width)
+    total = a + b + carry_in
+    result = total & mask(width)
+    flags = Flags()
+    flags.cf = 1 if total > mask(width) else 0
+    flags.af = 1 if ((a & 0xF) + (b & 0xF) + carry_in) > 0xF else 0
+    signed = to_signed(a, width) + to_signed(b, width) + carry_in
+    flags.of = 1 if signed != to_signed(result, width) else 0
+    flags.set_result_flags(result, width)
+    return result, flags
+
+
+def flags_sub(a: int, b: int, borrow_in: int, width: int) -> "tuple[int, Flags]":
+    """Compute ``a - b - borrow_in`` at ``width`` bits with x86 flags."""
+    a &= mask(width)
+    b &= mask(width)
+    total = a - b - borrow_in
+    result = total & mask(width)
+    flags = Flags()
+    flags.cf = 1 if total < 0 else 0
+    flags.af = 1 if ((a & 0xF) - (b & 0xF) - borrow_in) < 0 else 0
+    signed = to_signed(a, width) - to_signed(b, width) - borrow_in
+    flags.of = 1 if signed != to_signed(result, width) else 0
+    flags.set_result_flags(result, width)
+    return result, flags
+
+
+def flags_logic(result: int, width: int) -> Flags:
+    """Flags after AND/OR/XOR/TEST: CF=OF=0, ZF/SF/PF from result."""
+    flags = Flags()
+    flags.cf = 0
+    flags.of = 0
+    flags.af = 0
+    flags.set_result_flags(result, width)
+    return flags

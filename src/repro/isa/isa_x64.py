@@ -1,0 +1,746 @@
+"""The x86-64-style instruction table.
+
+This module plays the role of MicroProbe's *Architecture Module*
+configuration files for the x86-64 extension the paper describes
+(§V-B): it declaratively defines every instruction variant the
+generator, encoder and simulator understand.
+
+Design notes mirroring the paper:
+
+* The same mnemonic with different operand types yields distinct
+  definitions (``add_r64_r64`` vs ``add_r64_imm32`` ...), which is the
+  granularity the mutation engine replaces instructions at.
+* Implicit operands are declared (``MUL`` implicitly reads RAX and
+  writes RDX:RAX) so register allocation can honour them.
+* Non-deterministic instructions (``RDTSC``, ``RDRAND``, ``CPUID``) are
+  present in the table — a byte-level fuzzer can produce them — but are
+  flagged non-deterministic and excluded from constrained generation.
+* ``DIV``/``IDIV`` are flagged ``needs_guard``: the generator emits a
+  short guard sequence before them so random programs cannot trap.
+
+Opcode assignment is sparse on purpose: roughly half of the primary
+opcode byte space is unassigned, so random byte mutation (the
+SiliFuzz-style baseline) produces a realistic fraction of undecodable
+sequences (the paper reports ≈2 in 3 discarded, §IV-A/Fig 8).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.isa.instructions import FUClass, InstructionDef, InstructionSet
+from repro.isa.operands import OperandKind, OperandSpec
+
+#: Two-byte opcodes are encoded as (0x0F << 8) | second_byte, exactly
+#: like the real x86 secondary opcode map.
+SECONDARY_ESCAPE = 0x0F
+
+
+class _OpcodeAllocator:
+    """Deterministically assigns sparse opcodes.
+
+    The primary map hands out odd bytes only (leaving even bytes
+    undecodable); the secondary map (0x0F xx) uses a stride of 3.
+    """
+
+    def __init__(self) -> None:
+        self._primary = iter(range(0x01, 0x100, 2))
+        self._secondary = iter(range(0x01, 0x100, 3))
+
+    def primary(self) -> int:
+        code = next(self._primary)
+        if code == SECONDARY_ESCAPE:  # never hand out the escape byte
+            code = next(self._primary)
+        return code
+
+    def secondary(self) -> int:
+        return (SECONDARY_ESCAPE << 8) | next(self._secondary)
+
+
+def _gpr(width: int, src: bool = True, dst: bool = False) -> OperandSpec:
+    return OperandSpec(OperandKind.GPR, width, is_src=src, is_dst=dst)
+
+
+def _xmm(width: int, src: bool = True, dst: bool = False) -> OperandSpec:
+    return OperandSpec(OperandKind.XMM, width, is_src=src, is_dst=dst)
+
+
+def _imm(width: int) -> OperandSpec:
+    return OperandSpec(OperandKind.IMM, width, is_src=True, is_dst=False)
+
+
+def _mem(width: int, src: bool = True, dst: bool = False) -> OperandSpec:
+    return OperandSpec(OperandKind.MEM, width, is_src=src, is_dst=dst)
+
+
+def _rel() -> OperandSpec:
+    return OperandSpec(OperandKind.REL, 8, is_src=True, is_dst=False)
+
+
+def _binary_gpr_forms(
+    alloc: _OpcodeAllocator,
+    mnemonic: str,
+    semantic: str,
+    fu_class: FUClass,
+    writes_dst: bool = True,
+    reads_flags: bool = False,
+) -> List[InstructionDef]:
+    """The six standard forms of a binary GPR instruction."""
+    forms: List[Tuple[str, Tuple[OperandSpec, ...]]] = [
+        ("r64_r64", (_gpr(64, src=writes_dst or True, dst=writes_dst),
+                     _gpr(64))),
+        ("r64_imm32", (_gpr(64, dst=writes_dst), _imm(32))),
+        ("r64_m64", (_gpr(64, dst=writes_dst), _mem(64))),
+        ("r32_r32", (_gpr(32, dst=writes_dst), _gpr(32))),
+        ("r32_imm32", (_gpr(32, dst=writes_dst), _imm(32))),
+        ("r32_m32", (_gpr(32, dst=writes_dst), _mem(32))),
+    ]
+    defs = []
+    for suffix, operands in forms:
+        defs.append(
+            InstructionDef(
+                name=f"{mnemonic}_{suffix}",
+                mnemonic=mnemonic,
+                operands=operands,
+                semantic=semantic,
+                fu_class=fu_class,
+                opcode=alloc.primary(),
+                reads_flags=reads_flags,
+                writes_flags=True,
+            )
+        )
+    return defs
+
+
+def _unary_gpr_forms(
+    alloc: _OpcodeAllocator,
+    mnemonic: str,
+    semantic: str,
+    fu_class: FUClass,
+    writes_flags: bool = True,
+) -> List[InstructionDef]:
+    defs = []
+    for width in (64, 32):
+        defs.append(
+            InstructionDef(
+                name=f"{mnemonic}_r{width}",
+                mnemonic=mnemonic,
+                operands=(_gpr(width, dst=True),),
+                semantic=semantic,
+                fu_class=fu_class,
+                opcode=alloc.primary(),
+                writes_flags=writes_flags,
+            )
+        )
+    return defs
+
+
+def _build_integer_alu(alloc: _OpcodeAllocator) -> List[InstructionDef]:
+    defs: List[InstructionDef] = []
+    # Carry-chain instructions: these exercise the integer adder unit.
+    defs += _binary_gpr_forms(alloc, "add", "add", FUClass.INT_ADDER)
+    defs += _binary_gpr_forms(alloc, "sub", "sub", FUClass.INT_ADDER)
+    defs += _binary_gpr_forms(
+        alloc, "adc", "adc", FUClass.INT_ADDER, reads_flags=True
+    )
+    defs += _binary_gpr_forms(
+        alloc, "sbb", "sbb", FUClass.INT_ADDER, reads_flags=True
+    )
+    defs += _binary_gpr_forms(
+        alloc, "cmp", "cmp", FUClass.INT_ADDER, writes_dst=False
+    )
+    defs += _unary_gpr_forms(alloc, "inc", "inc", FUClass.INT_ADDER)
+    defs += _unary_gpr_forms(alloc, "dec", "dec", FUClass.INT_ADDER)
+    defs += _unary_gpr_forms(alloc, "neg", "neg", FUClass.INT_ADDER)
+    # LEA: address arithmetic on the adder, no memory access.
+    defs.append(
+        InstructionDef(
+            name="lea_r64_m",
+            mnemonic="lea",
+            operands=(_gpr(64, dst=True, src=False), _mem(64)),
+            semantic="lea",
+            fu_class=FUClass.INT_ADDER,
+            opcode=alloc.primary(),
+            address_only=True,
+        )
+    )
+    return defs
+
+
+def _build_logic(alloc: _OpcodeAllocator) -> List[InstructionDef]:
+    defs: List[InstructionDef] = []
+    defs += _binary_gpr_forms(alloc, "and", "and", FUClass.INT_LOGIC)
+    defs += _binary_gpr_forms(alloc, "or", "or", FUClass.INT_LOGIC)
+    defs += _binary_gpr_forms(alloc, "xor", "xor", FUClass.INT_LOGIC)
+    defs += _binary_gpr_forms(
+        alloc, "test", "test", FUClass.INT_LOGIC, writes_dst=False
+    )
+    defs += _unary_gpr_forms(
+        alloc, "not", "not", FUClass.INT_LOGIC, writes_flags=False
+    )
+    defs.append(
+        InstructionDef(
+            name="bswap_r64",
+            mnemonic="bswap",
+            operands=(_gpr(64, dst=True),),
+            semantic="bswap",
+            fu_class=FUClass.INT_LOGIC,
+            opcode=alloc.primary(),
+        )
+    )
+    # Register moves and immediate loads.
+    defs.append(
+        InstructionDef(
+            name="mov_r64_r64",
+            mnemonic="mov",
+            operands=(_gpr(64, src=False, dst=True), _gpr(64)),
+            semantic="mov",
+            fu_class=FUClass.INT_LOGIC,
+            opcode=alloc.primary(),
+        )
+    )
+    defs.append(
+        InstructionDef(
+            name="mov_r32_r32",
+            mnemonic="mov",
+            operands=(_gpr(32, src=False, dst=True), _gpr(32)),
+            semantic="mov",
+            fu_class=FUClass.INT_LOGIC,
+            opcode=alloc.primary(),
+        )
+    )
+    defs.append(
+        InstructionDef(
+            name="mov_r64_imm64",
+            mnemonic="mov",
+            operands=(_gpr(64, src=False, dst=True), _imm(64)),
+            semantic="mov",
+            fu_class=FUClass.INT_LOGIC,
+            opcode=alloc.primary(),
+        )
+    )
+    defs.append(
+        InstructionDef(
+            name="mov_r32_imm32",
+            mnemonic="mov",
+            operands=(_gpr(32, src=False, dst=True), _imm(32)),
+            semantic="mov",
+            fu_class=FUClass.INT_LOGIC,
+            opcode=alloc.primary(),
+        )
+    )
+    defs.append(
+        InstructionDef(
+            name="xchg_r64_r64",
+            mnemonic="xchg",
+            operands=(_gpr(64, dst=True), _gpr(64, dst=True)),
+            semantic="xchg",
+            fu_class=FUClass.INT_LOGIC,
+            opcode=alloc.primary(),
+        )
+    )
+    # Conditional moves: branchless selects (the idiom the baseline
+    # kernels hand-build from sar/and/or sequences).
+    for condition in ("z", "nz", "l", "ge"):
+        defs.append(
+            InstructionDef(
+                name=f"cmov{condition}_r64_r64",
+                mnemonic=f"cmov{condition}",
+                operands=(_gpr(64, dst=True), _gpr(64)),
+                semantic=f"cmov:{condition}",
+                fu_class=FUClass.INT_LOGIC,
+                opcode=alloc.primary(),
+                reads_flags=True,
+            )
+        )
+    return defs
+
+
+def _build_shifts(alloc: _OpcodeAllocator) -> List[InstructionDef]:
+    defs: List[InstructionDef] = []
+    for mnemonic in ("shl", "shr", "sar", "rol", "ror", "rcl", "rcr"):
+        reads_flags = mnemonic in ("rcl", "rcr")
+        for width in (64, 32):
+            defs.append(
+                InstructionDef(
+                    name=f"{mnemonic}_r{width}_imm8",
+                    mnemonic=mnemonic,
+                    operands=(_gpr(width, dst=True), _imm(8)),
+                    semantic=mnemonic,
+                    fu_class=FUClass.INT_LOGIC,
+                    opcode=alloc.primary(),
+                    reads_flags=reads_flags,
+                    writes_flags=True,
+                )
+            )
+    # 16-bit rotate-through-carry forms: the count is masked to 5 bits
+    # but the rotation is modulo 17, which is exactly the corner case
+    # behind the gem5 RCR emulation bug Harpocrates exposed (§VI-D).
+    for mnemonic in ("rcl", "rcr"):
+        defs.append(
+            InstructionDef(
+                name=f"{mnemonic}_r16_imm8",
+                mnemonic=mnemonic,
+                operands=(_gpr(16, dst=True), _imm(8)),
+                semantic=mnemonic,
+                fu_class=FUClass.INT_LOGIC,
+                opcode=alloc.primary(),
+                reads_flags=True,
+                writes_flags=True,
+            )
+        )
+    # Shift-by-CL variants exercise implicit register reads.
+    for mnemonic in ("shl", "shr"):
+        defs.append(
+            InstructionDef(
+                name=f"{mnemonic}_r64_cl",
+                mnemonic=mnemonic,
+                operands=(_gpr(64, dst=True),),
+                semantic=f"{mnemonic}_cl",
+                fu_class=FUClass.INT_LOGIC,
+                opcode=alloc.primary(),
+                implicit_reads=("rcx",),
+                writes_flags=True,
+            )
+        )
+    return defs
+
+
+def _build_muldiv(alloc: _OpcodeAllocator) -> List[InstructionDef]:
+    defs: List[InstructionDef] = []
+    for width in (64, 32):
+        defs.append(
+            InstructionDef(
+                name=f"imul_r{width}_r{width}",
+                mnemonic="imul",
+                operands=(_gpr(width, dst=True), _gpr(width)),
+                semantic="imul2",
+                fu_class=FUClass.INT_MUL,
+                opcode=alloc.primary(),
+                writes_flags=True,
+            )
+        )
+    defs.append(
+        InstructionDef(
+            name="imul_r64_m64",
+            mnemonic="imul",
+            operands=(_gpr(64, dst=True), _mem(64)),
+            semantic="imul2",
+            fu_class=FUClass.INT_MUL,
+            opcode=alloc.primary(),
+            writes_flags=True,
+        )
+    )
+    # One-operand widening multiplies: implicit RAX source, RDX:RAX dest
+    # (the implicit-operand hazard discussed in §V-B).
+    for mnemonic, semantic in (("mul", "mul1"), ("imul", "imul1")):
+        defs.append(
+            InstructionDef(
+                name=f"{mnemonic}1_r64",
+                mnemonic=mnemonic,
+                operands=(_gpr(64),),
+                semantic=semantic,
+                fu_class=FUClass.INT_MUL,
+                opcode=alloc.primary(),
+                implicit_reads=("rax",),
+                implicit_writes=("rax", "rdx"),
+                writes_flags=True,
+            )
+        )
+    for mnemonic, semantic in (("div", "div"), ("idiv", "idiv")):
+        for width in (64, 32):
+            defs.append(
+                InstructionDef(
+                    name=f"{mnemonic}_r{width}",
+                    mnemonic=mnemonic,
+                    operands=(_gpr(width),),
+                    semantic=semantic,
+                    fu_class=FUClass.INT_DIV,
+                    opcode=alloc.primary(),
+                    implicit_reads=("rax", "rdx"),
+                    implicit_writes=("rax", "rdx"),
+                    may_trap=True,
+                    needs_guard=True,
+                )
+            )
+    return defs
+
+
+def _build_memory(alloc: _OpcodeAllocator) -> List[InstructionDef]:
+    defs: List[InstructionDef] = []
+    defs.append(
+        InstructionDef(
+            name="mov_r64_m64",
+            mnemonic="mov",
+            operands=(_gpr(64, src=False, dst=True), _mem(64)),
+            semantic="load",
+            fu_class=FUClass.LOAD,
+            opcode=alloc.primary(),
+        )
+    )
+    defs.append(
+        InstructionDef(
+            name="mov_r32_m32",
+            mnemonic="mov",
+            operands=(_gpr(32, src=False, dst=True), _mem(32)),
+            semantic="load",
+            fu_class=FUClass.LOAD,
+            opcode=alloc.primary(),
+        )
+    )
+    defs.append(
+        InstructionDef(
+            name="mov_m64_r64",
+            mnemonic="mov",
+            operands=(_mem(64, src=False, dst=True), _gpr(64)),
+            semantic="store",
+            fu_class=FUClass.STORE,
+            opcode=alloc.primary(),
+        )
+    )
+    defs.append(
+        InstructionDef(
+            name="mov_m32_r32",
+            mnemonic="mov",
+            operands=(_mem(32, src=False, dst=True), _gpr(32)),
+            semantic="store",
+            fu_class=FUClass.STORE,
+            opcode=alloc.primary(),
+        )
+    )
+    defs.append(
+        InstructionDef(
+            name="mov_m64_imm32",
+            mnemonic="mov",
+            operands=(_mem(64, src=False, dst=True), _imm(32)),
+            semantic="store",
+            fu_class=FUClass.STORE,
+            opcode=alloc.primary(),
+        )
+    )
+    defs.append(
+        InstructionDef(
+            name="push_r64",
+            mnemonic="push",
+            operands=(_gpr(64),),
+            semantic="push",
+            fu_class=FUClass.STORE,
+            opcode=alloc.primary(),
+            implicit_reads=("rsp",),
+            implicit_writes=("rsp",),
+            may_trap=True,
+        )
+    )
+    defs.append(
+        InstructionDef(
+            name="push_imm32",
+            mnemonic="push",
+            operands=(_imm(32),),
+            semantic="push",
+            fu_class=FUClass.STORE,
+            opcode=alloc.primary(),
+            implicit_reads=("rsp",),
+            implicit_writes=("rsp",),
+            may_trap=True,
+        )
+    )
+    defs.append(
+        InstructionDef(
+            name="pop_r64",
+            mnemonic="pop",
+            operands=(_gpr(64, src=False, dst=True),),
+            semantic="pop",
+            fu_class=FUClass.LOAD,
+            opcode=alloc.primary(),
+            implicit_reads=("rsp",),
+            implicit_writes=("rsp",),
+            may_trap=True,
+        )
+    )
+    return defs
+
+
+_CONDITIONS = (
+    "jz", "jnz", "jc", "jnc", "jo", "jno",
+    "js", "jns", "jl", "jge", "jle", "jg",
+)
+
+
+def _build_branches(alloc: _OpcodeAllocator) -> List[InstructionDef]:
+    defs: List[InstructionDef] = [
+        InstructionDef(
+            name="jmp_rel",
+            mnemonic="jmp",
+            operands=(_rel(),),
+            semantic="jmp",
+            fu_class=FUClass.BRANCH,
+            opcode=alloc.primary(),
+        )
+    ]
+    for condition in _CONDITIONS:
+        defs.append(
+            InstructionDef(
+                name=f"{condition}_rel",
+                mnemonic=condition,
+                operands=(_rel(),),
+                semantic=condition,
+                fu_class=FUClass.BRANCH,
+                opcode=alloc.primary(),
+                reads_flags=True,
+            )
+        )
+    defs.append(
+        InstructionDef(
+            name="nop",
+            mnemonic="nop",
+            operands=(),
+            semantic="nop",
+            fu_class=FUClass.NOP,
+            opcode=alloc.primary(),
+        )
+    )
+    return defs
+
+
+#: (mnemonic suffix, lane width bits, lane count) for SSE arithmetic.
+SSE_FORMS = (
+    ("ss", 32, 1),
+    ("ps", 32, 4),
+    ("sd", 64, 1),
+    ("pd", 64, 2),
+)
+
+
+def _build_sse(alloc: _OpcodeAllocator) -> List[InstructionDef]:
+    defs: List[InstructionDef] = []
+    for base, semantic, fu_class in (
+        ("add", "fp_add", FUClass.FP_ADD),
+        ("sub", "fp_sub", FUClass.FP_ADD),
+        ("mul", "fp_mul", FUClass.FP_MUL),
+    ):
+        for suffix, lane_width, lanes in SSE_FORMS:
+            mnemonic = f"{base}{suffix}"
+            mem_width = lane_width * lanes
+            defs.append(
+                InstructionDef(
+                    name=f"{mnemonic}_x_x",
+                    mnemonic=mnemonic,
+                    operands=(_xmm(128, dst=True), _xmm(128)),
+                    semantic=f"{semantic}:{suffix}",
+                    fu_class=fu_class,
+                    opcode=alloc.secondary(),
+                )
+            )
+            defs.append(
+                InstructionDef(
+                    name=f"{mnemonic}_x_m",
+                    mnemonic=mnemonic,
+                    operands=(_xmm(128, dst=True), _mem(mem_width)),
+                    semantic=f"{semantic}:{suffix}",
+                    fu_class=fu_class,
+                    opcode=alloc.secondary(),
+                )
+            )
+    for suffix in ("ss", "sd"):
+        defs.append(
+            InstructionDef(
+                name=f"div{suffix}_x_x",
+                mnemonic=f"div{suffix}",
+                operands=(_xmm(128, dst=True), _xmm(128)),
+                semantic=f"fp_div:{suffix}",
+                fu_class=FUClass.FP_DIV,
+                opcode=alloc.secondary(),
+            )
+        )
+        defs.append(
+            InstructionDef(
+                name=f"ucomi{suffix}_x_x",
+                mnemonic=f"ucomi{suffix}",
+                operands=(_xmm(128), _xmm(128)),
+                semantic=f"ucomi:{suffix}",
+                fu_class=FUClass.FP_ADD,
+                opcode=alloc.secondary(),
+                writes_flags=True,
+            )
+        )
+    # SSE data movement and boolean ops.
+    defs.append(
+        InstructionDef(
+            name="movaps_x_x",
+            mnemonic="movaps",
+            operands=(_xmm(128, src=False, dst=True), _xmm(128)),
+            semantic="movaps",
+            fu_class=FUClass.SIMD_LOGIC,
+            opcode=alloc.secondary(),
+        )
+    )
+    defs.append(
+        InstructionDef(
+            name="movaps_x_m",
+            mnemonic="movaps",
+            operands=(_xmm(128, src=False, dst=True), _mem(128)),
+            semantic="sse_load",
+            fu_class=FUClass.LOAD,
+            opcode=alloc.secondary(),
+        )
+    )
+    defs.append(
+        InstructionDef(
+            name="movaps_m_x",
+            mnemonic="movaps",
+            operands=(_mem(128, src=False, dst=True), _xmm(128)),
+            semantic="sse_store",
+            fu_class=FUClass.STORE,
+            opcode=alloc.secondary(),
+        )
+    )
+    for name, semantic, dst_spec, src_spec in (
+        ("movq_x_r64", "mov_x_r", _xmm(128, src=False, dst=True), _gpr(64)),
+        ("movq_r64_x", "mov_r_x", _gpr(64, src=False, dst=True), _xmm(128)),
+        ("movd_x_r32", "mov_x_r", _xmm(128, src=False, dst=True), _gpr(32)),
+        ("movd_r32_x", "mov_r_x", _gpr(32, src=False, dst=True), _xmm(128)),
+    ):
+        defs.append(
+            InstructionDef(
+                name=name,
+                mnemonic=name.split("_")[0],
+                operands=(dst_spec, src_spec),
+                semantic=semantic,
+                fu_class=FUClass.SIMD_LOGIC,
+                opcode=alloc.secondary(),
+            )
+        )
+    for mnemonic, semantic in (
+        ("xorps", "sse_xor"),
+        ("andps", "sse_and"),
+        ("orps", "sse_or"),
+    ):
+        defs.append(
+            InstructionDef(
+                name=f"{mnemonic}_x_x",
+                mnemonic=mnemonic,
+                operands=(_xmm(128, dst=True), _xmm(128)),
+                semantic=semantic,
+                fu_class=FUClass.SIMD_LOGIC,
+                opcode=alloc.secondary(),
+            )
+        )
+    # Min/max (FP comparisons route through the adder's compare logic)
+    # and a shuffle/sqrt pair for data-movement diversity.
+    for base in ("min", "max"):
+        for suffix in ("ss", "ps"):
+            defs.append(
+                InstructionDef(
+                    name=f"{base}{suffix}_x_x",
+                    mnemonic=f"{base}{suffix}",
+                    operands=(_xmm(128, dst=True), _xmm(128)),
+                    semantic=f"fp_{base}:{suffix}",
+                    fu_class=FUClass.FP_ADD,
+                    opcode=alloc.secondary(),
+                )
+            )
+    defs.append(
+        InstructionDef(
+            name="sqrtss_x_x",
+            mnemonic="sqrtss",
+            operands=(_xmm(128, dst=True), _xmm(128)),
+            semantic="fp_sqrt:ss",
+            fu_class=FUClass.FP_DIV,
+            opcode=alloc.secondary(),
+        )
+    )
+    defs.append(
+        InstructionDef(
+            name="shufps_x_x_imm8",
+            mnemonic="shufps",
+            operands=(_xmm(128, dst=True), _xmm(128), _imm(8)),
+            semantic="shufps",
+            fu_class=FUClass.SIMD_LOGIC,
+            opcode=alloc.secondary(),
+        )
+    )
+    # int <-> float conversions (bridge instructions).
+    for name, semantic in (
+        ("cvtsi2ss_x_r64", "cvtsi2ss"),
+        ("cvtsi2sd_x_r64", "cvtsi2sd"),
+        ("cvtss2si_r64_x", "cvtss2si"),
+        ("cvtsd2si_r64_x", "cvtsd2si"),
+    ):
+        if name.startswith("cvtsi"):
+            operands = (_xmm(128, src=False, dst=True), _gpr(64))
+        else:
+            operands = (_gpr(64, src=False, dst=True), _xmm(128))
+        defs.append(
+            InstructionDef(
+                name=name,
+                mnemonic=name.split("_")[0],
+                operands=operands,
+                semantic=semantic,
+                fu_class=FUClass.SIMD_LOGIC,
+                opcode=alloc.secondary(),
+            )
+        )
+    return defs
+
+
+def _build_system(alloc: _OpcodeAllocator) -> List[InstructionDef]:
+    """Non-deterministic instructions, excluded from generation (§V-B)."""
+    return [
+        InstructionDef(
+            name="rdtsc",
+            mnemonic="rdtsc",
+            operands=(),
+            semantic="rdtsc",
+            fu_class=FUClass.SYSTEM,
+            opcode=alloc.secondary(),
+            implicit_writes=("rax", "rdx"),
+            deterministic=False,
+        ),
+        InstructionDef(
+            name="rdrand_r64",
+            mnemonic="rdrand",
+            operands=(_gpr(64, src=False, dst=True),),
+            semantic="rdrand",
+            fu_class=FUClass.SYSTEM,
+            opcode=alloc.secondary(),
+            deterministic=False,
+            writes_flags=True,
+        ),
+        InstructionDef(
+            name="cpuid",
+            mnemonic="cpuid",
+            operands=(),
+            semantic="cpuid",
+            fu_class=FUClass.SYSTEM,
+            opcode=alloc.secondary(),
+            implicit_reads=("rax",),
+            implicit_writes=("rax", "rbx", "rcx", "rdx"),
+            deterministic=False,
+        ),
+    ]
+
+
+def build_x64_isa() -> InstructionSet:
+    """Build the full instruction set (deterministic across calls)."""
+    alloc = _OpcodeAllocator()
+    defs: List[InstructionDef] = []
+    defs += _build_integer_alu(alloc)
+    defs += _build_logic(alloc)
+    defs += _build_shifts(alloc)
+    defs += _build_muldiv(alloc)
+    defs += _build_memory(alloc)
+    defs += _build_branches(alloc)
+    defs += _build_sse(alloc)
+    defs += _build_system(alloc)
+    return InstructionSet("x64", defs)
+
+
+_CACHED: Optional[InstructionSet] = None
+
+
+def x64() -> InstructionSet:
+    """The process-wide shared instruction set instance."""
+    global _CACHED
+    if _CACHED is None:
+        _CACHED = build_x64_isa()
+    return _CACHED

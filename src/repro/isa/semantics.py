@@ -1,0 +1,906 @@
+"""Executable semantics for every instruction variant.
+
+Semantics are pure functions ``fn(ctx, instr)`` dispatched on the
+``semantic`` key of the instruction definition.  The *context* supplied
+by the functional simulator mediates every architectural access —
+register reads/writes, memory, flags — which is what lets the fault
+injector transparently overlay corrupted values on specific dynamic
+instructions (see :mod:`repro.faults.injector`).
+
+Functional-unit results flow through ``ctx.fu_execute_int`` /
+``ctx.fu_execute_lanes`` so that (a) the co-simulation can record the
+operands each unit consumed (for the IBR coverage metric and gate-level
+fault grading) and (b) permanent-fault campaigns can substitute faulty
+unit outputs.
+"""
+
+from __future__ import annotations
+
+import math
+import struct
+from typing import Callable, Dict, List, Tuple
+
+from repro.isa.flags import Flags, flags_add, flags_logic, flags_sub
+from repro.isa.instructions import Instruction
+from repro.isa.operands import (
+    ImmOperand,
+    MemOperand,
+    OperandKind,
+    RegOperand,
+    RelOperand,
+)
+from repro.util.bitops import MASK32, MASK64, mask, sign_bit, to_signed, to_unsigned
+
+SemanticFn = Callable[["ExecContextProtocol", Instruction], None]
+
+SEMANTICS: Dict[str, SemanticFn] = {}
+
+
+def semantic(name: str) -> Callable[[SemanticFn], SemanticFn]:
+    """Register a semantic function under ``name``."""
+
+    def decorator(fn: SemanticFn) -> SemanticFn:
+        SEMANTICS[name] = fn
+        return fn
+
+    return decorator
+
+
+def lookup(name: str) -> SemanticFn:
+    """Fetch the semantic function for a key, raising on unknown keys."""
+    try:
+        return SEMANTICS[name]
+    except KeyError:
+        raise KeyError(f"no semantics registered for {name!r}") from None
+
+
+# ---------------------------------------------------------------------------
+# Operand access helpers
+# ---------------------------------------------------------------------------
+
+
+def read_operand(ctx, instr: Instruction, index: int) -> int:
+    """Read the value of source operand ``index`` at its spec width."""
+    spec = instr.definition.operands[index]
+    operand = instr.operands[index]
+    if isinstance(operand, RegOperand):
+        if spec.kind is OperandKind.XMM:
+            return ctx.read_xmm(operand.reg)
+        return ctx.read_gpr(operand.reg, spec.width)
+    if isinstance(operand, ImmOperand):
+        # Immediates narrower than the destination are sign-extended,
+        # like x86's imm32-in-64-bit-context rule.
+        return to_unsigned(operand.signed, max(spec.width, 64))
+    if isinstance(operand, MemOperand):
+        address = ctx.effective_address(operand)
+        return ctx.read_mem(address, spec.width)
+    raise TypeError(f"cannot read operand {operand!r}")
+
+
+def write_operand(ctx, instr: Instruction, index: int, value: int) -> None:
+    """Write ``value`` to destination operand ``index`` at spec width."""
+    spec = instr.definition.operands[index]
+    operand = instr.operands[index]
+    if isinstance(operand, RegOperand):
+        if spec.kind is OperandKind.XMM:
+            ctx.write_xmm(operand.reg, value)
+        else:
+            ctx.write_gpr(operand.reg, spec.width, value)
+        return
+    if isinstance(operand, MemOperand):
+        address = ctx.effective_address(operand)
+        ctx.write_mem(address, spec.width, value)
+        return
+    raise TypeError(f"cannot write operand {operand!r}")
+
+
+def _dst_width(instr: Instruction) -> int:
+    return instr.definition.operands[0].width
+
+
+# ---------------------------------------------------------------------------
+# Integer adder unit (carry-chain) instructions
+# ---------------------------------------------------------------------------
+
+
+def _adder_op(ctx, instr, a: int, b: int, carry_in: int, width: int,
+              subtract: bool) -> Tuple[int, Flags]:
+    """Route an addition through the FU interface.
+
+    Subtraction is expressed, as in hardware, as ``a + ~b + 1`` so the
+    gate-level adder netlist sees the operands the silicon would.
+    """
+    b_effective = (~b & mask(width)) if subtract else (b & mask(width))
+    cin = (1 - carry_in) if subtract else carry_in
+    if subtract:
+        result, flags = flags_sub(a, b, carry_in, width)
+    else:
+        result, flags = flags_add(a, b, carry_in, width)
+    result = ctx.fu_execute_int(
+        (a & mask(width), b_effective, cin), result, width
+    )
+    flags.set_result_flags(result, width)
+    return result, flags
+
+
+@semantic("add")
+def _add(ctx, instr: Instruction) -> None:
+    width = _dst_width(instr)
+    a = read_operand(ctx, instr, 0)
+    b = read_operand(ctx, instr, 1) & mask(width)
+    result, flags = _adder_op(ctx, instr, a, b, 0, width, subtract=False)
+    write_operand(ctx, instr, 0, result)
+    ctx.set_flags(flags)
+
+
+@semantic("adc")
+def _adc(ctx, instr: Instruction) -> None:
+    width = _dst_width(instr)
+    a = read_operand(ctx, instr, 0)
+    b = read_operand(ctx, instr, 1) & mask(width)
+    result, flags = _adder_op(
+        ctx, instr, a, b, ctx.flags.cf, width, subtract=False
+    )
+    write_operand(ctx, instr, 0, result)
+    ctx.set_flags(flags)
+
+
+@semantic("sub")
+def _sub(ctx, instr: Instruction) -> None:
+    width = _dst_width(instr)
+    a = read_operand(ctx, instr, 0)
+    b = read_operand(ctx, instr, 1) & mask(width)
+    result, flags = _adder_op(ctx, instr, a, b, 0, width, subtract=True)
+    write_operand(ctx, instr, 0, result)
+    ctx.set_flags(flags)
+
+
+@semantic("sbb")
+def _sbb(ctx, instr: Instruction) -> None:
+    width = _dst_width(instr)
+    a = read_operand(ctx, instr, 0)
+    b = read_operand(ctx, instr, 1) & mask(width)
+    result, flags = _adder_op(
+        ctx, instr, a, b, ctx.flags.cf, width, subtract=True
+    )
+    write_operand(ctx, instr, 0, result)
+    ctx.set_flags(flags)
+
+
+@semantic("cmp")
+def _cmp(ctx, instr: Instruction) -> None:
+    width = _dst_width(instr)
+    a = read_operand(ctx, instr, 0)
+    b = read_operand(ctx, instr, 1) & mask(width)
+    _result, flags = _adder_op(ctx, instr, a, b, 0, width, subtract=True)
+    ctx.set_flags(flags)
+
+
+@semantic("inc")
+def _inc(ctx, instr: Instruction) -> None:
+    width = _dst_width(instr)
+    a = read_operand(ctx, instr, 0)
+    carry_before = ctx.flags.cf  # INC preserves CF
+    result, flags = _adder_op(ctx, instr, a, 1, 0, width, subtract=False)
+    flags.cf = carry_before
+    write_operand(ctx, instr, 0, result)
+    ctx.set_flags(flags)
+
+
+@semantic("dec")
+def _dec(ctx, instr: Instruction) -> None:
+    width = _dst_width(instr)
+    a = read_operand(ctx, instr, 0)
+    carry_before = ctx.flags.cf  # DEC preserves CF
+    result, flags = _adder_op(ctx, instr, a, 1, 0, width, subtract=True)
+    flags.cf = carry_before
+    write_operand(ctx, instr, 0, result)
+    ctx.set_flags(flags)
+
+
+@semantic("neg")
+def _neg(ctx, instr: Instruction) -> None:
+    width = _dst_width(instr)
+    a = read_operand(ctx, instr, 0)
+    result, flags = _adder_op(ctx, instr, 0, a, 0, width, subtract=True)
+    flags.cf = 0 if (a & mask(width)) == 0 else 1
+    write_operand(ctx, instr, 0, result)
+    ctx.set_flags(flags)
+
+
+@semantic("lea")
+def _lea(ctx, instr: Instruction) -> None:
+    operand = instr.operands[1]
+    address = ctx.effective_address(operand)
+    base = 0
+    if isinstance(operand, MemOperand) and operand.base is not None:
+        base = ctx.read_gpr(operand.base, 64)
+    displacement = to_unsigned(address - base, 64)
+    result = ctx.fu_execute_int(
+        (base, displacement, 0), to_unsigned(address, 64), 64
+    )
+    write_operand(ctx, instr, 0, result)
+
+
+# ---------------------------------------------------------------------------
+# Boolean / move / shift instructions (simple ALU ports)
+# ---------------------------------------------------------------------------
+
+
+def _logic_binary(ctx, instr: Instruction, op: Callable[[int, int], int],
+                  write_result: bool = True) -> None:
+    width = _dst_width(instr)
+    a = read_operand(ctx, instr, 0)
+    b = read_operand(ctx, instr, 1) & mask(width)
+    result = op(a, b) & mask(width)
+    if write_result:
+        write_operand(ctx, instr, 0, result)
+    ctx.set_flags(flags_logic(result, width))
+
+
+@semantic("and")
+def _and(ctx, instr: Instruction) -> None:
+    _logic_binary(ctx, instr, lambda a, b: a & b)
+
+
+@semantic("or")
+def _or(ctx, instr: Instruction) -> None:
+    _logic_binary(ctx, instr, lambda a, b: a | b)
+
+
+@semantic("xor")
+def _xor(ctx, instr: Instruction) -> None:
+    _logic_binary(ctx, instr, lambda a, b: a ^ b)
+
+
+@semantic("test")
+def _test(ctx, instr: Instruction) -> None:
+    _logic_binary(ctx, instr, lambda a, b: a & b, write_result=False)
+
+
+@semantic("not")
+def _not(ctx, instr: Instruction) -> None:
+    width = _dst_width(instr)
+    a = read_operand(ctx, instr, 0)
+    write_operand(ctx, instr, 0, ~a & mask(width))
+
+
+@semantic("mov")
+def _mov(ctx, instr: Instruction) -> None:
+    value = read_operand(ctx, instr, 1)
+    write_operand(ctx, instr, 0, value)
+
+
+@semantic("xchg")
+def _xchg(ctx, instr: Instruction) -> None:
+    a = read_operand(ctx, instr, 0)
+    b = read_operand(ctx, instr, 1)
+    write_operand(ctx, instr, 0, b)
+    write_operand(ctx, instr, 1, a)
+
+
+@semantic("bswap")
+def _bswap(ctx, instr: Instruction) -> None:
+    value = read_operand(ctx, instr, 0)
+    swapped = int.from_bytes(value.to_bytes(8, "little"), "big")
+    write_operand(ctx, instr, 0, swapped)
+
+
+def _shift_count(ctx, instr: Instruction, width: int) -> int:
+    """x86 masks the shift count by 63 (64-bit) or 31 (narrower)."""
+    if instr.definition.semantic.endswith("_cl"):
+        count = ctx.read_gpr(ctx.registers.RCX, 64)
+    else:
+        count = read_operand(ctx, instr, 1)
+    return count & (63 if width == 64 else 31)
+
+
+def _do_shift(ctx, instr: Instruction, kind: str) -> None:
+    width = _dst_width(instr)
+    value = read_operand(ctx, instr, 0) & mask(width)
+    count = _shift_count(ctx, instr, width)
+    if count == 0:  # flags untouched, value unchanged
+        write_operand(ctx, instr, 0, value)
+        return
+    flags = ctx.flags.copy()
+    if kind == "shl":
+        result = (value << count) & mask(width)
+        flags.cf = (value >> (width - count)) & 1 if count <= width else 0
+        if count == 1:
+            flags.of = flags.cf ^ sign_bit(result, width)
+    elif kind == "shr":
+        flags.cf = (value >> (count - 1)) & 1 if count <= width else 0
+        result = value >> count
+        if count == 1:
+            flags.of = sign_bit(value, width)
+    elif kind == "sar":
+        signed = to_signed(value, width)
+        flags.cf = (value >> min(count - 1, width - 1)) & 1
+        result = to_unsigned(signed >> count, width)
+        if count == 1:
+            flags.of = 0
+    elif kind == "rol":
+        rotation = count % width
+        result = ((value << rotation) | (value >> (width - rotation))) \
+            & mask(width) if rotation else value
+        flags.cf = result & 1
+        if count == 1:
+            flags.of = flags.cf ^ sign_bit(result, width)
+    elif kind == "ror":
+        rotation = count % width
+        result = ((value >> rotation) | (value << (width - rotation))) \
+            & mask(width) if rotation else value
+        flags.cf = sign_bit(result, width)
+        if count == 1:
+            flags.of = sign_bit(result, width) ^ ((result >> (width - 2)) & 1)
+    elif kind in ("rcl", "rcr"):
+        # Rotate through carry: a (width+1)-bit rotation.  The rotation
+        # count is reduced modulo width+1 *after* the 5/6-bit masking,
+        # so a 16-bit RCR with count 17..31 wraps — the exact corner
+        # case of the gem5 v22 RCR emulation bug (§VI-D).
+        extended_width = width + 1
+        rotation = count % extended_width
+        combined = (ctx.flags.cf << width) | value
+        if rotation:
+            if kind == "rcl":
+                combined = (
+                    (combined << rotation) | (combined >> (extended_width - rotation))
+                ) & mask(extended_width)
+            else:
+                combined = (
+                    (combined >> rotation) | (combined << (extended_width - rotation))
+                ) & mask(extended_width)
+        result = combined & mask(width)
+        flags.cf = (combined >> width) & 1
+        if count == 1:
+            if kind == "rcl":
+                flags.of = sign_bit(result, width) ^ flags.cf
+            else:
+                flags.of = sign_bit(result, width) ^ ((result >> (width - 2)) & 1)
+    else:  # pragma: no cover - defensive
+        raise ValueError(f"unknown shift kind {kind}")
+    if kind in ("shl", "shr", "sar"):
+        flags.set_result_flags(result, width)
+    write_operand(ctx, instr, 0, result)
+    ctx.set_flags(flags)
+
+
+for _kind in ("shl", "shr", "sar", "rol", "ror", "rcl", "rcr"):
+    def _make(kind: str) -> SemanticFn:
+        def fn(ctx, instr: Instruction) -> None:
+            _do_shift(ctx, instr, kind)
+        fn.__name__ = f"_{kind}"
+        return fn
+
+    SEMANTICS[_kind] = _make(_kind)
+    SEMANTICS[f"{_kind}_cl"] = _make(_kind)
+
+
+# ---------------------------------------------------------------------------
+# Integer multiply / divide
+# ---------------------------------------------------------------------------
+
+
+@semantic("imul2")
+def _imul2(ctx, instr: Instruction) -> None:
+    width = _dst_width(instr)
+    a = to_signed(read_operand(ctx, instr, 0), width)
+    b = to_signed(read_operand(ctx, instr, 1) & mask(width), width)
+    product = a * b
+    result = to_unsigned(product, width)
+    result = ctx.fu_execute_int(
+        (to_unsigned(a, width), to_unsigned(b, width)), result, width
+    )
+    flags = ctx.flags.copy()
+    overflow = to_signed(result, width) != product
+    flags.cf = flags.of = 1 if overflow else 0
+    flags.set_result_flags(result, width)
+    write_operand(ctx, instr, 0, result)
+    ctx.set_flags(flags)
+
+
+def _widening_mul(ctx, instr: Instruction, signed: bool) -> None:
+    rax = ctx.registers.RAX
+    rdx = ctx.registers.RDX
+    a_raw = ctx.read_gpr(rax, 64)
+    b_raw = read_operand(ctx, instr, 0)
+    a = to_signed(a_raw, 64) if signed else a_raw
+    b = to_signed(b_raw, 64) if signed else b_raw
+    product = to_unsigned(a * b, 128)
+    low = product & MASK64
+    low = ctx.fu_execute_int((a_raw, b_raw), low, 64)
+    high = (product >> 64) & MASK64
+    ctx.write_gpr(rax, 64, low)
+    ctx.write_gpr(rdx, 64, high)
+    flags = ctx.flags.copy()
+    if signed:
+        significant = high != (MASK64 if sign_bit(low, 64) else 0)
+    else:
+        significant = high != 0
+    flags.cf = flags.of = 1 if significant else 0
+    ctx.set_flags(flags)
+
+
+@semantic("mul1")
+def _mul1(ctx, instr: Instruction) -> None:
+    _widening_mul(ctx, instr, signed=False)
+
+
+@semantic("imul1")
+def _imul1(ctx, instr: Instruction) -> None:
+    _widening_mul(ctx, instr, signed=True)
+
+
+def _divide(ctx, instr: Instruction, signed: bool) -> None:
+    width = instr.definition.operands[0].width
+    rax = ctx.registers.RAX
+    rdx = ctx.registers.RDX
+    divisor = read_operand(ctx, instr, 0) & mask(width)
+    low = ctx.read_gpr(rax, width)
+    high = ctx.read_gpr(rdx, width)
+    dividend = (high << width) | low
+    if signed:
+        dividend = to_signed(dividend, 2 * width)
+        divisor_value = to_signed(divisor, width)
+    else:
+        divisor_value = divisor
+    if divisor_value == 0:
+        ctx.raise_divide_error()
+        return
+    quotient = int(
+        math.trunc(dividend / divisor_value)
+    ) if signed else dividend // divisor_value
+    remainder = dividend - quotient * divisor_value
+    if signed:
+        if not (-(1 << (width - 1)) <= quotient <= (1 << (width - 1)) - 1):
+            ctx.raise_divide_error()
+            return
+    else:
+        if quotient > mask(width):
+            ctx.raise_divide_error()
+            return
+    # As in 64-bit mode x86, 32-bit results zero-extend.
+    ctx.write_gpr(rax, 64 if width == 32 else width,
+                  to_unsigned(quotient, width))
+    ctx.write_gpr(rdx, 64 if width == 32 else width,
+                  to_unsigned(remainder, width))
+
+
+@semantic("div")
+def _div(ctx, instr: Instruction) -> None:
+    _divide(ctx, instr, signed=False)
+
+
+@semantic("idiv")
+def _idiv(ctx, instr: Instruction) -> None:
+    _divide(ctx, instr, signed=True)
+
+
+# ---------------------------------------------------------------------------
+# Loads / stores / stack
+# ---------------------------------------------------------------------------
+
+
+@semantic("load")
+def _load(ctx, instr: Instruction) -> None:
+    value = read_operand(ctx, instr, 1)
+    write_operand(ctx, instr, 0, value)
+
+
+@semantic("store")
+def _store(ctx, instr: Instruction) -> None:
+    value = read_operand(ctx, instr, 1)
+    spec = instr.definition.operands[0]
+    write_operand(ctx, instr, 0, value & mask(spec.width))
+
+
+@semantic("push")
+def _push(ctx, instr: Instruction) -> None:
+    value = read_operand(ctx, instr, 0) & MASK64
+    rsp = ctx.registers.RSP
+    new_sp = to_unsigned(ctx.read_gpr(rsp, 64) - 8, 64)
+    ctx.write_gpr(rsp, 64, new_sp)
+    ctx.write_mem(new_sp, 64, value)
+
+
+@semantic("pop")
+def _pop(ctx, instr: Instruction) -> None:
+    rsp = ctx.registers.RSP
+    sp = ctx.read_gpr(rsp, 64)
+    value = ctx.read_mem(sp, 64)
+    ctx.write_gpr(rsp, 64, to_unsigned(sp + 8, 64))
+    write_operand(ctx, instr, 0, value)
+
+
+# ---------------------------------------------------------------------------
+# Branches
+# ---------------------------------------------------------------------------
+
+
+_CONDITION_EVAL: Dict[str, Callable[[Flags], bool]] = {
+    "jz": lambda f: f.zf == 1,
+    "jnz": lambda f: f.zf == 0,
+    "jc": lambda f: f.cf == 1,
+    "jnc": lambda f: f.cf == 0,
+    "jo": lambda f: f.of == 1,
+    "jno": lambda f: f.of == 0,
+    "js": lambda f: f.sf == 1,
+    "jns": lambda f: f.sf == 0,
+    "jl": lambda f: f.sf != f.of,
+    "jge": lambda f: f.sf == f.of,
+    "jle": lambda f: f.zf == 1 or f.sf != f.of,
+    "jg": lambda f: f.zf == 0 and f.sf == f.of,
+}
+
+
+@semantic("jmp")
+def _jmp(ctx, instr: Instruction) -> None:
+    operand = instr.operands[0]
+    assert isinstance(operand, RelOperand)
+    ctx.branch(True, operand.displacement)
+
+
+def _make_jcc(condition: str) -> SemanticFn:
+    evaluate = _CONDITION_EVAL[condition]
+
+    def fn(ctx, instr: Instruction) -> None:
+        operand = instr.operands[0]
+        assert isinstance(operand, RelOperand)
+        ctx.branch(evaluate(ctx.flags), operand.displacement)
+
+    fn.__name__ = f"_{condition}"
+    return fn
+
+
+for _condition in _CONDITION_EVAL:
+    SEMANTICS[_condition] = _make_jcc(_condition)
+
+
+@semantic("nop")
+def _nop(ctx, instr: Instruction) -> None:
+    pass
+
+
+# Conditional moves reuse the branch condition table: ``cmov:z`` uses
+# the same predicate as ``jz``.
+def _make_cmov(condition: str) -> SemanticFn:
+    evaluate = _CONDITION_EVAL[f"j{condition}"]
+
+    def fn(ctx, instr: Instruction) -> None:
+        if evaluate(ctx.flags):
+            write_operand(ctx, instr, 0, read_operand(ctx, instr, 1))
+        else:
+            # x86 CMOV always "writes" its destination (the rename
+            # stage allocates either way); re-write the current value.
+            write_operand(ctx, instr, 0, read_operand(ctx, instr, 0))
+
+    fn.__name__ = f"_cmov{condition}"
+    return fn
+
+
+for _condition in ("z", "nz", "l", "ge"):
+    SEMANTICS[f"cmov:{_condition}"] = _make_cmov(_condition)
+
+
+# ---------------------------------------------------------------------------
+# SSE floating point
+# ---------------------------------------------------------------------------
+
+
+def f32_to_bits(value: float) -> int:
+    """Round a Python float to IEEE-754 binary32 and return its bits."""
+    try:
+        return struct.unpack("<I", struct.pack("<f", value))[0]
+    except OverflowError:
+        sign = 0x80000000 if math.copysign(1.0, value) < 0 else 0
+        return sign | 0x7F800000  # +/- infinity
+
+
+def bits_to_f32(bits: int) -> float:
+    return struct.unpack("<f", struct.pack("<I", bits & MASK32))[0]
+
+
+def f64_to_bits(value: float) -> int:
+    return struct.unpack("<Q", struct.pack("<d", value))[0]
+
+
+def bits_to_f64(bits: int) -> float:
+    return struct.unpack("<d", struct.pack("<Q", bits & MASK64))[0]
+
+
+_SSE_LANES = {"ss": (32, 1), "ps": (32, 4), "sd": (64, 1), "pd": (64, 2)}
+
+
+def split_lanes(value: int, lane_width: int, count: int) -> List[int]:
+    """Split the low ``count * lane_width`` bits of an XMM value."""
+    lane_mask = mask(lane_width)
+    return [(value >> (i * lane_width)) & lane_mask for i in range(count)]
+
+
+def join_lanes(original: int, lanes: List[int], lane_width: int) -> int:
+    """Merge lane values back into a 128-bit XMM value, preserving the
+    untouched upper bits (scalar ops leave them unchanged)."""
+    result = original
+    lane_mask = mask(lane_width)
+    for i, lane in enumerate(lanes):
+        shift = i * lane_width
+        result &= ~(lane_mask << shift)
+        result |= (lane & lane_mask) << shift
+    return result & mask(128)
+
+
+def _fp_lane_op(a_bits: int, b_bits: int, lane_width: int,
+                op: Callable[[float, float], float]) -> int:
+    if lane_width == 32:
+        result = op(bits_to_f32(a_bits), bits_to_f32(b_bits))
+        return f32_to_bits(result)
+    result = op(bits_to_f64(a_bits), bits_to_f64(b_bits))
+    try:
+        return f64_to_bits(result)
+    except OverflowError:  # pragma: no cover - double overflow is inf already
+        return 0x7FF0000000000000
+
+
+def _safe_add(a: float, b: float) -> float:
+    return a + b
+
+
+def _safe_sub(a: float, b: float) -> float:
+    return a - b
+
+
+def _safe_mul(a: float, b: float) -> float:
+    try:
+        return a * b
+    except OverflowError:
+        return math.inf * math.copysign(1.0, a) * math.copysign(1.0, b)
+
+
+def _safe_div(a: float, b: float) -> float:
+    if b == 0.0:
+        if a == 0.0 or math.isnan(a):
+            return math.nan
+        return math.copysign(math.inf, a) * math.copysign(1.0, b)
+    try:
+        return a / b
+    except OverflowError:
+        return math.copysign(math.inf, a) * math.copysign(1.0, b)
+
+
+def _fp_min(a: float, b: float) -> float:
+    # x86 MINSS: if either operand is NaN (or both zero), the second
+    # source operand is returned.
+    if math.isnan(a) or math.isnan(b):
+        return b
+    return b if b < a else (a if a < b else b)
+
+
+def _fp_max(a: float, b: float) -> float:
+    if math.isnan(a) or math.isnan(b):
+        return b
+    return b if b > a else (a if a > b else b)
+
+
+_FP_OPS = {
+    "fp_add": _safe_add,
+    "fp_sub": _safe_sub,
+    "fp_mul": _safe_mul,
+    "fp_div": _safe_div,
+    "fp_min": _fp_min,
+    "fp_max": _fp_max,
+}
+
+
+def _sse_arith(ctx, instr: Instruction, op_name: str, form: str) -> None:
+    lane_width, count = _SSE_LANES[form]
+    op = _FP_OPS[op_name]
+    dst_value = read_operand(ctx, instr, 0)
+    src_value = read_operand(ctx, instr, 1)
+    a_lanes = split_lanes(dst_value, lane_width, count)
+    b_lanes = split_lanes(src_value, lane_width, count)
+    results = [
+        _fp_lane_op(a, b, lane_width, op)
+        for a, b in zip(a_lanes, b_lanes)
+    ]
+    results = ctx.fu_execute_lanes(
+        list(zip(a_lanes, b_lanes)), results, lane_width, op_name
+    )
+    write_operand(
+        ctx, instr, 0, join_lanes(dst_value, results, lane_width)
+    )
+
+
+def _make_sse(op_name: str, form: str) -> SemanticFn:
+    def fn(ctx, instr: Instruction) -> None:
+        _sse_arith(ctx, instr, op_name, form)
+
+    fn.__name__ = f"_{op_name}_{form}"
+    return fn
+
+
+for _op in ("fp_add", "fp_sub", "fp_mul", "fp_div"):
+    for _form in _SSE_LANES:
+        SEMANTICS[f"{_op}:{_form}"] = _make_sse(_op, _form)
+
+for _op in ("fp_min", "fp_max"):
+    for _form in ("ss", "ps"):
+        SEMANTICS[f"{_op}:{_form}"] = _make_sse(_op, _form)
+
+
+@semantic("fp_sqrt:ss")
+def _sqrtss(ctx, instr: Instruction) -> None:
+    dst_value = read_operand(ctx, instr, 0)
+    src_bits = read_operand(ctx, instr, 1) & MASK32
+    value = bits_to_f32(src_bits)
+    if value < 0.0:
+        result_bits = 0xFFC00000  # QNaN, as hardware returns
+    else:
+        result_bits = f32_to_bits(math.sqrt(value))
+    write_operand(
+        ctx, instr, 0, join_lanes(dst_value, [result_bits], 32)
+    )
+
+
+@semantic("shufps")
+def _shufps(ctx, instr: Instruction) -> None:
+    dst_value = read_operand(ctx, instr, 0)
+    src_value = read_operand(ctx, instr, 1)
+    selector = read_operand(ctx, instr, 2) & 0xFF
+    dst_lanes = split_lanes(dst_value, 32, 4)
+    src_lanes = split_lanes(src_value, 32, 4)
+    result = [
+        dst_lanes[selector & 3],
+        dst_lanes[(selector >> 2) & 3],
+        src_lanes[(selector >> 4) & 3],
+        src_lanes[(selector >> 6) & 3],
+    ]
+    write_operand(ctx, instr, 0, join_lanes(0, result, 32))
+
+
+def _make_ucomi(form: str) -> SemanticFn:
+    lane_width, _ = _SSE_LANES[form]
+
+    def fn(ctx, instr: Instruction) -> None:
+        a_bits = read_operand(ctx, instr, 0) & mask(lane_width)
+        b_bits = read_operand(ctx, instr, 1) & mask(lane_width)
+        if lane_width == 32:
+            a, b = bits_to_f32(a_bits), bits_to_f32(b_bits)
+        else:
+            a, b = bits_to_f64(a_bits), bits_to_f64(b_bits)
+        flags = Flags()
+        if math.isnan(a) or math.isnan(b):
+            flags.zf = flags.pf = flags.cf = 1
+        elif a > b:
+            pass  # all zero
+        elif a < b:
+            flags.cf = 1
+        else:
+            flags.zf = 1
+        ctx.set_flags(flags)
+
+    fn.__name__ = f"_ucomi_{form}"
+    return fn
+
+
+SEMANTICS["ucomi:ss"] = _make_ucomi("ss")
+SEMANTICS["ucomi:sd"] = _make_ucomi("sd")
+
+
+@semantic("movaps")
+def _movaps(ctx, instr: Instruction) -> None:
+    write_operand(ctx, instr, 0, read_operand(ctx, instr, 1))
+
+
+@semantic("sse_load")
+def _sse_load(ctx, instr: Instruction) -> None:
+    operand = instr.operands[1]
+    address = ctx.effective_address(operand)
+    ctx.check_alignment(address, 16)
+    write_operand(ctx, instr, 0, ctx.read_mem(address, 128))
+
+
+@semantic("sse_store")
+def _sse_store(ctx, instr: Instruction) -> None:
+    operand = instr.operands[0]
+    address = ctx.effective_address(operand)
+    ctx.check_alignment(address, 16)
+    ctx.write_mem(address, 128, read_operand(ctx, instr, 1))
+
+
+@semantic("mov_x_r")
+def _mov_x_r(ctx, instr: Instruction) -> None:
+    value = read_operand(ctx, instr, 1)
+    write_operand(ctx, instr, 0, value)  # zero-extends into the XMM
+
+
+@semantic("mov_r_x")
+def _mov_r_x(ctx, instr: Instruction) -> None:
+    spec = instr.definition.operands[0]
+    value = read_operand(ctx, instr, 1) & mask(spec.width)
+    write_operand(ctx, instr, 0, value)
+
+
+def _make_sse_logic(op: Callable[[int, int], int], name: str) -> SemanticFn:
+    def fn(ctx, instr: Instruction) -> None:
+        a = read_operand(ctx, instr, 0)
+        b = read_operand(ctx, instr, 1)
+        write_operand(ctx, instr, 0, op(a, b) & mask(128))
+
+    fn.__name__ = name
+    return fn
+
+
+SEMANTICS["sse_xor"] = _make_sse_logic(lambda a, b: a ^ b, "_sse_xor")
+SEMANTICS["sse_and"] = _make_sse_logic(lambda a, b: a & b, "_sse_and")
+SEMANTICS["sse_or"] = _make_sse_logic(lambda a, b: a | b, "_sse_or")
+
+
+@semantic("cvtsi2ss")
+def _cvtsi2ss(ctx, instr: Instruction) -> None:
+    value = to_signed(read_operand(ctx, instr, 1), 64)
+    dst = read_operand(ctx, instr, 0)
+    write_operand(
+        ctx, instr, 0, join_lanes(dst, [f32_to_bits(float(value))], 32)
+    )
+
+
+@semantic("cvtsi2sd")
+def _cvtsi2sd(ctx, instr: Instruction) -> None:
+    value = to_signed(read_operand(ctx, instr, 1), 64)
+    dst = read_operand(ctx, instr, 0)
+    write_operand(
+        ctx, instr, 0, join_lanes(dst, [f64_to_bits(float(value))], 64)
+    )
+
+
+_INT64_INDEFINITE = 0x8000000000000000
+
+
+def _float_to_i64(value: float) -> int:
+    if math.isnan(value) or math.isinf(value):
+        return _INT64_INDEFINITE
+    rounded = int(round(value))
+    if not (-(1 << 63) <= rounded <= (1 << 63) - 1):
+        return _INT64_INDEFINITE
+    return to_unsigned(rounded, 64)
+
+
+@semantic("cvtss2si")
+def _cvtss2si(ctx, instr: Instruction) -> None:
+    bits = read_operand(ctx, instr, 1) & MASK32
+    write_operand(ctx, instr, 0, _float_to_i64(bits_to_f32(bits)))
+
+
+@semantic("cvtsd2si")
+def _cvtsd2si(ctx, instr: Instruction) -> None:
+    bits = read_operand(ctx, instr, 1) & MASK64
+    write_operand(ctx, instr, 0, _float_to_i64(bits_to_f64(bits)))
+
+
+# ---------------------------------------------------------------------------
+# Non-deterministic (system) instructions — excluded from generation.
+# ---------------------------------------------------------------------------
+
+
+@semantic("rdtsc")
+def _rdtsc(ctx, instr: Instruction) -> None:
+    value = ctx.nondeterministic_value()
+    ctx.write_gpr(ctx.registers.RAX, 64, value & MASK32)
+    ctx.write_gpr(ctx.registers.RDX, 64, (value >> 32) & MASK32)
+
+
+@semantic("rdrand")
+def _rdrand(ctx, instr: Instruction) -> None:
+    write_operand(ctx, instr, 0, ctx.nondeterministic_value())
+    flags = ctx.flags.copy()
+    flags.cf = 1
+    ctx.set_flags(flags)
+
+
+@semantic("cpuid")
+def _cpuid(ctx, instr: Instruction) -> None:
+    value = ctx.nondeterministic_value()
+    ctx.write_gpr(ctx.registers.RAX, 64, value & MASK32)
+    ctx.write_gpr(ctx.registers.RBX, 64, (value >> 8) & MASK32)
+    ctx.write_gpr(ctx.registers.RCX, 64, (value >> 16) & MASK32)
+    ctx.write_gpr(ctx.registers.RDX, 64, (value >> 24) & MASK32)

@@ -1,0 +1,53 @@
+"""MuSeqGen's code generator: a MicroProbe-equivalent framework.
+
+Architecture Module (ISA knowledge + constraints) + Code Generation
+Module (IR, passes, policies, synthesizer, wrappers) — paper §V-A.
+"""
+
+from repro.microprobe.arch_module import ArchitectureModule
+from repro.microprobe.ir import BasicBlock, Microbenchmark, Slot
+from repro.microprobe.passes import (
+    BranchResolutionPass,
+    GuardInsertionPass,
+    ImmediatePass,
+    InstructionSelectionPass,
+    MemoryAccessMode,
+    MemoryOperandPass,
+    Pass,
+    RegAllocStrategy,
+    RegisterAllocationPass,
+    SequenceImportPass,
+    StackBalancePass,
+)
+from repro.microprobe.policies import (
+    GenerationConfig,
+    Policy,
+    constrained_random_policy,
+    sequence_policy,
+)
+from repro.microprobe.synthesizer import Synthesizer
+from repro.microprobe.wrappers import StandardWrapper
+
+__all__ = [
+    "ArchitectureModule",
+    "BasicBlock",
+    "Microbenchmark",
+    "Slot",
+    "BranchResolutionPass",
+    "GuardInsertionPass",
+    "ImmediatePass",
+    "InstructionSelectionPass",
+    "MemoryAccessMode",
+    "MemoryOperandPass",
+    "Pass",
+    "RegAllocStrategy",
+    "RegisterAllocationPass",
+    "SequenceImportPass",
+    "StackBalancePass",
+    "GenerationConfig",
+    "Policy",
+    "constrained_random_policy",
+    "sequence_policy",
+    "Synthesizer",
+    "StandardWrapper",
+]

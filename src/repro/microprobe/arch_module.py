@@ -1,0 +1,114 @@
+"""The Architecture Module: queryable ISA/microarchitecture knowledge.
+
+MicroProbe separates all architecture-specific information from the
+code-generation machinery (paper §V-A); passes query this module
+instead of touching the instruction set directly.  It also centralizes
+the x86-specific generation constraints §V-B describes:
+
+* non-deterministic instructions are excluded from generation,
+* implicit-operand hazards (``MUL``/``DIV`` clobber RAX/RDX) restrict
+  operand choices,
+* ``DIV``/``IDIV`` require guard sequences to keep random programs
+  trap-free.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.isa import registers
+from repro.isa.instructions import FUClass, InstructionDef, InstructionSet
+from repro.isa.isa_x64 import x64
+from repro.isa.operands import imm, reg
+from repro.microprobe.ir import Slot
+
+
+class ArchitectureModule:
+    """ISA facts and constraints for the code generation module."""
+
+    def __init__(self, isa: Optional[InstructionSet] = None):
+        self.isa = isa if isa is not None else x64()
+
+    # -- instruction pools -----------------------------------------------
+
+    def generatable_defs(self) -> Tuple[InstructionDef, ...]:
+        """Definitions the random generator may emit (deterministic,
+        non-system; §V-B)."""
+        return self.isa.generatable()
+
+    def defs_by_class(
+        self, fu_classes: Sequence[FUClass]
+    ) -> Tuple[InstructionDef, ...]:
+        wanted = set(fu_classes)
+        return tuple(
+            definition
+            for definition in self.generatable_defs()
+            if definition.fu_class in wanted
+        )
+
+    def defs_by_names(self, names: Sequence[str]) -> Tuple[InstructionDef, ...]:
+        return tuple(self.isa.by_name(name) for name in names)
+
+    # -- register constraints ---------------------------------------------
+
+    def allocatable_gprs(self, definition: InstructionDef) -> List:
+        """GPRs a random operand of ``definition`` may use.
+
+        RSP (stack pointer) and RBP (data-region base) are always
+        reserved.  Instructions with implicit RAX/RDX semantics must
+        not draw RAX/RDX as explicit operands: a ``DIV`` whose divisor
+        is RDX would divide by the guard-zeroed RDX (§V-B's
+        implicit-operand pitfall, transposed to our guard scheme).
+        """
+        excluded = {"rsp", "rbp"}
+        if "rax" in definition.implicit_writes or \
+                "rax" in definition.implicit_reads:
+            excluded.update(("rax", "rdx"))
+        if "rcx" in definition.implicit_reads:  # shift-by-CL
+            excluded.add("rcx")
+        return [
+            register
+            for register in registers.GPR
+            if register.name not in excluded
+        ]
+
+    def allocatable_xmms(self) -> List:
+        return list(registers.ALLOCATABLE_XMMS)
+
+    # -- crash-avoidance guards ---------------------------------------------
+
+    def guard_slots(self, definition: InstructionDef,
+                    divisor_reg) -> List[Slot]:
+        """Fully-resolved guard instructions to place before a
+        ``needs_guard`` instruction.
+
+        For ``DIV``: zero RDX (dividend high half) and force the divisor
+        odd (non-zero).  For ``IDIV``: additionally halve RAX so the
+        signed quotient can never overflow (§V-B discusses the
+        crash-free-generation requirement these guards implement).
+        """
+        if not definition.needs_guard:
+            return []
+        isa = self.isa
+        guards = [
+            Slot(
+                isa.by_name("xor_r64_r64"),
+                [reg("rdx"), reg("rdx")],
+            ),
+        ]
+        width = definition.operands[0].width
+        if definition.semantic == "idiv":
+            # Halve the dividend below the signed-quotient overflow
+            # threshold: below 2^63 for 64-bit, below 2^31 for 32-bit.
+            shift = 1 if width == 64 else 33
+            guards.append(
+                Slot(
+                    isa.by_name("shr_r64_imm8"),
+                    [reg("rax"), imm(shift, 8)],
+                )
+            )
+        or_name = "or_r64_imm32" if width == 64 else "or_r32_imm32"
+        guards.append(
+            Slot(isa.by_name(or_name), [reg(divisor_reg), imm(1, 32)])
+        )
+        return guards

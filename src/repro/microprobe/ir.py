@@ -1,0 +1,108 @@
+"""Microbenchmark intermediate representation (MicroProbe-style).
+
+A microbenchmark under construction is a CFG of basic blocks whose
+instruction *slots* start with unresolved operands; compiler-like
+passes (:mod:`repro.microprobe.passes`) progressively resolve them —
+instruction selection, register allocation, memory operand resolution,
+immediate resolution, branch resolution — until the synthesizer can
+lower the IR to a concrete :class:`~repro.isa.program.Program`
+(paper §V-A/§V-D).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional
+
+from repro.isa.instructions import Instruction, InstructionDef
+from repro.isa.operands import Operand
+
+
+@dataclass
+class Slot:
+    """One instruction slot: a definition plus partially-resolved
+    operands (``None`` marks an unresolved operand).
+
+    ``is_guard`` marks compiler-inserted crash-avoidance instructions;
+    they are excluded from the program's *genome* (the definition
+    sequence the mutation engine operates on).
+    """
+
+    definition: InstructionDef
+    operands: List[Optional[Operand]] = field(default_factory=list)
+    is_guard: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.operands:
+            self.operands = [None] * len(self.definition.operands)
+
+    @property
+    def fully_resolved(self) -> bool:
+        return all(operand is not None for operand in self.operands)
+
+    def to_instruction(self) -> Instruction:
+        if not self.fully_resolved:
+            unresolved = [
+                str(spec)
+                for spec, operand in zip(
+                    self.definition.operands, self.operands
+                )
+                if operand is None
+            ]
+            raise ValueError(
+                f"{self.definition.name} has unresolved operands: "
+                f"{', '.join(unresolved)}"
+            )
+        return Instruction(self.definition, tuple(self.operands))
+
+
+@dataclass
+class BasicBlock:
+    """A straight-line sequence of slots."""
+
+    slots: List[Slot] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.slots)
+
+    def __iter__(self) -> Iterator[Slot]:
+        return iter(self.slots)
+
+    def append(self, slot: Slot) -> None:
+        self.slots.append(slot)
+
+
+@dataclass
+class Microbenchmark:
+    """The unit passes operate on.
+
+    The paper's programs use a single basic block (§V-D); the CFG list
+    form is kept for generality and for the multi-block tests.
+    """
+
+    blocks: List[BasicBlock] = field(default_factory=list)
+    name: str = "microbenchmark"
+    data_size: int = 32 * 1024
+    stride: int = 64
+    seed: int = 0
+
+    def all_slots(self) -> Iterator[Slot]:
+        for block in self.blocks:
+            yield from block.slots
+
+    @property
+    def num_instructions(self) -> int:
+        return sum(len(block) for block in self.blocks)
+
+    def instructions(self) -> List[Instruction]:
+        """Lower to concrete instructions (all slots must be resolved)."""
+        return [slot.to_instruction() for slot in self.all_slots()]
+
+    def genome(self) -> List[str]:
+        """The definition-name sequence the mutation engine sees
+        (guard instructions excluded)."""
+        return [
+            slot.definition.name
+            for slot in self.all_slots()
+            if not slot.is_guard
+        ]

@@ -1,0 +1,309 @@
+"""Compiler-like IR transformation passes (paper §V-A/§V-D).
+
+Each pass refines the microbenchmark IR: selecting instructions,
+balancing the stack, inserting crash-avoidance guards, allocating
+registers under a configurable strategy, resolving memory operands
+against the designated data region with a configurable access pattern,
+sampling immediates, and resolving branches.  A *policy* is an ordered
+list of passes (:mod:`repro.microprobe.policies`).
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from abc import ABC, abstractmethod
+from typing import List, Optional, Sequence
+
+from repro.isa.instructions import InstructionDef
+from repro.isa.operands import OperandKind, RegOperand, imm, mem, rel
+from repro.microprobe.arch_module import ArchitectureModule
+from repro.microprobe.ir import BasicBlock, Microbenchmark, Slot
+
+
+class Pass(ABC):
+    """One IR transformation."""
+
+    name = "pass"
+
+    @abstractmethod
+    def apply(self, benchmark: Microbenchmark, rng: random.Random) -> None:
+        """Transform ``benchmark`` in place."""
+
+
+class InstructionSelectionPass(Pass):
+    """Populate blocks with randomly drawn instruction definitions.
+
+    The pool defaults to every generatable definition; per-definition
+    weights implement user-defined instruction distributions (§V-D:
+    "uniform or user-defined distributions").
+    """
+
+    name = "instruction_selection"
+
+    def __init__(
+        self,
+        arch: ArchitectureModule,
+        num_instructions: int,
+        pool: Optional[Sequence[InstructionDef]] = None,
+        weights: Optional[Sequence[float]] = None,
+    ):
+        self.arch = arch
+        self.num_instructions = num_instructions
+        self.pool = list(pool) if pool is not None \
+            else list(arch.generatable_defs())
+        if not self.pool:
+            raise ValueError("empty instruction pool")
+        self.weights = list(weights) if weights is not None else None
+        if self.weights is not None and len(self.weights) != len(self.pool):
+            raise ValueError("weights length must match pool length")
+
+    def apply(self, benchmark: Microbenchmark, rng: random.Random) -> None:
+        if not benchmark.blocks:
+            benchmark.blocks.append(BasicBlock())
+        block = benchmark.blocks[0]
+        if self.weights is not None:
+            chosen = rng.choices(
+                self.pool, weights=self.weights, k=self.num_instructions
+            )
+        else:
+            chosen = [
+                rng.choice(self.pool) for _ in range(self.num_instructions)
+            ]
+        for definition in chosen:
+            block.append(Slot(definition))
+
+
+class SequenceImportPass(Pass):
+    """Populate the benchmark from an externally supplied definition
+    sequence — how the mutation engine feeds refined sequences back
+    into generation (§V-B2)."""
+
+    name = "sequence_import"
+
+    def __init__(self, definitions: Sequence[InstructionDef]):
+        self.definitions = list(definitions)
+
+    def apply(self, benchmark: Microbenchmark, rng: random.Random) -> None:
+        if not benchmark.blocks:
+            benchmark.blocks.append(BasicBlock())
+        block = benchmark.blocks[0]
+        for definition in self.definitions:
+            block.append(Slot(definition))
+
+
+class StackBalancePass(Pass):
+    """Keep PUSH/POP sequences within the stack sandbox (§V-B).
+
+    Tracks stack depth through the (linear) program: a POP at depth 0
+    or a PUSH at the depth limit is flipped to its counterpart, so the
+    generated program can never underflow or overflow the stack region.
+    """
+
+    name = "stack_balance"
+
+    def __init__(self, arch: ArchitectureModule, max_depth: int = 64):
+        self.arch = arch
+        self.max_depth = max_depth
+
+    def apply(self, benchmark: Microbenchmark, rng: random.Random) -> None:
+        push_def = self.arch.isa.by_name("push_r64")
+        pop_def = self.arch.isa.by_name("pop_r64")
+        depth = 0
+        for slot in benchmark.all_slots():
+            semantic = slot.definition.semantic
+            if semantic == "push":
+                if depth >= self.max_depth:
+                    slot.definition = pop_def
+                    slot.operands = [None]
+                    depth -= 1
+                else:
+                    depth += 1
+            elif semantic == "pop":
+                if depth <= 0:
+                    slot.definition = push_def
+                    slot.operands = [None]
+                    depth += 1
+                else:
+                    depth -= 1
+
+
+class GuardInsertionPass(Pass):
+    """Insert crash-avoidance guard sequences before ``needs_guard``
+    instructions (DIV/IDIV).  Must run *after* register allocation so
+    the divisor register is known."""
+
+    name = "guard_insertion"
+
+    def __init__(self, arch: ArchitectureModule):
+        self.arch = arch
+
+    def apply(self, benchmark: Microbenchmark, rng: random.Random) -> None:
+        for block in benchmark.blocks:
+            new_slots: List[Slot] = []
+            for slot in block.slots:
+                if slot.definition.needs_guard:
+                    operand = slot.operands[0]
+                    if not isinstance(operand, RegOperand):
+                        raise ValueError(
+                            "guarded instruction operand unresolved; run "
+                            "register allocation before guard insertion"
+                        )
+                    guards = self.arch.guard_slots(
+                        slot.definition, operand.reg
+                    )
+                    for guard in guards:
+                        guard.is_guard = True
+                    new_slots.extend(guards)
+                new_slots.append(slot)
+            block.slots = new_slots
+
+
+class RegAllocStrategy(enum.Enum):
+    """Register allocation strategies (§V-D)."""
+
+    RANDOM = "random"
+    ROUND_ROBIN = "round_robin"
+    #: Maximize dependency distance: destinations cycle through the full
+    #: pool, sources read the register written longest ago — "a balance
+    #: between high ILP and data flow propagation" (§V-D).
+    DEPENDENCY_DISTANCE = "dependency_distance"
+
+
+class RegisterAllocationPass(Pass):
+    """Resolve GPR/XMM operands under a configurable strategy."""
+
+    name = "register_allocation"
+
+    def __init__(
+        self,
+        arch: ArchitectureModule,
+        strategy: RegAllocStrategy = RegAllocStrategy.DEPENDENCY_DISTANCE,
+    ):
+        self.arch = arch
+        self.strategy = strategy
+
+    def apply(self, benchmark: Microbenchmark, rng: random.Random) -> None:
+        # Destinations and sources advance independently so that, under
+        # the dependency-distance strategy, destinations sweep the full
+        # pool (write-to-overwrite distance == pool size).
+        cursors = {"gpr_dst": 0, "gpr_src": 0, "xmm_dst": 0, "xmm_src": 0}
+        xmm_pool = self.arch.allocatable_xmms()
+        for slot in benchmark.all_slots():
+            gpr_pool = self.arch.allocatable_gprs(slot.definition)
+            for index, spec in enumerate(slot.definition.operands):
+                if slot.operands[index] is not None:
+                    continue
+                if spec.kind is OperandKind.GPR:
+                    key = "gpr_dst" if spec.is_dst else "gpr_src"
+                    cursors[key] += 1
+                    register = self._pick(
+                        gpr_pool, cursors[key], spec.is_dst, rng
+                    )
+                    slot.operands[index] = RegOperand(register)
+                elif spec.kind is OperandKind.XMM:
+                    key = "xmm_dst" if spec.is_dst else "xmm_src"
+                    cursors[key] += 1
+                    register = self._pick(
+                        xmm_pool, cursors[key], spec.is_dst, rng
+                    )
+                    slot.operands[index] = RegOperand(register)
+
+    def _pick(self, pool, cursor: int, is_dst: bool, rng: random.Random):
+        if self.strategy is RegAllocStrategy.RANDOM:
+            return rng.choice(pool)
+        if self.strategy is RegAllocStrategy.ROUND_ROBIN:
+            return pool[cursor % len(pool)]
+        # DEPENDENCY_DISTANCE: destinations walk forward through the
+        # pool; sources read "half a pool behind", maximizing the
+        # write-to-read distance.
+        if is_dst:
+            return pool[cursor % len(pool)]
+        return pool[(cursor + len(pool) // 2) % len(pool)]
+
+
+class MemoryAccessMode(enum.Enum):
+    ROUND_ROBIN = "round_robin"
+    RANDOM = "random"
+    SEQUENTIAL = "sequential"
+
+
+class MemoryOperandPass(Pass):
+    """Resolve memory operands inside the designated data region.
+
+    Implements the paper's configurable access patterns (§V-D): a
+    region iterated with a fixed stride (round-robin), sequential, or
+    random placement; 128-bit (SSE) accesses are 16-byte aligned.  A
+    small fraction of operands may resolve RIP-relative (§V-B).
+    """
+
+    name = "memory_operands"
+
+    def __init__(
+        self,
+        mode: MemoryAccessMode = MemoryAccessMode.ROUND_ROBIN,
+        stride: int = 64,
+        rip_relative_fraction: float = 0.0,
+    ):
+        self.mode = mode
+        self.stride = stride
+        self.rip_relative_fraction = rip_relative_fraction
+
+    def apply(self, benchmark: Microbenchmark, rng: random.Random) -> None:
+        counter = 0
+        region = benchmark.data_size
+        for slot in benchmark.all_slots():
+            for index, spec in enumerate(slot.definition.operands):
+                if slot.operands[index] is not None:
+                    continue
+                if spec.kind is not OperandKind.MEM:
+                    continue
+                access_bytes = max(spec.width // 8, 1)
+                span = max(region - access_bytes, 1)
+                if self.mode is MemoryAccessMode.RANDOM:
+                    offset = rng.randrange(span)
+                elif self.mode is MemoryAccessMode.SEQUENTIAL:
+                    offset = (counter * self.stride) % span
+                else:  # ROUND_ROBIN over the strided positions
+                    positions = max(span // max(self.stride, 1), 1)
+                    offset = (counter % positions) * self.stride
+                counter += 1
+                if spec.width == 128:
+                    offset -= offset % 16
+                else:
+                    offset -= offset % access_bytes
+                if rng.random() < self.rip_relative_fraction:
+                    slot.operands[index] = mem(None, offset)
+                else:
+                    slot.operands[index] = mem("rbp", offset)
+
+
+class ImmediatePass(Pass):
+    """Resolve immediates by uniform sampling across their range (§V-D)."""
+
+    name = "immediates"
+
+    def apply(self, benchmark: Microbenchmark, rng: random.Random) -> None:
+        for slot in benchmark.all_slots():
+            for index, spec in enumerate(slot.definition.operands):
+                if slot.operands[index] is not None:
+                    continue
+                if spec.kind is OperandKind.IMM:
+                    slot.operands[index] = imm(
+                        rng.getrandbits(spec.width), spec.width
+                    )
+
+
+class BranchResolutionPass(Pass):
+    """Resolve every branch to the fall-through instruction, equating
+    taken and not-taken paths (§V-D)."""
+
+    name = "branch_resolution"
+
+    def apply(self, benchmark: Microbenchmark, rng: random.Random) -> None:
+        for slot in benchmark.all_slots():
+            for index, spec in enumerate(slot.definition.operands):
+                if slot.operands[index] is not None:
+                    continue
+                if spec.kind is OperandKind.REL:
+                    slot.operands[index] = rel(0)

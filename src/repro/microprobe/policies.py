@@ -1,0 +1,117 @@
+"""Policies: reusable ordered pass sequences (paper §V-A).
+
+"The sequence of passes that was specified to produce the final
+microbenchmark is collectively referred to as a policy."  The standard
+policy below implements the paper's constrained-random generation flow;
+targets customize it through :class:`GenerationConfig`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.isa.instructions import InstructionDef
+from repro.microprobe.arch_module import ArchitectureModule
+from repro.microprobe.ir import Microbenchmark
+from repro.microprobe.passes import (
+    BranchResolutionPass,
+    GuardInsertionPass,
+    ImmediatePass,
+    InstructionSelectionPass,
+    MemoryAccessMode,
+    MemoryOperandPass,
+    Pass,
+    RegAllocStrategy,
+    RegisterAllocationPass,
+    SequenceImportPass,
+    StackBalancePass,
+)
+
+
+@dataclass
+class Policy:
+    """A named, ordered list of passes."""
+
+    name: str
+    passes: List[Pass] = field(default_factory=list)
+
+    def run(self, benchmark: Microbenchmark, rng: random.Random) -> None:
+        for transform in self.passes:
+            transform.apply(benchmark, rng)
+
+
+@dataclass(frozen=True)
+class GenerationConfig:
+    """All knobs of constrained-random generation (§V-D)."""
+
+    num_instructions: int = 1000
+    #: Restrict the instruction pool to these variant names (None = all
+    #: generatable definitions).
+    pool_names: Optional[Sequence[str]] = None
+    #: Per-definition selection weights aligned with the pool.
+    pool_weights: Optional[Sequence[float]] = None
+    data_size: int = 32 * 1024
+    stride: int = 64
+    memory_mode: MemoryAccessMode = MemoryAccessMode.ROUND_ROBIN
+    reg_strategy: RegAllocStrategy = RegAllocStrategy.DEPENDENCY_DISTANCE
+    rip_relative_fraction: float = 0.02
+    max_stack_depth: int = 64
+
+
+def constrained_random_policy(
+    arch: ArchitectureModule, config: GenerationConfig
+) -> Policy:
+    """The standard generation policy: select → balance stack →
+    allocate registers → insert guards → resolve memory/immediates/
+    branches."""
+    pool = None
+    if config.pool_names is not None:
+        pool = arch.defs_by_names(config.pool_names)
+    return Policy(
+        name="constrained_random",
+        passes=[
+            InstructionSelectionPass(
+                arch,
+                config.num_instructions,
+                pool=pool,
+                weights=config.pool_weights,
+            ),
+            StackBalancePass(arch, config.max_stack_depth),
+            RegisterAllocationPass(arch, config.reg_strategy),
+            GuardInsertionPass(arch),
+            MemoryOperandPass(
+                config.memory_mode,
+                config.stride,
+                config.rip_relative_fraction,
+            ),
+            ImmediatePass(),
+            BranchResolutionPass(),
+        ],
+    )
+
+
+def sequence_policy(
+    arch: ArchitectureModule,
+    definitions: Sequence[InstructionDef],
+    config: GenerationConfig,
+) -> Policy:
+    """Like the standard policy, but the instruction sequence comes
+    from an external source (the mutation engine, §V-B2)."""
+    return Policy(
+        name="sequence_import",
+        passes=[
+            SequenceImportPass(definitions),
+            StackBalancePass(arch, config.max_stack_depth),
+            RegisterAllocationPass(arch, config.reg_strategy),
+            GuardInsertionPass(arch),
+            MemoryOperandPass(
+                config.memory_mode,
+                config.stride,
+                config.rip_relative_fraction,
+            ),
+            ImmediatePass(),
+            BranchResolutionPass(),
+        ],
+    )

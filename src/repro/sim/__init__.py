@@ -1,0 +1,78 @@
+"""The microarchitectural simulation substrate (gem5 equivalent).
+
+Public surface: machine configuration, the functional simulator, the
+out-of-order timing model, the L1D cache, and the golden-run
+co-simulation entry point.
+"""
+
+from repro.sim.cache import CacheEvent, L1DCache, ResidencyInterval, \
+    residency_intervals
+from repro.sim.config import (
+    DEFAULT_MACHINE,
+    CacheConfig,
+    CoreConfig,
+    MachineConfig,
+    MemoryMap,
+)
+from repro.sim.cosim import GoldenRun, golden_run
+from repro.sim.errors import (
+    AlignmentFault,
+    CrashError,
+    DivideError,
+    HangError,
+    InvalidFetch,
+    MemoryFault,
+    SimError,
+)
+from repro.sim.functional import (
+    CrashInfo,
+    ExecContext,
+    FunctionalSimulator,
+    RunResult,
+    run_program,
+)
+from repro.sim.ooo import DynTiming, FUEvent, Schedule, TimingModel
+from repro.sim.overrides import Overrides
+from repro.sim.prf import PregVersion, RenameMap
+from repro.sim.state import ArchState, Memory, ProgramOutput, initial_state
+from repro.sim.trace import FUOp, InstrRecord, MemAccess
+
+__all__ = [
+    "CacheEvent",
+    "L1DCache",
+    "ResidencyInterval",
+    "residency_intervals",
+    "DEFAULT_MACHINE",
+    "CacheConfig",
+    "CoreConfig",
+    "MachineConfig",
+    "MemoryMap",
+    "GoldenRun",
+    "golden_run",
+    "AlignmentFault",
+    "CrashError",
+    "DivideError",
+    "HangError",
+    "InvalidFetch",
+    "MemoryFault",
+    "SimError",
+    "CrashInfo",
+    "ExecContext",
+    "FunctionalSimulator",
+    "RunResult",
+    "run_program",
+    "DynTiming",
+    "FUEvent",
+    "Schedule",
+    "TimingModel",
+    "Overrides",
+    "PregVersion",
+    "RenameMap",
+    "ArchState",
+    "Memory",
+    "ProgramOutput",
+    "initial_state",
+    "FUOp",
+    "InstrRecord",
+    "MemAccess",
+]

@@ -1,0 +1,253 @@
+"""Set-associative L1 data cache timing and event model.
+
+The cache serves two purposes in the methodology:
+
+* **timing** — hit/miss latencies feed the OoO schedule, and
+* **event tracing** — every load, store, line fill and eviction is
+  recorded with its cycle so the ACE lifetime analysis (§II-D, Fig 3)
+  and the transient-fault injector can reconstruct exactly which cache
+  bits held live data when.
+
+The final ``flush`` models the wrapper reading back the data region to
+compute the output signature: dirty lines are written back, so faulty
+dirty data escapes to memory (and corrupts the signature), while faults
+in clean lines die with the eviction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.sim.config import CacheConfig
+
+
+@dataclass
+class CacheEvent:
+    """One observable cache event.
+
+    ``kind`` is one of ``load``, ``store``, ``fill``, ``evict``,
+    ``flush``.  For fills/evictions/flushes, ``address``/``size`` cover
+    the whole line.  Events are emitted in program order with
+    monotonically non-decreasing cycles.
+    """
+
+    cycle: int
+    kind: str
+    address: int
+    size: int
+    set_index: int
+    way: int
+    dyn: int = -1
+    dirty: bool = False
+
+
+@dataclass
+class _Line:
+    tag: int = -1
+    valid: bool = False
+    dirty: bool = False
+    last_used: int = -1
+
+
+class L1DCache:
+    """LRU set-associative write-back, write-allocate data cache."""
+
+    def __init__(self, config: CacheConfig):
+        self.config = config
+        self.sets: List[List[_Line]] = [
+            [_Line() for _ in range(config.associativity)]
+            for _ in range(config.num_sets)
+        ]
+        self.events: List[CacheEvent] = []
+        self._use_counter = 0
+        self._last_cycle = 0
+
+    # -- geometry helpers ----------------------------------------------
+
+    def line_base(self, address: int) -> int:
+        return address - (address % self.config.line_size)
+
+    def set_index(self, address: int) -> int:
+        return (address // self.config.line_size) % self.config.num_sets
+
+    def tag(self, address: int) -> int:
+        return address // (self.config.line_size * self.config.num_sets)
+
+    def line_address(self, set_index: int, tag: int) -> int:
+        return (tag * self.config.num_sets + set_index) \
+            * self.config.line_size
+
+    # -- access --------------------------------------------------------
+
+    def access(
+        self, cycle: int, dyn: int, address: int, size: int, is_store: bool
+    ) -> int:
+        """Perform one access; returns the access latency in cycles.
+
+        Accesses crossing a line boundary are split; the latency is the
+        worst of the parts.  Event cycles are clamped to be
+        monotonically non-decreasing so that downstream lifetime
+        analyses see a consistent logical timeline (see DESIGN.md).
+        """
+        cycle = max(cycle, self._last_cycle)
+        self._last_cycle = cycle
+        latency = 0
+        remaining = size
+        current = address
+        while remaining > 0:
+            line_end = self.line_base(current) + self.config.line_size
+            chunk = min(remaining, line_end - current)
+            latency = max(
+                latency, self._access_line(cycle, dyn, current, chunk,
+                                           is_store)
+            )
+            current += chunk
+            remaining -= chunk
+        return latency
+
+    def _access_line(
+        self, cycle: int, dyn: int, address: int, size: int, is_store: bool
+    ) -> int:
+        config = self.config
+        set_index = self.set_index(address)
+        tag = self.tag(address)
+        lines = self.sets[set_index]
+        self._use_counter += 1
+        way = self._find(lines, tag)
+        if way is None:
+            way = self._fill(cycle, set_index, tag)
+            latency = config.miss_latency
+        else:
+            latency = config.hit_latency
+        line = lines[way]
+        line.last_used = self._use_counter
+        if is_store:
+            line.dirty = True
+        self.events.append(
+            CacheEvent(
+                cycle=cycle,
+                kind="store" if is_store else "load",
+                address=address,
+                size=size,
+                set_index=set_index,
+                way=way,
+                dyn=dyn,
+            )
+        )
+        return latency
+
+    def _find(self, lines: List[_Line], tag: int) -> Optional[int]:
+        for way, line in enumerate(lines):
+            if line.valid and line.tag == tag:
+                return way
+        return None
+
+    def _fill(self, cycle: int, set_index: int, tag: int) -> int:
+        lines = self.sets[set_index]
+        victim_way = 0
+        victim = lines[0]
+        for way, line in enumerate(lines):
+            if not line.valid:
+                victim_way, victim = way, line
+                break
+            if line.last_used < victim.last_used:
+                victim_way, victim = way, line
+        if victim.valid:
+            self.events.append(
+                CacheEvent(
+                    cycle=cycle,
+                    kind="evict",
+                    address=self.line_address(set_index, victim.tag),
+                    size=self.config.line_size,
+                    set_index=set_index,
+                    way=victim_way,
+                    dirty=victim.dirty,
+                )
+            )
+        victim.tag = tag
+        victim.valid = True
+        victim.dirty = False
+        self.events.append(
+            CacheEvent(
+                cycle=cycle,
+                kind="fill",
+                address=self.line_address(set_index, tag),
+                size=self.config.line_size,
+                set_index=set_index,
+                way=victim_way,
+            )
+        )
+        return victim_way
+
+    def flush(self, cycle: int) -> None:
+        """Flush all lines at program end (signature readback)."""
+        cycle = max(cycle, self._last_cycle)
+        for set_index, lines in enumerate(self.sets):
+            for way, line in enumerate(lines):
+                if line.valid:
+                    self.events.append(
+                        CacheEvent(
+                            cycle=cycle,
+                            kind="flush",
+                            address=self.line_address(set_index, line.tag),
+                            size=self.config.line_size,
+                            set_index=set_index,
+                            way=way,
+                            dirty=line.dirty,
+                        )
+                    )
+                    line.valid = False
+                    line.dirty = False
+
+
+@dataclass
+class ResidencyInterval:
+    """A line's stay in a particular (set, way) slot."""
+
+    set_index: int
+    way: int
+    address: int
+    start_cycle: int
+    end_cycle: int
+    evicted_dirty: bool
+    flushed: bool
+
+
+def residency_intervals(
+    events: List[CacheEvent], config: CacheConfig, total_cycles: int
+) -> List[ResidencyInterval]:
+    """Reconstruct line residency intervals from the event trace."""
+    open_fills = {}
+    intervals: List[ResidencyInterval] = []
+    for event in events:
+        key = (event.set_index, event.way)
+        if event.kind == "fill":
+            open_fills[key] = event
+        elif event.kind in ("evict", "flush"):
+            fill = open_fills.pop(key, None)
+            start = fill.cycle if fill is not None else 0
+            intervals.append(
+                ResidencyInterval(
+                    set_index=event.set_index,
+                    way=event.way,
+                    address=event.address,
+                    start_cycle=start,
+                    end_cycle=event.cycle,
+                    evicted_dirty=event.dirty,
+                    flushed=event.kind == "flush",
+                )
+            )
+    for key, fill in open_fills.items():
+        intervals.append(
+            ResidencyInterval(
+                set_index=fill.set_index,
+                way=fill.way,
+                address=fill.address,
+                start_cycle=fill.cycle,
+                end_cycle=total_cycles,
+                evicted_dirty=False,
+                flushed=False,
+            )
+        )
+    return intervals

@@ -1,0 +1,123 @@
+"""Machine configuration: memory map, out-of-order core, and L1D cache.
+
+Parameter defaults follow the paper's setup (§III-B): "an out-of-order
+core configuration setting microarchitectural parameters and sizes based
+on publicly available data for commercial x86 CPUs", with a 32 KB L1
+data cache (§VI-B2 chooses the generator's memory region to match the
+L1D capacity exactly).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.isa.instructions import FUClass
+
+
+@dataclass(frozen=True)
+class MemoryMap:
+    """Address-space layout of a test program's sandbox."""
+
+    data_base: int = 0x100000
+    data_size: int = 32 * 1024
+    stack_base: int = 0x200000
+    stack_size: int = 4096
+
+    @property
+    def data_end(self) -> int:
+        return self.data_base + self.data_size
+
+    @property
+    def stack_end(self) -> int:
+        return self.stack_base + self.stack_size
+
+    def with_data_size(self, data_size: int) -> "MemoryMap":
+        return MemoryMap(
+            self.data_base, data_size, self.stack_base, self.stack_size
+        )
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """L1 data cache geometry and timing."""
+
+    size: int = 32 * 1024
+    line_size: int = 64
+    associativity: int = 8
+    hit_latency: int = 4
+    miss_latency: int = 30
+
+    @property
+    def num_lines(self) -> int:
+        return self.size // self.line_size
+
+    @property
+    def num_sets(self) -> int:
+        return self.num_lines // self.associativity
+
+
+def _default_fu_counts() -> Dict[FUClass, int]:
+    # Port-count mix resembling a modern x86 core: the two integer ALU
+    # instances mirror Fig 8's example (ALU #0 is the default target).
+    return {
+        FUClass.INT_ADDER: 2,
+        FUClass.INT_LOGIC: 2,
+        FUClass.INT_MUL: 1,
+        FUClass.INT_DIV: 1,
+        FUClass.FP_ADD: 2,
+        FUClass.FP_MUL: 2,
+        FUClass.FP_DIV: 1,
+        FUClass.SIMD_LOGIC: 2,
+        FUClass.LOAD: 2,
+        FUClass.STORE: 1,
+        FUClass.BRANCH: 1,
+        FUClass.NOP: 4,
+        FUClass.SYSTEM: 1,
+    }
+
+
+@dataclass(frozen=True)
+class CoreConfig:
+    """Out-of-order core resources (gem5 O3-style)."""
+
+    fetch_width: int = 4
+    rename_width: int = 4
+    issue_width: int = 8
+    commit_width: int = 4
+    rob_size: int = 192
+    iq_size: int = 64
+    load_queue_size: int = 72
+    store_queue_size: int = 56
+    #: Physical integer register file size — the paper's IRF fault
+    #: target.  Must exceed the 16 architectural GPRs.
+    num_int_pregs: int = 128
+    num_fp_pregs: int = 96
+    fu_counts: Dict[FUClass, int] = field(default_factory=_default_fu_counts)
+    #: Divide units are unpipelined; everything else accepts one op/cycle.
+    unpipelined: frozenset = frozenset({FUClass.INT_DIV, FUClass.FP_DIV})
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """Complete machine model configuration."""
+
+    memory: MemoryMap = field(default_factory=MemoryMap)
+    cache: CacheConfig = field(default_factory=CacheConfig)
+    core: CoreConfig = field(default_factory=CoreConfig)
+    #: Safety net against runaway fuzzed programs (loops).
+    max_dynamic_instructions: int = 200_000
+
+    def for_program(self, data_size: int) -> "MachineConfig":
+        """Derive a config whose data region matches a program."""
+        if data_size == self.memory.data_size:
+            return self
+        return MachineConfig(
+            memory=self.memory.with_data_size(data_size),
+            cache=self.cache,
+            core=self.core,
+            max_dynamic_instructions=self.max_dynamic_instructions,
+        )
+
+
+DEFAULT_MACHINE = MachineConfig()

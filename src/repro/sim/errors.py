@@ -1,0 +1,83 @@
+"""Simulator exception hierarchy.
+
+Crashes are first-class outcomes in the fault-injection methodology
+(§II-E): a fault that makes the program trap is *detected*, just through
+a different observable than an output mismatch.  Every architectural
+trap the functional simulator can raise derives from :class:`CrashError`
+and carries a stable ``kind`` string used in outcome classification.
+"""
+
+from __future__ import annotations
+
+
+class SimError(Exception):
+    """Base class for all simulator errors."""
+
+
+class CrashError(SimError):
+    """An architectural event that terminates the program abnormally."""
+
+    kind = "crash"
+
+    def __init__(self, message: str, instruction_index: int = -1):
+        super().__init__(message)
+        self.instruction_index = instruction_index
+
+
+class MemoryFault(CrashError):
+    """Access outside the program's data/stack regions (segfault)."""
+
+    kind = "memory_fault"
+
+    def __init__(self, address: int, instruction_index: int = -1):
+        super().__init__(
+            f"memory access outside mapped regions: {address:#x}",
+            instruction_index,
+        )
+        self.address = address
+
+
+class AlignmentFault(CrashError):
+    """Misaligned access by an alignment-checking instruction (MOVAPS)."""
+
+    kind = "alignment_fault"
+
+    def __init__(self, address: int, alignment: int,
+                 instruction_index: int = -1):
+        super().__init__(
+            f"address {address:#x} not {alignment}-byte aligned",
+            instruction_index,
+        )
+        self.address = address
+        self.alignment = alignment
+
+
+class DivideError(CrashError):
+    """#DE: division by zero or quotient overflow."""
+
+    kind = "divide_error"
+
+    def __init__(self, instruction_index: int = -1):
+        super().__init__("divide error (#DE)", instruction_index)
+
+
+class InvalidFetch(CrashError):
+    """Control transferred outside the program body."""
+
+    kind = "invalid_fetch"
+
+    def __init__(self, target: int, instruction_index: int = -1):
+        super().__init__(
+            f"branch to invalid instruction slot {target}", instruction_index
+        )
+        self.target = target
+
+
+class HangError(CrashError):
+    """Dynamic instruction budget exhausted (runaway loop)."""
+
+    kind = "hang"
+
+    def __init__(self, budget: int):
+        super().__init__(f"exceeded dynamic instruction budget of {budget}")
+        self.budget = budget

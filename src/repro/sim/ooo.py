@@ -1,0 +1,339 @@
+"""Out-of-order core timing model (gem5 O3-style, constraint-based).
+
+The model consumes the functional trace and schedules every dynamic
+instruction through rename → issue → execute → writeback → commit under
+the configured resource constraints:
+
+* in-order rename limited by ``rename_width``, the ROB, the issue
+  queue, the load/store queues and the physical-register free list,
+* out-of-order issue limited by operand readiness, ``issue_width`` and
+  per-class functional-unit instances (divides are unpipelined),
+* loads access the L1D at issue (hit/miss latency from the cache
+  model), stores write the cache when they retire,
+* in-order commit limited by ``commit_width``.
+
+The output :class:`Schedule` carries everything the hardware-coverage
+metrics and the fault injector need: physical-register version
+lifetimes, functional-unit events with their *instance* assignment
+(faults target one instance, like ALU #0 in the paper's Fig 8), the
+cache event trace, and the total cycle count.
+
+Because generated programs are linear (branches resolve to the
+fall-through, §V-D) there is no misspeculation to model: values come
+from the functional pass, timing from this pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.isa import registers as regs_module
+from repro.isa.instructions import FUClass
+from repro.sim.cache import CacheEvent, L1DCache
+from repro.sim.config import DEFAULT_MACHINE, MachineConfig
+from repro.sim.prf import PregVersion, RenameMap
+from repro.sim.trace import FUOp, InstrRecord
+
+
+class _SlotTracker:
+    """Tracks per-cycle slot usage for width-limited pipeline stages."""
+
+    def __init__(self, width: int):
+        self.width = width
+        self._used: Dict[int, int] = {}
+
+    def take(self, earliest: int) -> int:
+        cycle = earliest
+        while self._used.get(cycle, 0) >= self.width:
+            cycle += 1
+        self._used[cycle] = self._used.get(cycle, 0) + 1
+        return cycle
+
+
+class _FUPool:
+    """Per-class functional unit instances with busy tracking."""
+
+    def __init__(self, counts: Dict[FUClass, int], unpipelined: frozenset):
+        self._next_free: Dict[FUClass, List[int]] = {
+            fu_class: [0] * max(count, 1)
+            for fu_class, count in counts.items()
+        }
+        self._unpipelined = unpipelined
+
+    def issue(
+        self, fu_class: FUClass, earliest: int, latency: int
+    ) -> Tuple[int, int]:
+        """Pick the best instance; returns ``(instance, issue_cycle)``."""
+        instances = self._next_free[fu_class]
+        best_instance = 0
+        best_cycle = max(earliest, instances[0])
+        for index, next_free in enumerate(instances):
+            candidate = max(earliest, next_free)
+            if candidate < best_cycle:
+                best_instance, best_cycle = index, candidate
+        occupancy = latency if fu_class in self._unpipelined else 1
+        instances[best_instance] = best_cycle + occupancy
+        return best_instance, best_cycle
+
+
+@dataclass
+class FUEvent:
+    """One operation scheduled on a functional-unit instance."""
+
+    dyn: int
+    fu_class: FUClass
+    instance: int
+    issue_cycle: int
+    latency: int
+    op: Optional[FUOp] = None
+
+
+@dataclass
+class DynTiming:
+    """Pipeline cycles of one dynamic instruction."""
+
+    rename: int
+    issue: int
+    complete: int
+    commit: int
+
+
+@dataclass
+class Schedule:
+    """Complete timing view of one program execution."""
+
+    total_cycles: int
+    timings: List[DynTiming]
+    int_rename: RenameMap
+    fp_rename: RenameMap
+    fu_events: List[FUEvent]
+    cache_events: List[CacheEvent]
+    machine: MachineConfig
+
+    @property
+    def int_versions(self) -> List[PregVersion]:
+        return self.int_rename.versions
+
+    def fu_events_for(
+        self, fu_class: FUClass, instance: Optional[int] = None
+    ) -> List[FUEvent]:
+        """Events on one FU class (optionally one instance)."""
+        return [
+            event
+            for event in self.fu_events
+            if event.fu_class is fu_class
+            and (instance is None or event.instance == instance)
+        ]
+
+    def ipc(self) -> float:
+        """Committed instructions per cycle."""
+        if self.total_cycles == 0:
+            return 0.0
+        return len(self.timings) / self.total_cycles
+
+    def cache_hit_rate(self) -> float:
+        """Demand-access hit rate of the L1D (fills mark the misses)."""
+        demand = sum(
+            1 for e in self.cache_events if e.kind in ("load", "store")
+        )
+        fills = sum(1 for e in self.cache_events if e.kind == "fill")
+        if demand == 0:
+            return 0.0
+        return max(0.0, 1.0 - fills / demand)
+
+    def fu_utilization(self) -> Dict[Tuple[FUClass, int], float]:
+        """Busy-cycle fraction per (class, instance) — the Fig 8 view."""
+        busy: Dict[Tuple[FUClass, int], int] = {}
+        for event in self.fu_events:
+            key = (event.fu_class, event.instance)
+            occupancy = (
+                event.latency
+                if event.fu_class in self.machine.core.unpipelined
+                else 1
+            )
+            busy[key] = busy.get(key, 0) + occupancy
+        cycles = max(self.total_cycles, 1)
+        return {
+            key: min(value / cycles, 1.0) for key, value in busy.items()
+        }
+
+    def stats_summary(self) -> str:
+        """A gem5-style end-of-simulation statistics block."""
+        lines = [
+            f"sim_cycles        {self.total_cycles}",
+            f"committed_insts   {len(self.timings)}",
+            f"ipc               {self.ipc():.3f}",
+            f"l1d_hit_rate      {self.cache_hit_rate():.3f}",
+            f"int_preg_versions {len(self.int_versions)}",
+        ]
+        for (fu_class, instance), value in sorted(
+            self.fu_utilization().items(),
+            key=lambda item: (item[0][0].value, item[0][1]),
+        ):
+            lines.append(
+                f"fu_util.{fu_class.value}.{instance:<9} {value:.3f}"
+            )
+        return "\n".join(lines)
+
+
+_GPR_NAMES = [reg.name for reg in regs_module.GPR]
+_XMM_NAMES = [reg.name for reg in regs_module.XMM]
+
+
+class TimingModel:
+    """Schedules a functional trace onto the configured core."""
+
+    def __init__(self, machine: MachineConfig = DEFAULT_MACHINE):
+        self.machine = machine
+
+    def schedule(self, records: List[InstrRecord]) -> Schedule:
+        machine = self.machine
+        core = machine.core
+        cache = L1DCache(machine.cache)
+        int_rename = RenameMap(_GPR_NAMES, core.num_int_pregs)
+        fp_rename = RenameMap(_XMM_NAMES, core.num_fp_pregs)
+        rename_slots = _SlotTracker(core.rename_width)
+        issue_slots = _SlotTracker(core.issue_width)
+        commit_slots = _SlotTracker(core.commit_width)
+        fu_pool = _FUPool(core.fu_counts, core.unpipelined)
+        timings: List[DynTiming] = []
+        fu_events: List[FUEvent] = []
+        commit_cycles: List[int] = []
+        issue_cycles: List[int] = []
+        load_commits: List[int] = []
+        store_commits: List[int] = []
+        flags_ready = 0
+        last_rename = 0
+        last_commit = 0
+
+        for index, record in enumerate(records):
+            definition = record.instruction.definition
+            # ---- rename (in order) -----------------------------------
+            earliest = last_rename
+            if index >= core.rob_size:
+                earliest = max(earliest, commit_cycles[index - core.rob_size])
+            if index >= core.iq_size:
+                earliest = max(earliest, issue_cycles[index - core.iq_size])
+            if definition.is_load and len(load_commits) >= \
+                    core.load_queue_size:
+                earliest = max(
+                    earliest, load_commits[-core.load_queue_size]
+                )
+            if definition.is_store and len(store_commits) >= \
+                    core.store_queue_size:
+                earliest = max(
+                    earliest, store_commits[-core.store_queue_size]
+                )
+            rename_cycle = rename_slots.take(earliest)
+
+            # ---- source readiness ------------------------------------
+            ready = rename_cycle + 1
+            src_versions: List[PregVersion] = []
+            for name in record.reads:
+                rename_map = fp_rename if name.startswith("xmm") \
+                    else int_rename
+                version = rename_map.mapping[name]
+                src_versions.append(version)
+                ready = max(ready, version.ready_cycle)
+            if definition.reads_flags:
+                ready = max(ready, flags_ready)
+
+            # ---- destination allocation ------------------------------
+            released: List[Tuple[RenameMap, PregVersion]] = []
+            dst_versions: List[PregVersion] = []
+            for name in record.writes:
+                rename_map = fp_rename if name.startswith("xmm") \
+                    else int_rename
+                version, previous, stalled = rename_map.allocate(
+                    name, index, rename_cycle
+                )
+                rename_cycle = max(rename_cycle, stalled)
+                dst_versions.append(version)
+                released.append((rename_map, previous))
+            ready = max(ready, rename_cycle + 1)
+
+            # ---- issue / execute -------------------------------------
+            latency = definition.latency or 1
+            instance, issue_cycle = fu_pool.issue(
+                definition.fu_class, ready, latency
+            )
+            issue_cycle = issue_slots.take(issue_cycle)
+            complete = issue_cycle + latency
+            if record.mem_read is not None:
+                access_latency = cache.access(
+                    issue_cycle,
+                    index,
+                    record.mem_read.address,
+                    record.mem_read.size,
+                    is_store=False,
+                )
+                complete = issue_cycle + access_latency + (
+                    latency if definition.fu_class not in
+                    (FUClass.LOAD,) else 0
+                )
+            # Flag-only consumers (CMP/TEST) produce no architectural
+            # result; their reads do not extend a value's ACE window.
+            consumes_data = bool(record.writes) or \
+                record.mem_write is not None
+            for version in src_versions:
+                version.add_read(
+                    index,
+                    issue_cycle,
+                    data=consumes_data,
+                    width=record.read_widths.get(version.arch, 64),
+                )
+            for version in dst_versions:
+                version.ready_cycle = complete
+            if definition.writes_flags:
+                flags_ready = complete
+            fu_events.append(
+                FUEvent(
+                    dyn=index,
+                    fu_class=definition.fu_class,
+                    instance=instance,
+                    issue_cycle=issue_cycle,
+                    latency=latency,
+                    op=record.fu_op,
+                )
+            )
+
+            # ---- commit (in order) -----------------------------------
+            commit_cycle = commit_slots.take(
+                max(complete + 1, last_commit)
+            )
+            if record.mem_write is not None:
+                cache.access(
+                    commit_cycle,
+                    index,
+                    record.mem_write.address,
+                    record.mem_write.size,
+                    is_store=True,
+                )
+            for rename_map, previous in released:
+                rename_map.release(previous, commit_cycle)
+            timings.append(
+                DynTiming(rename_cycle, issue_cycle, complete, commit_cycle)
+            )
+            commit_cycles.append(commit_cycle)
+            issue_cycles.append(issue_cycle)
+            if definition.is_load:
+                load_commits.append(commit_cycle)
+            if definition.is_store:
+                store_commits.append(commit_cycle)
+            last_rename = rename_cycle
+            last_commit = commit_cycle
+
+        total_cycles = (last_commit + 1) if records else 1
+        cache.flush(total_cycles)
+        int_rename.finalize(total_cycles)
+        fp_rename.finalize(total_cycles)
+        return Schedule(
+            total_cycles=total_cycles,
+            timings=timings,
+            int_rename=int_rename,
+            fp_rename=fp_rename,
+            fu_events=fu_events,
+            cache_events=cache.events,
+            machine=machine,
+        )

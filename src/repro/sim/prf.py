@@ -1,0 +1,166 @@
+"""Physical register file renaming and version lifetime tracking.
+
+The paper's most challenging fault target is the physical *integer*
+register file (IRF): transient detection there is below 5% for every
+baseline framework (Fig 4) because register versions live briefly
+between rename, writeback and release.  This module reproduces exactly
+that lifecycle so the ACE lifetime analysis and the transient-fault
+injector operate on the real vulnerable windows:
+
+* a version is *allocated* at rename,
+* its value becomes valid at *writeback* (``ready_cycle``),
+* consumers *read* it when they issue,
+* it is *freed* when the next writer of the same architectural
+  register *commits* (the standard free-on-next-writer-commit rule).
+
+Versions still mapped at program end receive an ``end read`` at the
+final cycle: the wrapper dumps the architectural register state into
+the program output, so a live fault there is architecturally visible.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass
+class PregVersion:
+    """One value-lifetime of a physical register.
+
+    ``reads`` records every consumer (used by the fault injector to
+    target overrides); ``data_reads`` records only consumers that
+    produce an architectural result (register/memory writes).  Reads by
+    flag-only instructions (CMP/TEST) whose condition codes may die
+    unused do not extend a value's ACE window — without this
+    distinction the refinement loop inflates ACE with compare-heavy
+    code that detects nothing (see DESIGN.md).
+    """
+
+    preg: int
+    arch: str
+    writer_dyn: Optional[int]  # None for wrapper-initialized state
+    alloc_cycle: int
+    ready_cycle: int
+    reads: List[Tuple[int, int]] = field(default_factory=list)
+    #: ``(dyn, cycle, width)`` triples; width is the consumer's access
+    #: width in bits (a 32-bit consumer exposes only the low half).
+    data_reads: List[Tuple[int, int, int]] = field(default_factory=list)
+    free_cycle: Optional[int] = None
+    end_read: bool = False
+
+    def add_read(
+        self, dyn: int, cycle: int, data: bool = True, width: int = 64
+    ) -> None:
+        self.reads.append((dyn, cycle))
+        if data:
+            self.data_reads.append((dyn, cycle, width))
+
+    @property
+    def last_read_cycle(self) -> Optional[int]:
+        if not self.reads:
+            return None
+        return max(cycle for _dyn, cycle in self.reads)
+
+    @property
+    def last_data_read_cycle(self) -> Optional[int]:
+        if not self.data_reads:
+            return None
+        return max(cycle for _dyn, cycle, _width in self.data_reads)
+
+    def live_at(self, cycle: int, total_cycles: int) -> bool:
+        """Whether the version holds a live value at ``cycle``."""
+        end = self.free_cycle if self.free_cycle is not None \
+            else total_cycles
+        return self.ready_cycle <= cycle < end
+
+
+class RenameMap:
+    """Register renaming with an explicit free list.
+
+    ``arch_names`` enumerates the architectural registers mapped onto
+    this physical file; everything starts mapped (holding the wrapper's
+    initial values) and the remaining physical registers populate the
+    free list.
+    """
+
+    def __init__(self, arch_names: List[str], num_pregs: int):
+        if num_pregs < len(arch_names):
+            raise ValueError(
+                "physical register file smaller than architectural state"
+            )
+        self.num_pregs = num_pregs
+        self.versions: List[PregVersion] = []
+        self.mapping: Dict[str, PregVersion] = {}
+        #: min-heap of (free_cycle, preg)
+        self._free: List[Tuple[int, int]] = []
+        for index, name in enumerate(arch_names):
+            version = PregVersion(
+                preg=index,
+                arch=name,
+                writer_dyn=None,
+                alloc_cycle=0,
+                ready_cycle=0,
+            )
+            self.versions.append(version)
+            self.mapping[name] = version
+        for preg in range(len(arch_names), num_pregs):
+            heapq.heappush(self._free, (0, preg))
+
+    def read(self, arch: str, dyn: int, cycle: int) -> PregVersion:
+        """Record a source read of the current version of ``arch``."""
+        version = self.mapping[arch]
+        version.add_read(dyn, cycle)
+        return version
+
+    def source_ready_cycle(self, arch: str) -> int:
+        return self.mapping[arch].ready_cycle
+
+    def allocate(
+        self, arch: str, dyn: int, rename_cycle: int
+    ) -> Tuple[PregVersion, PregVersion, int]:
+        """Allocate a fresh version for a write of ``arch``.
+
+        The rename map is updated immediately (subsequent readers see
+        the new version), and the *previous* version is returned so the
+        caller can release it when this writer commits.  Also returns
+        the (possibly stalled) rename cycle: if no physical register is
+        free yet, rename waits for the earliest upcoming release.
+        """
+        if not self._free:
+            raise RuntimeError("physical register file exhausted")
+        free_cycle, preg = heapq.heappop(self._free)
+        stalled_cycle = max(rename_cycle, free_cycle)
+        version = PregVersion(
+            preg=preg,
+            arch=arch,
+            writer_dyn=dyn,
+            alloc_cycle=stalled_cycle,
+            ready_cycle=stalled_cycle,  # patched at writeback
+        )
+        self.versions.append(version)
+        previous = self.mapping[arch]
+        self.mapping[arch] = version
+        return version, previous, stalled_cycle
+
+    def release(self, previous: PregVersion, commit_cycle: int) -> None:
+        """Free a superseded version when its successor's writer commits."""
+        previous.free_cycle = commit_cycle
+        heapq.heappush(self._free, (commit_cycle, previous.preg))
+
+    def finalize(self, total_cycles: int) -> None:
+        """Mark program end: live mapped versions are read by the
+        wrapper's output dump."""
+        for version in self.mapping.values():
+            version.end_read = True
+            version.add_read(-1, total_cycles)
+
+    def live_version_at(
+        self, preg: int, cycle: int, total_cycles: int
+    ) -> Optional[PregVersion]:
+        """The version occupying ``preg`` with a live value at ``cycle``."""
+        for version in self.versions:
+            if version.preg == preg and version.live_at(cycle, total_cycles):
+                return version
+        return None

@@ -1,0 +1,78 @@
+"""Per-instruction trace records produced by the functional simulator.
+
+These records are the glue of the whole methodology: the OoO timing
+model schedules them onto cycles, the coverage metrics (ACE, IBR) read
+them, and the fault injector joins them with the timing schedule to
+decide which dynamic instructions observe a corrupted value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.isa.instructions import FUClass, Instruction
+
+
+@dataclass
+class MemAccess:
+    """One memory access performed by a dynamic instruction."""
+
+    address: int
+    width_bits: int
+    is_store: bool
+    value: int
+
+    @property
+    def size(self) -> int:
+        return self.width_bits // 8
+
+
+@dataclass
+class FUOp:
+    """One operation executed on a functional unit.
+
+    Integer units record ``inputs`` (the raw operand bits the unit
+    consumed — for subtraction, the already-inverted second operand plus
+    carry-in, as the silicon would see them).  SSE units record
+    ``lanes``: one ``(a_bits, b_bits)`` pair per SIMD lane, plus the
+    per-lane results.
+    """
+
+    fu_class: FUClass
+    op_name: str
+    width: int
+    inputs: Tuple[int, ...] = ()
+    lanes: List[Tuple[int, int]] = field(default_factory=list)
+    results: List[int] = field(default_factory=list)
+
+
+@dataclass
+class InstrRecord:
+    """Everything observable about one dynamic instruction."""
+
+    index: int
+    instruction: Instruction
+    reads: List[str] = field(default_factory=list)
+    writes: List[str] = field(default_factory=list)
+    #: Widest access width (bits) per read register: a value consumed
+    #: only through 32-bit reads exposes only its low half to faults.
+    read_widths: Dict[str, int] = field(default_factory=dict)
+    mem_read: Optional[MemAccess] = None
+    mem_write: Optional[MemAccess] = None
+    fu_op: Optional[FUOp] = None
+    branch_taken: Optional[bool] = None
+
+    @property
+    def fu_class(self) -> FUClass:
+        return self.instruction.definition.fu_class
+
+    def add_read(self, name: str, width: int = 64) -> None:
+        if name not in self.reads:
+            self.reads.append(name)
+        if width > self.read_widths.get(name, 0):
+            self.read_widths[name] = width
+
+    def add_write(self, name: str) -> None:
+        if name not in self.writes:
+            self.writes.append(name)

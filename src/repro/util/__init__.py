@@ -1,0 +1,38 @@
+"""Shared low-level utilities: bit manipulation, checksums, tables, RNG."""
+
+from repro.util.bitops import (
+    MASK8,
+    MASK16,
+    MASK32,
+    MASK64,
+    MASK128,
+    bit,
+    mask,
+    min_twos_complement_width,
+    parity8,
+    popcount,
+    sign_bit,
+    to_signed,
+    to_unsigned,
+)
+from repro.util.checksum import crc64, fold_output_signature
+from repro.util.tables import format_table
+
+__all__ = [
+    "MASK8",
+    "MASK16",
+    "MASK32",
+    "MASK64",
+    "MASK128",
+    "bit",
+    "mask",
+    "min_twos_complement_width",
+    "parity8",
+    "popcount",
+    "sign_bit",
+    "to_signed",
+    "to_unsigned",
+    "crc64",
+    "fold_output_signature",
+    "format_table",
+]

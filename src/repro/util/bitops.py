@@ -1,0 +1,74 @@
+"""Bit-level helpers used throughout the ISA and gate-level models.
+
+All register values in the simulator are stored as *unsigned* Python
+integers truncated to their architectural width.  These helpers perform
+the truncations, signed/unsigned reinterpretations, and width
+measurements needed by instruction semantics, flag computation and the
+IBR coverage metric.
+"""
+
+from __future__ import annotations
+
+MASK8 = (1 << 8) - 1
+MASK16 = (1 << 16) - 1
+MASK32 = (1 << 32) - 1
+MASK64 = (1 << 64) - 1
+MASK128 = (1 << 128) - 1
+
+_WIDTH_MASKS = {8: MASK8, 16: MASK16, 32: MASK32, 64: MASK64, 128: MASK128}
+
+
+def mask(width: int) -> int:
+    """Return the all-ones mask for ``width`` bits."""
+    try:
+        return _WIDTH_MASKS[width]
+    except KeyError:
+        return (1 << width) - 1
+
+
+def bit(value: int, index: int) -> int:
+    """Return bit ``index`` (0 = LSB) of ``value`` as 0 or 1."""
+    return (value >> index) & 1
+
+
+def sign_bit(value: int, width: int) -> int:
+    """Return the most significant (sign) bit of ``value`` at ``width``."""
+    return (value >> (width - 1)) & 1
+
+
+def to_signed(value: int, width: int) -> int:
+    """Reinterpret an unsigned ``width``-bit value as two's complement."""
+    value &= mask(width)
+    if value >> (width - 1):
+        return value - (1 << width)
+    return value
+
+
+def to_unsigned(value: int, width: int) -> int:
+    """Truncate a (possibly negative) integer to an unsigned width."""
+    return value & mask(width)
+
+
+def popcount(value: int) -> int:
+    """Number of set bits in a non-negative integer."""
+    return bin(value).count("1")
+
+
+def parity8(value: int) -> int:
+    """x86 parity flag: 1 when the low byte has an even number of set bits."""
+    return 1 if popcount(value & MASK8) % 2 == 0 else 0
+
+
+def min_twos_complement_width(value: int, width: int) -> int:
+    """Minimal number of bits needed to represent ``value`` in two's complement.
+
+    Used by the IBR coverage metric (paper §II-D): the "effective input
+    bits" of an operand is the smallest two's-complement encoding that
+    still round-trips to the same ``width``-bit value.  A small positive
+    constant therefore contributes few effective bits even when carried
+    in a 64-bit register.
+    """
+    signed = to_signed(value, width)
+    if signed >= 0:
+        return signed.bit_length() + 1 if signed else 1
+    return (~signed).bit_length() + 1

@@ -1,0 +1,53 @@
+"""Checksums used to summarize architectural outputs.
+
+The MuSeqGen wrapper (paper §V-D) computes "a signature over accessed
+memory regions" so that a single comparison decides whether a faulty run
+deviated from the golden run.  We use CRC-64/ECMA-182 for the memory
+signature and a simple 64-bit fold for combining register values.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.util.bitops import MASK64
+
+_CRC64_POLY = 0x42F0E1EBA9EA3693
+_CRC64_TABLE: list = []
+
+
+def _build_table() -> None:
+    for index in range(256):
+        crc = index << 56
+        for _ in range(8):
+            if crc & (1 << 63):
+                crc = ((crc << 1) ^ _CRC64_POLY) & MASK64
+            else:
+                crc = (crc << 1) & MASK64
+        _CRC64_TABLE.append(crc)
+
+
+_build_table()
+
+
+def crc64(data: bytes, seed: int = 0) -> int:
+    """CRC-64/ECMA-182 of ``data`` starting from ``seed``."""
+    crc = seed & MASK64
+    for byte in data:
+        crc = (_CRC64_TABLE[((crc >> 56) ^ byte) & 0xFF] ^ (crc << 8)) & MASK64
+    return crc
+
+
+def fold_output_signature(values: Iterable[int]) -> int:
+    """Fold a sequence of integers into a single 64-bit signature.
+
+    Uses a multiply-xor mix so that single-bit differences in any input
+    change the signature with overwhelming probability.
+    """
+    signature = 0xCBF29CE484222325
+    for value in values:
+        signature ^= value & MASK64
+        signature = (signature * 0x100000001B3) & MASK64
+        signature ^= (value >> 64) & MASK64
+        signature = (signature * 0x100000001B3) & MASK64
+    return signature

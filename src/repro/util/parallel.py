@@ -1,0 +1,32 @@
+"""Parallel-map helper for population evaluation.
+
+The paper's setup evaluates each generation's programs in parallel
+across 96 hardware threads (§VI-B1: "Harpocrates exploits the full
+parallelism of any CPU configuration").  Here a process pool plays that
+role; ``workers <= 1`` keeps everything in-process, which is the right
+default for small scaled runs where pool spin-up would dominate.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, List, Sequence, TypeVar
+
+ItemT = TypeVar("ItemT")
+ResultT = TypeVar("ResultT")
+
+
+def map_parallel(
+    fn: Callable[[ItemT], ResultT],
+    items: Sequence[ItemT],
+    workers: int = 1,
+) -> List[ResultT]:
+    """Map ``fn`` over ``items``, optionally across processes.
+
+    ``fn`` and every item must be picklable when ``workers > 1``.
+    Result order matches input order either way.
+    """
+    if workers <= 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(fn, items))

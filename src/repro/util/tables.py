@@ -1,0 +1,47 @@
+"""Plain-text table rendering for the experiment harness.
+
+Every experiment module prints the rows the paper's corresponding table
+or figure reports; this formatter keeps that output aligned and
+copy-paste friendly without pulling in heavyweight dependencies.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned monospace table."""
+    rendered_rows = [[_render(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in rendered_rows:
+        for column, cell in enumerate(row):
+            if column < len(widths):
+                widths[column] = max(widths[column], len(cell))
+            else:
+                widths.append(len(cell))
+
+    def format_row(cells: Sequence[str]) -> str:
+        padded = [
+            cell.ljust(widths[column]) for column, cell in enumerate(cells)
+        ]
+        return "| " + " | ".join(padded) + " |"
+
+    separator = "|-" + "-|-".join("-" * width for width in widths) + "-|"
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(format_row(list(headers)))
+    lines.append(separator)
+    lines.extend(format_row(row) for row in rendered_rows)
+    return "\n".join(lines)
+
+
+def _render(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.4g}"
+    return str(cell)

@@ -1,0 +1,90 @@
+"""Tests for program characterization."""
+
+import pytest
+
+from repro.analysis import ProgramProfile, characterize, compare_profiles
+from repro.isa import FUClass, Program, imm, make, mem, reg
+
+
+class TestCharacterize:
+    def test_accepts_program_and_golden(self, mixed_program,
+                                        mixed_golden):
+        from_program = characterize(mixed_program)
+        from_golden = characterize(mixed_golden)
+        assert from_program.instructions == from_golden.instructions
+        assert from_program.cycles == from_golden.cycles
+
+    def test_rejects_other_types(self):
+        with pytest.raises(TypeError):
+            characterize(42)
+
+    def test_rejects_crashing_program(self, isa):
+        program = Program(
+            instructions=(
+                make(isa.by_name("mov_r64_m64"), reg("rax"),
+                     mem("rbp", 1 << 30)),
+            ),
+            name="crash", data_size=4096, source="test",
+        )
+        with pytest.raises(ValueError):
+            characterize(program)
+
+    def test_mix_sums_to_one(self, mixed_golden):
+        profile = characterize(mixed_golden)
+        assert sum(profile.mix.values()) == pytest.approx(1.0)
+
+    def test_mix_matches_program(self, isa):
+        program = Program(
+            instructions=tuple(
+                make(isa.by_name("add_r64_r64"), reg("rax"), reg("rbx"))
+                for _ in range(10)
+            ),
+            name="adds", data_size=2048, source="test",
+        )
+        profile = characterize(program)
+        assert profile.mix_share(FUClass.INT_ADDER) == 1.0
+
+    def test_dead_value_fraction(self, isa):
+        # Repeatedly overwrite rax without reading: all but the final
+        # version (read by the output dump) are dead.
+        program = Program(
+            instructions=tuple(
+                make(isa.by_name("mov_r64_imm64"), reg("rax"),
+                     imm(i, 64))
+                for i in range(20)
+            ),
+            name="dead", data_size=2048, source="test",
+        )
+        profile = characterize(program)
+        assert profile.dead_value_fraction >= 0.9
+
+    def test_dependency_distance(self, isa):
+        # Write then read three instructions later: distance == 3.
+        program = Program(
+            instructions=(
+                make(isa.by_name("mov_r64_imm64"), reg("rax"),
+                     imm(7, 64)),
+                make(isa.by_name("nop")),
+                make(isa.by_name("nop")),
+                make(isa.by_name("mov_r64_r64"), reg("rbx"),
+                     reg("rax")),
+            ),
+            name="dist", data_size=2048, source="test",
+        )
+        profile = characterize(program)
+        # two consumed versions: rax at distance 3, rbx only end-read
+        assert profile.mean_dependency_distance == pytest.approx(3.0)
+
+    def test_render(self, mixed_golden):
+        text = characterize(mixed_golden).render()
+        assert "ipc" in text and "mix." in text
+
+
+class TestCompare:
+    def test_side_by_side(self, mixed_golden, sse_golden):
+        table = compare_profiles(
+            [characterize(mixed_golden), characterize(sse_golden)],
+            fu_class=FUClass.FP_MUL,
+        )
+        assert "mix.fp_mul" in table
+        assert "mixed_120" in table and "sse_test" in table

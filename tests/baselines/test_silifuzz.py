@@ -1,0 +1,95 @@
+"""Tests for the SiliFuzz-style baseline."""
+
+import pytest
+
+from repro.baselines.silifuzz import SiliFuzz, SiliFuzzConfig
+from repro.sim import golden_run
+
+
+@pytest.fixture(scope="module")
+def fuzz_result():
+    fuzzer = SiliFuzz(SiliFuzzConfig(rounds=400, seed=11))
+    return fuzzer, fuzzer.fuzz()
+
+
+class TestFuzzing:
+    def test_produces_corpus(self, fuzz_result):
+        _fuzzer, result = fuzz_result
+        assert result.corpus
+        assert result.stats.kept == len(result.corpus)
+
+    def test_majority_discarded(self, fuzz_result):
+        """Paper: 'more than 2 out of 3 produced sequences' unusable."""
+        _fuzzer, result = fuzz_result
+        assert result.stats.discard_fraction > 0.5
+
+    def test_stats_account_for_everything(self, fuzz_result):
+        _fuzzer, result = fuzz_result
+        stats = result.stats
+        assert stats.total_inputs == (
+            stats.decode_failures + stats.crashes
+            + stats.nondeterministic + stats.runnable
+        )
+
+    def test_snapshots_within_byte_budget(self, fuzz_result):
+        fuzzer, result = fuzz_result
+        limit = fuzzer.config.max_snapshot_bytes
+        assert all(len(s.data) <= limit for s in result.corpus)
+
+    def test_snapshots_deterministic_and_clean(self, fuzz_result):
+        from repro.isa import Program
+        from repro.sim.functional import FunctionalSimulator
+        from repro.sim.overrides import Overrides
+
+        fuzzer, result = fuzz_result
+        simulator = FunctionalSimulator(fuzzer.machine)
+        for snapshot in result.corpus[:10]:
+            program = Program(
+                instructions=snapshot.instructions,
+                name="snap", data_size=fuzzer.config.data_size,
+                source="silifuzz",
+            )
+            a = simulator.run(program, Overrides(nondet_salt=1),
+                              collect_records=False, max_dynamic=1000)
+            b = simulator.run(program, Overrides(nondet_salt=2),
+                              collect_records=False, max_dynamic=1000)
+            assert not a.crashed
+            assert a.output == b.output
+
+    def test_coverage_guided_corpus_has_distinct_coverage(
+        self, fuzz_result
+    ):
+        _fuzzer, result = fuzz_result
+        union = set()
+        for snapshot in result.corpus:
+            assert snapshot.coverage - union or len(union) == 0
+            union |= snapshot.coverage
+
+    def test_deterministic_campaign(self):
+        a = SiliFuzz(SiliFuzzConfig(rounds=150, seed=3)).fuzz()
+        b = SiliFuzz(SiliFuzzConfig(rounds=150, seed=3)).fuzz()
+        assert a.stats.runnable == b.stats.runnable
+        assert len(a.corpus) == len(b.corpus)
+
+
+class TestAggregate:
+    def test_aggregate_reaches_target_length(self, fuzz_result):
+        fuzzer, result = fuzz_result
+        program = fuzzer.aggregate_test(result.corpus, 150)
+        assert len(program) == 150
+        assert program.source == "silifuzz"
+
+    def test_aggregate_runs_clean(self, fuzz_result):
+        fuzzer, result = fuzz_result
+        program = fuzzer.aggregate_test(result.corpus, 150)
+        golden = golden_run(program, fuzzer.machine)
+        assert not golden.crashed
+
+    def test_empty_corpus_rejected(self, fuzz_result):
+        fuzzer, _result = fuzz_result
+        with pytest.raises(ValueError):
+            fuzzer.aggregate_test([], 100)
+
+    def test_rate_positive(self, fuzz_result):
+        _fuzzer, result = fuzz_result
+        assert result.stats.instructions_per_second > 0

@@ -1,0 +1,110 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.isa import Program, imm, make, mem, reg, x64
+from repro.sim import golden_run
+
+
+@pytest.fixture(scope="session")
+def isa():
+    return x64()
+
+
+def build_mixed_program(
+    isa, count: int = 200, seed: int = 7, data_size: int = 4096
+) -> Program:
+    """A deterministic mixed int/mem/mul program used across tests."""
+    rng = random.Random(seed)
+    registers = ["rax", "rcx", "rdx", "rsi", "rdi", "r8", "r9", "r10"]
+    instructions = []
+    for i in range(count):
+        a, b = rng.choice(registers), rng.choice(registers)
+        instructions.append(
+            make(isa.by_name("add_r64_r64"), reg(a), reg(b))
+        )
+        instructions.append(
+            make(
+                isa.by_name("mov_m64_r64"),
+                mem("rbp", (i * 8) % (data_size // 2)),
+                reg(a),
+            )
+        )
+        instructions.append(
+            make(
+                isa.by_name("mov_r64_m64"),
+                reg(b),
+                mem("rbp", ((i * 8) + 256) % (data_size // 2)),
+            )
+        )
+        instructions.append(
+            make(isa.by_name("imul_r64_r64"), reg(a), reg(b))
+        )
+    return Program(
+        instructions=tuple(instructions),
+        name=f"mixed_{count}",
+        init_seed=seed,
+        data_size=data_size,
+        source="test",
+    )
+
+
+@pytest.fixture(scope="session")
+def mixed_program(isa):
+    return build_mixed_program(isa, count=120)
+
+
+@pytest.fixture(scope="session")
+def mixed_golden(mixed_program):
+    golden = golden_run(mixed_program)
+    assert not golden.crashed
+    return golden
+
+
+@pytest.fixture(scope="session")
+def sse_program(isa):
+    """A small program that exercises the SSE FP units."""
+    instructions = []
+    for i in range(60):
+        base = (i * 16) % 1024
+        instructions.append(
+            make(isa.by_name("movaps_x_m"), reg("xmm0"), mem("rbp", base))
+        )
+        instructions.append(
+            make(
+                isa.by_name("movaps_x_m"),
+                reg("xmm1"),
+                mem("rbp", (base + 1024) % 2048),
+            )
+        )
+        instructions.append(
+            make(isa.by_name("addps_x_x"), reg("xmm0"), reg("xmm1"))
+        )
+        instructions.append(
+            make(isa.by_name("mulps_x_x"), reg("xmm1"), reg("xmm0"))
+        )
+        instructions.append(
+            make(
+                isa.by_name("movaps_m_x"),
+                mem("rbp", 2048 + base),
+                reg("xmm1"),
+            )
+        )
+    return Program(
+        instructions=tuple(instructions),
+        name="sse_test",
+        init_seed=3,
+        data_size=4096,
+        source="test",
+    )
+
+
+@pytest.fixture(scope="session")
+def sse_golden(sse_program):
+    golden = golden_run(sse_program)
+    assert not golden.crashed
+    return golden

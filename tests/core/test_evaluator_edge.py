@@ -1,0 +1,52 @@
+"""Evaluator edge cases: crashing candidates and metric guards."""
+
+from repro.core.evaluator import Evaluator
+from repro.coverage.metrics import AceIrfCoverage
+from repro.isa import Program, make, mem, reg, x64
+
+
+class TestCrashingCandidates:
+    def test_crashing_program_gets_zero_fitness(self):
+        isa = x64()
+        crasher = Program(
+            instructions=(
+                make(isa.by_name("mov_r64_m64"), reg("rax"),
+                     mem("rbp", 1 << 30)),
+            ),
+            name="crasher", data_size=2048, source="test",
+        )
+        healthy = Program(
+            instructions=(
+                make(isa.by_name("add_r64_r64"), reg("rax"),
+                     reg("rbx")),
+            ),
+            name="healthy", data_size=2048, source="test",
+        )
+        evaluator = Evaluator(AceIrfCoverage())
+        evaluated = evaluator.evaluate([crasher, healthy])
+        assert evaluated[0].crashed
+        assert evaluated[0].fitness == 0.0
+        assert not evaluated[1].crashed
+        assert evaluated[1].fitness > 0.0
+
+    def test_rank_pushes_crashers_to_bottom(self):
+        isa = x64()
+        crasher = Program(
+            instructions=(
+                make(isa.by_name("mov_r64_m64"), reg("rax"),
+                     mem("rbp", 1 << 30)),
+            ),
+            name="crasher", data_size=2048, source="test",
+        )
+        healthy = Program(
+            instructions=tuple(
+                make(isa.by_name("add_r64_r64"), reg("rax"),
+                     reg("rbx"))
+                for _ in range(20)
+            ),
+            name="healthy", data_size=2048, source="test",
+        )
+        evaluator = Evaluator(AceIrfCoverage())
+        ranked = evaluator.rank([crasher, healthy])
+        assert ranked[0].name == "healthy"
+        assert ranked[-1].name == "crasher"

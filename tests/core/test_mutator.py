@@ -1,0 +1,133 @@
+"""Unit + property tests for the mutation engine."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.mutator import (
+    InstructionReplacementMutator,
+    KPointCrossover,
+    SingleSiteReplacementMutator,
+)
+from repro.microprobe.arch_module import ArchitectureModule
+
+
+@pytest.fixture(scope="module")
+def arch():
+    return ArchitectureModule()
+
+
+@pytest.fixture(scope="module")
+def mutator(arch):
+    return InstructionReplacementMutator(arch)
+
+
+GENOME = ("add_r64_r64", "nop", "add_r64_r64", "imul_r64_r64", "nop")
+
+
+class TestInstructionReplacement:
+    def test_replaces_all_occurrences(self, mutator):
+        """Defining property: the mutant equals the genome with every
+        occurrence of exactly one definition substituted."""
+        rng = random.Random(0)
+        for _ in range(50):
+            mutated = mutator.mutate(GENOME, rng)
+            candidates = []
+            for target in set(GENOME):
+                replacements = {
+                    new
+                    for old, new in zip(GENOME, mutated)
+                    if old == target
+                }
+                if len(replacements) != 1:
+                    continue
+                replacement = replacements.pop()
+                rewritten = tuple(
+                    replacement if name == target else name
+                    for name in GENOME
+                )
+                if rewritten == mutated:
+                    candidates.append((target, replacement))
+            assert candidates, f"{GENOME} -> {mutated}"
+
+    def test_length_preserved(self, mutator):
+        rng = random.Random(1)
+        for _ in range(20):
+            assert len(mutator.mutate(GENOME, rng)) == len(GENOME)
+
+    def test_replacement_from_pool(self, arch):
+        mutator = InstructionReplacementMutator(
+            arch, pool_names=["nop"]
+        )
+        rng = random.Random(2)
+        mutated = mutator.mutate(GENOME, rng)
+        new_names = set(mutated) - set(GENOME)
+        assert new_names <= {"nop"}
+
+    def test_empty_genome(self, mutator):
+        assert mutator.mutate((), random.Random(0)) == ()
+
+    def test_deterministic_for_seed(self, mutator):
+        a = mutator.mutate(GENOME, random.Random(7))
+        b = mutator.mutate(GENOME, random.Random(7))
+        assert a == b
+
+    def test_empty_pool_rejected(self, arch):
+        with pytest.raises(ValueError):
+            InstructionReplacementMutator(arch, pool_names=[])
+
+    @given(seed=st.integers(0, 1000))
+    @settings(max_examples=30, deadline=None)
+    def test_output_names_always_valid(self, arch, mutator, seed):
+        mutated = mutator.mutate(GENOME, random.Random(seed))
+        for name in mutated:
+            arch.isa.by_name(name)  # raises on invalid
+
+
+class TestSingleSite:
+    def test_changes_at_most_one_position(self, arch):
+        mutator = SingleSiteReplacementMutator(arch)
+        rng = random.Random(3)
+        mutated = mutator.mutate(GENOME, rng)
+        differences = sum(
+            1 for a, b in zip(GENOME, mutated) if a != b
+        )
+        assert differences <= 1
+        assert len(mutated) == len(GENOME)
+
+
+class TestCrossover:
+    def test_child_length(self):
+        crossover = KPointCrossover(k=2)
+        rng = random.Random(4)
+        parent_a = tuple("a" * 1 for _ in range(10))
+        parent_b = tuple("b" for _ in range(10))
+        child = crossover.crossover(parent_a, parent_b, rng)
+        assert len(child) == 10
+
+    def test_child_mixes_parents(self):
+        crossover = KPointCrossover(k=3)
+        rng = random.Random(5)
+        parent_a = tuple("a" for _ in range(20))
+        parent_b = tuple("b" for _ in range(20))
+        child = crossover.crossover(parent_a, parent_b, rng)
+        assert "a" in child and "b" in child
+
+    def test_first_segment_from_parent_a(self):
+        crossover = KPointCrossover(k=1)
+        rng = random.Random(6)
+        parent_a = tuple(f"a{i}" for i in range(10))
+        parent_b = tuple(f"b{i}" for i in range(10))
+        child = crossover.crossover(parent_a, parent_b, rng)
+        assert child[0] == "a0"
+
+    def test_k_validated(self):
+        with pytest.raises(ValueError):
+            KPointCrossover(k=0)
+
+    def test_short_parent_returned_unchanged(self):
+        crossover = KPointCrossover(k=2)
+        child = crossover.crossover(("x",), ("y",), random.Random(0))
+        assert child == ("x",)

@@ -1,0 +1,212 @@
+"""Unit tests for ACE lifetime analysis."""
+
+import pytest
+
+from repro.coverage.ace import ace_l1d, ace_register_file
+from repro.isa import Program, imm, make, mem, reg, x64
+from repro.sim.config import CacheConfig, MachineConfig
+from repro.sim.cosim import golden_run
+
+
+@pytest.fixture(scope="module")
+def small_cache_machine():
+    return MachineConfig(
+        cache=CacheConfig(size=1024, line_size=64, associativity=2)
+    )
+
+
+def _run(isa, instructions, machine=None, data_size=4096):
+    program = Program(
+        instructions=tuple(instructions), name="ace", init_seed=1,
+        data_size=data_size, source="test",
+    )
+    golden = golden_run(program, machine or MachineConfig())
+    assert not golden.crashed
+    return golden
+
+
+class TestRegisterFileAce:
+    def test_bounds(self, isa, mixed_golden):
+        report = ace_register_file(mixed_golden.schedule)
+        assert 0.0 <= report.vulnerability <= 1.0
+
+    def test_dead_values_do_not_count(self, isa):
+        # Overwrite rax repeatedly without ever reading it: the only
+        # ACE contributions should be the end-reads of the other
+        # initial register versions.
+        writes = [
+            make(isa.by_name("mov_r64_imm64"), reg("rax"), imm(i, 64))
+            for i in range(20)
+        ]
+        golden = _run(isa, writes)
+        report = ace_register_file(golden.schedule)
+        # 15 initial versions + the final rax stay live until the end
+        # read, so vulnerability ~= 16/num_pregs, never more.
+        ceiling = 17 / golden.schedule.machine.core.num_int_pregs
+        assert report.vulnerability <= ceiling
+
+    def test_read_chain_raises_ace(self, isa):
+        dead = [
+            make(isa.by_name("mov_r64_imm64"), reg("rax"), imm(i, 64))
+            for i in range(30)
+        ]
+        live = []
+        for i in range(15):
+            live.append(
+                make(isa.by_name("mov_r64_imm64"), reg("rax"),
+                     imm(i, 64))
+            )
+            live.append(
+                make(isa.by_name("add_r64_r64"), reg("rbx"), reg("rax"))
+            )
+        dead_report = ace_register_file(_run(isa, dead).schedule)
+        live_report = ace_register_file(_run(isa, live).schedule)
+        assert live_report.vulnerability > dead_report.vulnerability
+
+    def test_report_fields(self, isa, mixed_golden):
+        report = ace_register_file(mixed_golden.schedule)
+        assert report.structure == "int_register_file"
+        assert report.total_bit_cycles == (
+            mixed_golden.schedule.machine.core.num_int_pregs
+            * 64
+            * mixed_golden.total_cycles
+        )
+
+
+class TestL1dAce:
+    def test_bounds(self, isa, mixed_golden):
+        report = ace_l1d(mixed_golden.schedule)
+        assert 0.0 <= report.vulnerability <= 1.0
+
+    def test_untouched_cache_is_unace(self, isa, small_cache_machine):
+        instructions = [
+            make(isa.by_name("add_r64_r64"), reg("rax"), reg("rbx"))
+            for _ in range(20)
+        ]
+        golden = _run(isa, instructions, small_cache_machine)
+        assert ace_l1d(golden.schedule).vulnerability == 0.0
+
+    def test_dirty_fill_is_ace_until_flush(self, isa,
+                                           small_cache_machine):
+        # Fill the entire 1KB cache with stores early, then idle: the
+        # dirty data is ACE until the final flush writes it back.
+        stores = [
+            make(isa.by_name("mov_m64_r64"), mem("rbp", line * 64),
+                 reg("rax"))
+            for line in range(16)
+        ]
+        idle = [
+            make(isa.by_name("add_r64_r64"), reg("rcx"), reg("rdx"))
+            for _ in range(100)
+        ]
+        golden = _run(isa, stores + idle, small_cache_machine)
+        report = ace_l1d(golden.schedule)
+        assert report.vulnerability > 0.4
+
+    def test_loads_make_intervals_ace(self, isa, small_cache_machine):
+        write_only = [
+            make(isa.by_name("mov_m64_r64"), mem("rbp", 0), reg("rax")),
+        ]
+        write_then_reads = [
+            make(isa.by_name("mov_m64_r64"), mem("rbp", 0), reg("rax")),
+        ] + [
+            make(isa.by_name("mov_r64_m64"), reg("rbx"), mem("rbp", 0))
+            for _ in range(30)
+        ]
+        a = ace_l1d(_run(isa, write_only, small_cache_machine).schedule)
+        b = ace_l1d(
+            _run(isa, write_then_reads, small_cache_machine).schedule
+        )
+        assert b.ace_bit_cycles > a.ace_bit_cycles
+
+
+class TestAceIsDetectionUpperBound:
+    """ACE "provides an upper bound of the actual detection" (§III-C).
+
+    Statistical check: measured detection for transients must not
+    exceed coverage by more than sampling noise."""
+
+    def test_irf(self, isa, mixed_golden):
+        from repro.faults.injector import campaign_register_transient
+
+        coverage = ace_register_file(mixed_golden.schedule).vulnerability
+        report = campaign_register_transient(mixed_golden, 150, seed=9)
+        assert report.detection_capability <= coverage + 0.12
+
+    def test_l1d(self, isa, mixed_golden):
+        from repro.faults.injector import campaign_cache_transient
+
+        coverage = ace_l1d(mixed_golden.schedule).vulnerability
+        report = campaign_cache_transient(mixed_golden, 150, seed=9)
+        assert report.detection_capability <= coverage + 0.12
+
+
+class TestTransitiveLiveness:
+    def test_dead_consumer_chain_is_unace(self, isa):
+        """A value read only by an instruction whose own result dies
+        must not be ACE (the transitive-liveness refinement)."""
+        # rax -> rbx (copy), rbx overwritten before any use: both the
+        # copy and the original read are architecturally dead.
+        delay = [
+            make(isa.by_name("add_r64_r64"), reg("rcx"), reg("rcx"))
+            for _ in range(12)  # dependent chain stretches the window
+        ]
+        golden = _run(isa, [
+            make(isa.by_name("mov_r64_imm64"), reg("rax"), imm(7, 64)),
+        ] + delay + [
+            make(isa.by_name("mov_r64_r64"), reg("rbx"), reg("rax")),
+            make(isa.by_name("mov_r64_imm64"), reg("rbx"), imm(0, 64)),
+            make(isa.by_name("mov_r64_imm64"), reg("rax"), imm(0, 64)),
+        ])
+        refined = ace_register_file(
+            golden.schedule, golden.result.records
+        )
+        first_order = ace_register_file(golden.schedule)
+        assert refined.ace_bit_cycles < first_order.ace_bit_cycles
+
+    def test_store_terminated_chain_is_ace(self, isa):
+        """A value flowing into a store is observed by the signature:
+        its whole producer chain is live."""
+        golden = _run(isa, [
+            make(isa.by_name("mov_r64_imm64"), reg("rax"), imm(7, 64)),
+            make(isa.by_name("mov_r64_r64"), reg("rbx"), reg("rax")),
+            make(isa.by_name("mov_m64_r64"), mem("rbp", 0), reg("rbx")),
+            make(isa.by_name("mov_r64_imm64"), reg("rbx"), imm(0, 64)),
+            make(isa.by_name("mov_r64_imm64"), reg("rax"), imm(0, 64)),
+        ])
+        refined = ace_register_file(
+            golden.schedule, golden.result.records
+        )
+        assert refined.ace_bit_cycles > 0
+
+    def test_cmp_only_reader_is_unace(self, isa):
+        golden = _run(isa, [
+            make(isa.by_name("mov_r64_imm64"), reg("rax"), imm(7, 64)),
+            make(isa.by_name("cmp_r64_r64"), reg("rax"), reg("rax")),
+            make(isa.by_name("mov_r64_imm64"), reg("rax"), imm(0, 64)),
+        ])
+        refined = ace_register_file(
+            golden.schedule, golden.result.records
+        )
+        # only the 15 untouched initial registers + final rax carry ACE
+        # through their end reads; the cmp-read version contributes 0
+        # beyond its (zero-length) window.
+        assert refined.vulnerability <= 17 * 64 * \
+            golden.total_cycles / refined.total_bit_cycles * 64
+
+    def test_refinement_never_exceeds_first_order(self, mixed_golden):
+        refined = ace_register_file(
+            mixed_golden.schedule, mixed_golden.result.records
+        )
+        first_order = ace_register_file(mixed_golden.schedule)
+        assert refined.ace_bit_cycles <= first_order.ace_bit_cycles
+
+    def test_detection_still_bounded_by_refined_ace(self, mixed_golden):
+        from repro.faults.injector import campaign_register_transient
+
+        refined = ace_register_file(
+            mixed_golden.schedule, mixed_golden.result.records
+        )
+        report = campaign_register_transient(mixed_golden, 200, seed=4)
+        assert report.detection_capability <= \
+            refined.vulnerability + 0.1

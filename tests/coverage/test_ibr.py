@@ -1,0 +1,120 @@
+"""Unit tests for the Input Bit Ratio coverage metric."""
+
+import pytest
+
+from repro.coverage.ibr import UNIT_INPUT_WIDTH, ibr
+from repro.coverage.metrics import (
+    AceIrfCoverage,
+    AceL1dCoverage,
+    IbrCoverage,
+    standard_metrics,
+)
+from repro.isa import FUClass, Program, imm, make, reg, x64
+from repro.sim.cosim import golden_run
+
+
+def _run(isa, instructions):
+    program = Program(
+        instructions=tuple(instructions), name="ibr", init_seed=1,
+        data_size=4096, source="test",
+    )
+    golden = golden_run(program)
+    assert not golden.crashed
+    return golden
+
+
+class TestIbr:
+    def test_bounds(self, mixed_golden):
+        report = ibr(mixed_golden.schedule, FUClass.INT_ADDER)
+        assert 0.0 <= report.ibr <= 1.0
+
+    def test_zero_for_unused_unit(self, isa):
+        golden = _run(isa, [
+            make(isa.by_name("mov_r64_r64"), reg("rax"), reg("rbx"))
+            for _ in range(10)
+        ])
+        assert ibr(golden.schedule, FUClass.FP_MUL).ibr == 0.0
+        assert ibr(golden.schedule, FUClass.INT_MUL).op_count == 0
+
+    def test_wide_operands_beat_narrow(self, isa):
+        narrow = _run(isa, [
+            make(isa.by_name("mov_r64_imm64"), reg("rax"), imm(1, 64)),
+            make(isa.by_name("mov_r64_imm64"), reg("rbx"), imm(1, 64)),
+        ] + [
+            make(isa.by_name("add_r64_r64"), reg("rax"), reg("rbx"))
+            for _ in range(30)
+        ])
+        wide_value = 0xDEADBEEFCAFEBABE
+        wide = _run(isa, [
+            make(isa.by_name("mov_r64_imm64"), reg("rax"),
+                 imm(wide_value, 64)),
+            make(isa.by_name("mov_r64_imm64"), reg("rbx"),
+                 imm(wide_value >> 1, 64)),
+        ] + [
+            make(isa.by_name("add_r64_r64"), reg("rax"), reg("rbx"))
+            for _ in range(30)
+        ])
+        assert ibr(wide.schedule, FUClass.INT_ADDER).ibr > \
+            ibr(narrow.schedule, FUClass.INT_ADDER).ibr
+
+    def test_more_ops_raise_ibr(self, isa):
+        def adds(count):
+            return _run(isa, [
+                make(isa.by_name("add_r64_r64"), reg("rax"), reg("rbx")),
+                make(isa.by_name("mov_r64_r64"), reg("rcx"), reg("rdx")),
+            ] * count)
+
+        few = ibr(adds(3).schedule, FUClass.INT_ADDER)
+        # denominator grows with cycles too, so compare op share
+        assert few.op_count == 3
+
+    def test_instance_filter(self, mixed_golden):
+        instance0 = ibr(mixed_golden.schedule, FUClass.INT_ADDER, 0)
+        combined = ibr(mixed_golden.schedule, FUClass.INT_ADDER, None)
+        assert instance0.op_count <= combined.op_count
+
+    def test_fp_lanes_counted(self, sse_golden):
+        report = ibr(sse_golden.schedule, FUClass.FP_ADD)
+        assert report.op_count > 0
+        assert report.effective_input_bits > 0
+
+    def test_unit_widths_declared(self):
+        for fu_class in (FUClass.INT_ADDER, FUClass.INT_MUL,
+                         FUClass.FP_ADD, FUClass.FP_MUL):
+            assert UNIT_INPUT_WIDTH[fu_class] > 0
+
+
+class TestMetricObjects:
+    def test_standard_metrics_cover_six_structures(self):
+        metrics = standard_metrics()
+        assert set(metrics) == {
+            "irf", "l1d", "int_adder", "int_mul", "fp_adder", "fp_mul"
+        }
+
+    def test_metric_call_bounds(self, mixed_golden):
+        for metric in standard_metrics().values():
+            value = metric(mixed_golden)
+            assert 0.0 <= value <= 1.0
+
+    def test_crashed_program_scores_zero(self, isa):
+        from repro.isa import mem
+
+        program = Program(
+            instructions=(
+                make(isa.by_name("mov_r64_m64"), reg("rax"),
+                     mem("rbp", 1 << 30)),
+            ),
+            name="crash", data_size=4096, source="test",
+        )
+        golden = golden_run(program)
+        assert golden.crashed
+        assert AceIrfCoverage()(golden) == 0.0
+
+    def test_metric_names_distinct(self):
+        names = [m.name for m in standard_metrics().values()]
+        assert len(set(names)) == len(names)
+
+    def test_ibr_metric_targets_instance(self, mixed_golden):
+        metric = IbrCoverage(FUClass.INT_ADDER, instance=0)
+        assert "int_adder" in metric.name
+        assert 0.0 <= metric(mixed_golden) <= 1.0

@@ -1,0 +1,70 @@
+"""Tests for JSON artifact serialization."""
+
+import json
+
+import pytest
+
+from repro.experiments.artifacts import save, to_jsonable
+from repro.experiments.fig10 import ConvergenceCurve, ConvergencePoint
+from repro.experiments.fig11 import Fig11Result, Fig11Row
+from repro.experiments.harness import SweepResult, WorkloadRow
+from repro.experiments.speed import SpeedCurve, SpeedPoint, SpeedResult
+from repro.faults.outcomes import DetectionReport, InjectionResult, Outcome
+
+
+class TestToJsonable:
+    def test_sweep(self):
+        sweep = SweepResult(rows=[
+            WorkloadRow("fw", "p", "s", 0.5, 0.4, 100, 50)
+        ])
+        data = to_jsonable(sweep)
+        assert data[0]["coverage"] == 0.5
+        json.dumps(data)  # must be serializable
+
+    def test_curve(self):
+        curve = ConvergenceCurve(
+            target="irf", title="IRF",
+            points=[ConvergencePoint(0, 0.1, 0.05),
+                    ConvergencePoint(1, 0.2, None)],
+            final_detection=0.3,
+        )
+        data = to_jsonable(curve)
+        assert data["final_detection"] == 0.3
+        assert data["points"][1]["detection"] is None
+        json.dumps(data)
+
+    def test_fig11(self):
+        result = Fig11Result(rows=[Fig11Row("s", "fw", 0.9, 0.5)])
+        data = to_jsonable(result)
+        assert data[0]["max_detection"] == 0.9
+
+    def test_speed(self):
+        result = SpeedResult(
+            harpocrates=SpeedCurve("h", [SpeedPoint(10, 20, 0.9)]),
+            baseline=SpeedCurve("b", [SpeedPoint(10, 50, 0.9)]),
+            target_detection=0.85,
+        )
+        data = to_jsonable(result)
+        assert data["speedup"] == pytest.approx(2.5)
+        json.dumps(data)
+
+    def test_detection_report(self):
+        report = DetectionReport("s", "transient")
+        report.add(InjectionResult(None, Outcome.SDC))
+        data = to_jsonable(report)
+        assert data["detection_capability"] == 1.0
+        json.dumps(data)
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(TypeError):
+            to_jsonable(object())
+
+
+class TestSave:
+    def test_roundtrip_through_file(self, tmp_path):
+        sweep = SweepResult(rows=[
+            WorkloadRow("fw", "p", "s", 0.1, 0.2, 3, 4)
+        ])
+        path = save(sweep, tmp_path / "sweep.json")
+        loaded = json.loads(path.read_text())
+        assert loaded == to_jsonable(sweep)

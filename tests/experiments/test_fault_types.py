@@ -1,0 +1,75 @@
+"""Tests for the fault-type interplay extension experiment."""
+
+import pytest
+
+from repro.experiments.fault_types import (
+    FaultTypePoint,
+    FaultTypeResult,
+    run_functional_unit,
+    run_register_file,
+)
+from repro.isa.instructions import FUClass
+
+
+class TestResultObject:
+    def _result(self):
+        return FaultTypeResult(
+            structure="s", program="p",
+            points=[
+                FaultTypePoint("transient", None, 0.1),
+                FaultTypePoint("intermittent", 10, 0.3),
+                FaultTypePoint("permanent", None, 0.8),
+            ],
+        )
+
+    def test_detection_lookup(self):
+        result = self._result()
+        assert result.detection("permanent") == 0.8
+        with pytest.raises(KeyError):
+            result.detection("bogus")
+
+    def test_monotonic_check(self):
+        assert self._result().roughly_monotonic()
+        decreasing = FaultTypeResult(
+            structure="s", program="p",
+            points=[
+                FaultTypePoint("a", 1, 0.9),
+                FaultTypePoint("b", 2, 0.2),
+            ],
+        )
+        assert not decreasing.roughly_monotonic()
+
+    def test_render(self):
+        text = self._result().render()
+        assert "permanent" in text and "0.800" in text
+
+
+class TestSweeps:
+    def test_register_file_sweep(self, mixed_golden):
+        result = run_register_file(mixed_golden, injections=15, seed=1)
+        assert result.points[0].label == "transient"
+        assert len(result.points) == 4
+        for point in result.points:
+            assert 0.0 <= point.detection <= 1.0
+
+    def test_functional_unit_sweep(self, mixed_golden):
+        result = run_functional_unit(
+            mixed_golden, FUClass.INT_ADDER, injections=15, seed=1
+        )
+        assert result.points[-1].label == "permanent"
+        assert result.points[-1].detection >= \
+            result.points[0].detection - 0.2
+
+    def test_full_window_intermittent_close_to_permanent(
+        self, mixed_golden
+    ):
+        result = run_functional_unit(
+            mixed_golden,
+            FUClass.INT_ADDER,
+            injections=25,
+            seed=2,
+            durations=[mixed_golden.total_cycles + 1],
+        )
+        full_window = result.points[0].detection
+        permanent = result.points[-1].detection
+        assert abs(full_window - permanent) <= 0.15

@@ -1,0 +1,108 @@
+"""Tests for the Harpocrates-side experiments (Fig 10/11, §VI-C)."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core.targets import scaled_targets
+from repro.experiments.fig10 import ConvergenceCurve, run_target
+from repro.experiments.fig11 import run as run_fig11
+from repro.experiments.presets import SMOKE
+from repro.experiments.speed import detection_vs_cycles
+from repro.isa.instructions import FUClass
+
+TINY = replace(
+    SMOKE,
+    injections=10,
+    suite_scale=0.25,
+    silifuzz_rounds=120,
+    silifuzz_aggregate=60,
+    program_scale=0.025,
+    loop_scale=0.006,
+    detection_sample_every=2,
+)
+
+
+@pytest.fixture(scope="module")
+def adder_curve():
+    targets = scaled_targets(
+        program_scale=TINY.program_scale, loop_scale=TINY.loop_scale
+    )
+    return run_target(targets["int_adder"], TINY)
+
+
+class TestFig10:
+    def test_curve_has_all_iterations(self, adder_curve):
+        targets = scaled_targets(
+            program_scale=TINY.program_scale, loop_scale=TINY.loop_scale
+        )
+        assert len(adder_curve.points) == \
+            targets["int_adder"].loop.iterations
+
+    def test_coverage_improves(self, adder_curve):
+        assert adder_curve.coverage_improved()
+
+    def test_detection_tracks_coverage(self, adder_curve):
+        """The paper's crux: rising coverage raises detection."""
+        assert adder_curve.detection_tracks_coverage()
+
+    def test_detection_sampled_periodically(self, adder_curve):
+        sampled = [
+            p for p in adder_curve.points if p.detection is not None
+        ]
+        assert len(sampled) >= len(adder_curve.points) // 3
+
+    def test_final_detection_meaningful(self, adder_curve):
+        assert adder_curve.final_detection > 0.3
+
+    def test_render(self, adder_curve):
+        assert "Integer Adder" in adder_curve.render()
+
+
+class TestFig11:
+    def test_comparison_includes_all_frameworks(self, adder_curve):
+        result = run_fig11(
+            TINY,
+            target_keys=["int_adder"],
+            curves={"int_adder": adder_curve},
+        )
+        frameworks = {row.framework for row in result.rows}
+        assert frameworks == {
+            "mibench", "silifuzz", "opendcdiag", "harpocrates"
+        }
+
+    def test_max_at_least_avg(self, adder_curve):
+        result = run_fig11(
+            TINY,
+            target_keys=["int_adder"],
+            curves={"int_adder": adder_curve},
+        )
+        for row in result.rows:
+            assert row.max_detection >= row.avg_detection - 1e-12
+
+
+class TestSpeed:
+    def test_prefix_sweep_monotone_cycles(self, adder_curve):
+        targets = scaled_targets(
+            program_scale=TINY.program_scale, loop_scale=TINY.loop_scale
+        )
+        from repro.baselines.mibench import build_basicmath
+
+        curve = detection_vs_cycles(
+            build_basicmath(scale=6), FUClass.INT_ADDER, TINY, steps=4
+        )
+        cycles = [p.cycles for p in curve.points]
+        assert cycles == sorted(cycles)
+        assert curve.points[-1].instructions >= \
+            curve.points[0].instructions
+
+    def test_cycles_to_reach(self):
+        from repro.experiments.speed import SpeedCurve, SpeedPoint
+
+        curve = SpeedCurve(program="p", points=[
+            SpeedPoint(10, 20, 0.3),
+            SpeedPoint(20, 45, 0.8),
+            SpeedPoint(30, 70, 0.95),
+        ])
+        assert curve.cycles_to_reach(0.8) == 45
+        assert curve.cycles_to_reach(0.99) is None

@@ -1,0 +1,34 @@
+"""Tests for the detection-speed prefix sweep."""
+
+from dataclasses import replace
+
+from repro.baselines.mibench import build_sha
+from repro.experiments.presets import SMOKE
+from repro.experiments.speed import detection_vs_cycles
+from repro.isa.instructions import FUClass
+
+TINY = replace(SMOKE, injections=10)
+
+
+class TestGeometricPrefixes:
+    def test_lengths_are_geometric_and_include_full(self):
+        program = build_sha(scale=6)
+        curve = detection_vs_cycles(
+            program, FUClass.INT_ADDER, TINY, steps=5
+        )
+        lengths = [p.instructions for p in curve.points]
+        assert lengths[-1] == len(program)
+        assert lengths == sorted(lengths)
+        # geometric: each length is about half of the next
+        for shorter, longer in zip(lengths, lengths[1:]):
+            assert longer >= shorter * 1.5 or shorter == 16
+
+    def test_detection_generally_grows_with_length(self):
+        program = build_sha(scale=6)
+        curve = detection_vs_cycles(
+            program, FUClass.INT_ADDER, TINY, steps=5
+        )
+        detections = [p.detection for p in curve.points]
+        # the longest prefix should be at least as strong as the
+        # shortest (within heavy sampling noise at 10 injections)
+        assert detections[-1] >= detections[0] - 0.3

@@ -1,0 +1,182 @@
+"""Unit tests for permanent/intermittent gate-level fault injection."""
+
+import pytest
+
+from repro.faults.injector import (
+    FaultInjector,
+    campaign_gate_intermittent,
+    campaign_gate_permanent,
+)
+from repro.faults.models import GateIntermittent, GatePermanent
+from repro.faults.outcomes import Outcome
+from repro.gatelevel.adder import build_cla_adder
+from repro.gatelevel.units import IntAdderUnit
+from repro.isa import FUClass, Program, imm, make, reg
+from repro.sim.cosim import golden_run
+
+
+def _golden(isa, instructions):
+    program = Program(
+        instructions=tuple(instructions), name="gfi", init_seed=6,
+        data_size=4096, source="test",
+    )
+    golden = golden_run(program)
+    assert not golden.crashed
+    return golden
+
+
+class TestGatePermanent:
+    def test_unit_with_no_ops_masked(self, isa):
+        golden = _golden(isa, [
+            make(isa.by_name("mov_r64_r64"), reg("rax"), reg("rbx"))
+            for _ in range(10)
+        ])
+        injector = FaultInjector(golden)
+        unit = injector.unit_for(FUClass.INT_ADDER)
+        result = injector.inject_gate_permanent(
+            GatePermanent(FUClass.INT_ADDER, 0, unit.fault_sites()[0])
+        )
+        assert result.outcome is Outcome.MASKED
+
+    def test_adder_fault_detected_by_add_chain(self, isa, mixed_golden):
+        injector = FaultInjector(mixed_golden)
+        unit = injector.unit_for(FUClass.INT_ADDER)
+        # sum-output XOR of bit 0: stuck-at flips half the results
+        site = unit.fault_sites()[3]  # sa1 on an early gate
+        result = injector.inject_gate_permanent(
+            GatePermanent(FUClass.INT_ADDER, 0, site)
+        )
+        assert result.outcome.detected
+
+    def test_other_instance_unaffected(self, isa, mixed_golden):
+        injector = FaultInjector(mixed_golden)
+        unit = injector.unit_for(FUClass.INT_ADDER)
+        site = unit.fault_sites()[3]
+        # instance 1 gets far fewer ops; outcome must still be valid
+        result = injector.inject_gate_permanent(
+            GatePermanent(FUClass.INT_ADDER, 1, site)
+        )
+        assert result.outcome in (Outcome.MASKED, Outcome.SDC,
+                                  Outcome.CRASH)
+
+    def test_exact_mode_agrees_with_static_on_sample(self, mixed_golden):
+        injector = FaultInjector(mixed_golden)
+        unit = injector.unit_for(FUClass.INT_ADDER)
+        sites = unit.fault_sites()
+        agreements = 0
+        samples = [sites[i] for i in range(0, 60, 7)]
+        for site in samples:
+            fault = GatePermanent(FUClass.INT_ADDER, 0, site)
+            static = injector.inject_gate_permanent(fault)
+            exact = injector.inject_gate_permanent(fault, exact=True)
+            if static.outcome is exact.outcome:
+                agreements += 1
+        # The static differential approximation must agree with the
+        # exact live-unit model nearly always (the ablation claim).
+        assert agreements >= len(samples) - 1
+
+    def test_custom_unit_model(self, mixed_golden):
+        injector = FaultInjector(mixed_golden)
+        cla_unit = IntAdderUnit(netlist=build_cla_adder(64))
+        injector.use_unit(cla_unit)
+        site = cla_unit.fault_sites()[5]
+        result = injector.inject_gate_permanent(
+            GatePermanent(FUClass.INT_ADDER, 0, site), unit=cla_unit
+        )
+        assert result.outcome in (Outcome.MASKED, Outcome.SDC,
+                                  Outcome.CRASH)
+
+    def test_multiplier_fault_detected(self, isa, mixed_golden):
+        injector = FaultInjector(mixed_golden)
+        unit = injector.unit_for(FUClass.INT_MUL)
+        report = campaign_gate_permanent(
+            mixed_golden, FUClass.INT_MUL, 25, seed=8
+        )
+        assert report.detected > 0
+
+    def test_fp_units_gradeable(self, sse_golden):
+        for fu_class in (FUClass.FP_ADD, FUClass.FP_MUL):
+            report = campaign_gate_permanent(
+                sse_golden, fu_class, 20, seed=9
+            )
+            assert report.total == 20
+            assert report.detected > 0
+
+
+class TestGateIntermittent:
+    def test_window_outside_run_masked(self, mixed_golden):
+        injector = FaultInjector(mixed_golden)
+        unit = injector.unit_for(FUClass.INT_ADDER)
+        result = injector.inject_gate_intermittent(
+            GateIntermittent(
+                FUClass.INT_ADDER, 0, unit.fault_sites()[3],
+                start_cycle=mixed_golden.total_cycles + 10, duration=50,
+            )
+        )
+        assert result.outcome is Outcome.MASKED
+
+    def test_full_window_behaves_like_permanent(self, mixed_golden):
+        injector = FaultInjector(mixed_golden)
+        unit = injector.unit_for(FUClass.INT_ADDER)
+        site = unit.fault_sites()[3]
+        permanent = injector.inject_gate_permanent(
+            GatePermanent(FUClass.INT_ADDER, 0, site)
+        )
+        intermittent = injector.inject_gate_intermittent(
+            GateIntermittent(
+                FUClass.INT_ADDER, 0, site, start_cycle=0,
+                duration=mixed_golden.total_cycles + 1,
+            )
+        )
+        assert intermittent.outcome.detected == \
+            permanent.outcome.detected
+
+    def test_campaign(self, mixed_golden):
+        report = campaign_gate_intermittent(
+            mixed_golden, FUClass.INT_ADDER, 15, duration=50, seed=2
+        )
+        assert report.total == 15
+        assert report.fault_model == "intermittent"
+
+    def test_intermittent_detects_less_than_permanent(self, mixed_golden):
+        """Short windows bound the damage: detection(intermittent with
+        tiny window) <= detection(permanent) statistically."""
+        permanent = campaign_gate_permanent(
+            mixed_golden, FUClass.INT_ADDER, 30, seed=4
+        )
+        intermittent = campaign_gate_intermittent(
+            mixed_golden, FUClass.INT_ADDER, 30, duration=3, seed=4
+        )
+        assert intermittent.detection_capability <= \
+            permanent.detection_capability + 0.1
+
+
+class TestDispatch:
+    def test_inject_dispatches_all_models(self, mixed_golden):
+        from repro.faults.models import (
+            CacheTransient,
+            RegisterIntermittent,
+            RegisterPermanent,
+            RegisterTransient,
+        )
+
+        injector = FaultInjector(mixed_golden)
+        unit = injector.unit_for(FUClass.INT_ADDER)
+        faults = [
+            RegisterTransient(0, 0, 10),
+            RegisterIntermittent(0, 0, 10, 5),
+            RegisterPermanent(0, 0, 1),
+            CacheTransient(0, 0, 0, 10),
+            GatePermanent(FUClass.INT_ADDER, 0, unit.fault_sites()[0]),
+            GateIntermittent(FUClass.INT_ADDER, 0,
+                             unit.fault_sites()[0], 0, 10),
+        ]
+        for fault in faults:
+            result = injector.inject(fault)
+            assert result.outcome in (Outcome.MASKED, Outcome.SDC,
+                                      Outcome.CRASH)
+
+    def test_inject_rejects_unknown(self, mixed_golden):
+        injector = FaultInjector(mixed_golden)
+        with pytest.raises(TypeError):
+            injector.inject("not a fault")

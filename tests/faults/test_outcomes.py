@@ -1,0 +1,50 @@
+"""Unit tests for outcome classification and detection reports."""
+
+from repro.faults.outcomes import DetectionReport, InjectionResult, Outcome
+
+
+class TestOutcome:
+    def test_detected_property(self):
+        assert not Outcome.MASKED.detected
+        assert Outcome.SDC.detected
+        assert Outcome.CRASH.detected
+
+
+class TestDetectionReport:
+    def _report(self, masked, sdc, crash):
+        report = DetectionReport("s", "transient")
+        for _ in range(masked):
+            report.add(InjectionResult(None, Outcome.MASKED))
+        for _ in range(sdc):
+            report.add(InjectionResult(None, Outcome.SDC))
+        for _ in range(crash):
+            report.add(InjectionResult(None, Outcome.CRASH,
+                                       crash_kind="memory_fault"))
+        return report
+
+    def test_detection_capability(self):
+        report = self._report(masked=6, sdc=3, crash=1)
+        assert report.total == 10
+        assert report.detected == 4
+        assert report.detection_capability == 0.4
+
+    def test_empty_report(self):
+        report = DetectionReport("s", "permanent")
+        assert report.detection_capability == 0.0
+        assert report.breakdown()["sdc"] == 0.0
+
+    def test_breakdown_sums_to_one(self):
+        report = self._report(masked=5, sdc=4, crash=1)
+        assert abs(sum(report.breakdown().values()) - 1.0) < 1e-12
+
+    def test_counts(self):
+        report = self._report(masked=2, sdc=1, crash=0)
+        assert report.count(Outcome.MASKED) == 2
+        assert report.count(Outcome.SDC) == 1
+        assert report.count(Outcome.CRASH) == 0
+
+    def test_summary_contains_key_figures(self):
+        report = self._report(masked=1, sdc=1, crash=0)
+        text = report.summary()
+        assert "detection=50.0%" in text
+        assert "s/transient" in text

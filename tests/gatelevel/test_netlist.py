@@ -1,0 +1,182 @@
+"""Unit + property tests for the netlist core."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gatelevel.netlist import (
+    GateOp,
+    Netlist,
+    StuckAt,
+    full_adder,
+    ripple_add,
+)
+
+
+class TestConstruction:
+    def test_constants_reserved(self):
+        netlist = Netlist()
+        assert netlist.CONST0 == 0
+        assert netlist.CONST1 == 1
+        assert netlist.num_wires == 2
+
+    def test_duplicate_input_rejected(self):
+        netlist = Netlist()
+        netlist.add_inputs("a", 4)
+        with pytest.raises(ValueError):
+            netlist.add_inputs("a", 4)
+
+    def test_duplicate_output_rejected(self):
+        netlist = Netlist()
+        wires = netlist.add_inputs("a", 2)
+        netlist.set_outputs("y", wires)
+        with pytest.raises(ValueError):
+            netlist.set_outputs("y", wires)
+
+    def test_gate_count(self):
+        netlist = Netlist()
+        a = netlist.add_inputs("a", 1)[0]
+        netlist.AND(a, a)
+        netlist.NOT(a)
+        assert netlist.gate_count == 2
+
+
+class TestGateFunctions:
+    @pytest.mark.parametrize(
+        "op,table",
+        [
+            ("AND", [0, 0, 0, 1]),
+            ("OR", [0, 1, 1, 1]),
+            ("XOR", [0, 1, 1, 0]),
+            ("NAND", [1, 1, 1, 0]),
+            ("NOR", [1, 0, 0, 0]),
+            ("XNOR", [1, 0, 0, 1]),
+        ],
+    )
+    def test_truth_tables(self, op, table):
+        netlist = Netlist()
+        a = netlist.add_inputs("a", 1)[0]
+        b = netlist.add_inputs("b", 1)[0]
+        out = getattr(netlist, op)(a, b)
+        netlist.set_outputs("y", [out])
+        for index, (bit_a, bit_b) in enumerate(
+            [(0, 0), (0, 1), (1, 0), (1, 1)]
+        ):
+            result = netlist.evaluate_values(
+                {"a": [bit_a], "b": [bit_b]}
+            )
+            assert result["y"][0] == table[index]
+
+    def test_not_and_buf(self):
+        netlist = Netlist()
+        a = netlist.add_inputs("a", 1)[0]
+        netlist.set_outputs("n", [netlist.NOT(a)])
+        netlist.set_outputs("b", [netlist.BUF(a)])
+        result = netlist.evaluate_values({"a": [1]})
+        assert result["n"][0] == 0
+        assert result["b"][0] == 1
+
+    def test_mux(self):
+        netlist = Netlist()
+        s = netlist.add_inputs("s", 1)[0]
+        x = netlist.add_inputs("x", 1)[0]
+        y = netlist.add_inputs("y", 1)[0]
+        netlist.set_outputs("m", [netlist.MUX(s, x, y)])
+        assert netlist.evaluate_values(
+            {"s": [0], "x": [1], "y": [0]})["m"][0] == 1
+        assert netlist.evaluate_values(
+            {"s": [1], "x": [1], "y": [0]})["m"][0] == 0
+
+
+class TestBitParallel:
+    def test_pack_unpack_roundtrip(self):
+        values = [0b101, 0b010, 0b111, 0b000]
+        packed = Netlist.pack_operands(values, 3)
+        assert Netlist.unpack_results(packed, 4) == values
+
+    def test_batch_equals_singles(self):
+        netlist = Netlist()
+        a = netlist.add_inputs("a", 4)
+        b = netlist.add_inputs("b", 4)
+        sums, carry = ripple_add(netlist, a, b, Netlist.CONST0)
+        netlist.set_outputs("sum", sums)
+        pairs = [(3, 5), (15, 1), (0, 0), (9, 9)]
+        batch = netlist.evaluate_values(
+            {"a": [p[0] for p in pairs], "b": [p[1] for p in pairs]}
+        )["sum"]
+        for index, (x, y) in enumerate(pairs):
+            single = netlist.evaluate_values(
+                {"a": [x], "b": [y]}
+            )["sum"][0]
+            assert batch[index] == single == (x + y) & 0xF
+
+    @given(
+        values=st.lists(
+            st.integers(min_value=0, max_value=255), min_size=1,
+            max_size=20,
+        )
+    )
+    def test_pack_roundtrip_property(self, values):
+        packed = Netlist.pack_operands(values, 8)
+        assert Netlist.unpack_results(packed, len(values)) == values
+
+
+class TestFaults:
+    def _xor_netlist(self):
+        netlist = Netlist()
+        a = netlist.add_inputs("a", 1)[0]
+        b = netlist.add_inputs("b", 1)[0]
+        out = netlist.XOR(a, b)
+        netlist.set_outputs("y", [out])
+        return netlist, out
+
+    def test_stuck_at_zero(self):
+        netlist, wire = self._xor_netlist()
+        result = netlist.evaluate_values(
+            {"a": [1], "b": [0]}, fault=StuckAt(wire, 0)
+        )
+        assert result["y"][0] == 0
+
+    def test_stuck_at_one(self):
+        netlist, wire = self._xor_netlist()
+        result = netlist.evaluate_values(
+            {"a": [0], "b": [0]}, fault=StuckAt(wire, 1)
+        )
+        assert result["y"][0] == 1
+
+    def test_fault_applies_to_all_patterns(self):
+        netlist, wire = self._xor_netlist()
+        result = netlist.evaluate_values(
+            {"a": [0, 1, 0, 1], "b": [0, 0, 1, 1]},
+            fault=StuckAt(wire, 1),
+        )
+        assert result["y"] == [1, 1, 1, 1]
+
+    def test_fault_sites_enumerates_gates(self):
+        netlist, _wire = self._xor_netlist()
+        assert netlist.fault_sites() == [g.out for g in netlist.gates]
+
+    def test_input_wire_fault(self):
+        netlist = Netlist()
+        a = netlist.add_inputs("a", 1)[0]
+        b = netlist.add_inputs("b", 1)[0]
+        netlist.set_outputs("y", [netlist.AND(a, b)])
+        result = netlist.evaluate_values(
+            {"a": [0], "b": [1]}, fault=StuckAt(a, 1)
+        )
+        assert result["y"][0] == 1
+
+
+class TestFullAdderCell:
+    @given(a=st.integers(0, 1), b=st.integers(0, 1), c=st.integers(0, 1))
+    def test_truth_table(self, a, b, c):
+        netlist = Netlist()
+        wa = netlist.add_inputs("a", 1)[0]
+        wb = netlist.add_inputs("b", 1)[0]
+        wc = netlist.add_inputs("c", 1)[0]
+        total, carry = full_adder(netlist, wa, wb, wc)
+        netlist.set_outputs("s", [total])
+        netlist.set_outputs("co", [carry])
+        result = netlist.evaluate_values({"a": [a], "b": [b], "c": [c]})
+        assert result["s"][0] == (a + b + c) & 1
+        assert result["co"][0] == (a + b + c) >> 1

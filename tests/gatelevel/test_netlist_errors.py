@@ -1,0 +1,69 @@
+"""Error-path and edge-case tests for netlist evaluation."""
+
+import pytest
+
+from repro.gatelevel.netlist import Netlist, StuckAt, ripple_add
+
+
+class TestInputValidation:
+    def test_wrong_packed_width_rejected(self):
+        netlist = Netlist()
+        netlist.add_inputs("a", 4)
+        netlist.set_outputs("y", netlist.input_wires["a"])
+        with pytest.raises(ValueError, match="expects 4"):
+            netlist.evaluate({"a": [0, 0]}, n_patterns=1)
+
+    def test_missing_input_raises(self):
+        netlist = Netlist()
+        netlist.add_inputs("a", 2)
+        netlist.set_outputs("y", netlist.input_wires["a"])
+        with pytest.raises(KeyError):
+            netlist.evaluate({}, n_patterns=1)
+
+    def test_ripple_add_width_mismatch(self):
+        netlist = Netlist()
+        a = netlist.add_inputs("a", 4)
+        b = netlist.add_inputs("b", 3)
+        with pytest.raises(ValueError):
+            ripple_add(netlist, a, b, Netlist.CONST0)
+
+
+class TestEdgeCases:
+    def test_values_masked_to_pattern_count(self):
+        """Input values wider than n_patterns must be truncated, not
+        leak into phantom patterns."""
+        netlist = Netlist()
+        a = netlist.add_inputs("a", 1)[0]
+        netlist.set_outputs("y", [netlist.BUF(a)])
+        result = netlist.evaluate({"a": [0b1111]}, n_patterns=2)
+        assert result["y"][0] == 0b11
+
+    def test_constants_respect_pattern_count(self):
+        netlist = Netlist()
+        netlist.set_outputs("one", [Netlist.CONST1])
+        netlist.set_outputs("zero", [Netlist.CONST0])
+        result = netlist.evaluate({}, n_patterns=3)
+        assert result["one"][0] == 0b111
+        assert result["zero"][0] == 0
+
+    def test_zero_patterns(self):
+        netlist = Netlist()
+        a = netlist.add_inputs("a", 2)
+        netlist.set_outputs("y", a)
+        assert netlist.evaluate_values({"a": []}) == {"y": []}
+
+    def test_fault_on_const_wire_is_harmless_when_unused(self):
+        netlist = Netlist()
+        a = netlist.add_inputs("a", 1)[0]
+        netlist.set_outputs("y", [netlist.BUF(a)])
+        result = netlist.evaluate_values(
+            {"a": [1]}, fault=StuckAt(Netlist.CONST0, 1)
+        )
+        assert result["y"][0] == 1
+
+    def test_outputs_can_alias_inputs(self):
+        netlist = Netlist()
+        a = netlist.add_inputs("a", 3)
+        netlist.set_outputs("same", a)
+        result = netlist.evaluate_values({"a": [0b101]})
+        assert result["same"][0] == 0b101

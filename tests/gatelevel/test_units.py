@@ -1,0 +1,224 @@
+"""Unit + property tests for adder/multiplier/FP netlists and graded
+units (including netlist-vs-arithmetic equivalence, which the fast
+``golden_results`` paths rely on)."""
+
+import random
+import struct
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gatelevel.adder import build_cla_adder, build_ripple_adder
+from repro.gatelevel.multiplier import build_array_multiplier
+from repro.gatelevel.netlist import StuckAt
+from repro.gatelevel.units import (
+    Fp32AddUnit,
+    Fp32MulUnit,
+    IntAdderUnit,
+    IntMulUnit,
+    build_graded_unit,
+)
+from repro.isa.instructions import FUClass
+from repro.util.bitops import MASK64
+
+u64 = st.integers(min_value=0, max_value=MASK64)
+u16 = st.integers(min_value=0, max_value=0xFFFF)
+
+
+def f32(value: float) -> int:
+    return struct.unpack("<I", struct.pack("<f", value))[0]
+
+
+def b32(bits: int) -> float:
+    return struct.unpack("<f", struct.pack("<I", bits & 0xFFFFFFFF))[0]
+
+
+class TestAdderNetlists:
+    @pytest.mark.parametrize("builder", [build_ripple_adder,
+                                         build_cla_adder])
+    @given(a=u64, b=u64, cin=st.integers(0, 1))
+    @settings(max_examples=30, deadline=None)
+    def test_matches_arithmetic(self, builder, a, b, cin):
+        netlist = builder(64)
+        result = netlist.evaluate_values(
+            {"a": [a], "b": [b], "cin": [cin]}
+        )
+        total = a + b + cin
+        assert result["sum"][0] == total & MASK64
+        assert result["cout"][0] == total >> 64
+
+    def test_cla_and_ripple_agree(self):
+        rng = random.Random(0)
+        ripple = build_ripple_adder(64)
+        cla = build_cla_adder(64)
+        ops = [(rng.getrandbits(64), rng.getrandbits(64), rng.getrandbits(1))
+               for _ in range(64)]
+        inputs = {
+            "a": [o[0] for o in ops],
+            "b": [o[1] for o in ops],
+            "cin": [o[2] for o in ops],
+        }
+        assert ripple.evaluate_values(inputs)["sum"] == \
+            cla.evaluate_values(inputs)["sum"]
+
+    def test_cla_rejects_bad_block(self):
+        with pytest.raises(ValueError):
+            build_cla_adder(10, block=4)
+
+
+class TestMultiplierNetlist:
+    @given(a=u16, b=u16)
+    @settings(max_examples=30, deadline=None)
+    def test_matches_arithmetic(self, a, b):
+        netlist = build_array_multiplier(16)
+        result = netlist.evaluate_values({"a": [a], "b": [b]})
+        assert result["product"][0] == a * b
+
+    def test_wider_array(self):
+        netlist = build_array_multiplier(24)
+        a, b = 0xABCDEF, 0x123456
+        result = netlist.evaluate_values({"a": [a], "b": [b]})
+        assert result["product"][0] == a * b
+
+
+class TestIntAdderUnit:
+    def test_golden_matches_netlist(self):
+        rng = random.Random(3)
+        unit = IntAdderUnit()
+        ops = [
+            (rng.getrandbits(64), rng.getrandbits(64), rng.getrandbits(1))
+            for _ in range(32)
+        ]
+        assert unit.golden_results(ops) == unit._evaluate(ops, None)
+
+    def test_diffs_zero_without_activation(self):
+        unit = IntAdderUnit()
+        # stuck-at-0 on an AND gate fed by zero operands never differs
+        site = StuckAt(unit.netlist.gates[2].out, 0)  # and1 of bit 0
+        diffs = unit.result_diffs([(0, 0, 0)], site)
+        assert diffs == [0]
+
+    def test_diffs_detect_activated_fault(self):
+        unit = IntAdderUnit()
+        # stuck-at-0 on the very first XOR (bit 0 propagate) with a=1
+        site = StuckAt(unit.netlist.gates[0].out, 0)
+        diffs = unit.result_diffs([(1, 0, 0)], site)
+        assert diffs[0] != 0
+
+    def test_every_stuck_at_detected_by_some_pattern(self):
+        """Exhaustive patterns over a narrow adder: every gate fault
+        must be activatable (no redundant logic)."""
+        unit = IntAdderUnit(netlist=build_ripple_adder(4), width=4)
+        patterns = [
+            (a, b, c)
+            for a in range(16)
+            for b in range(16)
+            for c in (0, 1)
+        ]
+        for site in unit.fault_sites():
+            diffs = unit.result_diffs(patterns, site)
+            carry_visible = any(d for d in diffs)
+            # Faults on the final carry gates may only show in cout,
+            # which result_diffs does not observe — allow those.
+            if not carry_visible:
+                cout_wires = unit.netlist.output_wires["cout"]
+                assert site.wire not in unit.netlist.output_wires["sum"]
+
+
+class TestIntMulUnit:
+    def test_golden_matches_netlist(self):
+        rng = random.Random(4)
+        unit = IntMulUnit(width=8)
+        ops = [(rng.getrandbits(8), rng.getrandbits(8))
+               for _ in range(32)]
+        golden = unit.golden_results(ops)
+        assert golden == unit._evaluate(ops, None)
+
+    def test_truncates_wide_operands(self):
+        unit = IntMulUnit(width=8)
+        assert unit.golden_results([(0x1FF, 2)]) == [(0xFF) * 2]
+
+
+class TestFp32Units:
+    def test_add_golden_close_to_ieee(self):
+        unit = Fp32AddUnit()
+        cases = [
+            ("fp_add", f32(1.5), f32(2.25), 3.75),
+            ("fp_add", f32(100.0), f32(-0.5), 99.5),
+            ("fp_sub", f32(8.0), f32(3.0), 5.0),
+            ("fp_add", f32(-1.0), f32(1.0), 0.0),
+        ]
+        prepared = [unit._prepare(op, a, b) for op, a, b, _ in cases]
+        results = unit._evaluate(prepared, None)
+        for (op, a, b, expected), bits in zip(cases, results):
+            assert b32(bits) == pytest.approx(expected, rel=1e-5)
+
+    def test_add_golden_matches_netlist(self):
+        rng = random.Random(5)
+        unit = Fp32AddUnit()
+        ops = [
+            ("fp_add", f32(rng.uniform(-100, 100)),
+             f32(rng.uniform(-100, 100)))
+            for _ in range(32)
+        ]
+        prepared = [unit._prepare(*op) for op in ops]
+        assert unit.golden_results(prepared) == \
+            unit._evaluate(prepared, None)
+
+    def test_mul_golden_exact(self):
+        unit = Fp32MulUnit()
+        prepared = [
+            unit._prepare("fp_mul", f32(1.5), f32(2.0)),
+            unit._prepare("fp_mul", f32(-3.0), f32(0.25)),
+        ]
+        results = unit._evaluate(prepared, None)
+        assert b32(results[0]) == 3.0
+        assert b32(results[1]) == -0.75
+
+    def test_specials_bypass_netlist(self):
+        unit = Fp32AddUnit()
+        inf = f32(float("inf"))
+        assert unit._prepare("fp_add", inf, f32(1.0)) is None
+        nan = 0x7FC00000
+        assert unit._prepare("fp_mul" if False else "fp_add",
+                             nan, f32(1.0)) is None
+
+    def test_fault_diffs_only_on_active_ops(self):
+        unit = Fp32MulUnit()
+        ops = [
+            ("fp_mul", f32(0.0), f32(5.0)),    # bypass (zero)
+            ("fp_mul", f32(3.0), f32(7.0)),
+        ]
+        site = unit.fault_sites()[0]
+        diffs = unit.result_diffs(ops, site)
+        assert diffs[0] == 0  # bypassed op can never be corrupted
+
+    @given(a=st.floats(min_value=0.015625, max_value=16384.0, width=32),
+           b=st.floats(min_value=0.015625, max_value=16384.0, width=32))
+    @settings(max_examples=20, deadline=None)
+    def test_mul_golden_close_to_ieee(self, a, b):
+        unit = Fp32MulUnit()
+        prepared = [unit._prepare("fp_mul", f32(a), f32(b))]
+        result = b32(unit.golden_results(prepared)[0])
+        assert result == pytest.approx(a * b, rel=1e-5)
+
+
+class TestFactory:
+    def test_builds_all_four(self):
+        for fu_class, cls in (
+            (FUClass.INT_ADDER, IntAdderUnit),
+            (FUClass.INT_MUL, IntMulUnit),
+            (FUClass.FP_ADD, Fp32AddUnit),
+            (FUClass.FP_MUL, Fp32MulUnit),
+        ):
+            assert isinstance(build_graded_unit(fu_class), cls)
+
+    def test_rejects_ungradeable(self):
+        with pytest.raises(ValueError):
+            build_graded_unit(FUClass.LOAD)
+
+    def test_fault_sites_cover_both_polarities(self):
+        unit = IntAdderUnit(netlist=build_ripple_adder(4), width=4)
+        sites = unit.fault_sites()
+        assert len(sites) == 2 * unit.gate_count

@@ -1,0 +1,67 @@
+"""Helpers for instruction-semantics tests."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import pytest
+
+from repro.isa import Program, imm, make, reg, x64
+from repro.sim.functional import FunctionalSimulator, RunResult
+
+
+@pytest.fixture(scope="package")
+def isa():
+    return x64()
+
+
+def run_snippet(
+    isa,
+    instructions: List,
+    setup: Optional[Dict[str, int]] = None,
+    xmm_setup: Optional[Dict[str, int]] = None,
+    data_size: int = 4096,
+    seed: int = 99,
+) -> RunResult:
+    """Run ``instructions`` after forcing initial register values.
+
+    Setup is realized with MOV-immediate / MOVQ prologue instructions
+    so the run flows through exactly the production execution path.
+    """
+    prologue = []
+    for name, value in (setup or {}).items():
+        prologue.append(
+            make(isa.by_name("mov_r64_imm64"), reg(name), imm(value, 64))
+        )
+    for name, value in (xmm_setup or {}).items():
+        low = value & ((1 << 64) - 1)
+        high = (value >> 64) & ((1 << 64) - 1)
+        prologue.append(
+            make(isa.by_name("mov_r64_imm64"), reg("r15"),
+                 imm(low, 64))
+        )
+        prologue.append(
+            make(isa.by_name("movq_x_r64"), reg(name), reg("r15"))
+        )
+        if high:
+            raise NotImplementedError(
+                "xmm setup only supports 64-bit patterns"
+            )
+    program = Program(
+        instructions=tuple(prologue + instructions),
+        name="snippet",
+        init_seed=seed,
+        data_size=data_size,
+        source="test",
+    )
+    return FunctionalSimulator().run(program)
+
+
+def gpr(result: RunResult, name: str) -> int:
+    assert result.output is not None, result.crash
+    return dict(result.output.gprs)[name]
+
+
+def xmm(result: RunResult, name: str) -> int:
+    assert result.output is not None, result.crash
+    return dict(result.output.xmms)[name]

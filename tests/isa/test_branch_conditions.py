@@ -1,0 +1,81 @@
+"""Exhaustive tests of the twelve conditional-branch predicates.
+
+Each condition is driven by a real flag-producing comparison, and the
+branch outcome is observed through a skipped/executed marker write —
+the same observable a generated program would have.
+"""
+
+import pytest
+
+from repro.isa import imm, make, reg, rel
+from repro.util.bitops import to_unsigned
+
+from tests.isa.conftest import gpr, run_snippet
+
+
+def _branch_taken(isa, condition: str, a: int, b: int) -> bool:
+    """Run ``cmp a, b`` then ``j<condition>`` over a marker write."""
+    result = run_snippet(
+        isa,
+        [
+            make(isa.by_name("cmp_r64_r64"), reg("rcx"), reg("rsi")),
+            make(isa.by_name(f"{condition}_rel"), rel(1)),
+            make(isa.by_name("mov_r64_imm64"), reg("rax"), imm(1, 64)),
+            make(isa.by_name("nop")),
+        ],
+        setup={
+            "rcx": to_unsigned(a, 64),
+            "rsi": to_unsigned(b, 64),
+            "rax": 0,
+        },
+    )
+    # marker not written <=> branch skipped over it (taken)
+    return gpr(result, "rax") == 0
+
+
+CASES = [
+    # condition, a, b, expected_taken  (cmp computes a - b)
+    ("jz", 5, 5, True),
+    ("jz", 5, 6, False),
+    ("jnz", 5, 6, True),
+    ("jnz", 5, 5, False),
+    ("jc", 3, 5, True),          # unsigned borrow
+    ("jc", 5, 3, False),
+    ("jnc", 5, 3, True),
+    ("jnc", 3, 5, False),
+    ("js", 3, 5, True),          # negative result
+    ("js", 5, 3, False),
+    ("jns", 5, 3, True),
+    ("jns", 3, 5, False),
+    ("jl", -2, 1, True),         # signed less
+    ("jl", 1, -2, False),
+    ("jl", 1, 1, False),
+    ("jge", 1, -2, True),
+    ("jge", 1, 1, True),
+    ("jge", -2, 1, False),
+    ("jle", 1, 1, True),
+    ("jle", -5, 1, True),
+    ("jle", 2, 1, False),
+    ("jg", 2, 1, True),
+    ("jg", 1, 1, False),
+    ("jg", -5, 1, False),
+]
+
+
+@pytest.mark.parametrize("condition,a,b,expected", CASES)
+def test_branch_condition(isa, condition, a, b, expected):
+    assert _branch_taken(isa, condition, a, b) is expected
+
+
+class TestOverflowConditions:
+    def test_jo_on_signed_overflow(self, isa):
+        # INT64_MAX - (-1) overflows
+        taken = _branch_taken(isa, "jo", (1 << 63) - 1, -1)
+        assert taken
+
+    def test_jno_without_overflow(self, isa):
+        assert _branch_taken(isa, "jno", 5, 3)
+
+    def test_jl_uses_of_xor_sf(self, isa):
+        # INT64_MIN < 1 even though the subtraction overflows: SF != OF
+        assert _branch_taken(isa, "jl", -(1 << 63), 1)

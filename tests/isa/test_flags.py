@@ -1,0 +1,113 @@
+"""Unit tests for RFLAGS computation."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.isa.flags import (
+    Flags,
+    RESERVED_ONE,
+    flags_add,
+    flags_logic,
+    flags_sub,
+)
+from repro.util.bitops import MASK64, to_signed
+
+u64 = st.integers(min_value=0, max_value=MASK64)
+
+
+class TestPacking:
+    def test_reserved_bit_always_set(self):
+        assert Flags().to_rflags() & RESERVED_ONE
+
+    def test_roundtrip(self):
+        flags = Flags(cf=1, pf=0, af=1, zf=0, sf=1, of=1)
+        assert Flags.from_rflags(flags.to_rflags()) == flags
+
+    def test_copy_is_independent(self):
+        flags = Flags(cf=1)
+        other = flags.copy()
+        other.cf = 0
+        assert flags.cf == 1
+
+
+class TestAdd:
+    def test_simple_no_flags(self):
+        result, flags = flags_add(1, 2, 0, 64)
+        assert result == 3
+        assert (flags.cf, flags.zf, flags.sf, flags.of) == (0, 0, 0, 0)
+
+    def test_carry_out(self):
+        result, flags = flags_add(MASK64, 1, 0, 64)
+        assert result == 0
+        assert flags.cf == 1
+        assert flags.zf == 1
+
+    def test_signed_overflow(self):
+        result, flags = flags_add(0x7FFFFFFFFFFFFFFF, 1, 0, 64)
+        assert flags.of == 1
+        assert flags.sf == 1
+        assert flags.cf == 0
+
+    def test_carry_in(self):
+        result, _ = flags_add(1, 1, 1, 64)
+        assert result == 3
+
+    @given(u64, u64)
+    def test_matches_arithmetic(self, a, b):
+        result, flags = flags_add(a, b, 0, 64)
+        assert result == (a + b) & MASK64
+        assert flags.cf == (1 if a + b > MASK64 else 0)
+        signed_sum = to_signed(a, 64) + to_signed(b, 64)
+        assert flags.of == (
+            1 if signed_sum != to_signed(result, 64) else 0
+        )
+
+
+class TestSub:
+    def test_borrow(self):
+        result, flags = flags_sub(0, 1, 0, 64)
+        assert result == MASK64
+        assert flags.cf == 1
+        assert flags.sf == 1
+
+    def test_equal_sets_zf(self):
+        result, flags = flags_sub(7, 7, 0, 64)
+        assert result == 0
+        assert flags.zf == 1
+        assert flags.cf == 0
+
+    def test_signed_overflow(self):
+        # INT64_MIN - 1 overflows
+        _result, flags = flags_sub(1 << 63, 1, 0, 64)
+        assert flags.of == 1
+
+    @given(u64, u64)
+    def test_matches_arithmetic(self, a, b):
+        result, flags = flags_sub(a, b, 0, 64)
+        assert result == (a - b) & MASK64
+        assert flags.cf == (1 if a < b else 0)
+
+
+class TestLogic:
+    def test_clears_cf_of(self):
+        flags = flags_logic(0xFF, 64)
+        assert flags.cf == 0 and flags.of == 0
+
+    def test_zero_result(self):
+        flags = flags_logic(0, 32)
+        assert flags.zf == 1
+
+    def test_sign(self):
+        flags = flags_logic(0x80000000, 32)
+        assert flags.sf == 1
+
+
+class TestWidth32:
+    def test_32bit_carry(self):
+        result, flags = flags_add(0xFFFFFFFF, 1, 0, 32)
+        assert result == 0
+        assert flags.cf == 1
+
+    def test_32bit_overflow(self):
+        _result, flags = flags_add(0x7FFFFFFF, 1, 0, 32)
+        assert flags.of == 1

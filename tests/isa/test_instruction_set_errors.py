@@ -1,0 +1,68 @@
+"""Error-path tests for InstructionSet construction and lookup."""
+
+import pytest
+
+from repro.isa.instructions import (
+    FUClass,
+    InstructionDef,
+    InstructionSet,
+)
+
+
+def _definition(name: str, opcode: int) -> InstructionDef:
+    return InstructionDef(
+        name=name,
+        mnemonic=name,
+        operands=(),
+        semantic="nop",
+        fu_class=FUClass.NOP,
+        opcode=opcode,
+    )
+
+
+class TestConstruction:
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            InstructionSet(
+                "bad", [_definition("x", 1), _definition("x", 2)]
+            )
+
+    def test_duplicate_opcodes_rejected(self):
+        with pytest.raises(ValueError, match="opcode"):
+            InstructionSet(
+                "bad", [_definition("x", 1), _definition("y", 1)]
+            )
+
+    def test_contains_and_len(self):
+        iset = InstructionSet("s", [_definition("x", 1)])
+        assert "x" in iset
+        assert "y" not in iset
+        assert len(iset) == 1
+
+
+class TestLookup:
+    def test_by_name_error_message(self):
+        iset = InstructionSet("s", [_definition("x", 1)])
+        with pytest.raises(KeyError, match="nonexistent"):
+            iset.by_name("nonexistent")
+
+    def test_by_opcode_returns_none(self):
+        iset = InstructionSet("s", [_definition("x", 1)])
+        assert iset.by_opcode(99) is None
+        assert iset.by_opcode(1).name == "x"
+
+    def test_latency_defaults_by_class(self):
+        definition = InstructionDef(
+            name="m", mnemonic="m", operands=(), semantic="nop",
+            fu_class=FUClass.INT_MUL, opcode=5,
+        )
+        from repro.isa.instructions import DEFAULT_LATENCY
+
+        assert definition.latency == DEFAULT_LATENCY[FUClass.INT_MUL]
+
+    def test_explicit_latency_preserved(self):
+        definition = InstructionDef(
+            name="m", mnemonic="m", operands=(), semantic="nop",
+            fu_class=FUClass.INT_MUL, opcode=5, latency=9,
+        )
+        assert definition.latency == 9

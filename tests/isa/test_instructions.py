@@ -1,0 +1,112 @@
+"""Unit tests for instruction definitions and the x64 table."""
+
+import pytest
+
+from repro.isa import FUClass, imm, make, mem, reg, rel, x64
+from repro.isa.instructions import Instruction
+from repro.isa.operands import OperandKind
+
+
+@pytest.fixture(scope="module")
+def isa():
+    return x64()
+
+
+class TestTable:
+    def test_size(self, isa):
+        # The table should be a substantial x86 subset.
+        assert len(isa) > 140
+
+    def test_unique_names_and_opcodes(self, isa):
+        names = [d.name for d in isa]
+        opcodes = [d.opcode for d in isa]
+        assert len(set(names)) == len(names)
+        assert len(set(opcodes)) == len(opcodes)
+
+    def test_variants_share_mnemonic(self, isa):
+        adds = isa.by_mnemonic("add")
+        assert len(adds) == 6  # r64_r64, r64_imm32, r64_m64, r32 forms
+
+    def test_select(self, isa):
+        muls = isa.select(fu_class=FUClass.INT_MUL)
+        assert all(d.fu_class is FUClass.INT_MUL for d in muls)
+        assert len(muls) >= 4
+
+    def test_every_fault_target_class_populated(self, isa):
+        for fu_class in (FUClass.INT_ADDER, FUClass.INT_MUL,
+                         FUClass.FP_ADD, FUClass.FP_MUL):
+            assert isa.select(fu_class=fu_class)
+
+    def test_nondeterministic_excluded_from_generation(self, isa):
+        generatable = isa.generatable()
+        assert all(d.deterministic for d in generatable)
+        names = {d.name for d in generatable}
+        assert "rdtsc" not in names
+        assert "rdrand_r64" not in names
+        assert "cpuid" not in names
+
+    def test_div_needs_guard(self, isa):
+        assert isa.by_name("div_r64").needs_guard
+        assert isa.by_name("idiv_r32").needs_guard
+        assert not isa.by_name("add_r64_r64").needs_guard
+
+    def test_mul_implicit_operands(self, isa):
+        mul1 = isa.by_name("mul1_r64")
+        assert "rax" in mul1.implicit_reads
+        assert set(mul1.implicit_writes) == {"rax", "rdx"}
+
+    def test_build_deterministic(self, isa):
+        from repro.isa.isa_x64 import build_x64_isa
+
+        rebuilt = build_x64_isa()
+        assert [d.name for d in rebuilt] == [d.name for d in isa]
+        assert [d.opcode for d in rebuilt] == [d.opcode for d in isa]
+
+
+class TestMemoryClassification:
+    def test_load_op(self, isa):
+        definition = isa.by_name("add_r64_m64")
+        assert definition.is_memory and definition.is_load
+        assert not definition.is_store
+
+    def test_store(self, isa):
+        definition = isa.by_name("mov_m64_r64")
+        assert definition.is_store and not definition.is_load
+
+    def test_lea_is_not_memory(self, isa):
+        definition = isa.by_name("lea_r64_m")
+        assert not definition.is_memory
+        assert not definition.is_load
+
+    def test_branch(self, isa):
+        assert isa.by_name("jz_rel").is_branch
+
+
+class TestInstructionInstances:
+    def test_operand_count_enforced(self, isa):
+        with pytest.raises(ValueError):
+            Instruction(isa.by_name("add_r64_r64"), (reg("rax"),))
+
+    def test_operand_kind_enforced(self, isa):
+        with pytest.raises(ValueError):
+            make(isa.by_name("add_r64_r64"), reg("rax"), imm(5, 32))
+
+    def test_xmm_kind_enforced(self, isa):
+        with pytest.raises(ValueError):
+            make(isa.by_name("addps_x_x"), reg("rax"), reg("xmm0"))
+
+    def test_asm_rendering(self, isa):
+        instruction = make(
+            isa.by_name("add_r64_imm32"), reg("rax"), imm(16, 32)
+        )
+        assert instruction.to_asm() == "add rax, 0x10"
+
+    def test_mem_asm_rendering(self, isa):
+        instruction = make(
+            isa.by_name("mov_r64_m64"), reg("rcx"), mem("rbp", 8)
+        )
+        assert "rbp" in instruction.to_asm()
+
+    def test_branch_operand(self, isa):
+        instruction = make(isa.by_name("jmp_rel"), rel(0))
+        assert instruction.operands[0].displacement == 0

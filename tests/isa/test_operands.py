@@ -1,0 +1,93 @@
+"""Unit tests for operand values and spec matching."""
+
+import pytest
+
+from repro.isa import registers
+from repro.isa.operands import (
+    ImmOperand,
+    MemOperand,
+    OperandKind,
+    OperandSpec,
+    RegOperand,
+    RelOperand,
+    imm,
+    matches,
+    mem,
+    reg,
+    rel,
+)
+
+
+class TestConstructors:
+    def test_reg_from_string(self):
+        operand = reg("r12")
+        assert operand.reg is registers.R12
+
+    def test_reg_from_register(self):
+        assert reg(registers.RAX).reg is registers.RAX
+
+    def test_imm_truncates_to_width(self):
+        operand = imm(0x1FF, 8)
+        assert operand.value == 0xFF
+
+    def test_imm_signed_view(self):
+        assert imm(0xFF, 8).signed == -1
+        assert imm(0x7F, 8).signed == 127
+
+    def test_mem_with_string_base(self):
+        operand = mem("rbp", 16)
+        assert operand.base is registers.RBP
+        assert operand.displacement == 16
+        assert not operand.rip_relative
+
+    def test_mem_rip_relative(self):
+        operand = mem(None, 8)
+        assert operand.rip_relative
+
+    def test_mem_rejects_xmm_base(self):
+        with pytest.raises(ValueError):
+            MemOperand(registers.XMM[0], 0)
+
+    def test_rel_default(self):
+        assert rel().displacement == 0
+
+
+class TestMatching:
+    def test_gpr_spec(self):
+        spec = OperandSpec(OperandKind.GPR, 64)
+        assert matches(spec, reg("rax"))
+        assert not matches(spec, reg("xmm0"))
+        assert not matches(spec, imm(1, 32))
+
+    def test_xmm_spec(self):
+        spec = OperandSpec(OperandKind.XMM, 128)
+        assert matches(spec, reg("xmm3"))
+        assert not matches(spec, reg("rbx"))
+
+    def test_imm_spec_checks_width(self):
+        spec = OperandSpec(OperandKind.IMM, 32)
+        assert matches(spec, imm(5, 32))
+        assert not matches(spec, imm(5, 8))
+
+    def test_mem_spec(self):
+        spec = OperandSpec(OperandKind.MEM, 64)
+        assert matches(spec, mem("rbp", 0))
+        assert matches(spec, mem(None, 0))
+        assert not matches(spec, reg("rax"))
+
+    def test_rel_spec(self):
+        spec = OperandSpec(OperandKind.REL, 8)
+        assert matches(spec, rel(0))
+        assert not matches(spec, imm(0, 8))
+
+
+class TestRendering:
+    def test_imm_renders_signed_hex(self):
+        assert str(imm(0xFF, 8)) == "-0x1"
+
+    def test_mem_renders_base_and_offset(self):
+        assert str(mem("rbp", 32)) == "[rbp+0x20]"
+        assert str(mem(None, 4)) == "[rip+0x4]"
+
+    def test_rel_renders_relative(self):
+        assert str(rel(0)) == ".+0"

@@ -1,0 +1,81 @@
+"""Regression test for the gem5 RCR emulation corner case (§VI-D).
+
+Harpocrates-generated programs exposed an assertion failure in gem5
+v22: RCR crashed "in the corner-case where the rotate amount is equal
+to the size of the rotated register".  For a 16-bit RCR the count is
+masked to 5 bits (0–31), so counts of exactly 16 — and wrapped counts
+17–31, which exceed the 17-position rotation period — hit that corner.
+These tests pin our emulation's behaviour there.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa import imm, make, reg
+
+from tests.isa.conftest import gpr, run_snippet
+
+u16 = st.integers(min_value=0, max_value=0xFFFF)
+
+
+def _rcr16(isa, value: int, count: int, carry_in: int = 0) -> int:
+    prologue = []
+    if carry_in:
+        # Set CF via 0xFFFF... + 1.
+        prologue = [
+            make(isa.by_name("add_r64_r64"), reg("rcx"), reg("rdx")),
+        ]
+        setup = {"rax": value, "rcx": (1 << 64) - 1, "rdx": 1}
+    else:
+        setup = {"rax": value}
+    result = run_snippet(
+        isa,
+        prologue
+        + [make(isa.by_name("rcr_r16_imm8"), reg("rax"), imm(count, 8))],
+        setup=setup,
+    )
+    return gpr(result, "rax") & 0xFFFF
+
+
+def _model_rcr16(value: int, count: int, carry: int) -> int:
+    """Reference model: 17-bit rotation through carry."""
+    count &= 31
+    rotation = count % 17
+    combined = (carry << 16) | (value & 0xFFFF)
+    if rotation:
+        combined = (
+            (combined >> rotation) | (combined << (17 - rotation))
+        ) & ((1 << 17) - 1)
+    return combined & 0xFFFF
+
+
+class TestRcrCorner:
+    def test_rotate_amount_equals_register_size(self, isa):
+        """The exact gem5-crash corner: count == operand width (16)."""
+        value = 0xABCD
+        assert _rcr16(isa, value, 16) == _model_rcr16(value, 16, 0)
+
+    def test_rotate_amount_equals_size_does_not_crash(self, isa):
+        # The salient property of the gem5 bug was a simulator *crash*;
+        # our emulation must complete for every count.
+        for count in range(32):
+            _rcr16(isa, 0x8001, count)
+
+    def test_count_17_wraps_to_identity(self, isa):
+        """Counts are reduced modulo 17 (the 16+CF rotation period)."""
+        value = 0x1234
+        assert _rcr16(isa, value, 17) == value
+
+    def test_counts_above_width(self, isa):
+        for count in (18, 23, 31):
+            assert _rcr16(isa, 0x5A5A, count) == \
+                _model_rcr16(0x5A5A, count, 0)
+
+    def test_carry_participates(self, isa):
+        # With CF=1, a single rotate must pull the carry into bit 15.
+        assert _rcr16(isa, 0x0000, 1, carry_in=1) == 0x8000
+
+    @given(value=u16, count=st.integers(min_value=0, max_value=31))
+    @settings(max_examples=40, deadline=None)
+    def test_matches_reference_model(self, isa, value, count):
+        assert _rcr16(isa, value, count) == _model_rcr16(value, count, 0)

@@ -1,0 +1,60 @@
+"""Unit tests for the register model."""
+
+import pytest
+
+from repro.isa import registers
+from repro.isa.registers import RegClass
+
+
+class TestRegisterSets:
+    def test_sixteen_gprs(self):
+        assert len(registers.GPR) == 16
+        assert all(reg.width == 64 for reg in registers.GPR)
+
+    def test_sixteen_xmms(self):
+        assert len(registers.XMM) == 16
+        assert all(reg.width == 128 for reg in registers.XMM)
+
+    def test_indices_match_position(self):
+        for index, reg in enumerate(registers.GPR):
+            assert reg.index == index
+        for index, reg in enumerate(registers.XMM):
+            assert reg.index == index
+
+
+class TestLookup:
+    def test_by_name_interned(self):
+        assert registers.by_name("rax") is registers.RAX
+        assert registers.by_name("xmm5") is registers.XMM[5]
+
+    def test_by_name_unknown(self):
+        with pytest.raises(KeyError):
+            registers.by_name("eax")  # only 64-bit names are canonical
+
+    def test_gpr_and_xmm_accessors(self):
+        assert registers.gpr(0).name == "rax"
+        assert registers.gpr(15).name == "r15"
+        assert registers.xmm(7).name == "xmm7"
+
+
+class TestAllocatable:
+    def test_rsp_rbp_reserved(self):
+        names = {reg.name for reg in registers.ALLOCATABLE_GPRS}
+        assert "rsp" not in names
+        assert "rbp" not in names
+        assert len(names) == 14
+
+    def test_all_xmms_allocatable(self):
+        assert len(registers.ALLOCATABLE_XMMS) == 16
+
+
+class TestRegClass:
+    def test_classes(self):
+        assert registers.RAX.reg_class is RegClass.GPR
+        assert registers.XMM[0].reg_class is RegClass.XMM
+        assert registers.RFLAGS.reg_class is RegClass.FLAGS
+        assert registers.RIP.reg_class is RegClass.RIP
+
+    def test_all_registers_inventory(self):
+        everything = registers.all_registers()
+        assert len(everything) == 16 + 16 + 2

@@ -1,0 +1,127 @@
+"""Semantics tests for the extended instructions: CMOV, MIN/MAX,
+SQRTSS, SHUFPS."""
+
+import math
+import struct
+
+from repro.isa import imm, make, reg
+from repro.isa.semantics import bits_to_f32
+
+from tests.isa.conftest import gpr, run_snippet, xmm
+
+
+def f32(value: float) -> int:
+    return struct.unpack("<I", struct.pack("<f", value))[0]
+
+
+class TestCmov:
+    def test_cmovz_taken(self, isa):
+        result = run_snippet(
+            isa,
+            [
+                make(isa.by_name("xor_r64_r64"), reg("rcx"), reg("rcx")),
+                make(isa.by_name("cmovz_r64_r64"), reg("rax"),
+                     reg("rbx")),
+            ],
+            setup={"rax": 1, "rbx": 99},
+        )
+        assert gpr(result, "rax") == 99
+
+    def test_cmovz_not_taken(self, isa):
+        result = run_snippet(
+            isa,
+            [
+                make(isa.by_name("test_r64_r64"), reg("rcx"),
+                     reg("rcx")),
+                make(isa.by_name("cmovz_r64_r64"), reg("rax"),
+                     reg("rbx")),
+            ],
+            setup={"rax": 1, "rbx": 99, "rcx": 5},  # ZF=0
+        )
+        assert gpr(result, "rax") == 1
+
+    def test_cmovl_signed(self, isa):
+        result = run_snippet(
+            isa,
+            [
+                make(isa.by_name("cmp_r64_r64"), reg("rcx"), reg("rsi")),
+                make(isa.by_name("cmovl_r64_r64"), reg("rax"),
+                     reg("rbx")),
+            ],
+            setup={"rcx": (1 << 64) - 3, "rsi": 2,  # -3 < 2
+                   "rax": 0, "rbx": 7},
+        )
+        assert gpr(result, "rax") == 7
+
+    def test_cmov_records_reads_either_way(self, isa):
+        result = run_snippet(
+            isa,
+            [
+                make(isa.by_name("test_r64_r64"), reg("rcx"),
+                     reg("rcx")),
+                make(isa.by_name("cmovnz_r64_r64"), reg("rax"),
+                     reg("rbx")),
+            ],
+            setup={"rcx": 1, "rax": 3, "rbx": 4},
+        )
+        cmov_record = result.records[-1]
+        assert "rax" in cmov_record.writes
+
+
+class TestMinMax:
+    def _run(self, isa, mnemonic, a, b):
+        return run_snippet(
+            isa,
+            [make(isa.by_name(f"{mnemonic}_x_x"), reg("xmm0"),
+                  reg("xmm1"))],
+            xmm_setup={"xmm0": f32(a), "xmm1": f32(b)},
+        )
+
+    def test_minss(self, isa):
+        result = self._run(isa, "minss", 4.0, 2.5)
+        assert bits_to_f32(xmm(result, "xmm0") & 0xFFFFFFFF) == 2.5
+
+    def test_maxss(self, isa):
+        result = self._run(isa, "maxss", 4.0, 2.5)
+        assert bits_to_f32(xmm(result, "xmm0") & 0xFFFFFFFF) == 4.0
+
+    def test_min_nan_returns_source(self, isa):
+        result = self._run(isa, "minss", float("nan"), 1.0)
+        assert bits_to_f32(xmm(result, "xmm0") & 0xFFFFFFFF) == 1.0
+
+
+class TestSqrtShuf:
+    def test_sqrtss(self, isa):
+        result = run_snippet(
+            isa,
+            [make(isa.by_name("sqrtss_x_x"), reg("xmm0"), reg("xmm1"))],
+            xmm_setup={"xmm1": f32(9.0)},
+        )
+        assert bits_to_f32(xmm(result, "xmm0") & 0xFFFFFFFF) == 3.0
+
+    def test_sqrtss_negative_is_nan(self, isa):
+        result = run_snippet(
+            isa,
+            [make(isa.by_name("sqrtss_x_x"), reg("xmm0"), reg("xmm1"))],
+            xmm_setup={"xmm1": f32(-4.0)},
+        )
+        assert math.isnan(
+            bits_to_f32(xmm(result, "xmm0") & 0xFFFFFFFF)
+        )
+
+    def test_shufps_selector(self, isa):
+        # xmm0 lanes [L0,L1] from low 64 bits; selector 0x00 broadcasts
+        # dst lane 0 into lanes 0-1 and src lane 0 into lanes 2-3.
+        result = run_snippet(
+            isa,
+            [make(isa.by_name("shufps_x_x_imm8"), reg("xmm0"),
+                  reg("xmm1"), imm(0x00, 8))],
+            xmm_setup={"xmm0": (f32(2.0) << 32) | f32(1.0),
+                       "xmm1": f32(7.0)},
+        )
+        value = xmm(result, "xmm0")
+        lanes = [
+            bits_to_f32((value >> (32 * i)) & 0xFFFFFFFF)
+            for i in range(4)
+        ]
+        assert lanes == [1.0, 1.0, 7.0, 7.0]

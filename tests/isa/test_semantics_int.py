@@ -1,0 +1,177 @@
+"""Semantics tests: integer ALU, logic, moves."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa import imm, make, reg
+from repro.util.bitops import MASK32, MASK64, to_signed, to_unsigned
+
+from tests.isa.conftest import gpr, run_snippet
+
+u64 = st.integers(min_value=0, max_value=MASK64)
+
+
+class TestAddSub:
+    def test_add(self, isa):
+        result = run_snippet(
+            isa,
+            [make(isa.by_name("add_r64_r64"), reg("rax"), reg("rbx"))],
+            setup={"rax": 5, "rbx": 7},
+        )
+        assert gpr(result, "rax") == 12
+
+    def test_add_wraps(self, isa):
+        result = run_snippet(
+            isa,
+            [make(isa.by_name("add_r64_r64"), reg("rax"), reg("rbx"))],
+            setup={"rax": MASK64, "rbx": 1},
+        )
+        assert gpr(result, "rax") == 0
+
+    def test_sub(self, isa):
+        result = run_snippet(
+            isa,
+            [make(isa.by_name("sub_r64_r64"), reg("rax"), reg("rbx"))],
+            setup={"rax": 3, "rbx": 10},
+        )
+        assert gpr(result, "rax") == to_unsigned(-7, 64)
+
+    def test_add_imm_sign_extends(self, isa):
+        result = run_snippet(
+            isa,
+            [make(isa.by_name("add_r64_imm32"), reg("rax"),
+                  imm(0xFFFFFFFF, 32))],  # -1 sign-extended
+            setup={"rax": 10},
+        )
+        assert gpr(result, "rax") == 9
+
+    def test_adc_consumes_carry(self, isa):
+        result = run_snippet(
+            isa,
+            [
+                # produce CF=1: 0xFFFF... + 1
+                make(isa.by_name("add_r64_r64"), reg("rcx"), reg("rdx")),
+                make(isa.by_name("adc_r64_r64"), reg("rax"), reg("rbx")),
+            ],
+            setup={"rcx": MASK64, "rdx": 1, "rax": 5, "rbx": 5},
+        )
+        assert gpr(result, "rax") == 11  # 5 + 5 + CF
+
+    def test_sbb_consumes_borrow(self, isa):
+        result = run_snippet(
+            isa,
+            [
+                make(isa.by_name("sub_r64_r64"), reg("rcx"), reg("rdx")),
+                make(isa.by_name("sbb_r64_r64"), reg("rax"), reg("rbx")),
+            ],
+            setup={"rcx": 0, "rdx": 1, "rax": 10, "rbx": 3},
+        )
+        assert gpr(result, "rax") == 6  # 10 - 3 - borrow
+
+    def test_inc_dec_neg(self, isa):
+        result = run_snippet(
+            isa,
+            [
+                make(isa.by_name("inc_r64"), reg("rax")),
+                make(isa.by_name("dec_r64"), reg("rbx")),
+                make(isa.by_name("neg_r64"), reg("rcx")),
+            ],
+            setup={"rax": 1, "rbx": 1, "rcx": 5},
+        )
+        assert gpr(result, "rax") == 2
+        assert gpr(result, "rbx") == 0
+        assert gpr(result, "rcx") == to_unsigned(-5, 64)
+
+    def test_cmp_does_not_write(self, isa):
+        result = run_snippet(
+            isa,
+            [make(isa.by_name("cmp_r64_r64"), reg("rax"), reg("rbx"))],
+            setup={"rax": 1, "rbx": 2},
+        )
+        assert gpr(result, "rax") == 1
+
+    @given(a=u64, b=u64)
+    @settings(max_examples=25, deadline=None)
+    def test_add_matches_python(self, isa, a, b):
+        result = run_snippet(
+            isa,
+            [make(isa.by_name("add_r64_r64"), reg("rax"), reg("rbx"))],
+            setup={"rax": a, "rbx": b},
+        )
+        assert gpr(result, "rax") == (a + b) & MASK64
+
+
+class Test32BitForms:
+    def test_32bit_write_zero_extends(self, isa):
+        result = run_snippet(
+            isa,
+            [make(isa.by_name("add_r32_r32"), reg("rax"), reg("rbx"))],
+            setup={"rax": 0xDEADBEEF_FFFFFFFF, "rbx": 1},
+        )
+        assert gpr(result, "rax") == 0  # high half cleared, low wrapped
+
+    def test_mov32_zero_extends(self, isa):
+        result = run_snippet(
+            isa,
+            [make(isa.by_name("mov_r32_r32"), reg("rax"), reg("rbx"))],
+            setup={"rax": MASK64, "rbx": 0x1_00000002},
+        )
+        assert gpr(result, "rax") == 2
+
+
+class TestLogic:
+    def test_and_or_xor(self, isa):
+        result = run_snippet(
+            isa,
+            [
+                make(isa.by_name("and_r64_r64"), reg("rax"), reg("rsi")),
+                make(isa.by_name("or_r64_r64"), reg("rbx"), reg("rsi")),
+                make(isa.by_name("xor_r64_r64"), reg("rcx"), reg("rsi")),
+            ],
+            setup={"rax": 0b1100, "rbx": 0b1100, "rcx": 0b1100,
+                   "rsi": 0b1010},
+        )
+        assert gpr(result, "rax") == 0b1000
+        assert gpr(result, "rbx") == 0b1110
+        assert gpr(result, "rcx") == 0b0110
+
+    def test_xor_self_zeroes(self, isa):
+        result = run_snippet(
+            isa,
+            [make(isa.by_name("xor_r64_r64"), reg("rax"), reg("rax"))],
+            setup={"rax": 0x123456789},
+        )
+        assert gpr(result, "rax") == 0
+
+    def test_not(self, isa):
+        result = run_snippet(
+            isa,
+            [make(isa.by_name("not_r64"), reg("rax"))],
+            setup={"rax": 0},
+        )
+        assert gpr(result, "rax") == MASK64
+
+    def test_bswap(self, isa):
+        result = run_snippet(
+            isa,
+            [make(isa.by_name("bswap_r64"), reg("rax"))],
+            setup={"rax": 0x0102030405060708},
+        )
+        assert gpr(result, "rax") == 0x0807060504030201
+
+    def test_xchg(self, isa):
+        result = run_snippet(
+            isa,
+            [make(isa.by_name("xchg_r64_r64"), reg("rax"), reg("rbx"))],
+            setup={"rax": 1, "rbx": 2},
+        )
+        assert gpr(result, "rax") == 2
+        assert gpr(result, "rbx") == 1
+
+    def test_test_preserves_operands(self, isa):
+        result = run_snippet(
+            isa,
+            [make(isa.by_name("test_r64_r64"), reg("rax"), reg("rbx"))],
+            setup={"rax": 0xF0, "rbx": 0x0F},
+        )
+        assert gpr(result, "rax") == 0xF0

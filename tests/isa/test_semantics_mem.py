@@ -1,0 +1,227 @@
+"""Semantics tests: loads, stores, stack, LEA, branches, crashes."""
+
+import pytest
+
+from repro.isa import imm, make, mem, reg, rel
+from repro.sim.config import DEFAULT_MACHINE
+
+from tests.isa.conftest import gpr, run_snippet
+
+DATA_BASE = DEFAULT_MACHINE.memory.data_base
+
+
+class TestLoadStore:
+    def test_store_load_roundtrip(self, isa):
+        result = run_snippet(
+            isa,
+            [
+                make(isa.by_name("mov_m64_r64"), mem("rbp", 64),
+                     reg("rax")),
+                make(isa.by_name("mov_r64_m64"), reg("rbx"),
+                     mem("rbp", 64)),
+            ],
+            setup={"rax": 0xCAFEBABE},
+        )
+        assert gpr(result, "rbx") == 0xCAFEBABE
+
+    def test_store_imm(self, isa):
+        result = run_snippet(
+            isa,
+            [
+                make(isa.by_name("mov_m64_imm32"), mem("rbp", 0),
+                     imm(77, 32)),
+                make(isa.by_name("mov_r64_m64"), reg("rax"),
+                     mem("rbp", 0)),
+            ],
+        )
+        assert gpr(result, "rax") == 77
+
+    def test_load32_zero_extends(self, isa):
+        result = run_snippet(
+            isa,
+            [
+                make(isa.by_name("mov_m64_r64"), mem("rbp", 8),
+                     reg("rax")),
+                make(isa.by_name("mov_r32_m32"), reg("rbx"),
+                     mem("rbp", 8)),
+            ],
+            setup={"rax": 0xFFFFFFFF_12345678},
+        )
+        assert gpr(result, "rbx") == 0x12345678
+
+    def test_rip_relative_resolves_into_data_region(self, isa):
+        result = run_snippet(
+            isa,
+            [
+                make(isa.by_name("mov_m64_r64"), mem(None, 16),
+                     reg("rax")),
+                make(isa.by_name("mov_r64_m64"), reg("rbx"),
+                     mem("rbp", 16)),
+            ],
+            setup={"rax": 42},
+        )
+        assert gpr(result, "rbx") == 42
+
+    def test_load_op_combines(self, isa):
+        result = run_snippet(
+            isa,
+            [
+                make(isa.by_name("mov_m64_r64"), mem("rbp", 0),
+                     reg("rbx")),
+                make(isa.by_name("add_r64_m64"), reg("rax"),
+                     mem("rbp", 0)),
+            ],
+            setup={"rax": 10, "rbx": 32},
+        )
+        assert gpr(result, "rax") == 42
+
+
+class TestCrashes:
+    def test_out_of_region_load_crashes(self, isa):
+        result = run_snippet(
+            isa,
+            [make(isa.by_name("mov_r64_m64"), reg("rax"),
+                  mem("rbp", 1 << 22))],
+        )
+        assert result.crashed
+        assert result.crash.kind == "memory_fault"
+
+    def test_negative_offset_crashes(self, isa):
+        result = run_snippet(
+            isa,
+            [make(isa.by_name("mov_r64_m64"), reg("rax"),
+                  mem("rbp", -8))],
+        )
+        assert result.crashed
+
+    def test_movaps_alignment_fault(self, isa):
+        result = run_snippet(
+            isa,
+            [make(isa.by_name("movaps_x_m"), reg("xmm0"),
+                  mem("rbp", 8))],  # not 16-byte aligned
+        )
+        assert result.crashed
+        assert result.crash.kind == "alignment_fault"
+
+    def test_crash_reports_instruction_index(self, isa):
+        result = run_snippet(
+            isa,
+            [
+                make(isa.by_name("nop")),
+                make(isa.by_name("mov_r64_m64"), reg("rax"),
+                     mem("rbp", 1 << 30)),
+            ],
+        )
+        assert result.crashed
+        assert result.crash.instruction_index == 1
+
+
+class TestStack:
+    def test_push_pop(self, isa):
+        result = run_snippet(
+            isa,
+            [
+                make(isa.by_name("push_r64"), reg("rax")),
+                make(isa.by_name("pop_r64"), reg("rbx")),
+            ],
+            setup={"rax": 123},
+        )
+        assert gpr(result, "rbx") == 123
+
+    def test_push_moves_rsp(self, isa):
+        before = run_snippet(isa, [make(isa.by_name("nop"))])
+        after = run_snippet(
+            isa, [make(isa.by_name("push_r64"), reg("rax"))]
+        )
+        assert gpr(after, "rsp") == gpr(before, "rsp") - 8
+
+    def test_pop_of_empty_stack_crashes(self, isa):
+        result = run_snippet(
+            isa, [make(isa.by_name("pop_r64"), reg("rax"))]
+        )
+        assert result.crashed  # rsp starts at the stack top
+
+    def test_stack_overflow_crashes(self, isa):
+        pushes = [
+            make(isa.by_name("push_r64"), reg("rax"))
+            for _ in range(
+                DEFAULT_MACHINE.memory.stack_size // 8 + 1
+            )
+        ]
+        result = run_snippet(isa, pushes)
+        assert result.crashed
+
+
+class TestLea:
+    def test_lea_computes_address_without_access(self, isa):
+        result = run_snippet(
+            isa,
+            [make(isa.by_name("lea_r64_m"), reg("rax"),
+                  mem("rbx", 0x10))],
+            setup={"rbx": 0x1000},
+        )
+        assert gpr(result, "rax") == 0x1010
+
+    def test_lea_out_of_region_is_fine(self, isa):
+        # LEA never dereferences: wild addresses must not crash.
+        result = run_snippet(
+            isa,
+            [make(isa.by_name("lea_r64_m"), reg("rax"),
+                  mem("rbx", 0))],
+            setup={"rbx": 0xDEAD0000},
+        )
+        assert not result.crashed
+        assert gpr(result, "rax") == 0xDEAD0000
+
+
+class TestBranches:
+    def test_fallthrough_branch(self, isa):
+        result = run_snippet(
+            isa,
+            [
+                make(isa.by_name("jmp_rel"), rel(0)),
+                make(isa.by_name("mov_r64_imm64"), reg("rax"),
+                     imm(1, 64)),
+            ],
+        )
+        assert gpr(result, "rax") == 1
+
+    def test_skip_over_instruction(self, isa):
+        result = run_snippet(
+            isa,
+            [
+                make(isa.by_name("mov_r64_imm64"), reg("rax"), imm(1, 64)),
+                make(isa.by_name("jmp_rel"), rel(1)),
+                make(isa.by_name("mov_r64_imm64"), reg("rax"), imm(2, 64)),
+                make(isa.by_name("nop")),
+            ],
+        )
+        assert gpr(result, "rax") == 1  # the second mov was skipped
+
+    def test_conditional_taken_on_zero(self, isa):
+        result = run_snippet(
+            isa,
+            [
+                make(isa.by_name("xor_r64_r64"), reg("rbx"), reg("rbx")),
+                make(isa.by_name("jz_rel"), rel(1)),       # taken: ZF=1
+                make(isa.by_name("mov_r64_imm64"), reg("rax"), imm(9, 64)),
+                make(isa.by_name("nop")),
+            ],
+            setup={"rax": 5},
+        )
+        assert gpr(result, "rax") == 5
+
+    def test_branch_out_of_program_crashes(self, isa):
+        result = run_snippet(
+            isa, [make(isa.by_name("jmp_rel"), rel(-10))]
+        )
+        assert result.crashed
+        assert result.crash.kind == "invalid_fetch"
+
+    def test_infinite_loop_hangs(self, isa):
+        result = run_snippet(
+            isa, [make(isa.by_name("nop")), make(isa.by_name("jmp_rel"),
+                                                 rel(-2))]
+        )
+        assert result.crashed
+        assert result.crash.kind == "hang"

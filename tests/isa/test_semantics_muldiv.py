@@ -1,0 +1,134 @@
+"""Semantics tests: multiply and divide, including traps."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa import imm, make, reg
+from repro.util.bitops import MASK64, to_signed, to_unsigned
+
+from tests.isa.conftest import gpr, run_snippet
+
+u64 = st.integers(min_value=0, max_value=MASK64)
+
+
+class TestImul2:
+    def test_simple(self, isa):
+        result = run_snippet(
+            isa,
+            [make(isa.by_name("imul_r64_r64"), reg("rax"), reg("rbx"))],
+            setup={"rax": 6, "rbx": 7},
+        )
+        assert gpr(result, "rax") == 42
+
+    def test_negative(self, isa):
+        result = run_snippet(
+            isa,
+            [make(isa.by_name("imul_r64_r64"), reg("rax"), reg("rbx"))],
+            setup={"rax": to_unsigned(-3, 64), "rbx": 5},
+        )
+        assert gpr(result, "rax") == to_unsigned(-15, 64)
+
+    @given(a=u64, b=u64)
+    @settings(max_examples=25, deadline=None)
+    def test_matches_python(self, isa, a, b):
+        result = run_snippet(
+            isa,
+            [make(isa.by_name("imul_r64_r64"), reg("rax"), reg("rbx"))],
+            setup={"rax": a, "rbx": b},
+        )
+        expected = to_unsigned(to_signed(a, 64) * to_signed(b, 64), 64)
+        assert gpr(result, "rax") == expected
+
+
+class TestWideningMul:
+    def test_mul_writes_rdx_rax(self, isa):
+        result = run_snippet(
+            isa,
+            [make(isa.by_name("mul1_r64"), reg("rbx"))],
+            setup={"rax": 1 << 63, "rbx": 4},
+        )
+        product = (1 << 63) * 4
+        assert gpr(result, "rax") == product & MASK64
+        assert gpr(result, "rdx") == product >> 64
+
+    def test_imul1_signed_high(self, isa):
+        result = run_snippet(
+            isa,
+            [make(isa.by_name("imul1_r64"), reg("rbx"))],
+            setup={"rax": to_unsigned(-2, 64), "rbx": 3},
+        )
+        assert gpr(result, "rax") == to_unsigned(-6, 64)
+        assert gpr(result, "rdx") == MASK64  # sign extension of -6
+
+
+class TestDiv:
+    def test_div(self, isa):
+        result = run_snippet(
+            isa,
+            [make(isa.by_name("div_r64"), reg("rbx"))],
+            setup={"rax": 100, "rdx": 0, "rbx": 7},
+        )
+        assert gpr(result, "rax") == 14
+        assert gpr(result, "rdx") == 2
+
+    def test_div_uses_rdx_high_half(self, isa):
+        result = run_snippet(
+            isa,
+            [make(isa.by_name("div_r64"), reg("rbx"))],
+            setup={"rax": 0, "rdx": 1, "rbx": 2},  # dividend = 2^64
+        )
+        assert gpr(result, "rax") == 1 << 63
+
+    def test_divide_by_zero_crashes(self, isa):
+        result = run_snippet(
+            isa,
+            [make(isa.by_name("div_r64"), reg("rbx"))],
+            setup={"rax": 1, "rdx": 0, "rbx": 0},
+        )
+        assert result.crashed
+        assert result.crash.kind == "divide_error"
+
+    def test_quotient_overflow_crashes(self, isa):
+        # dividend 2^64 / 1 does not fit 64 bits -> #DE
+        result = run_snippet(
+            isa,
+            [make(isa.by_name("div_r64"), reg("rbx"))],
+            setup={"rax": 0, "rdx": 1, "rbx": 1},
+        )
+        assert result.crashed
+        assert result.crash.kind == "divide_error"
+
+    def test_idiv_signed(self, isa):
+        result = run_snippet(
+            isa,
+            [make(isa.by_name("idiv_r64"), reg("rbx"))],
+            setup={
+                "rax": to_unsigned(-100, 64),
+                "rdx": MASK64,  # sign extension of -100
+                "rbx": 7,
+            },
+        )
+        assert gpr(result, "rax") == to_unsigned(-14, 64)
+        assert gpr(result, "rdx") == to_unsigned(-2, 64)  # rem sign = dividend
+
+    def test_div32_zero_extends(self, isa):
+        result = run_snippet(
+            isa,
+            [make(isa.by_name("div_r32"), reg("rbx"))],
+            setup={"rax": 100, "rdx": 0, "rbx": 3},
+        )
+        assert gpr(result, "rax") == 33
+        assert gpr(result, "rdx") == 1
+
+    @given(dividend=st.integers(min_value=0, max_value=MASK64),
+           divisor=st.integers(min_value=1, max_value=MASK64))
+    @settings(max_examples=25, deadline=None)
+    def test_div_matches_python(self, isa, dividend, divisor):
+        result = run_snippet(
+            isa,
+            [make(isa.by_name("div_r64"), reg("rbx"))],
+            setup={"rax": dividend, "rdx": 0, "rbx": divisor},
+        )
+        assert gpr(result, "rax") == dividend // divisor
+        assert gpr(result, "rdx") == dividend % divisor

@@ -1,0 +1,128 @@
+"""Semantics tests: shifts and rotates (including the RCR corner)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa import imm, make, reg
+from repro.util.bitops import MASK32, MASK64, to_unsigned
+
+from tests.isa.conftest import gpr, run_snippet
+
+u64 = st.integers(min_value=0, max_value=MASK64)
+shift_count = st.integers(min_value=0, max_value=255)
+
+
+def _one_shift(isa, name, value, count, width=64):
+    register = reg("rax")
+    return run_snippet(
+        isa,
+        [make(isa.by_name(f"{name}_r{width}_imm8"), register,
+              imm(count, 8))],
+        setup={"rax": value},
+    )
+
+
+class TestBasicShifts:
+    def test_shl(self, isa):
+        assert gpr(_one_shift(isa, "shl", 1, 4), "rax") == 16
+
+    def test_shl_masks_count(self, isa):
+        # count is masked to 6 bits for 64-bit operands: 64 -> 0
+        assert gpr(_one_shift(isa, "shl", 3, 64), "rax") == 3
+
+    def test_shr(self, isa):
+        assert gpr(_one_shift(isa, "shr", 16, 4), "rax") == 1
+
+    def test_sar_sign_fills(self, isa):
+        result = _one_shift(isa, "sar", 1 << 63, 63)
+        assert gpr(result, "rax") == MASK64
+
+    def test_sar_positive(self, isa):
+        assert gpr(_one_shift(isa, "sar", 64, 3), "rax") == 8
+
+    def test_32bit_count_mask(self, isa):
+        # 32-bit shifts mask count by 31: count 32 -> 0
+        result = _one_shift(isa, "shl", 5, 32, width=32)
+        assert gpr(result, "rax") == 5
+
+    @given(value=u64, count=shift_count)
+    @settings(max_examples=25, deadline=None)
+    def test_shl_matches_python(self, isa, value, count):
+        effective = count & 63
+        expected = (value << effective) & MASK64
+        assert gpr(_one_shift(isa, "shl", value, count), "rax") == expected
+
+    @given(value=u64, count=shift_count)
+    @settings(max_examples=25, deadline=None)
+    def test_shr_matches_python(self, isa, value, count):
+        effective = count & 63
+        expected = value >> effective
+        assert gpr(_one_shift(isa, "shr", value, count), "rax") == expected
+
+
+class TestRotates:
+    def test_rol(self, isa):
+        assert gpr(_one_shift(isa, "rol", 1 << 63, 1), "rax") == 1
+
+    def test_ror(self, isa):
+        assert gpr(_one_shift(isa, "ror", 1, 1), "rax") == 1 << 63
+
+    @given(value=u64, count=st.integers(min_value=0, max_value=63))
+    @settings(max_examples=25, deadline=None)
+    def test_rol_ror_inverse(self, isa, value, count):
+        rolled = gpr(_one_shift(isa, "rol", value, count), "rax")
+        restored = gpr(_one_shift(isa, "ror", rolled, count), "rax")
+        assert restored == value
+
+
+class TestRotateThroughCarry:
+    def test_rcl_includes_carry(self, isa):
+        # CF starts 0 (fresh flags): rcl by 1 shifts a zero in via CF.
+        result = _one_shift(isa, "rcl", 1 << 63, 1)
+        assert gpr(result, "rax") == 0  # MSB went to CF, CF(0) to LSB
+
+    def test_rcr_by_one(self, isa):
+        result = _one_shift(isa, "rcr", 1, 1)
+        assert gpr(result, "rax") == 0  # LSB to CF
+
+    def test_rcl_roundtrip_through_carry(self, isa):
+        # rcl then rcr by the same amount restores the value (CF too).
+        result = run_snippet(
+            isa,
+            [
+                make(isa.by_name("rcl_r64_imm8"), reg("rax"), imm(7, 8)),
+                make(isa.by_name("rcr_r64_imm8"), reg("rax"), imm(7, 8)),
+            ],
+            setup={"rax": 0xDEADBEEFCAFEF00D},
+        )
+        assert gpr(result, "rax") == 0xDEADBEEFCAFEF00D
+
+
+class TestShiftByCL:
+    def test_shl_cl(self, isa):
+        result = run_snippet(
+            isa,
+            [make(isa.by_name("shl_r64_cl"), reg("rax"))],
+            setup={"rax": 1, "rcx": 5},
+        )
+        assert gpr(result, "rax") == 32
+
+    def test_shr_cl_masks(self, isa):
+        result = run_snippet(
+            isa,
+            [make(isa.by_name("shr_r64_cl"), reg("rax"))],
+            setup={"rax": 0x100, "rcx": 64 + 4},  # masked to 4
+        )
+        assert gpr(result, "rax") == 0x10
+
+
+class TestSixteenBitRotates:
+    def test_rcr_r16_preserves_upper_bits(self, isa):
+        result = run_snippet(
+            isa,
+            [make(isa.by_name("rcr_r16_imm8"), reg("rax"), imm(1, 8))],
+            setup={"rax": 0xFFFF0000_00000002},
+        )
+        value = gpr(result, "rax")
+        assert value >> 16 == 0xFFFF0000_0000  # upper bits untouched
+        assert value & 0xFFFF == 1

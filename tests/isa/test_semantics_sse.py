@@ -1,0 +1,212 @@
+"""Semantics tests: SSE floating point and data movement."""
+
+import math
+import struct
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa import imm, make, mem, reg
+from repro.isa.semantics import (
+    bits_to_f32,
+    bits_to_f64,
+    f32_to_bits,
+    f64_to_bits,
+    join_lanes,
+    split_lanes,
+)
+
+from tests.isa.conftest import gpr, run_snippet, xmm
+
+
+def f32(value: float) -> int:
+    return struct.unpack("<I", struct.pack("<f", value))[0]
+
+
+def f64(value: float) -> int:
+    return struct.unpack("<Q", struct.pack("<d", value))[0]
+
+
+def _sse_binop(isa, mnemonic, a_bits, b_bits):
+    """Run one xmm-xmm SSE op with 64-bit initial patterns."""
+    return run_snippet(
+        isa,
+        [make(isa.by_name(f"{mnemonic}_x_x"), reg("xmm0"), reg("xmm1"))],
+        xmm_setup={"xmm0": a_bits, "xmm1": b_bits},
+    )
+
+
+class TestLaneHelpers:
+    def test_split_join_roundtrip(self):
+        value = 0x0123456789ABCDEF_FEDCBA9876543210
+        lanes = split_lanes(value, 32, 4)
+        assert join_lanes(value, lanes, 32) == value
+
+    def test_scalar_preserves_upper(self):
+        original = 0xAAAAAAAA_BBBBBBBB_CCCCCCCC_DDDDDDDD
+        merged = join_lanes(original, [0x11111111], 32)
+        assert merged & 0xFFFFFFFF == 0x11111111
+        assert merged >> 32 == original >> 32
+
+    @given(st.floats(allow_nan=False, allow_infinity=False,
+                     width=32))
+    def test_f32_bits_roundtrip(self, value):
+        assert bits_to_f32(f32_to_bits(value)) == value
+
+    @given(st.floats(allow_nan=False, allow_infinity=False))
+    def test_f64_bits_roundtrip(self, value):
+        assert bits_to_f64(f64_to_bits(value)) == value
+
+
+class TestScalarArith:
+    def test_addss(self, isa):
+        result = _sse_binop(isa, "addss", f32(1.5), f32(2.25))
+        assert bits_to_f32(xmm(result, "xmm0") & 0xFFFFFFFF) == 3.75
+
+    def test_subss(self, isa):
+        result = _sse_binop(isa, "subss", f32(5.0), f32(1.5))
+        assert bits_to_f32(xmm(result, "xmm0") & 0xFFFFFFFF) == 3.5
+
+    def test_mulss(self, isa):
+        result = _sse_binop(isa, "mulss", f32(3.0), f32(-2.0))
+        assert bits_to_f32(xmm(result, "xmm0") & 0xFFFFFFFF) == -6.0
+
+    def test_divss(self, isa):
+        result = _sse_binop(isa, "divss", f32(7.0), f32(2.0))
+        assert bits_to_f32(xmm(result, "xmm0") & 0xFFFFFFFF) == 3.5
+
+    def test_divss_by_zero_gives_inf(self, isa):
+        result = _sse_binop(isa, "divss", f32(1.0), f32(0.0))
+        assert math.isinf(bits_to_f32(xmm(result, "xmm0") & 0xFFFFFFFF))
+
+    def test_addsd(self, isa):
+        result = _sse_binop(isa, "addsd", f64(0.5), f64(0.25))
+        assert bits_to_f64(xmm(result, "xmm0") & ((1 << 64) - 1)) == 0.75
+
+    def test_scalar_preserves_upper_lane(self, isa):
+        a = (f32(9.0) << 32) | f32(1.0)
+        b = f32(2.0)
+        result = _sse_binop(isa, "addss", a, b)
+        value = xmm(result, "xmm0")
+        assert bits_to_f32(value & 0xFFFFFFFF) == 3.0
+        assert bits_to_f32((value >> 32) & 0xFFFFFFFF) == 9.0
+
+
+class TestPackedArith:
+    def test_addps_all_lanes(self, isa):
+        a = (f32(2.0) << 32) | f32(1.0)
+        b = (f32(20.0) << 32) | f32(10.0)
+        result = _sse_binop(isa, "addps", a, b)
+        value = xmm(result, "xmm0")
+        assert bits_to_f32(value & 0xFFFFFFFF) == 11.0
+        assert bits_to_f32((value >> 32) & 0xFFFFFFFF) == 22.0
+
+    @given(
+        a=st.floats(min_value=-1e6, max_value=1e6, width=32),
+        b=st.floats(min_value=-1e6, max_value=1e6, width=32),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_mulps_matches_f32_arithmetic(self, isa, a, b):
+        result = _sse_binop(isa, "mulps", f32(a), f32(b))
+        lane0 = bits_to_f32(xmm(result, "xmm0") & 0xFFFFFFFF)
+        assert lane0 == bits_to_f32(f32_to_bits(a * b))
+
+
+class TestMovesAndLogic:
+    def test_movq_roundtrip(self, isa):
+        result = run_snippet(
+            isa,
+            [
+                make(isa.by_name("movq_x_r64"), reg("xmm2"), reg("rax")),
+                make(isa.by_name("movq_r64_x"), reg("rbx"), reg("xmm2")),
+            ],
+            setup={"rax": 0x1122334455667788},
+        )
+        assert gpr(result, "rbx") == 0x1122334455667788
+
+    def test_movq_zero_extends_xmm(self, isa):
+        result = run_snippet(
+            isa,
+            [make(isa.by_name("movq_x_r64"), reg("xmm3"), reg("rax"))],
+            setup={"rax": 5},
+        )
+        assert xmm(result, "xmm3") == 5  # upper 64 bits cleared
+
+    def test_movd_truncates(self, isa):
+        result = run_snippet(
+            isa,
+            [
+                make(isa.by_name("movd_x_r32"), reg("xmm1"), reg("rax")),
+                make(isa.by_name("movd_r32_x"), reg("rbx"), reg("xmm1")),
+            ],
+            setup={"rax": 0xFFFFFFFF_00000007},
+        )
+        assert gpr(result, "rbx") == 7
+
+    def test_xorps_self_zeroes(self, isa):
+        result = run_snippet(
+            isa,
+            [make(isa.by_name("xorps_x_x"), reg("xmm0"), reg("xmm0"))],
+        )
+        assert xmm(result, "xmm0") == 0
+
+    def test_movaps_load_store(self, isa):
+        result = run_snippet(
+            isa,
+            [
+                make(isa.by_name("movq_x_r64"), reg("xmm0"), reg("rax")),
+                make(isa.by_name("movaps_m_x"), mem("rbp", 32),
+                     reg("xmm0")),
+                make(isa.by_name("movaps_x_m"), reg("xmm5"),
+                     mem("rbp", 32)),
+            ],
+            setup={"rax": 0xABCD},
+        )
+        assert xmm(result, "xmm5") == 0xABCD
+
+
+class TestConversions:
+    def test_cvtsi2ss(self, isa):
+        result = run_snippet(
+            isa,
+            [make(isa.by_name("cvtsi2ss_x_r64"), reg("xmm0"),
+                  reg("rax"))],
+            setup={"rax": 42},
+        )
+        assert bits_to_f32(xmm(result, "xmm0") & 0xFFFFFFFF) == 42.0
+
+    def test_cvtss2si_roundtrip(self, isa):
+        result = run_snippet(
+            isa,
+            [
+                make(isa.by_name("cvtsi2ss_x_r64"), reg("xmm0"),
+                     reg("rax")),
+                make(isa.by_name("cvtss2si_r64_x"), reg("rbx"),
+                     reg("xmm0")),
+            ],
+            setup={"rax": 1000},
+        )
+        assert gpr(result, "rbx") == 1000
+
+
+class TestUcomiss:
+    def test_compare_drives_branches(self, isa):
+        # ucomiss sets CF when a < b; jc observes it.
+        result = run_snippet(
+            isa,
+            [
+                make(isa.by_name("movq_x_r64"), reg("xmm0"), reg("rax")),
+                make(isa.by_name("movq_x_r64"), reg("xmm1"), reg("rbx")),
+                make(isa.by_name("ucomiss_x_x"), reg("xmm0"),
+                     reg("xmm1")),
+                make(isa.by_name("jc_rel"), __import__(
+                    "repro.isa.operands", fromlist=["rel"]).rel(1)),
+                make(isa.by_name("mov_r64_imm64"), reg("rcx"),
+                     imm(111, 64)),
+                make(isa.by_name("nop")),
+            ],
+            setup={"rax": f32(1.0), "rbx": f32(2.0), "rcx": 0},
+        )
+        # 1.0 < 2.0 -> CF=1 -> branch taken -> rcx stays 0
+        assert gpr(result, "rcx") == 0

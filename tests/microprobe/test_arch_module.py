@@ -1,0 +1,90 @@
+"""Unit tests for the Architecture Module's constraint knowledge."""
+
+import pytest
+
+from repro.isa.instructions import FUClass
+from repro.microprobe.arch_module import ArchitectureModule
+
+
+@pytest.fixture(scope="module")
+def arch():
+    return ArchitectureModule()
+
+
+class TestPools:
+    def test_generatable_excludes_nondeterministic(self, arch):
+        names = {d.name for d in arch.generatable_defs()}
+        assert "rdtsc" not in names
+        assert "add_r64_r64" in names
+
+    def test_defs_by_class(self, arch):
+        muls = arch.defs_by_class([FUClass.INT_MUL])
+        assert muls
+        assert all(d.fu_class is FUClass.INT_MUL for d in muls)
+
+    def test_defs_by_names_order(self, arch):
+        defs = arch.defs_by_names(["nop", "add_r64_r64", "nop"])
+        assert [d.name for d in defs] == ["nop", "add_r64_r64", "nop"]
+
+    def test_defs_by_names_unknown(self, arch):
+        with pytest.raises(KeyError):
+            arch.defs_by_names(["definitely_not_real"])
+
+
+class TestRegisterConstraints:
+    def test_plain_instruction_excludes_rsp_rbp(self, arch):
+        pool = arch.allocatable_gprs(arch.isa.by_name("add_r64_r64"))
+        names = {r.name for r in pool}
+        assert "rsp" not in names and "rbp" not in names
+        assert len(names) == 14
+
+    def test_implicit_rax_users_exclude_rax_rdx(self, arch):
+        for name in ("div_r64", "mul1_r64", "imul1_r64"):
+            pool = arch.allocatable_gprs(arch.isa.by_name(name))
+            names = {r.name for r in pool}
+            assert "rax" not in names and "rdx" not in names
+
+    def test_cl_shift_excludes_rcx(self, arch):
+        pool = arch.allocatable_gprs(arch.isa.by_name("shl_r64_cl"))
+        assert "rcx" not in {r.name for r in pool}
+
+
+class TestGuards:
+    def test_no_guard_for_safe_instruction(self, arch):
+        from repro.isa import registers
+
+        assert arch.guard_slots(
+            arch.isa.by_name("add_r64_r64"), registers.RBX
+        ) == []
+
+    def test_div64_guard_shape(self, arch):
+        from repro.isa import registers
+
+        guards = arch.guard_slots(
+            arch.isa.by_name("div_r64"), registers.RBX
+        )
+        names = [g.definition.name for g in guards]
+        assert names == ["xor_r64_r64", "or_r64_imm32"]
+        assert all(g.fully_resolved for g in guards)
+
+    def test_idiv32_guard_uses_wide_shift(self, arch):
+        from repro.isa import registers
+
+        guards = arch.guard_slots(
+            arch.isa.by_name("idiv_r32"), registers.RBX
+        )
+        shift = next(
+            g for g in guards if g.definition.name == "shr_r64_imm8"
+        )
+        assert shift.operands[1].value == 33  # clears bit 31 of eax
+
+    def test_idiv64_guard_uses_single_shift(self, arch):
+        from repro.isa import registers
+
+        guards = arch.guard_slots(
+            arch.isa.by_name("idiv_r64"), registers.RBX
+        )
+        shift = next(
+            g for g in guards if g.definition.name == "shr_r64_imm8"
+        )
+        assert shift.operands[1].value == 1

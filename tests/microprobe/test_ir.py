@@ -1,0 +1,72 @@
+"""Unit tests for the microbenchmark IR."""
+
+import pytest
+
+from repro.isa import imm, reg, x64
+from repro.microprobe.ir import BasicBlock, Microbenchmark, Slot
+
+
+@pytest.fixture(scope="module")
+def add_def(isa):
+    return isa.by_name("add_r64_r64")
+
+
+class TestSlot:
+    def test_starts_unresolved(self, add_def):
+        slot = Slot(add_def)
+        assert slot.operands == [None, None]
+        assert not slot.fully_resolved
+
+    def test_resolution(self, add_def):
+        slot = Slot(add_def, [reg("rax"), reg("rbx")])
+        assert slot.fully_resolved
+        instruction = slot.to_instruction()
+        assert instruction.to_asm() == "add rax, rbx"
+
+    def test_unresolved_lowering_fails_with_context(self, add_def):
+        slot = Slot(add_def, [reg("rax"), None])
+        with pytest.raises(ValueError, match="add_r64_r64"):
+            slot.to_instruction()
+
+    def test_guard_flag_default(self, add_def):
+        assert not Slot(add_def).is_guard
+
+
+class TestMicrobenchmark:
+    def _benchmark(self, isa):
+        benchmark = Microbenchmark(name="t")
+        block = BasicBlock()
+        block.append(Slot(isa.by_name("nop")))
+        guard = Slot(
+            isa.by_name("or_r64_imm32"), [reg("rbx"), imm(1, 32)]
+        )
+        guard.is_guard = True
+        block.append(guard)
+        block.append(
+            Slot(isa.by_name("mov_r64_r64"), [reg("rax"), reg("rbx")])
+        )
+        benchmark.blocks.append(block)
+        return benchmark
+
+    def test_counts(self, isa):
+        benchmark = self._benchmark(isa)
+        assert benchmark.num_instructions == 3
+        assert len(list(benchmark.all_slots())) == 3
+
+    def test_genome_excludes_guards(self, isa):
+        benchmark = self._benchmark(isa)
+        assert benchmark.genome() == ["nop", "mov_r64_r64"]
+
+    def test_instructions_requires_full_resolution(self, isa):
+        benchmark = Microbenchmark()
+        block = BasicBlock()
+        block.append(Slot(isa.by_name("add_r64_r64")))
+        benchmark.blocks.append(block)
+        with pytest.raises(ValueError):
+            benchmark.instructions()
+
+    def test_lowering(self, isa):
+        benchmark = self._benchmark(isa)
+        instructions = benchmark.instructions()
+        assert [i.mnemonic for i in instructions] == \
+            ["nop", "or", "mov"]

@@ -1,0 +1,256 @@
+"""Unit tests for IR passes and the architecture module."""
+
+import random
+
+import pytest
+
+from repro.isa.instructions import FUClass
+from repro.isa.operands import (
+    ImmOperand,
+    MemOperand,
+    OperandKind,
+    RegOperand,
+    RelOperand,
+)
+from repro.microprobe.arch_module import ArchitectureModule
+from repro.microprobe.ir import BasicBlock, Microbenchmark, Slot
+from repro.microprobe.passes import (
+    BranchResolutionPass,
+    GuardInsertionPass,
+    ImmediatePass,
+    InstructionSelectionPass,
+    MemoryAccessMode,
+    MemoryOperandPass,
+    RegAllocStrategy,
+    RegisterAllocationPass,
+    SequenceImportPass,
+    StackBalancePass,
+)
+
+
+@pytest.fixture(scope="module")
+def arch():
+    return ArchitectureModule()
+
+
+def _fresh(arch, defs=None, count=50, seed=0):
+    benchmark = Microbenchmark(data_size=4096, stride=64)
+    rng = random.Random(seed)
+    if defs is not None:
+        SequenceImportPass(defs).apply(benchmark, rng)
+    else:
+        InstructionSelectionPass(arch, count).apply(benchmark, rng)
+    return benchmark, rng
+
+
+class TestSelection:
+    def test_fills_requested_count(self, arch):
+        benchmark, _ = _fresh(arch, count=37)
+        assert benchmark.num_instructions == 37
+
+    def test_pool_restriction(self, arch):
+        pool = arch.defs_by_names(["add_r64_r64", "nop"])
+        benchmark = Microbenchmark()
+        InstructionSelectionPass(arch, 30, pool=pool).apply(
+            benchmark, random.Random(0)
+        )
+        names = {slot.definition.name for slot in benchmark.all_slots()}
+        assert names <= {"add_r64_r64", "nop"}
+
+    def test_weights_bias_selection(self, arch):
+        pool = arch.defs_by_names(["add_r64_r64", "nop"])
+        benchmark = Microbenchmark()
+        InstructionSelectionPass(
+            arch, 200, pool=pool, weights=[100.0, 1.0]
+        ).apply(benchmark, random.Random(0))
+        adds = sum(
+            1 for slot in benchmark.all_slots()
+            if slot.definition.name == "add_r64_r64"
+        )
+        assert adds > 150
+
+    def test_weights_length_checked(self, arch):
+        pool = arch.defs_by_names(["nop"])
+        with pytest.raises(ValueError):
+            InstructionSelectionPass(arch, 5, pool=pool, weights=[1, 2])
+
+    def test_only_deterministic_selected(self, arch):
+        benchmark, _ = _fresh(arch, count=500, seed=3)
+        assert all(
+            slot.definition.deterministic
+            for slot in benchmark.all_slots()
+        )
+
+
+class TestStackBalance:
+    def test_pop_at_zero_depth_flipped(self, arch):
+        defs = arch.defs_by_names(["pop_r64", "push_r64", "pop_r64"])
+        benchmark, rng = _fresh(arch, defs=defs)
+        StackBalancePass(arch).apply(benchmark, rng)
+        semantics = [
+            slot.definition.semantic for slot in benchmark.all_slots()
+        ]
+        assert semantics == ["push", "push", "pop"]
+
+    def test_depth_limit_enforced(self, arch):
+        defs = arch.defs_by_names(["push_r64"] * 10)
+        benchmark, rng = _fresh(arch, defs=defs)
+        StackBalancePass(arch, max_depth=3).apply(benchmark, rng)
+        depth = 0
+        for slot in benchmark.all_slots():
+            if slot.definition.semantic == "push":
+                depth += 1
+            else:
+                depth -= 1
+            assert 0 <= depth <= 3
+
+
+class TestRegisterAllocation:
+    def test_resolves_all_registers(self, arch):
+        benchmark, rng = _fresh(arch, count=100, seed=1)
+        StackBalancePass(arch).apply(benchmark, rng)
+        RegisterAllocationPass(arch).apply(benchmark, rng)
+        for slot in benchmark.all_slots():
+            for spec, operand in zip(
+                slot.definition.operands, slot.operands
+            ):
+                if spec.kind in (OperandKind.GPR, OperandKind.XMM):
+                    assert isinstance(operand, RegOperand)
+
+    def test_reserved_registers_avoided(self, arch):
+        benchmark, rng = _fresh(arch, count=300, seed=2)
+        StackBalancePass(arch).apply(benchmark, rng)
+        RegisterAllocationPass(
+            arch, RegAllocStrategy.RANDOM
+        ).apply(benchmark, rng)
+        for slot in benchmark.all_slots():
+            for operand in slot.operands:
+                if isinstance(operand, RegOperand) and \
+                        operand.reg.reg_class.value == "gpr":
+                    assert operand.reg.name not in ("rsp", "rbp")
+
+    def test_div_source_avoids_rax_rdx(self, arch):
+        defs = arch.defs_by_names(["div_r64"] * 20)
+        benchmark, rng = _fresh(arch, defs=defs)
+        RegisterAllocationPass(
+            arch, RegAllocStrategy.RANDOM
+        ).apply(benchmark, rng)
+        for slot in benchmark.all_slots():
+            operand = slot.operands[0]
+            assert operand.reg.name not in ("rax", "rdx")
+
+    def test_dependency_distance_spreads_destinations(self, arch):
+        defs = arch.defs_by_names(["add_r64_r64"] * 28)
+        benchmark, rng = _fresh(arch, defs=defs)
+        RegisterAllocationPass(
+            arch, RegAllocStrategy.DEPENDENCY_DISTANCE
+        ).apply(benchmark, rng)
+        destinations = [
+            slot.operands[0].reg.name for slot in benchmark.all_slots()
+        ]
+        assert len(set(destinations)) == 14  # full allocatable pool
+
+
+class TestGuards:
+    def test_guard_inserted_before_div(self, arch):
+        defs = arch.defs_by_names(["div_r64"])
+        benchmark, rng = _fresh(arch, defs=defs)
+        RegisterAllocationPass(arch).apply(benchmark, rng)
+        GuardInsertionPass(arch).apply(benchmark, rng)
+        slots = list(benchmark.all_slots())
+        assert len(slots) == 3  # xor rdx + or src + div
+        assert slots[0].definition.name == "xor_r64_r64"
+        assert slots[-1].definition.name == "div_r64"
+        assert all(slot.is_guard for slot in slots[:-1])
+
+    def test_idiv_guard_includes_dividend_shift(self, arch):
+        defs = arch.defs_by_names(["idiv_r32"])
+        benchmark, rng = _fresh(arch, defs=defs)
+        RegisterAllocationPass(arch).apply(benchmark, rng)
+        GuardInsertionPass(arch).apply(benchmark, rng)
+        names = [s.definition.name for s in benchmark.all_slots()]
+        assert "shr_r64_imm8" in names
+
+    def test_guard_requires_resolved_operand(self, arch):
+        defs = arch.defs_by_names(["div_r64"])
+        benchmark, rng = _fresh(arch, defs=defs)
+        with pytest.raises(ValueError):
+            GuardInsertionPass(arch).apply(benchmark, rng)
+
+    def test_guards_excluded_from_genome(self, arch):
+        defs = arch.defs_by_names(["add_r64_r64", "div_r64"])
+        benchmark, rng = _fresh(arch, defs=defs)
+        RegisterAllocationPass(arch).apply(benchmark, rng)
+        GuardInsertionPass(arch).apply(benchmark, rng)
+        assert benchmark.genome() == ["add_r64_r64", "div_r64"]
+
+
+class TestMemoryOperands:
+    def test_round_robin_respects_stride_and_region(self, arch):
+        defs = arch.defs_by_names(["mov_r64_m64"] * 40)
+        benchmark, rng = _fresh(arch, defs=defs)
+        MemoryOperandPass(
+            MemoryAccessMode.ROUND_ROBIN, stride=64,
+            rip_relative_fraction=0.0,
+        ).apply(benchmark, rng)
+        offsets = [
+            slot.operands[1].displacement
+            for slot in benchmark.all_slots()
+        ]
+        assert all(0 <= off < 4096 for off in offsets)
+        assert all(off % 64 == 0 for off in offsets)
+
+    def test_sequential_mode_advances(self, arch):
+        defs = arch.defs_by_names(["mov_r64_m64"] * 10)
+        benchmark, rng = _fresh(arch, defs=defs)
+        MemoryOperandPass(
+            MemoryAccessMode.SEQUENTIAL, stride=8,
+            rip_relative_fraction=0.0,
+        ).apply(benchmark, rng)
+        offsets = [
+            slot.operands[1].displacement
+            for slot in benchmark.all_slots()
+        ]
+        assert offsets == [i * 8 for i in range(10)]
+
+    def test_sse_operands_are_16_byte_aligned(self, arch):
+        defs = arch.defs_by_names(["movaps_x_m"] * 30)
+        benchmark, rng = _fresh(arch, defs=defs)
+        MemoryOperandPass(
+            MemoryAccessMode.RANDOM, stride=8,
+            rip_relative_fraction=0.0,
+        ).apply(benchmark, rng)
+        for slot in benchmark.all_slots():
+            assert slot.operands[1].displacement % 16 == 0
+
+    def test_rip_relative_fraction(self, arch):
+        defs = arch.defs_by_names(["mov_r64_m64"] * 200)
+        benchmark, rng = _fresh(arch, defs=defs)
+        MemoryOperandPass(
+            MemoryAccessMode.ROUND_ROBIN, stride=64,
+            rip_relative_fraction=1.0,
+        ).apply(benchmark, rng)
+        assert all(
+            slot.operands[1].rip_relative
+            for slot in benchmark.all_slots()
+        )
+
+
+class TestImmediatesAndBranches:
+    def test_immediates_resolved(self, arch):
+        defs = arch.defs_by_names(["add_r64_imm32", "shl_r64_imm8"])
+        benchmark, rng = _fresh(arch, defs=defs)
+        ImmediatePass().apply(benchmark, rng)
+        slots = list(benchmark.all_slots())
+        assert isinstance(slots[0].operands[1], ImmOperand)
+        assert slots[0].operands[1].width == 32
+        assert slots[1].operands[1].width == 8
+
+    def test_branches_resolve_to_fallthrough(self, arch):
+        defs = arch.defs_by_names(["jz_rel", "jmp_rel", "jg_rel"])
+        benchmark, rng = _fresh(arch, defs=defs)
+        BranchResolutionPass().apply(benchmark, rng)
+        for slot in benchmark.all_slots():
+            operand = slot.operands[0]
+            assert isinstance(operand, RelOperand)
+            assert operand.displacement == 0

@@ -1,0 +1,82 @@
+"""Unit tests for policies and generation configuration."""
+
+import random
+
+import pytest
+
+from repro.microprobe.arch_module import ArchitectureModule
+from repro.microprobe.ir import Microbenchmark
+from repro.microprobe.policies import (
+    GenerationConfig,
+    Policy,
+    constrained_random_policy,
+    sequence_policy,
+)
+
+
+@pytest.fixture(scope="module")
+def arch():
+    return ArchitectureModule()
+
+
+class TestStandardPolicy:
+    def test_pass_order(self, arch):
+        policy = constrained_random_policy(arch, GenerationConfig())
+        names = [p.name for p in policy.passes]
+        assert names == [
+            "instruction_selection",
+            "stack_balance",
+            "register_allocation",
+            "guard_insertion",
+            "memory_operands",
+            "immediates",
+            "branch_resolution",
+        ]
+        # register allocation must precede guard insertion: guards need
+        # the divisor register.
+        assert names.index("register_allocation") < \
+            names.index("guard_insertion")
+
+    def test_policy_produces_fully_resolved_ir(self, arch):
+        config = GenerationConfig(num_instructions=120)
+        policy = constrained_random_policy(arch, config)
+        benchmark = Microbenchmark(data_size=config.data_size)
+        policy.run(benchmark, random.Random(0))
+        assert all(
+            slot.fully_resolved for slot in benchmark.all_slots()
+        )
+
+    def test_pool_names_resolved(self, arch):
+        config = GenerationConfig(
+            num_instructions=20, pool_names=("nop",)
+        )
+        policy = constrained_random_policy(arch, config)
+        benchmark = Microbenchmark()
+        policy.run(benchmark, random.Random(0))
+        assert all(
+            slot.definition.name == "nop"
+            for slot in benchmark.all_slots()
+        )
+
+
+class TestSequencePolicy:
+    def test_preserves_sequence(self, arch):
+        names = ["add_r64_r64", "nop", "imul_r64_r64"]
+        policy = sequence_policy(
+            arch, arch.defs_by_names(names), GenerationConfig()
+        )
+        benchmark = Microbenchmark()
+        policy.run(benchmark, random.Random(1))
+        assert benchmark.genome() == names
+
+
+class TestGenerationConfig:
+    def test_defaults_match_paper_style(self):
+        config = GenerationConfig()
+        assert config.data_size == 32 * 1024
+        assert config.reg_strategy.value == "dependency_distance"
+
+    def test_frozen(self):
+        config = GenerationConfig()
+        with pytest.raises(Exception):
+            config.num_instructions = 5

@@ -1,0 +1,135 @@
+"""Integration tests for the synthesizer: generated programs are valid,
+deterministic, crash-free, and honour their generation constraints."""
+
+import pytest
+
+from repro.isa.instructions import FUClass
+from repro.microprobe import (
+    GenerationConfig,
+    MemoryAccessMode,
+    Synthesizer,
+)
+from repro.microprobe.ir import Microbenchmark, Slot
+from repro.microprobe.wrappers import StandardWrapper
+from repro.sim import golden_run, run_program
+
+
+@pytest.fixture(scope="module")
+def synthesizer():
+    return Synthesizer(
+        config=GenerationConfig(num_instructions=200, data_size=4096)
+    )
+
+
+class TestRandomSynthesis:
+    def test_program_size_at_least_requested(self, synthesizer):
+        program = synthesizer.synthesize_random(1)
+        # guards may add instructions, never remove
+        assert len(program) >= 200
+
+    def test_deterministic_per_seed(self, synthesizer):
+        a = synthesizer.synthesize_random(7)
+        b = synthesizer.synthesize_random(7)
+        assert a.to_asm() == b.to_asm()
+
+    def test_seeds_differ(self, synthesizer):
+        a = synthesizer.synthesize_random(1)
+        b = synthesizer.synthesize_random(2)
+        assert a.to_asm() != b.to_asm()
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_crash_free(self, synthesizer, seed):
+        program = synthesizer.synthesize_random(seed)
+        result = run_program(program, collect_records=False)
+        assert not result.crashed, result.crash
+
+    def test_genome_recorded(self, synthesizer):
+        program = synthesizer.synthesize_random(3)
+        genome = program.metadata["genome"]
+        assert len(genome) == 200  # guards excluded
+
+    def test_runs_deterministically(self, synthesizer):
+        program = synthesizer.synthesize_random(5)
+        a = run_program(program, collect_records=False)
+        b = run_program(program, collect_records=False)
+        assert a.output == b.output
+
+
+class TestSequenceSynthesis:
+    def test_sequence_realized_in_order(self, synthesizer):
+        names = ["add_r64_r64", "imul_r64_r64", "nop", "mov_r64_imm64"]
+        definitions = [
+            synthesizer.arch.isa.by_name(name) for name in names
+        ]
+        program = synthesizer.synthesize_from_sequence(definitions, 9)
+        assert list(program.metadata["genome"]) == names
+
+    def test_same_genome_same_seed_identical(self, synthesizer):
+        definitions = [
+            synthesizer.arch.isa.by_name("add_r64_r64")
+        ] * 10
+        a = synthesizer.synthesize_from_sequence(definitions, 4)
+        b = synthesizer.synthesize_from_sequence(definitions, 4)
+        assert a.to_asm() == b.to_asm()
+
+    def test_guarded_sequences_run(self, synthesizer):
+        definitions = [
+            synthesizer.arch.isa.by_name(name)
+            for name in ("div_r64", "idiv_r64", "idiv_r32", "div_r32")
+        ] * 3
+        program = synthesizer.synthesize_from_sequence(definitions, 11)
+        result = run_program(program, collect_records=False)
+        assert not result.crashed, result.crash
+
+
+class TestConstraints:
+    def test_pool_constrained_generation(self):
+        config = GenerationConfig(
+            num_instructions=100,
+            pool_names=("addps_x_x", "mulps_x_x", "movaps_x_x"),
+        )
+        program = Synthesizer(config=config).synthesize_random(0)
+        names = {i.definition.name for i in program.instructions}
+        assert names <= {"addps_x_x", "mulps_x_x", "movaps_x_x"}
+
+    def test_sequential_memory_mode(self):
+        config = GenerationConfig(
+            num_instructions=120,
+            pool_names=("mov_r64_m64", "mov_m64_r64"),
+            memory_mode=MemoryAccessMode.SEQUENTIAL,
+            stride=8,
+            data_size=2048,
+            rip_relative_fraction=0.0,
+        )
+        program = Synthesizer(config=config).synthesize_random(0)
+        offsets = [
+            i.operands[1 if i.definition.is_load else 0].displacement
+            for i in program.instructions
+            if i.definition.is_memory
+        ]
+        deltas = {b - a for a, b in zip(offsets, offsets[1:])}
+        assert deltas <= {8, 8 - 2048 + 8, offsets[0] - offsets[-1],
+                          8 - 2040}  # wraparound allowed
+
+    def test_population_unique(self):
+        synthesizer = Synthesizer(
+            config=GenerationConfig(num_instructions=50)
+        )
+        population = synthesizer.synthesize_population(6, base_seed=0)
+        texts = {p.to_asm() for p in population}
+        assert len(texts) == 6
+
+
+class TestWrapper:
+    def test_wrapper_binds_seed_and_size(self):
+        wrapper = StandardWrapper(init_seed=77, data_size=1024)
+        program = wrapper.wrap([], name="empty")
+        assert program.init_seed == 77
+        assert program.data_size == 1024
+
+    def test_c_wrapper_rendering(self, synthesizer):
+        program = synthesizer.synthesize_random(2)
+        source = StandardWrapper().render_c_wrapper(program)
+        assert "harpocrates_init_registers" in source
+        assert "__asm__ volatile" in source
+        assert "more instructions" in source  # long program elided

@@ -1,0 +1,163 @@
+"""Property-based tests of cross-cutting system invariants."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gatelevel.adder import build_ripple_adder
+from repro.gatelevel.netlist import StuckAt
+from repro.gatelevel.units import IntAdderUnit
+from repro.isa import decode_program, encode_program, x64
+from repro.microprobe import GenerationConfig, Synthesizer
+from repro.sim import golden_run, run_program
+from repro.sim.functional import FunctionalSimulator
+from repro.sim.overrides import Overrides
+from repro.util.bitops import MASK64
+
+
+@pytest.fixture(scope="module")
+def synthesizer():
+    return Synthesizer(
+        config=GenerationConfig(num_instructions=60, data_size=2048)
+    )
+
+
+class TestGeneratedProgramInvariants:
+    """Invariants over arbitrary constrained-random programs."""
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=15, deadline=None)
+    def test_generated_programs_never_crash(self, synthesizer, seed):
+        program = synthesizer.synthesize_random(seed)
+        result = run_program(program, collect_records=False)
+        assert not result.crashed, result.crash
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=10, deadline=None)
+    def test_encoding_roundtrips_generated_programs(
+        self, synthesizer, seed
+    ):
+        isa = x64()
+        program = synthesizer.synthesize_random(seed)
+        decoded = decode_program(
+            isa, encode_program(list(program.instructions))
+        )
+        assert [i.to_asm() for i in decoded] == \
+            [i.to_asm() for i in program.instructions]
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=8, deadline=None)
+    def test_execution_is_deterministic(self, synthesizer, seed):
+        program = synthesizer.synthesize_random(seed)
+        a = run_program(program, collect_records=False)
+        b = run_program(program, collect_records=False)
+        assert a.output == b.output
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=6, deadline=None)
+    def test_timing_schedule_well_formed(self, synthesizer, seed):
+        program = synthesizer.synthesize_random(seed)
+        golden = golden_run(program)
+        assert not golden.crashed
+        previous_commit = -1
+        for timing in golden.schedule.timings:
+            assert timing.rename < timing.issue <= timing.complete
+            assert timing.complete < timing.commit
+            assert timing.commit >= previous_commit
+            previous_commit = timing.commit
+        assert golden.total_cycles > 0
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=6, deadline=None)
+    def test_coverage_metrics_bounded(self, synthesizer, seed):
+        from repro.coverage import ace_l1d, ace_register_file, ibr
+        from repro.isa import FUClass
+
+        golden = golden_run(synthesizer.synthesize_random(seed))
+        assert 0 <= ace_register_file(golden.schedule).vulnerability <= 1
+        assert 0 <= ace_l1d(golden.schedule).vulnerability <= 1
+        assert 0 <= ibr(golden.schedule, FUClass.INT_ADDER).ibr <= 1
+
+
+class TestFaultInjectionInvariants:
+    @given(seed=st.integers(min_value=0, max_value=500))
+    @settings(max_examples=6, deadline=None)
+    def test_empty_overrides_reproduce_golden(self, synthesizer, seed):
+        """Injection machinery soundness: a no-op override set must
+        reproduce the golden output bit for bit."""
+        program = synthesizer.synthesize_random(seed)
+        simulator = FunctionalSimulator()
+        golden = simulator.run(program, collect_records=False)
+        replay = simulator.run(
+            program, Overrides(), collect_records=False
+        )
+        assert replay.output == golden.output
+
+    @given(
+        seed=st.integers(min_value=0, max_value=200),
+        preg=st.integers(min_value=0, max_value=127),
+        bit=st.integers(min_value=0, max_value=63),
+    )
+    @settings(max_examples=12, deadline=None)
+    def test_register_injection_total_and_classified(
+        self, synthesizer, seed, preg, bit
+    ):
+        from repro.faults import FaultInjector, RegisterTransient
+        from repro.faults.outcomes import Outcome
+
+        program = synthesizer.synthesize_random(seed % 3)
+        golden = golden_run(program)
+        injector = FaultInjector(golden)
+        fault = RegisterTransient(
+            preg=preg, bit=bit,
+            cycle=seed % max(golden.total_cycles, 1),
+        )
+        result = injector.inject_register_transient(fault)
+        assert result.outcome in (
+            Outcome.MASKED, Outcome.SDC, Outcome.CRASH
+        )
+
+
+class TestNetlistInvariants:
+    @given(
+        data=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=MASK64),
+                st.integers(min_value=0, max_value=MASK64),
+                st.integers(min_value=0, max_value=1),
+            ),
+            min_size=1,
+            max_size=12,
+        ),
+        site_index=st.integers(min_value=0, max_value=639),
+        stuck=st.integers(min_value=0, max_value=1),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_fault_free_batch_matches_arithmetic(
+        self, data, site_index, stuck
+    ):
+        unit = IntAdderUnit()
+        golden = unit.golden_results(data)
+        for (a, b, c), result in zip(data, golden):
+            assert result == (a + b + c) & MASK64
+        # faulty evaluation never errors and differs only by XOR masks
+        sites = unit.fault_sites()
+        diffs = unit.result_diffs(
+            data, sites[site_index % len(sites)]
+        )
+        assert len(diffs) == len(data)
+
+    @given(st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=10, deadline=None)
+    def test_double_fault_free_eval_stable(self, seed):
+        rng = random.Random(seed)
+        netlist = build_ripple_adder(16)
+        ops = {
+            "a": [rng.getrandbits(16) for _ in range(8)],
+            "b": [rng.getrandbits(16) for _ in range(8)],
+            "cin": [rng.getrandbits(1) for _ in range(8)],
+        }
+        assert netlist.evaluate_values(ops) == \
+            netlist.evaluate_values(ops)

@@ -1,0 +1,110 @@
+"""Unit tests for the L1D cache model."""
+
+import pytest
+
+from repro.sim.cache import L1DCache, residency_intervals
+from repro.sim.config import CacheConfig
+
+
+@pytest.fixture
+def config():
+    return CacheConfig(size=1024, line_size=64, associativity=2)
+
+
+class TestGeometry:
+    def test_counts(self, config):
+        cache = L1DCache(config)
+        assert config.num_lines == 16
+        assert config.num_sets == 8
+        assert len(cache.sets) == 8
+
+    def test_line_address_roundtrip(self, config):
+        cache = L1DCache(config)
+        address = 0x100000 + 3 * 64
+        set_index = cache.set_index(address)
+        tag = cache.tag(address)
+        assert cache.line_address(set_index, tag) == address
+
+
+class TestHitsMisses:
+    def test_first_access_misses(self, config):
+        cache = L1DCache(config)
+        latency = cache.access(0, 0, 0x100000, 8, is_store=False)
+        assert latency == config.miss_latency
+
+    def test_second_access_hits(self, config):
+        cache = L1DCache(config)
+        cache.access(0, 0, 0x100000, 8, is_store=False)
+        latency = cache.access(1, 1, 0x100000, 8, is_store=False)
+        assert latency == config.hit_latency
+
+    def test_same_line_different_offset_hits(self, config):
+        cache = L1DCache(config)
+        cache.access(0, 0, 0x100000, 8, is_store=False)
+        latency = cache.access(1, 1, 0x100020, 8, is_store=False)
+        assert latency == config.hit_latency
+
+    def test_line_crossing_access_touches_two_lines(self, config):
+        cache = L1DCache(config)
+        cache.access(0, 0, 0x100000 + 60, 8, is_store=False)
+        kinds = [e.kind for e in cache.events]
+        assert kinds.count("fill") == 2
+
+
+class TestEviction:
+    def test_lru_eviction(self, config):
+        cache = L1DCache(config)
+        stride = config.line_size * config.num_sets  # same set
+        cache.access(0, 0, 0x100000, 8, is_store=False)
+        cache.access(1, 1, 0x100000 + stride, 8, is_store=False)
+        cache.access(2, 2, 0x100000 + 2 * stride, 8, is_store=False)
+        evicts = [e for e in cache.events if e.kind == "evict"]
+        assert len(evicts) == 1
+        assert evicts[0].address == 0x100000  # the LRU victim
+
+    def test_dirty_eviction_flagged(self, config):
+        cache = L1DCache(config)
+        stride = config.line_size * config.num_sets
+        cache.access(0, 0, 0x100000, 8, is_store=True)
+        cache.access(1, 1, 0x100000 + stride, 8, is_store=False)
+        cache.access(2, 2, 0x100000 + 2 * stride, 8, is_store=False)
+        evicts = [e for e in cache.events if e.kind == "evict"]
+        assert evicts[0].dirty
+
+    def test_flush_emits_all_valid_lines(self, config):
+        cache = L1DCache(config)
+        cache.access(0, 0, 0x100000, 8, is_store=True)
+        cache.access(1, 1, 0x100040, 8, is_store=False)
+        cache.flush(100)
+        flushes = [e for e in cache.events if e.kind == "flush"]
+        assert len(flushes) == 2
+        assert sum(1 for e in flushes if e.dirty) == 1
+
+
+class TestEventConsistency:
+    def test_cycles_monotonic(self, config):
+        cache = L1DCache(config)
+        cache.access(50, 0, 0x100000, 8, is_store=False)
+        cache.access(10, 1, 0x100040, 8, is_store=False)  # clamped
+        cycles = [e.cycle for e in cache.events]
+        assert cycles == sorted(cycles)
+
+    def test_residency_intervals(self, config):
+        cache = L1DCache(config)
+        stride = config.line_size * config.num_sets
+        cache.access(0, 0, 0x100000, 8, is_store=True)
+        cache.access(10, 1, 0x100000 + stride, 8, is_store=False)
+        cache.access(20, 2, 0x100000 + 2 * stride, 8, is_store=False)
+        cache.flush(30)
+        intervals = residency_intervals(cache.events, config, 40)
+        first = [i for i in intervals if i.address == 0x100000]
+        assert len(first) == 1
+        assert first[0].start_cycle == 0
+        assert first[0].end_cycle == 20
+        assert first[0].evicted_dirty
+
+    def test_open_residency_closed_at_total(self, config):
+        cache = L1DCache(config)
+        cache.access(5, 0, 0x100000, 8, is_store=False)
+        intervals = residency_intervals(cache.events, config, 99)
+        assert intervals[0].end_cycle == 99

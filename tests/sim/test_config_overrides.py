@@ -1,0 +1,82 @@
+"""Unit tests for machine configuration and override containers."""
+
+import pytest
+
+from repro.sim.config import (
+    CacheConfig,
+    CoreConfig,
+    DEFAULT_MACHINE,
+    MachineConfig,
+    MemoryMap,
+)
+from repro.sim.overrides import Overrides
+
+
+class TestMemoryMap:
+    def test_derived_bounds(self):
+        layout = MemoryMap(data_base=0x1000, data_size=256,
+                           stack_base=0x2000, stack_size=64)
+        assert layout.data_end == 0x1100
+        assert layout.stack_end == 0x2040
+
+    def test_with_data_size(self):
+        layout = MemoryMap().with_data_size(512)
+        assert layout.data_size == 512
+        assert layout.data_base == MemoryMap().data_base
+
+
+class TestCacheConfig:
+    def test_geometry_derivation(self):
+        config = CacheConfig(size=32 * 1024, line_size=64,
+                             associativity=8)
+        assert config.num_lines == 512
+        assert config.num_sets == 64
+
+
+class TestMachineConfig:
+    def test_for_program_noop_when_same(self):
+        machine = MachineConfig()
+        assert machine.for_program(machine.memory.data_size) is machine
+
+    def test_for_program_changes_data_size(self):
+        machine = MachineConfig()
+        derived = machine.for_program(1024)
+        assert derived.memory.data_size == 1024
+        assert derived.cache == machine.cache
+        assert derived.core == machine.core
+
+    def test_default_machine_has_two_adders(self):
+        from repro.isa.instructions import FUClass
+
+        assert DEFAULT_MACHINE.core.fu_counts[FUClass.INT_ADDER] == 2
+
+    def test_unpipelined_units(self):
+        from repro.isa.instructions import FUClass
+
+        assert FUClass.INT_DIV in DEFAULT_MACHINE.core.unpipelined
+        assert FUClass.INT_ADDER not in DEFAULT_MACHINE.core.unpipelined
+
+
+class TestOverrides:
+    def test_empty_by_default(self):
+        assert Overrides().is_empty()
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("reg_read_xor", {(0, "rax"): 1}),
+            ("load_xor", {0: 1}),
+            ("fu_int", {0: 1}),
+            ("fu_lanes", {0: {0: 1}}),
+            ("final_mem_xor", {0x100000: 1}),
+            ("final_reg_xor", {"rax": 1}),
+            ("reg_read_force", {(0, "rax"): (0, 1)}),
+            ("final_reg_force", {"rax": (0, 1)}),
+        ],
+    )
+    def test_any_field_makes_nonempty(self, field, value):
+        overrides = Overrides(**{field: value})
+        assert not overrides.is_empty()
+
+    def test_nondet_salt_alone_is_empty(self):
+        assert Overrides(nondet_salt=5).is_empty()

@@ -1,0 +1,66 @@
+"""Tests for the golden-run co-simulation entry point."""
+
+import pytest
+
+from repro.isa import Program, make, mem, reg
+from repro.sim import golden_run
+from repro.sim.config import CacheConfig, MachineConfig
+
+
+class TestGoldenRun:
+    def test_combines_functional_and_timing(self, mixed_golden):
+        assert mixed_golden.result.output is not None
+        assert mixed_golden.schedule.total_cycles > 0
+        assert len(mixed_golden.schedule.timings) == \
+            mixed_golden.result.dynamic_count
+
+    def test_total_cycles_property(self, mixed_golden):
+        assert mixed_golden.total_cycles == \
+            mixed_golden.schedule.total_cycles
+
+    def test_crashing_program_keeps_prefix_schedule(self, isa):
+        program = Program(
+            instructions=(
+                make(isa.by_name("nop")),
+                make(isa.by_name("nop")),
+                make(isa.by_name("mov_r64_m64"), reg("rax"),
+                     mem("rbp", 1 << 30)),
+            ),
+            name="crash", data_size=2048, source="test",
+        )
+        golden = golden_run(program)
+        assert golden.crashed
+        # The two nops executed before the fault are scheduled; the
+        # faulting load's record is absent (it never completed).
+        assert len(golden.schedule.timings) == 2
+
+    def test_machine_config_respected(self, isa, mixed_program):
+        small = MachineConfig(
+            cache=CacheConfig(size=512, line_size=64, associativity=1)
+        )
+        golden = golden_run(mixed_program, small)
+        assert golden.schedule.machine.cache.size == 512
+        # a tiny direct-mapped cache must evict during the mixed program
+        assert any(
+            e.kind == "evict" for e in golden.schedule.cache_events
+        )
+
+    def test_data_region_follows_program(self, isa, mixed_program):
+        golden = golden_run(mixed_program)
+        assert golden.schedule.machine.memory.data_size == \
+            mixed_program.data_size
+
+    def test_max_dynamic_budget(self, isa):
+        from repro.isa import rel
+
+        looping = Program(
+            instructions=(
+                make(isa.by_name("nop")),
+                make(isa.by_name("jmp_rel"), rel(-2)),
+            ),
+            name="loop", data_size=2048, source="test",
+        )
+        golden = golden_run(looping, max_dynamic=50)
+        assert golden.crashed
+        assert golden.result.crash.kind == "hang"
+        assert golden.result.dynamic_count == 50

@@ -1,0 +1,97 @@
+"""Unit tests for physical register renaming and version lifetimes."""
+
+import pytest
+
+from repro.sim.prf import PregVersion, RenameMap
+
+NAMES = ["rax", "rbx", "rcx"]
+
+
+class TestRenameMap:
+    def test_initial_mapping(self):
+        rename = RenameMap(NAMES, 8)
+        assert rename.mapping["rax"].preg == 0
+        assert rename.mapping["rcx"].preg == 2
+
+    def test_too_small_file_rejected(self):
+        with pytest.raises(ValueError):
+            RenameMap(NAMES, 2)
+
+    def test_allocate_updates_mapping_immediately(self):
+        rename = RenameMap(NAMES, 8)
+        version, previous, _cycle = rename.allocate("rax", dyn=0,
+                                                    rename_cycle=5)
+        assert rename.mapping["rax"] is version
+        assert previous.preg == 0
+        assert version.preg == 3  # first free preg
+
+    def test_release_recycles_pregs(self):
+        rename = RenameMap(NAMES, 4)  # only one spare preg
+        version1, previous1, _ = rename.allocate("rax", 0, 1)
+        rename.release(previous1, commit_cycle=10)
+        version2, previous2, stalled = rename.allocate("rax", 1, 2)
+        # The only free preg (preg 0, freed at 10) forces a stall.
+        assert version2.preg == previous1.preg
+        assert stalled == 10
+
+    def test_reads_route_to_current_version(self):
+        rename = RenameMap(NAMES, 8)
+        old = rename.mapping["rbx"]
+        rename.read("rbx", dyn=0, cycle=3)
+        version, _prev, _ = rename.allocate("rbx", 1, 4)
+        rename.read("rbx", dyn=2, cycle=6)
+        assert old.reads == [(0, 3)]
+        assert version.reads == [(2, 6)]
+
+
+class TestVersionLifetime:
+    def test_live_window(self):
+        version = PregVersion(
+            preg=5, arch="rax", writer_dyn=3, alloc_cycle=10,
+            ready_cycle=12,
+        )
+        version.free_cycle = 20
+        assert not version.live_at(11, 100)   # before writeback
+        assert version.live_at(12, 100)
+        assert version.live_at(19, 100)
+        assert not version.live_at(20, 100)   # freed
+
+    def test_live_until_end_when_never_freed(self):
+        version = PregVersion(
+            preg=5, arch="rax", writer_dyn=3, alloc_cycle=0,
+            ready_cycle=2,
+        )
+        assert version.live_at(50, 100)
+        assert not version.live_at(100, 100)
+
+    def test_last_read_cycle(self):
+        version = PregVersion(
+            preg=1, arch="rbx", writer_dyn=0, alloc_cycle=0,
+            ready_cycle=1,
+        )
+        assert version.last_read_cycle is None
+        version.add_read(1, 5)
+        version.add_read(2, 9)
+        assert version.last_read_cycle == 9
+
+
+class TestFinalize:
+    def test_end_reads_added_to_mapped_versions(self):
+        rename = RenameMap(NAMES, 8)
+        version, _prev, _ = rename.allocate("rax", 0, 1)
+        rename.finalize(total_cycles=50)
+        assert version.end_read
+        assert (-1, 50) in version.reads
+        # Superseded versions do not get end reads.
+        assert not rename.versions[0].end_read
+
+    def test_live_version_lookup(self):
+        rename = RenameMap(NAMES, 8)
+        version, previous, _ = rename.allocate("rax", 0, 1)
+        version.ready_cycle = 4
+        rename.release(previous, commit_cycle=6)
+        assert rename.live_version_at(version.preg, 5, 100) is version
+        assert rename.live_version_at(version.preg, 3, 100) is None
+        # previous version's preg is live until its free at cycle 6
+        assert rename.live_version_at(previous.preg, 5, 100) is previous
+        assert rename.live_version_at(previous.preg, 7, 100) is None

@@ -1,0 +1,116 @@
+"""Unit tests for memory, initial state and program outputs."""
+
+import pytest
+
+from repro.sim.config import MemoryMap
+from repro.sim.errors import MemoryFault
+from repro.sim.state import (
+    Memory,
+    ProgramOutput,
+    initial_state,
+)
+
+
+@pytest.fixture
+def layout():
+    return MemoryMap(data_size=4096)
+
+
+class TestMemory:
+    def test_read_write_roundtrip(self, layout):
+        memory = Memory(layout)
+        memory.write(layout.data_base + 8, 64, 0xDEADBEEF)
+        assert memory.read(layout.data_base + 8, 64) == 0xDEADBEEF
+
+    def test_little_endian(self, layout):
+        memory = Memory(layout)
+        memory.write(layout.data_base, 32, 0x04030201)
+        assert memory.read(layout.data_base, 8) == 0x01
+        assert memory.read(layout.data_base + 3, 8) == 0x04
+
+    def test_stack_region_accessible(self, layout):
+        memory = Memory(layout)
+        memory.write(layout.stack_base, 64, 5)
+        assert memory.read(layout.stack_base, 64) == 5
+
+    def test_out_of_bounds_raises(self, layout):
+        memory = Memory(layout)
+        with pytest.raises(MemoryFault):
+            memory.read(layout.data_end, 64)
+        with pytest.raises(MemoryFault):
+            memory.read(layout.data_base - 1, 8)
+
+    def test_straddling_region_end_raises(self, layout):
+        memory = Memory(layout)
+        with pytest.raises(MemoryFault):
+            memory.read(layout.data_end - 4, 64)
+
+    def test_xor_byte(self, layout):
+        memory = Memory(layout)
+        memory.write(layout.data_base, 8, 0b1010)
+        memory.xor_byte(layout.data_base, 0b0110)
+        assert memory.read(layout.data_base, 8) == 0b1100
+
+    def test_128_bit_access(self, layout):
+        memory = Memory(layout)
+        value = (1 << 127) | 3
+        memory.write(layout.data_base + 16, 128, value)
+        assert memory.read(layout.data_base + 16, 128) == value
+
+
+class TestInitialState:
+    def test_deterministic(self, layout):
+        a = initial_state(5, layout)
+        b = initial_state(5, layout)
+        assert a.gprs == b.gprs
+        assert a.xmms == b.xmms
+        assert a.memory.data_bytes() == b.memory.data_bytes()
+
+    def test_seed_changes_state(self, layout):
+        a = initial_state(5, layout)
+        b = initial_state(6, layout)
+        assert a.gprs != b.gprs
+
+    def test_rbp_points_at_data_region(self, layout):
+        state = initial_state(0, layout)
+        assert state.gprs["rbp"] == layout.data_base
+
+    def test_rsp_points_at_stack_top(self, layout):
+        state = initial_state(0, layout)
+        assert state.gprs["rsp"] == layout.stack_end
+
+    def test_xmm_lanes_are_finite_floats(self, layout):
+        import struct
+
+        state = initial_state(1, layout)
+        for value in state.xmms.values():
+            for lane in range(4):
+                bits = (value >> (32 * lane)) & 0xFFFFFFFF
+                lane_value = struct.unpack(
+                    "<f", struct.pack("<I", bits)
+                )[0]
+                assert lane_value == lane_value  # not NaN
+                assert abs(lane_value) < float("inf")
+
+
+class TestProgramOutput:
+    def test_equality_and_signature(self, layout):
+        a = ProgramOutput.from_state(initial_state(1, layout))
+        b = ProgramOutput.from_state(initial_state(1, layout))
+        assert a == b
+        assert a.signature() == b.signature()
+
+    def test_register_difference_changes_signature(self, layout):
+        state = initial_state(1, layout)
+        a = ProgramOutput.from_state(state)
+        state.gprs["rax"] ^= 1
+        b = ProgramOutput.from_state(state)
+        assert a != b
+        assert a.signature() != b.signature()
+
+    def test_memory_difference_changes_signature(self, layout):
+        state = initial_state(1, layout)
+        a = ProgramOutput.from_state(state)
+        state.memory.xor_byte(layout.data_base + 100, 0x80)
+        b = ProgramOutput.from_state(state)
+        assert a.memory_signature != b.memory_signature

@@ -1,0 +1,54 @@
+"""Unit tests for trace record types."""
+
+from repro.isa import FUClass, make, reg, x64
+from repro.sim.trace import FUOp, InstrRecord, MemAccess
+
+
+class TestMemAccess:
+    def test_size_from_width(self):
+        assert MemAccess(0x100, 64, False, 0).size == 8
+        assert MemAccess(0x100, 128, True, 0).size == 16
+
+
+class TestFUOp:
+    def test_integer_shape(self):
+        op = FUOp(FUClass.INT_ADDER, "add", 64, inputs=(1, 2, 0),
+                  results=[3])
+        assert not op.lanes
+        assert op.results == [3]
+
+    def test_lane_shape(self):
+        op = FUOp(FUClass.FP_ADD, "fp_add", 32,
+                  lanes=[(1, 2), (3, 4)], results=[5, 6])
+        assert len(op.lanes) == 2
+
+
+class TestInstrRecord:
+    def _record(self):
+        isa = x64()
+        instruction = make(
+            isa.by_name("add_r64_r64"), reg("rax"), reg("rbx")
+        )
+        return InstrRecord(0, instruction)
+
+    def test_reads_deduplicated(self):
+        record = self._record()
+        record.add_read("rax")
+        record.add_read("rax")
+        assert record.reads == ["rax"]
+
+    def test_read_width_keeps_maximum(self):
+        record = self._record()
+        record.add_read("rax", 32)
+        record.add_read("rax", 64)
+        record.add_read("rax", 16)
+        assert record.read_widths["rax"] == 64
+
+    def test_writes_deduplicated(self):
+        record = self._record()
+        record.add_write("rax")
+        record.add_write("rax")
+        assert record.writes == ["rax"]
+
+    def test_fu_class_from_definition(self):
+        assert self._record().fu_class is FUClass.INT_ADDER

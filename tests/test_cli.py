@@ -1,0 +1,51 @@
+"""Tests for the ``harpocrates`` CLI."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args([])
+
+    def test_scale_choices(self):
+        parser = build_parser()
+        args = parser.parse_args(["report", "--scale", "smoke"])
+        assert args.scale == "smoke"
+        with pytest.raises(SystemExit):
+            parser.parse_args(["report", "--scale", "huge"])
+
+
+class TestGenerate:
+    def test_emits_assembly(self, capsys):
+        exit_code = main(["generate", "--instructions", "20",
+                          "--seed", "3"])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "random_00000003" in output
+        assert len(output.splitlines()) >= 21
+
+    def test_deterministic(self, capsys):
+        main(["generate", "--instructions", "10", "--seed", "5"])
+        first = capsys.readouterr().out
+        main(["generate", "--instructions", "10", "--seed", "5"])
+        second = capsys.readouterr().out
+        assert first == second
+
+
+class TestFuzz:
+    def test_prints_stats(self, capsys):
+        exit_code = main(["fuzz", "--rounds", "80", "--seed", "2"])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "inputs=80" in output
+        assert "discard=" in output
+
+
+class TestLoop:
+    def test_unknown_target_rejected(self, capsys):
+        exit_code = main(["loop", "nonsense", "--scale", "smoke"])
+        assert exit_code == 2

@@ -1,0 +1,97 @@
+"""Unit tests for bit-manipulation helpers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.bitops import (
+    MASK32,
+    MASK64,
+    bit,
+    mask,
+    min_twos_complement_width,
+    parity8,
+    popcount,
+    sign_bit,
+    to_signed,
+    to_unsigned,
+)
+
+
+class TestMask:
+    def test_standard_widths(self):
+        assert mask(8) == 0xFF
+        assert mask(16) == 0xFFFF
+        assert mask(32) == MASK32
+        assert mask(64) == MASK64
+
+    def test_arbitrary_width(self):
+        assert mask(3) == 0b111
+        assert mask(1) == 1
+
+
+class TestBitAccess:
+    def test_bit_extraction(self):
+        assert bit(0b1010, 1) == 1
+        assert bit(0b1010, 0) == 0
+        assert bit(1 << 63, 63) == 1
+
+    def test_sign_bit(self):
+        assert sign_bit(0x80, 8) == 1
+        assert sign_bit(0x7F, 8) == 0
+        assert sign_bit(1 << 63, 64) == 1
+
+
+class TestSignedness:
+    def test_to_signed_negative(self):
+        assert to_signed(0xFF, 8) == -1
+        assert to_signed(0x80, 8) == -128
+        assert to_signed(MASK64, 64) == -1
+
+    def test_to_signed_positive(self):
+        assert to_signed(0x7F, 8) == 127
+        assert to_signed(5, 64) == 5
+
+    def test_to_unsigned(self):
+        assert to_unsigned(-1, 8) == 0xFF
+        assert to_unsigned(-1, 64) == MASK64
+        assert to_unsigned(256, 8) == 0
+
+    @given(st.integers(min_value=-(2**63), max_value=2**63 - 1))
+    def test_roundtrip_64(self, value):
+        assert to_signed(to_unsigned(value, 64), 64) == value
+
+
+class TestPopcountParity:
+    def test_popcount(self):
+        assert popcount(0) == 0
+        assert popcount(0xFF) == 8
+        assert popcount(MASK64) == 64
+
+    def test_parity8_even(self):
+        assert parity8(0b11) == 1       # two set bits: even
+        assert parity8(0) == 1          # zero set bits: even
+        assert parity8(0b111) == 0      # three: odd
+
+    def test_parity8_only_low_byte(self):
+        assert parity8(0x100) == parity8(0)
+
+
+class TestMinWidth:
+    def test_zero_and_small(self):
+        assert min_twos_complement_width(0, 64) == 1
+        assert min_twos_complement_width(1, 64) == 2
+        assert min_twos_complement_width(2, 64) == 3
+
+    def test_negative_values(self):
+        # -1 needs 1 bit in two's complement... conventionally 1 sign bit
+        assert min_twos_complement_width(to_unsigned(-1, 64), 64) == 1
+        assert min_twos_complement_width(to_unsigned(-2, 64), 64) == 2
+
+    def test_full_width(self):
+        assert min_twos_complement_width(1 << 62, 64) == 64
+
+    @given(st.integers(min_value=0, max_value=MASK64))
+    def test_width_bounds(self, value):
+        width = min_twos_complement_width(value, 64)
+        assert 1 <= width <= 65

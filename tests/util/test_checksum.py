@@ -1,0 +1,55 @@
+"""Unit tests for the output-signature checksums."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.checksum import crc64, fold_output_signature
+
+
+class TestCrc64:
+    def test_empty(self):
+        assert crc64(b"") == 0
+
+    def test_deterministic(self):
+        assert crc64(b"harpocrates") == crc64(b"harpocrates")
+
+    def test_sensitive_to_any_byte(self):
+        base = bytearray(b"\x00" * 64)
+        reference = crc64(bytes(base))
+        for index in range(64):
+            mutated = bytearray(base)
+            mutated[index] ^= 0x01
+            assert crc64(bytes(mutated)) != reference
+
+    def test_seed_changes_result(self):
+        assert crc64(b"data", seed=1) != crc64(b"data", seed=2)
+
+    @given(st.binary(min_size=1, max_size=128))
+    def test_single_bit_flip_detected(self, data):
+        mutated = bytearray(data)
+        mutated[0] ^= 0x80
+        assert crc64(bytes(mutated)) != crc64(data)
+
+
+class TestFoldSignature:
+    def test_order_sensitive(self):
+        assert fold_output_signature([1, 2]) != fold_output_signature([2, 1])
+
+    def test_value_sensitive(self):
+        assert fold_output_signature([0, 0]) != fold_output_signature([0, 1])
+
+    def test_wide_values_contribute(self):
+        narrow = fold_output_signature([5])
+        wide = fold_output_signature([5 | (1 << 100)])
+        assert narrow != wide
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=(1 << 128) - 1),
+                 min_size=1, max_size=8),
+        st.integers(min_value=0, max_value=127),
+    )
+    def test_bitflip_in_any_input(self, values, bit_index):
+        mutated = list(values)
+        mutated[0] ^= 1 << bit_index
+        assert fold_output_signature(mutated) != \
+            fold_output_signature(values)
