@@ -43,7 +43,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
 
 def _cmd_loop(args: argparse.Namespace) -> int:
-    from repro.core import scaled_targets
+    from repro.core import CheckpointError, scaled_targets
     from repro.experiments.fig10 import run_target
 
     scale = _PRESETS[args.scale]
@@ -54,7 +54,26 @@ def _cmd_loop(args: argparse.Namespace) -> int:
         print(f"unknown target {args.target!r}; "
               f"choose one of {sorted(targets)}", file=sys.stderr)
         return 2
-    curve = run_target(targets[args.target], scale, workers=args.workers)
+    resume_from = args.resume
+    if resume_from is None and args.resume_latest:
+        if args.checkpoint_dir is None:
+            print("--resume-latest requires --checkpoint-dir",
+                  file=sys.stderr)
+            return 2
+        resume_from = args.checkpoint_dir
+    try:
+        curve = run_target(
+            targets[args.target],
+            scale,
+            workers=args.workers,
+            eval_timeout=args.eval_timeout,
+            max_retries=args.max_retries,
+            checkpoint_dir=args.checkpoint_dir,
+            resume_from=resume_from,
+        )
+    except CheckpointError as exc:
+        print(f"checkpoint error: {exc}", file=sys.stderr)
+        return 2
     print(curve.render())
     print(f"final detection: {curve.final_detection:.1%}")
     return 0
@@ -133,6 +152,28 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_scale_argument(loop_parser)
     loop_parser.add_argument("--workers", type=int, default=1)
+    loop_parser.add_argument(
+        "--checkpoint-dir", default=None,
+        help="write a resumable JSON checkpoint after each iteration",
+    )
+    loop_parser.add_argument(
+        "--resume", default=None, metavar="PATH",
+        help="resume from a checkpoint file (or the latest checkpoint "
+             "in a directory)",
+    )
+    loop_parser.add_argument(
+        "--resume-latest", action="store_true",
+        help="resume from the latest checkpoint in --checkpoint-dir",
+    )
+    loop_parser.add_argument(
+        "--eval-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-candidate wall-clock budget; wedged workers are "
+             "killed and the candidate is quarantined",
+    )
+    loop_parser.add_argument(
+        "--max-retries", type=int, default=0,
+        help="extra attempts for transiently failing evaluations",
+    )
     loop_parser.set_defaults(handler=_cmd_loop)
 
     baselines_parser = subparsers.add_parser(

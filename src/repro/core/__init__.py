@@ -1,6 +1,20 @@
 """The Harpocrates core: Generator, Mutator, Evaluator, and the loop."""
 
-from repro.core.evaluator import EvaluatedProgram, Evaluator
+from repro.core.checkpoint import LoopCheckpoint, latest_checkpoint
+from repro.core.errors import (
+    CandidateEvaluationError,
+    CheckpointError,
+    EvaluationError,
+    EvaluationTimeout,
+    LoopConfigError,
+    WorkerCrashError,
+)
+from repro.core.evaluator import (
+    QUARANTINE_FITNESS,
+    EvaluatedProgram,
+    EvalHealth,
+    Evaluator,
+)
 from repro.core.generator import Generator
 from repro.core.loop import (
     HarpocratesLoop,
@@ -24,8 +38,18 @@ from repro.core.targets import (
 )
 
 __all__ = [
+    "CandidateEvaluationError",
+    "CheckpointError",
+    "EvalHealth",
     "EvaluatedProgram",
+    "EvaluationError",
+    "EvaluationTimeout",
     "Evaluator",
+    "LoopCheckpoint",
+    "LoopConfigError",
+    "QUARANTINE_FITNESS",
+    "WorkerCrashError",
+    "latest_checkpoint",
     "Generator",
     "HarpocratesLoop",
     "IterationStats",

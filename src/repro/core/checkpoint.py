@@ -1,0 +1,247 @@
+"""Checkpoint/resume for long Harpocrates campaigns.
+
+The paper's production runs are long-lived — up to thousands of
+generations at 96-way parallelism (§VI-B1).  A run that dies at
+iteration 49 of 50 must not lose everything, so the loop serializes its
+complete resumable state after each iteration:
+
+* the **population** as policy-aware genome records (a program is
+  reconstructed either by re-running constrained-random generation
+  under its recorded seed, or by realizing its genome through the
+  sequence policy — whichever produced it, so restoration is
+  bit-exact),
+* the **RNG state** of the loop's ``random.Random``,
+* the **history** of :class:`~repro.core.loop.IterationStats`,
+* the current **elite** with its fitnesses, the convergence
+  book-keeping, and the accumulated :class:`~repro.core.evaluator.
+  EvalHealth` telemetry.
+
+Everything is plain JSON: checkpoints stay inspectable, diffable, and
+robust to unpickling hazards.  ``HarpocratesLoop.run(resume_from=...)``
+restores mid-campaign and provably reproduces the uninterrupted run's
+elite and fitness curve for the same seed.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.errors import CheckpointError
+from repro.core.evaluator import EvaluatedProgram, EvalHealth
+from repro.core.generator import Generator
+from repro.isa.program import Program
+
+#: Bump when the on-disk schema changes incompatibly.
+CHECKPOINT_VERSION = 1
+
+#: File-name template for per-iteration checkpoints within a directory.
+CHECKPOINT_NAME = "checkpoint_{iteration:06d}.json"
+
+
+# -- program records ---------------------------------------------------------
+
+
+def encode_program(program: Program) -> Dict[str, object]:
+    """A JSON-safe, reconstructible record of one population member."""
+    genome = program.metadata.get("genome")
+    if genome is None:
+        genome = tuple(
+            instruction.definition.name
+            for instruction in program.instructions
+        )
+    return {
+        "name": program.name,
+        "seed": program.init_seed,
+        "policy": str(program.metadata.get("policy", "sequence_import")),
+        "genome": list(genome),
+    }
+
+
+def decode_program(
+    record: Dict[str, object], generator: Generator
+) -> Program:
+    """Reconstruct a population member from its checkpoint record.
+
+    Constrained-random programs consume the RNG during instruction
+    selection, so they are reproduced by re-running the random policy
+    under the recorded seed; everything else realizes the recorded
+    genome through the sequence policy under the same seed.
+    """
+    name = str(record["name"])
+    seed = int(record["seed"])
+    if record.get("policy") == "constrained_random":
+        return generator.synthesizer.synthesize_random(seed, name=name)
+    genome = tuple(str(entry) for entry in record.get("genome", []))
+    return generator.realize(genome, seed, name=name)
+
+
+def encode_evaluated(entry: EvaluatedProgram) -> Dict[str, object]:
+    return {
+        "program": encode_program(entry.program),
+        "fitness": entry.fitness,
+        "total_cycles": entry.total_cycles,
+        "crashed": entry.crashed,
+        "error_kind": entry.error_kind,
+        "attempts": entry.attempts,
+    }
+
+
+def decode_evaluated(
+    record: Dict[str, object], generator: Generator
+) -> EvaluatedProgram:
+    return EvaluatedProgram(
+        program=decode_program(dict(record["program"]), generator),
+        fitness=float(record["fitness"]),
+        total_cycles=int(record["total_cycles"]),
+        crashed=bool(record["crashed"]),
+        error_kind=record.get("error_kind"),
+        attempts=int(record.get("attempts", 1)),
+    )
+
+
+# -- RNG state ---------------------------------------------------------------
+
+
+def encode_rng_state(state: Tuple) -> List[object]:
+    """``random.Random.getstate()`` → JSON-safe list."""
+    version, internal, gauss_next = state
+    return [version, list(internal), gauss_next]
+
+
+def decode_rng_state(data: List[object]) -> Tuple:
+    if not isinstance(data, (list, tuple)) or len(data) != 3:
+        raise CheckpointError("malformed RNG state in checkpoint")
+    version, internal, gauss_next = data
+    return (int(version), tuple(int(word) for word in internal), gauss_next)
+
+
+# -- the checkpoint itself ---------------------------------------------------
+
+
+@dataclass
+class LoopCheckpoint:
+    """Complete resumable state of a loop run after ``iteration``
+    completed iterations."""
+
+    iteration: int
+    population: List[Dict[str, object]]
+    rng_state: List[object]
+    history: List[Dict[str, object]] = field(default_factory=list)
+    best: List[Dict[str, object]] = field(default_factory=list)
+    best_so_far: float = float("-inf")
+    stale: int = 0
+    health: Dict[str, object] = field(default_factory=dict)
+    seed: int = 0
+    converged_at: Optional[int] = None
+    version: int = CHECKPOINT_VERSION
+
+    def to_json(self) -> str:
+        payload = asdict(self)
+        # JSON has no -inf literal; encode as None.
+        if payload["best_so_far"] == float("-inf"):
+            payload["best_so_far"] = None
+        return json.dumps(payload, indent=2)
+
+    @classmethod
+    def from_json(cls, text: str) -> "LoopCheckpoint":
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise CheckpointError(f"unreadable checkpoint: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise CheckpointError("checkpoint is not a JSON object")
+        version = payload.get("version")
+        if version != CHECKPOINT_VERSION:
+            raise CheckpointError(
+                f"unsupported checkpoint version {version!r} "
+                f"(expected {CHECKPOINT_VERSION})"
+            )
+        for key in ("iteration", "population", "rng_state"):
+            if key not in payload:
+                raise CheckpointError(f"checkpoint missing field {key!r}")
+        best_so_far = payload.get("best_so_far")
+        return cls(
+            iteration=int(payload["iteration"]),
+            population=list(payload["population"]),
+            rng_state=list(payload["rng_state"]),
+            history=list(payload.get("history", [])),
+            best=list(payload.get("best", [])),
+            best_so_far=(
+                float("-inf") if best_so_far is None else float(best_so_far)
+            ),
+            stale=int(payload.get("stale", 0)),
+            health=dict(payload.get("health", {})),
+            seed=int(payload.get("seed", 0)),
+            converged_at=payload.get("converged_at"),
+            version=int(version),
+        )
+
+    # -- persistence -------------------------------------------------------
+
+    def save(self, directory: str) -> str:
+        """Atomically write this checkpoint into ``directory``.
+
+        Returns the file path.  A temp-file + ``os.replace`` dance
+        guarantees a reader never observes a torn checkpoint, even if
+        the campaign is killed mid-write."""
+        os.makedirs(directory, exist_ok=True)
+        path = os.path.join(
+            directory, CHECKPOINT_NAME.format(iteration=self.iteration)
+        )
+        handle, temp_path = tempfile.mkstemp(
+            dir=directory, prefix=".checkpoint_", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(handle, "w") as stream:
+                stream.write(self.to_json())
+            os.replace(temp_path, path)
+        except BaseException:
+            try:
+                os.unlink(temp_path)
+            except OSError:
+                pass
+            raise
+        return path
+
+    @classmethod
+    def load(cls, path: str) -> "LoopCheckpoint":
+        """Read a checkpoint from a file, or the latest one in a
+        directory."""
+        if os.path.isdir(path):
+            latest = latest_checkpoint(path)
+            if latest is None:
+                raise CheckpointError(
+                    f"no checkpoints found in directory {path!r}"
+                )
+            path = latest
+        try:
+            with open(path) as stream:
+                text = stream.read()
+        except OSError as exc:
+            raise CheckpointError(
+                f"cannot read checkpoint {path!r}: {exc}"
+            ) from exc
+        return cls.from_json(text)
+
+    def restore_health(self) -> EvalHealth:
+        return EvalHealth.from_dict(self.health)
+
+
+def latest_checkpoint(directory: str) -> Optional[str]:
+    """Path of the highest-iteration checkpoint in ``directory``
+    (None when there is none)."""
+    try:
+        names = os.listdir(directory)
+    except OSError:
+        return None
+    candidates = sorted(
+        name for name in names
+        if name.startswith("checkpoint_") and name.endswith(".json")
+    )
+    if not candidates:
+        return None
+    return os.path.join(directory, candidates[-1])

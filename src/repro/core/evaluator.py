@@ -9,18 +9,37 @@ Each program is co-simulated once on the detailed machine model
 (:func:`repro.sim.cosim.golden_run` — the gem5 stand-in) and scored by
 the target structure's coverage metric.  Evaluation of a generation is
 an embarrassingly parallel map, mirroring the paper's 96-thread setup.
+
+The campaign-scale requirement (§VI-B1 runs thousands of generations)
+is failure isolation: a candidate whose evaluation raises, hangs, or
+kills its worker is *quarantined* — it receives the sentinel fitness
+:data:`QUARANTINE_FITNESS` and an ``error_kind`` tag instead of taking
+the whole run down.  Every failure is tallied in an :class:`EvalHealth`
+record so degradation stays observable.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Sequence
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
 
 from repro.coverage.metrics import CoverageMetric
 from repro.isa.program import Program
 from repro.sim.config import DEFAULT_MACHINE, MachineConfig
 from repro.sim.cosim import golden_run
-from repro.util.parallel import map_parallel
+from repro.sim.errors import CrashError
+from repro.util.parallel import (
+    STATUS_CRASHED,
+    STATUS_TIMED_OUT,
+    ResilientPool,
+    TaskOutcome,
+)
+
+#: Fitness assigned to quarantined candidates.  Finite (so population
+#: statistics stay meaningful) but below any legitimate coverage value
+#: (metrics are non-negative), guaranteeing quarantined programs rank
+#: last and are only ever selected from an otherwise-empty pool.
+QUARANTINE_FITNESS = -1.0
 
 
 @dataclass
@@ -31,16 +50,118 @@ class EvaluatedProgram:
     fitness: float
     total_cycles: int
     crashed: bool
+    #: ``None`` for healthy evaluations; otherwise the stable error
+    #: kind ("timeout", "worker_crash", "candidate_error", ...) that
+    #: sent this candidate to quarantine.
+    error_kind: Optional[str] = None
+    #: Evaluation attempts spent on this candidate (1 = first try).
+    attempts: int = 1
 
     @property
     def name(self) -> str:
         return self.program.name
 
+    @property
+    def quarantined(self) -> bool:
+        return self.error_kind is not None
+
+
+@dataclass
+class EvalHealth:
+    """Aggregate failure/degradation telemetry for a run.
+
+    Attached to :class:`repro.core.loop.LoopResult` as ``health`` and
+    serialized into checkpoints, so an operator can always answer "how
+    sick was this campaign?".
+    """
+
+    evaluations: int = 0
+    retries: int = 0
+    timeouts: int = 0
+    worker_crashes: int = 0
+    #: Error counts keyed by stable kind string.
+    errors: Dict[str, int] = field(default_factory=dict)
+    #: Names of quarantined programs, in quarantine order.
+    quarantined: List[str] = field(default_factory=list)
+    #: Tasks that ran in-process after the pool degraded.
+    fallback_inline: int = 0
+    #: Process-pool reconstructions performed.
+    pool_respawns: int = 0
+
+    def record_error(self, kind: str) -> None:
+        self.errors[kind] = self.errors.get(kind, 0) + 1
+
+    def merge(self, other: "EvalHealth") -> None:
+        self.evaluations += other.evaluations
+        self.retries += other.retries
+        self.timeouts += other.timeouts
+        self.worker_crashes += other.worker_crashes
+        for kind, count in other.errors.items():
+            self.errors[kind] = self.errors.get(kind, 0) + count
+        self.quarantined.extend(other.quarantined)
+        self.fallback_inline += other.fallback_inline
+        self.pool_respawns += other.pool_respawns
+
+    @property
+    def total_errors(self) -> int:
+        return sum(self.errors.values())
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "evaluations": self.evaluations,
+            "retries": self.retries,
+            "timeouts": self.timeouts,
+            "worker_crashes": self.worker_crashes,
+            "errors": dict(self.errors),
+            "quarantined": list(self.quarantined),
+            "fallback_inline": self.fallback_inline,
+            "pool_respawns": self.pool_respawns,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "EvalHealth":
+        health = cls()
+        health.evaluations = int(data.get("evaluations", 0))
+        health.retries = int(data.get("retries", 0))
+        health.timeouts = int(data.get("timeouts", 0))
+        health.worker_crashes = int(data.get("worker_crashes", 0))
+        health.errors = {
+            str(k): int(v) for k, v in dict(data.get("errors", {})).items()
+        }
+        health.quarantined = [str(n) for n in data.get("quarantined", [])]
+        health.fallback_inline = int(data.get("fallback_inline", 0))
+        health.pool_respawns = int(data.get("pool_respawns", 0))
+        return health
+
+    def summary(self) -> str:
+        """One-line operator-facing digest."""
+        return (
+            f"evaluations={self.evaluations} errors={self.total_errors} "
+            f"timeouts={self.timeouts} worker_crashes={self.worker_crashes} "
+            f"retries={self.retries} quarantined={len(self.quarantined)} "
+            f"respawns={self.pool_respawns}"
+        )
+
 
 def _evaluate_one(args) -> EvaluatedProgram:
-    """Module-level worker (picklable for process pools)."""
+    """Module-level worker (picklable for process pools).
+
+    Architectural crashes (:class:`CrashError`) are legitimate program
+    outcomes and become ``crashed=True`` records; any other exception
+    propagates to the pool layer, which quarantines the candidate.
+    """
     program, metric, machine = args
-    golden = golden_run(program, machine)
+    try:
+        golden = golden_run(program, machine)
+    except CrashError:
+        return EvaluatedProgram(
+            program=program,
+            fitness=0.0,
+            total_cycles=0,
+            crashed=True,
+            error_kind=None,
+            attempts=1,
+        )
     fitness = metric(golden)
     return EvaluatedProgram(
         program=program,
@@ -51,26 +172,74 @@ def _evaluate_one(args) -> EvaluatedProgram:
 
 
 class Evaluator:
-    """Grades populations with a structure-specific coverage metric."""
+    """Grades populations with a structure-specific coverage metric.
+
+    ``eval_timeout`` (seconds) bounds each candidate's wall-clock
+    co-simulation; ``max_retries`` grants extra attempts to transiently
+    failing evaluations.  Both are inert in the fast in-process path
+    used by small runs (``workers <= 1`` and no timeout).
+    """
+
+    #: The picklable per-candidate worker.  Subclasses (e.g. fault-
+    #: injecting test doubles) may override it together with ``_jobs``;
+    #: it must stay a module-level function so process pools can ship
+    #: it to workers.
+    worker_fn = staticmethod(_evaluate_one)
 
     def __init__(
         self,
         metric: CoverageMetric,
         machine: MachineConfig = DEFAULT_MACHINE,
         workers: int = 1,
+        eval_timeout: Optional[float] = None,
+        max_retries: int = 0,
     ):
         self.metric = metric
         self.machine = machine
         self.workers = workers
+        self.eval_timeout = eval_timeout
+        self.max_retries = max_retries
+        self._health = EvalHealth()
+
+    # -- health ------------------------------------------------------------
+
+    @property
+    def health(self) -> EvalHealth:
+        """Telemetry accumulated since construction (or last take)."""
+        return self._health
+
+    def take_health(self) -> EvalHealth:
+        """Return the accumulated telemetry and reset the counter.
+
+        The loop calls this once per iteration to fold evaluator
+        telemetry into the run-level health record."""
+        taken, self._health = self._health, EvalHealth()
+        return taken
+
+    # -- evaluation --------------------------------------------------------
 
     def evaluate(
         self, programs: Sequence[Program]
     ) -> List[EvaluatedProgram]:
-        """Grade every program; result order matches input order."""
-        jobs = [
-            (program, self.metric, self.machine) for program in programs
+        """Grade every program; result order matches input order.
+
+        Never raises for a candidate failure: misbehaving programs come
+        back quarantined with :data:`QUARANTINE_FITNESS`."""
+        jobs = self._jobs(programs)
+        self._health.evaluations += len(jobs)
+        if self.workers <= 1 and self.eval_timeout is None:
+            return [self._evaluate_inline(job) for job in jobs]
+        pool = ResilientPool(
+            workers=self.workers,
+            timeout=self.eval_timeout,
+            max_retries=self.max_retries,
+        )
+        outcomes = pool.map(self.worker_fn, jobs)
+        self._health.pool_respawns += pool.respawns
+        return [
+            self._from_outcome(outcome, programs[outcome.index])
+            for outcome in outcomes
         ]
-        return map_parallel(_evaluate_one, jobs, self.workers)
 
     def rank(
         self, programs: Sequence[Program]
@@ -79,3 +248,63 @@ class Evaluator:
         evaluated = self.evaluate(programs)
         evaluated.sort(key=lambda entry: entry.fitness, reverse=True)
         return evaluated
+
+    # -- internals ---------------------------------------------------------
+
+    def _jobs(self, programs: Sequence[Program]) -> List[tuple]:
+        """One picklable argument tuple per candidate; the first
+        element must be the program (used for quarantine records)."""
+        return [
+            (program, self.metric, self.machine) for program in programs
+        ]
+
+    def _evaluate_inline(self, job) -> EvaluatedProgram:
+        program = job[0]
+        try:
+            return self.worker_fn(job)
+        except Exception as exc:
+            return self._quarantine(
+                program,
+                kind="candidate_error",
+                attempts=1,
+                detail=f"{type(exc).__name__}: {exc}",
+            )
+
+    def _from_outcome(
+        self, outcome: TaskOutcome, program: Program
+    ) -> EvaluatedProgram:
+        self._health.retries += max(0, outcome.attempts - 1)
+        if outcome.where == "inline":
+            self._health.fallback_inline += 1
+        if outcome.ok:
+            evaluated: EvaluatedProgram = outcome.value
+            evaluated.attempts = outcome.attempts
+            return evaluated
+        if outcome.status == STATUS_TIMED_OUT:
+            self._health.timeouts += 1
+            kind = "timeout"
+        elif outcome.status == STATUS_CRASHED:
+            self._health.worker_crashes += 1
+            kind = "worker_crash"
+        else:
+            kind = "candidate_error"
+        detail = outcome.error or ""
+        if outcome.error_type:
+            detail = f"{outcome.error_type}: {detail}"
+        return self._quarantine(
+            program, kind=kind, attempts=outcome.attempts, detail=detail
+        )
+
+    def _quarantine(
+        self, program: Program, kind: str, attempts: int, detail: str
+    ) -> EvaluatedProgram:
+        self._health.record_error(kind)
+        self._health.quarantined.append(program.name)
+        return EvaluatedProgram(
+            program=program,
+            fitness=QUARANTINE_FITNESS,
+            total_cycles=0,
+            crashed=False,
+            error_kind=kind,
+            attempts=attempts,
+        )

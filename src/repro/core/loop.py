@@ -7,6 +7,13 @@
 * **Step 3** — the Mutator produces each parent's offspring; the new
   generation returns to step 1.  The process repeats until the metric
   converges (or the configured iteration budget ends).
+
+Campaign hardening (the paper's runs span thousands of generations,
+§VI-B1): the loop checkpoints its full resumable state after each
+iteration (see :mod:`repro.core.checkpoint`), folds per-iteration
+evaluator telemetry into a run-level :class:`EvalHealth` record, and
+converts ``KeyboardInterrupt`` into a valid partial
+:class:`LoopResult` instead of a traceback.
 """
 
 from __future__ import annotations
@@ -16,7 +23,17 @@ import time
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
-from repro.core.evaluator import EvaluatedProgram, Evaluator
+from repro.core.checkpoint import (
+    LoopCheckpoint,
+    decode_evaluated,
+    decode_program,
+    decode_rng_state,
+    encode_evaluated,
+    encode_program,
+    encode_rng_state,
+)
+from repro.core.errors import LoopConfigError
+from repro.core.evaluator import EvaluatedProgram, EvalHealth, Evaluator
 from repro.core.generator import Generator
 from repro.core.mutator import (
     Genome,
@@ -55,6 +72,34 @@ class LoopConfig:
             return self.offspring_per_parent
         return max(self.population // max(self.keep, 1), 1)
 
+    def validate(self) -> None:
+        """Reject impossible configurations up front with a clear
+        error, rather than failing obscurely mid-campaign."""
+        if self.population <= 0:
+            raise LoopConfigError(
+                f"population must be positive, got {self.population}"
+            )
+        if self.keep <= 0:
+            raise LoopConfigError(
+                f"keep must be positive, got {self.keep}"
+            )
+        if self.keep > self.population:
+            raise LoopConfigError(
+                f"keep ({self.keep}) cannot exceed population "
+                f"({self.population})"
+            )
+        if self.offspring_per_parent is not None \
+                and self.offspring_per_parent <= 0:
+            raise LoopConfigError(
+                "offspring_per_parent must be positive, got "
+                f"{self.offspring_per_parent}"
+            )
+        if not 0.0 <= self.crossover_rate <= 1.0:
+            raise LoopConfigError(
+                f"crossover_rate must be in [0, 1], got "
+                f"{self.crossover_rate}"
+            )
+
 
 @dataclass
 class IterationStats:
@@ -65,6 +110,8 @@ class IterationStats:
     mean_fitness: float
     top_fitnesses: List[float]
     elapsed_seconds: float
+    #: Candidates quarantined during this iteration's evaluation.
+    quarantined: int = 0
 
 
 @dataclass
@@ -75,9 +122,22 @@ class LoopResult:
     history: List[IterationStats] = field(default_factory=list)
     iterations_run: int = 0
     converged_at: Optional[int] = None
+    #: Run-level failure/degradation telemetry (always present).
+    health: EvalHealth = field(default_factory=EvalHealth)
+    #: True when the run was cut short by ``KeyboardInterrupt`` and
+    #: this result covers the completed prefix.
+    interrupted: bool = False
+    #: Iteration count restored from a checkpoint (None = fresh run).
+    resumed_from: Optional[int] = None
 
     @property
     def best_program(self) -> EvaluatedProgram:
+        if not self.best:
+            raise ValueError(
+                "LoopResult.best is empty — the loop has not completed "
+                "an iteration (or was configured with an empty elite); "
+                "no best program exists"
+            )
         return self.best[0]
 
     def fitness_curve(self) -> List[float]:
@@ -137,65 +197,227 @@ class HarpocratesLoop:
                 )
         return offspring[: self.config.population]
 
+    # -- health plumbing ---------------------------------------------------
+
+    def _fold_health(self, health: EvalHealth) -> int:
+        """Fold the evaluator's per-iteration telemetry into the
+        run-level record; returns this iteration's quarantine count.
+
+        Duck-typed so fault-injecting test doubles (and future remote
+        evaluators) only need ``take_health`` to participate."""
+        take = getattr(self.evaluator, "take_health", None)
+        if take is None:
+            return 0
+        delta: EvalHealth = take()
+        health.merge(delta)
+        return len(delta.quarantined)
+
+    # -- checkpoint plumbing -----------------------------------------------
+
+    def _write_checkpoint(
+        self,
+        directory: str,
+        iteration: int,
+        population: Sequence,
+        rng: random.Random,
+        result: LoopResult,
+        best_so_far: float,
+        stale: int,
+    ) -> None:
+        checkpoint = LoopCheckpoint(
+            iteration=iteration,
+            population=[encode_program(p) for p in population],
+            rng_state=encode_rng_state(rng.getstate()),
+            history=[
+                {
+                    "iteration": s.iteration,
+                    "best_fitness": s.best_fitness,
+                    "mean_fitness": s.mean_fitness,
+                    "top_fitnesses": list(s.top_fitnesses),
+                    "elapsed_seconds": s.elapsed_seconds,
+                    "quarantined": s.quarantined,
+                }
+                for s in result.history
+            ],
+            best=[encode_evaluated(entry) for entry in result.best],
+            best_so_far=best_so_far,
+            stale=stale,
+            health=result.health.as_dict(),
+            seed=self.config.seed,
+            converged_at=result.converged_at,
+        )
+        checkpoint.save(directory)
+
+    def _restore(
+        self, resume_from: str, rng: random.Random, result: LoopResult
+    ):
+        """Load a checkpoint and rebuild loop state from it."""
+        checkpoint = LoopCheckpoint.load(resume_from)
+        population = [
+            decode_program(dict(record), self.generator)
+            for record in checkpoint.population
+        ]
+        rng.setstate(decode_rng_state(checkpoint.rng_state))
+        result.history = [
+            IterationStats(
+                iteration=int(record["iteration"]),
+                best_fitness=float(record["best_fitness"]),
+                mean_fitness=float(record["mean_fitness"]),
+                top_fitnesses=[
+                    float(x) for x in record.get("top_fitnesses", [])
+                ],
+                elapsed_seconds=float(record.get("elapsed_seconds", 0.0)),
+                quarantined=int(record.get("quarantined", 0)),
+            )
+            for record in checkpoint.history
+        ]
+        result.best = [
+            decode_evaluated(dict(record), self.generator)
+            for record in checkpoint.best
+        ]
+        result.iterations_run = checkpoint.iteration
+        result.resumed_from = checkpoint.iteration
+        result.health = checkpoint.restore_health()
+        result.converged_at = checkpoint.converged_at
+        return (
+            population,
+            checkpoint.iteration,
+            checkpoint.best_so_far,
+            checkpoint.stale,
+        )
+
+    # -- the loop ----------------------------------------------------------
+
     def run(
         self,
         iterations: Optional[int] = None,
         on_iteration=None,
+        *,
+        checkpoint_dir: Optional[str] = None,
+        checkpoint_every: int = 1,
+        resume_from: Optional[str] = None,
     ) -> LoopResult:
         """Execute the loop; returns the surviving elite and history.
 
         ``on_iteration`` (if given) is called with each
         :class:`IterationStats` — the experiment harness uses it to
         sample detection capability along the convergence curve.
+
+        ``checkpoint_dir`` enables per-iteration checkpointing (every
+        ``checkpoint_every`` iterations, plus always the final one);
+        ``resume_from`` restores a prior run from a checkpoint file or
+        directory and continues it bit-exactly.  ``KeyboardInterrupt``
+        ends the run gracefully: the returned result covers every
+        completed iteration and is marked ``interrupted``.
         """
         config = self.config
+        config.validate()
         iterations = iterations if iterations is not None \
             else config.iterations
+        if iterations < 0:
+            raise LoopConfigError(
+                f"iterations must be non-negative, got {iterations}"
+            )
         rng = random.Random(config.seed)
-        population = self.generator.initial_population(
-            config.population, base_seed=config.seed
-        )
         result = LoopResult(best=[])
+        # Drop any telemetry a shared evaluator accumulated before this
+        # run so the result's health covers exactly this campaign.
+        self._fold_health(EvalHealth())
+        start_iteration = 0
         best_so_far = float("-inf")
         stale = 0
-        for iteration in range(iterations):
-            started = time.perf_counter()
-            ranked = self.evaluator.rank(population)
-            survivors = ranked[: config.keep]
-            elapsed = time.perf_counter() - started
-            stats = IterationStats(
-                iteration=iteration,
-                best_fitness=survivors[0].fitness if survivors else 0.0,
-                mean_fitness=(
-                    sum(entry.fitness for entry in ranked) / len(ranked)
-                    if ranked
-                    else 0.0
-                ),
-                top_fitnesses=[entry.fitness for entry in survivors],
-                elapsed_seconds=elapsed,
+        if resume_from is not None:
+            population, start_iteration, best_so_far, stale = \
+                self._restore(resume_from, rng, result)
+            if result.converged_at is not None:
+                # The checkpointed campaign already converged; there is
+                # nothing left to run.
+                return result
+        else:
+            population = self.generator.initial_population(
+                config.population, base_seed=config.seed
             )
-            result.history.append(stats)
-            result.best = list(survivors)
-            result.iterations_run = iteration + 1
-            if on_iteration is not None:
-                on_iteration(stats, survivors)
-            improvement = stats.best_fitness - best_so_far
-            if improvement > config.convergence_epsilon:
-                best_so_far = stats.best_fitness
-                stale = 0
-            else:
-                stale += 1
-                if (
-                    config.convergence_patience is not None
-                    and stale >= config.convergence_patience
-                ):
-                    result.converged_at = iteration
+        health = result.health
+        try:
+            for iteration in range(start_iteration, iterations):
+                started = time.perf_counter()
+                ranked = self.evaluator.rank(population)
+                survivors = ranked[: config.keep]
+                elapsed = time.perf_counter() - started
+                quarantined = self._fold_health(health)
+                healthy = [
+                    entry for entry in ranked if not entry.quarantined
+                ]
+                stats = IterationStats(
+                    iteration=iteration,
+                    best_fitness=(
+                        survivors[0].fitness if survivors else 0.0
+                    ),
+                    mean_fitness=(
+                        sum(entry.fitness for entry in healthy)
+                        / len(healthy)
+                        if healthy
+                        else 0.0
+                    ),
+                    top_fitnesses=[
+                        entry.fitness for entry in survivors
+                    ],
+                    elapsed_seconds=elapsed,
+                    quarantined=quarantined,
+                )
+                result.history.append(stats)
+                result.best = list(survivors)
+                result.iterations_run = iteration + 1
+                if on_iteration is not None:
+                    on_iteration(stats, survivors)
+                improvement = stats.best_fitness - best_so_far
+                converged = False
+                if improvement > config.convergence_epsilon:
+                    best_so_far = stats.best_fitness
+                    stale = 0
+                else:
+                    stale += 1
+                    if (
+                        config.convergence_patience is not None
+                        and stale >= config.convergence_patience
+                    ):
+                        result.converged_at = iteration
+                        converged = True
+                # With checkpointing on, the next generation is built
+                # even on the final iteration: the checkpoint must hold
+                # exactly the state a longer campaign would have at this
+                # point, so resuming it with a bigger budget reproduces
+                # that campaign bit-for-bit.
+                build_next = not converged and (
+                    iteration + 1 < iterations
+                    or checkpoint_dir is not None
+                )
+                if build_next:
+                    # Elitism: survivors carry over unchanged alongside
+                    # their offspring, so the maximum coverage attained
+                    # is retained across iterations (as in Fig 10).
+                    offspring = self._next_generation(
+                        survivors, iteration, rng
+                    )
+                    carried = [entry.program for entry in survivors]
+                    population = \
+                        (carried + offspring)[: config.population]
+                if checkpoint_dir is not None:
+                    is_last = (
+                        converged or iteration + 1 >= iterations
+                    )
+                    due = (
+                        checkpoint_every > 0
+                        and (iteration + 1) % checkpoint_every == 0
+                    )
+                    if due or is_last:
+                        self._write_checkpoint(
+                            checkpoint_dir, iteration + 1, population,
+                            rng, result, best_so_far, stale,
+                        )
+                if converged:
                     break
-            if iteration + 1 < iterations:
-                # Elitism: survivors carry over unchanged alongside
-                # their offspring, so the maximum coverage attained is
-                # retained across iterations (as in Fig 10).
-                offspring = self._next_generation(survivors, iteration, rng)
-                carried = [entry.program for entry in survivors]
-                population = (carried + offspring)[: config.population]
+        except KeyboardInterrupt:
+            result.interrupted = True
+            self._fold_health(health)
         return result

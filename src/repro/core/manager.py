@@ -58,11 +58,21 @@ class LoopStepTiming:
 class Manager:
     """Orchestrates generation/mutation/evaluation flows for a target."""
 
-    def __init__(self, target: TargetSpec, workers: int = 1):
+    def __init__(
+        self,
+        target: TargetSpec,
+        workers: int = 1,
+        eval_timeout: Optional[float] = None,
+        max_retries: int = 0,
+    ):
         self.target = target
         self.generator = Generator(target.generation)
         self.evaluator = Evaluator(
-            target.metric, target.machine, workers=workers
+            target.metric,
+            target.machine,
+            workers=workers,
+            eval_timeout=eval_timeout,
+            max_retries=max_retries,
         )
         self.mutator: Mutator = InstructionReplacementMutator(
             self.generator.arch, pool_names=target.pool_names
@@ -114,8 +124,18 @@ class Manager:
         self,
         iterations: Optional[int] = None,
         on_iteration: Optional[Callable] = None,
+        *,
+        checkpoint_dir: Optional[str] = None,
+        checkpoint_every: int = 1,
+        resume_from: Optional[str] = None,
     ) -> LoopResult:
-        return self.build_loop().run(iterations, on_iteration)
+        return self.build_loop().run(
+            iterations,
+            on_iteration,
+            checkpoint_dir=checkpoint_dir,
+            checkpoint_every=checkpoint_every,
+            resume_from=resume_from,
+        )
 
     # -- Table I instrumentation ---------------------------------------------
 

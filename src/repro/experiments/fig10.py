@@ -90,9 +90,24 @@ def run_target(
     target: TargetSpec,
     scale: ExperimentScale = DEFAULT,
     workers: int = 1,
+    eval_timeout: Optional[float] = None,
+    max_retries: int = 0,
+    checkpoint_dir: Optional[str] = None,
+    resume_from: Optional[str] = None,
 ) -> ConvergenceCurve:
-    """Run the loop for one target, sampling detection along the way."""
-    manager = Manager(target, workers=workers)
+    """Run the loop for one target, sampling detection along the way.
+
+    ``eval_timeout``/``max_retries`` harden evaluation against wedged
+    or flaky candidates; ``checkpoint_dir``/``resume_from`` enable the
+    long-run checkpoint/resume flow (on resume, curve points cover the
+    resumed iterations — the checkpointed history holds the rest).
+    """
+    manager = Manager(
+        target,
+        workers=workers,
+        eval_timeout=eval_timeout,
+        max_retries=max_retries,
+    )
     curve = ConvergenceCurve(target=target.key, title=target.title)
     sample_every = max(scale.detection_sample_every, 1)
 
@@ -114,7 +129,13 @@ def run_target(
             )
         )
 
-    result: LoopResult = manager.run_loop(on_iteration=on_iteration)
+    result: LoopResult = manager.run_loop(
+        on_iteration=on_iteration,
+        checkpoint_dir=checkpoint_dir,
+        resume_from=resume_from,
+    )
+    if not result.best:
+        return curve
     best = result.best_program
     golden = golden_run(best.program, target.machine)
     if not golden.crashed:

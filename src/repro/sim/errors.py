@@ -5,6 +5,12 @@ Crashes are first-class outcomes in the fault-injection methodology
 a different observable than an output mismatch.  Every architectural
 trap the functional simulator can raise derives from :class:`CrashError`
 and carries a stable ``kind`` string used in outcome classification.
+
+These exceptions cross process boundaries (parallel evaluation ships
+them back from worker processes), so every subclass defines
+``__reduce__``: the default exception reduction re-invokes ``__init__``
+with the formatted message, which corrupts subclasses whose
+constructors take structured arguments (e.g. an address).
 """
 
 from __future__ import annotations
@@ -23,6 +29,9 @@ class CrashError(SimError):
         super().__init__(message)
         self.instruction_index = instruction_index
 
+    def __reduce__(self):
+        return (type(self), (self.args[0], self.instruction_index))
+
 
 class MemoryFault(CrashError):
     """Access outside the program's data/stack regions (segfault)."""
@@ -35,6 +44,9 @@ class MemoryFault(CrashError):
             instruction_index,
         )
         self.address = address
+
+    def __reduce__(self):
+        return (type(self), (self.address, self.instruction_index))
 
 
 class AlignmentFault(CrashError):
@@ -51,6 +63,12 @@ class AlignmentFault(CrashError):
         self.address = address
         self.alignment = alignment
 
+    def __reduce__(self):
+        return (
+            type(self),
+            (self.address, self.alignment, self.instruction_index),
+        )
+
 
 class DivideError(CrashError):
     """#DE: division by zero or quotient overflow."""
@@ -59,6 +77,9 @@ class DivideError(CrashError):
 
     def __init__(self, instruction_index: int = -1):
         super().__init__("divide error (#DE)", instruction_index)
+
+    def __reduce__(self):
+        return (type(self), (self.instruction_index,))
 
 
 class InvalidFetch(CrashError):
@@ -72,6 +93,9 @@ class InvalidFetch(CrashError):
         )
         self.target = target
 
+    def __reduce__(self):
+        return (type(self), (self.target, self.instruction_index))
+
 
 class HangError(CrashError):
     """Dynamic instruction budget exhausted (runaway loop)."""
@@ -81,3 +105,6 @@ class HangError(CrashError):
     def __init__(self, budget: int):
         super().__init__(f"exceeded dynamic instruction budget of {budget}")
         self.budget = budget
+
+    def __reduce__(self):
+        return (type(self), (self.budget,))

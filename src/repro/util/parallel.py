@@ -1,19 +1,68 @@
-"""Parallel-map helper for population evaluation.
+"""Fault-tolerant parallel execution for population evaluation.
 
 The paper's setup evaluates each generation's programs in parallel
 across 96 hardware threads (§VI-B1: "Harpocrates exploits the full
-parallelism of any CPU configuration").  Here a process pool plays that
-role; ``workers <= 1`` keeps everything in-process, which is the right
-default for small scaled runs where pool spin-up would dominate.
+parallelism of any CPU configuration").  A long campaign at that scale
+cannot afford to die because one candidate wedges a worker or a process
+segfaults, so the pool here is built around failure isolation:
+
+* :func:`map_parallel` — the simple order-preserving map the small
+  experiment paths use (``workers <= 1`` stays in-process),
+* :class:`ResilientPool` — the campaign-grade pool: per-task wall-clock
+  timeouts that kill wedged workers, bounded retry with exponential
+  backoff, automatic respawn after a ``BrokenProcessPool``, and a
+  graceful fallback to in-process execution when the pool is
+  irrecoverable.  Every task resolves to a :class:`TaskOutcome` rather
+  than raising, so one misbehaving candidate costs one task, never the
+  campaign.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
-from typing import Callable, List, Sequence, TypeVar
+import os
+import time
+from collections import deque
+from concurrent.futures import (
+    BrokenExecutor,
+    ProcessPoolExecutor,
+    TimeoutError as FuturesTimeoutError,
+)
+from dataclasses import dataclass
+from typing import (
+    Any,
+    Callable,
+    Deque,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    TypeVar,
+)
 
 ItemT = TypeVar("ItemT")
 ResultT = TypeVar("ResultT")
+
+#: Terminal task states (:attr:`TaskOutcome.status` values).
+STATUS_OK = "ok"
+STATUS_ERRORED = "errored"
+STATUS_TIMED_OUT = "timed_out"
+STATUS_CRASHED = "crashed"
+
+
+def clamp_workers(workers: Optional[int], items: Optional[int] = None) -> int:
+    """Sanitize a worker count.
+
+    Negative or zero requests behave like ``workers=1``; requests larger
+    than the machine (``os.cpu_count()``) or the amount of work are
+    clamped down so the pool never over-spawns processes.
+    """
+    count = 1 if workers is None else int(workers)
+    if count < 1:
+        count = 1
+    count = min(count, os.cpu_count() or 1)
+    if items is not None:
+        count = min(count, max(int(items), 1))
+    return count
 
 
 def map_parallel(
@@ -24,9 +73,334 @@ def map_parallel(
     """Map ``fn`` over ``items``, optionally across processes.
 
     ``fn`` and every item must be picklable when ``workers > 1``.
-    Result order matches input order either way.
+    Result order matches input order either way.  Exceptions propagate;
+    use :class:`ResilientPool` when failures must be isolated.
     """
+    workers = clamp_workers(workers, len(items))
     if workers <= 1 or len(items) <= 1:
         return [fn(item) for item in items]
     with ProcessPoolExecutor(max_workers=workers) as pool:
         return list(pool.map(fn, items))
+
+
+@dataclass
+class TaskOutcome:
+    """The structured result of one task run under :class:`ResilientPool`.
+
+    ``status`` is one of ``ok`` / ``errored`` (the function raised) /
+    ``timed_out`` (exceeded the wall-clock budget; the worker was
+    killed) / ``crashed`` (the worker process died).  ``attempts``
+    counts every try including the successful or final one, and
+    ``where`` records whether the final attempt ran in the pool or
+    in-process after the pool degraded.
+    """
+
+    index: int
+    status: str
+    value: Any = None
+    error: Optional[str] = None
+    error_type: Optional[str] = None
+    attempts: int = 1
+    duration: float = 0.0
+    where: str = "pool"
+
+    @property
+    def ok(self) -> bool:
+        return self.status == STATUS_OK
+
+
+@dataclass
+class _Task:
+    """Book-keeping for one in-flight item."""
+
+    index: int
+    item: Any
+    attempts: int = 0
+    delay: float = 0.0
+    submitted: float = 0.0
+
+
+class ResilientPool:
+    """A process pool that survives hangs, crashes, and flaky tasks.
+
+    Parameters
+    ----------
+    workers:
+        Requested process count; clamped by :func:`clamp_workers`.
+        ``workers <= 1`` runs everything in-process (still isolating
+        exceptions, but without timeout enforcement).
+    timeout:
+        Per-task wall-clock budget in seconds.  A task that exceeds it
+        is recorded as ``timed_out`` and the (presumed wedged) worker
+        processes are killed and respawned.  ``None`` disables.
+    max_retries:
+        Additional attempts granted to a failed task (0 = single shot).
+        Timed-out, crashed, and errored tasks are all eligible unless
+        ``retryable`` says otherwise.
+    retryable:
+        Optional predicate over the raised exception deciding whether an
+        ``errored`` task is worth retrying (default: retry everything
+        within budget).  Timeouts and worker crashes are always
+        considered transient.
+    max_respawns:
+        Pool reconstruction budget.  Once exhausted, the pool degrades
+        gracefully: remaining tasks run in-process (no timeout
+        enforcement, but exceptions stay contained).
+    backoff_base / backoff_cap:
+        Exponential-backoff schedule between retries, in seconds
+        (``base * 2**(attempt-1)``, capped).
+    """
+
+    def __init__(
+        self,
+        workers: int = 1,
+        timeout: Optional[float] = None,
+        max_retries: int = 0,
+        retryable: Optional[Callable[[BaseException], bool]] = None,
+        max_respawns: int = 3,
+        backoff_base: float = 0.05,
+        backoff_cap: float = 2.0,
+    ):
+        self.workers = workers
+        self.timeout = timeout
+        self.max_retries = max(0, int(max_retries))
+        self.retryable = retryable
+        self.max_respawns = max(0, int(max_respawns))
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        #: Respawns performed over this pool's lifetime (observability).
+        self.respawns = 0
+        #: True once the pool fell back to in-process execution.
+        self.degraded = False
+
+    # -- public API --------------------------------------------------------
+
+    def map(
+        self, fn: Callable[[Any], Any], items: Sequence[Any]
+    ) -> List[TaskOutcome]:
+        """Run ``fn`` over ``items``; one :class:`TaskOutcome` each,
+        in input order.  Never raises for a task failure."""
+        items = list(items)
+        if not items:
+            return []
+        workers = clamp_workers(self.workers, len(items))
+        tasks = [_Task(index=i, item=item) for i, item in enumerate(items)]
+        outcomes: List[Optional[TaskOutcome]] = [None] * len(items)
+        # A process pool is used whenever parallelism was requested OR a
+        # timeout must be enforceable (killing a wedged task requires a
+        # separate process, even on a single-CPU machine where the
+        # clamped pool holds just one worker).
+        use_pool = int(self.workers or 1) > 1 or self.timeout is not None
+        if not use_pool:
+            for task in tasks:
+                outcomes[task.index] = self._run_inline(fn, task)
+            return [outcome for outcome in outcomes if outcome is not None]
+        self._run_pool(fn, tasks, outcomes, workers)
+        return [outcome for outcome in outcomes if outcome is not None]
+
+    # -- pool path ---------------------------------------------------------
+
+    def _run_pool(
+        self,
+        fn: Callable[[Any], Any],
+        tasks: List[_Task],
+        outcomes: List[Optional[TaskOutcome]],
+        workers: int,
+    ) -> None:
+        pending: Deque[_Task] = deque(tasks)
+        executor: Optional[ProcessPoolExecutor] = None
+        inflight: Dict[Any, _Task] = {}
+        order: Deque[Any] = deque()
+        try:
+            while pending or order:
+                if executor is None:
+                    if self.respawns > self.max_respawns:
+                        # Pool is irrecoverable: degrade to in-process.
+                        self.degraded = True
+                        while pending:
+                            task = pending.popleft()
+                            outcomes[task.index] = self._run_inline(fn, task)
+                        return
+                    executor = ProcessPoolExecutor(max_workers=workers)
+                # Keep at most ``workers`` tasks in flight so a freshly
+                # submitted task starts (approximately) immediately and
+                # its wall-clock budget measures execution, not queueing.
+                while pending and len(order) < workers:
+                    task = pending.popleft()
+                    if task.delay > 0:
+                        time.sleep(task.delay)
+                        task.delay = 0.0
+                    task.submitted = time.monotonic()
+                    future = executor.submit(fn, task.item)
+                    inflight[future] = task
+                    order.append(future)
+                future = order[0]
+                task = inflight[future]
+                budget = None
+                if self.timeout is not None:
+                    budget = max(
+                        0.0, task.submitted + self.timeout - time.monotonic()
+                    )
+                try:
+                    value = future.result(budget)
+                except FuturesTimeoutError:
+                    self._drop(future, inflight, order)
+                    self._harvest(fn, inflight, order, outcomes, pending)
+                    self._kill(executor)
+                    executor = None
+                    self.respawns += 1
+                    self._finish_or_retry(
+                        task, STATUS_TIMED_OUT, pending, outcomes,
+                        error=f"exceeded {self.timeout:.3f}s wall-clock budget",
+                        error_type="TimeoutError",
+                    )
+                except BrokenExecutor as exc:
+                    self._drop(future, inflight, order)
+                    self._harvest(fn, inflight, order, outcomes, pending)
+                    self._kill(executor)
+                    executor = None
+                    self.respawns += 1
+                    self._finish_or_retry(
+                        task, STATUS_CRASHED, pending, outcomes,
+                        error=str(exc) or "worker process died",
+                        error_type=type(exc).__name__,
+                    )
+                except Exception as exc:  # fn raised inside the worker
+                    self._drop(future, inflight, order)
+                    self._finish_or_retry(
+                        task, STATUS_ERRORED, pending, outcomes,
+                        error=str(exc), error_type=type(exc).__name__,
+                        exception=exc,
+                    )
+                else:
+                    self._drop(future, inflight, order)
+                    task.attempts += 1
+                    outcomes[task.index] = TaskOutcome(
+                        index=task.index,
+                        status=STATUS_OK,
+                        value=value,
+                        attempts=task.attempts,
+                        duration=time.monotonic() - task.submitted,
+                    )
+        finally:
+            if executor is not None:
+                executor.shutdown(wait=False, cancel_futures=True)
+
+    @staticmethod
+    def _drop(future, inflight, order) -> None:
+        order.remove(future)
+        del inflight[future]
+
+    def _harvest(
+        self,
+        fn,
+        inflight: Dict[Any, _Task],
+        order: Deque[Any],
+        outcomes: List[Optional[TaskOutcome]],
+        pending: Deque[_Task],
+    ) -> None:
+        """Salvage the other in-flight tasks before a pool teardown.
+
+        Completed siblings keep their results; unfinished ones go back
+        to the queue as innocent bystanders (no attempt charged)."""
+        while order:
+            future = order.popleft()
+            task = inflight.pop(future)
+            if future.done() and not future.cancelled() \
+                    and future.exception() is None:
+                task.attempts += 1
+                outcomes[task.index] = TaskOutcome(
+                    index=task.index,
+                    status=STATUS_OK,
+                    value=future.result(),
+                    attempts=task.attempts,
+                    duration=time.monotonic() - task.submitted,
+                )
+            else:
+                pending.appendleft(task)
+
+    def _finish_or_retry(
+        self,
+        task: _Task,
+        status: str,
+        pending: Deque[_Task],
+        outcomes: List[Optional[TaskOutcome]],
+        error: Optional[str] = None,
+        error_type: Optional[str] = None,
+        exception: Optional[BaseException] = None,
+    ) -> None:
+        task.attempts += 1
+        duration = time.monotonic() - task.submitted
+        retry_allowed = task.attempts <= self.max_retries
+        if status == STATUS_ERRORED and retry_allowed \
+                and self.retryable is not None and exception is not None:
+            retry_allowed = bool(self.retryable(exception))
+        if retry_allowed:
+            task.delay = min(
+                self.backoff_cap,
+                self.backoff_base * (2 ** (task.attempts - 1)),
+            )
+            pending.append(task)
+            return
+        outcomes[task.index] = TaskOutcome(
+            index=task.index,
+            status=status,
+            error=error,
+            error_type=error_type,
+            attempts=task.attempts,
+            duration=duration,
+        )
+
+    @staticmethod
+    def _kill(executor: ProcessPoolExecutor) -> None:
+        """Tear a pool down hard, killing wedged worker processes."""
+        for process in list(getattr(executor, "_processes", {}).values()):
+            try:
+                process.terminate()
+            except Exception:
+                pass
+        try:
+            executor.shutdown(wait=False, cancel_futures=True)
+        except Exception:
+            pass
+
+    # -- in-process path ---------------------------------------------------
+
+    def _run_inline(self, fn: Callable[[Any], Any], task: _Task) -> TaskOutcome:
+        """Execute one task in-process with the same retry discipline.
+
+        No wall-clock enforcement is possible here (a hang would hang
+        the caller), which is why this path is the *fallback*, not the
+        default."""
+        while True:
+            task.attempts += 1
+            started = time.monotonic()
+            try:
+                value = fn(task.item)
+            except Exception as exc:
+                retry_allowed = task.attempts <= self.max_retries
+                if retry_allowed and self.retryable is not None:
+                    retry_allowed = bool(self.retryable(exc))
+                if retry_allowed:
+                    time.sleep(min(
+                        self.backoff_cap,
+                        self.backoff_base * (2 ** (task.attempts - 1)),
+                    ))
+                    continue
+                return TaskOutcome(
+                    index=task.index,
+                    status=STATUS_ERRORED,
+                    error=str(exc),
+                    error_type=type(exc).__name__,
+                    attempts=task.attempts,
+                    duration=time.monotonic() - started,
+                    where="inline",
+                )
+            return TaskOutcome(
+                index=task.index,
+                status=STATUS_OK,
+                value=value,
+                attempts=task.attempts,
+                duration=time.monotonic() - started,
+                where="inline",
+            )

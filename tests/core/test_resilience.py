@@ -1,0 +1,229 @@
+"""End-to-end loop resilience: quarantine, retry, timeout, health.
+
+Uses the deterministic fault-injecting evaluator doubles from
+``tests.core.flaky`` — the acceptance scenario is the ISSUE's: an
+evaluator that raises on ~10% of candidates and hangs on ~2% must
+complete every iteration, quarantine the failures, and report them in
+``LoopResult.health`` without any exception escaping ``run``.
+"""
+
+import pytest
+
+from repro.core.errors import LoopConfigError
+from repro.core.evaluator import QUARANTINE_FITNESS, EvalHealth, Evaluator
+from repro.core.generator import Generator
+from repro.core.loop import HarpocratesLoop, LoopConfig, LoopResult
+from repro.coverage.metrics import IbrCoverage
+from repro.isa.instructions import FUClass
+from repro.microprobe.policies import GenerationConfig
+
+from tests.core.flaky import FlakyEvaluator, TransientEvaluator, fault_bucket
+
+GEN_CONFIG = GenerationConfig(num_instructions=40, data_size=2048)
+METRIC = IbrCoverage(FUClass.INT_ADDER)
+
+
+def small_config(**overrides):
+    base = dict(population=8, keep=2, offspring_per_parent=3,
+                iterations=3, seed=0)
+    base.update(overrides)
+    return LoopConfig(**base)
+
+
+class TestQuarantine:
+    def test_failing_candidates_are_quarantined_not_fatal(self):
+        evaluator = FlakyEvaluator(
+            METRIC, workers=2, fail_pct=30, hang_pct=0,
+        )
+        generator = Generator(GEN_CONFIG)
+        programs = generator.initial_population(10)
+        expected = set(evaluator.expected_faulty(programs))
+        assert expected, "schedule must hit at least one candidate"
+        evaluated = evaluator.evaluate(programs)
+        assert len(evaluated) == 10
+        for entry in evaluated:
+            if entry.name in expected:
+                assert entry.quarantined
+                assert entry.fitness == QUARANTINE_FITNESS
+                assert entry.error_kind == "candidate_error"
+            else:
+                assert not entry.quarantined
+                assert entry.fitness >= 0.0
+
+    def test_rank_pushes_quarantined_last(self):
+        evaluator = FlakyEvaluator(
+            METRIC, workers=2, fail_pct=30, hang_pct=0,
+        )
+        generator = Generator(GEN_CONFIG)
+        programs = generator.initial_population(10)
+        expected = set(evaluator.expected_faulty(programs))
+        ranked = evaluator.rank(programs)
+        tail = {entry.name for entry in ranked[-len(expected):]}
+        assert tail == expected
+
+    def test_inline_path_quarantines_too(self):
+        evaluator = FlakyEvaluator(
+            METRIC, workers=1, fail_pct=30, hang_pct=0,
+        )
+        generator = Generator(GEN_CONFIG)
+        programs = generator.initial_population(10)
+        expected = set(evaluator.expected_faulty(programs))
+        evaluated = evaluator.evaluate(programs)
+        quarantined = {e.name for e in evaluated if e.quarantined}
+        assert quarantined == expected
+
+
+class TestLoopAcceptance:
+    """The ISSUE's acceptance scenario: 10% raise, 2% hang."""
+
+    def test_flaky_loop_completes_and_reports_health(self):
+        evaluator = FlakyEvaluator(
+            METRIC,
+            workers=2,
+            eval_timeout=1.5,
+            fail_pct=10,
+            hang_pct=2,
+            hang_seconds=30.0,
+        )
+        generator = Generator(GEN_CONFIG)
+        config = small_config(population=10, keep=2, iterations=3)
+        loop = HarpocratesLoop(generator, evaluator, config=config)
+        result = loop.run()
+        assert result.iterations_run == 3
+        assert len(result.history) == 3
+        health = result.health
+        # 10 bootstrap candidates, then 2 carried + 6 offspring twice.
+        assert health.evaluations == 26
+        # The schedule is name-deterministic, and gen0 names guarantee
+        # at least one injected failure (asserted, not assumed).
+        assert health.quarantined, "no candidate hit the fault schedule"
+        assert health.total_errors == len(health.quarantined)
+        assert sum(s.quarantined for s in result.history) == \
+            len(health.quarantined)
+        # Survivors must all be healthy: plenty of candidates remain.
+        for entry in result.best:
+            assert not entry.quarantined
+
+    def test_hang_is_timed_out_and_quarantined(self):
+        generator = Generator(GEN_CONFIG)
+        programs = generator.initial_population(6)
+        hanger = next(
+            p for p in programs if fault_bucket(p.name) < 40
+        )
+        evaluator = FlakyEvaluator(
+            METRIC,
+            workers=2,
+            eval_timeout=1.0,
+            fail_pct=0,
+            hang_pct=40,
+            hang_seconds=30.0,
+        )
+        evaluated = evaluator.evaluate(programs)
+        by_name = {e.name: e for e in evaluated}
+        assert by_name[hanger.name].error_kind == "timeout"
+        assert evaluator.health.timeouts >= 1
+
+    def test_health_travels_into_result_and_resets_between_runs(self):
+        evaluator = FlakyEvaluator(
+            METRIC, workers=2, fail_pct=20, hang_pct=0,
+        )
+        generator = Generator(GEN_CONFIG)
+        loop = HarpocratesLoop(
+            generator, evaluator, config=small_config(iterations=2)
+        )
+        first = loop.run()
+        second = loop.run()
+        # Same loop, same seed: identical campaigns, identical health.
+        assert first.health.evaluations == second.health.evaluations
+        assert first.health.quarantined == second.health.quarantined
+
+
+class TestRetries:
+    def test_transient_failures_retried_to_success(self, tmp_path):
+        evaluator = TransientEvaluator(
+            METRIC,
+            workers=2,
+            max_retries=2,
+            marker_dir=str(tmp_path),
+            fail_attempts=1,
+        )
+        generator = Generator(GEN_CONFIG)
+        programs = generator.initial_population(4)
+        evaluated = evaluator.evaluate(programs)
+        assert all(not e.quarantined for e in evaluated)
+        assert all(e.attempts == 2 for e in evaluated)
+        assert evaluator.health.retries == 4
+        assert not evaluator.health.quarantined
+
+    def test_without_retries_transients_are_quarantined(self, tmp_path):
+        evaluator = TransientEvaluator(
+            METRIC,
+            workers=2,
+            max_retries=0,
+            marker_dir=str(tmp_path),
+            fail_attempts=1,
+        )
+        generator = Generator(GEN_CONFIG)
+        evaluated = evaluator.evaluate(generator.initial_population(3))
+        assert all(e.quarantined for e in evaluated)
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize(
+        "config",
+        [
+            LoopConfig(population=0),
+            LoopConfig(population=-4),
+            LoopConfig(keep=0),
+            LoopConfig(keep=-1),
+            LoopConfig(population=4, keep=8),
+            LoopConfig(offspring_per_parent=0),
+            LoopConfig(crossover_rate=1.5),
+        ],
+    )
+    def test_bad_configs_rejected_up_front(self, config):
+        loop = HarpocratesLoop(
+            Generator(GEN_CONFIG), Evaluator(METRIC), config=config
+        )
+        with pytest.raises(LoopConfigError):
+            loop.run()
+
+    def test_negative_iterations_rejected(self):
+        loop = HarpocratesLoop(
+            Generator(GEN_CONFIG), Evaluator(METRIC),
+            config=small_config(),
+        )
+        with pytest.raises(LoopConfigError):
+            loop.run(iterations=-1)
+
+    def test_loop_config_error_is_a_value_error(self):
+        assert issubclass(LoopConfigError, ValueError)
+
+
+class TestEmptyElite:
+    def test_best_program_raises_clear_value_error(self):
+        result = LoopResult(best=[])
+        with pytest.raises(ValueError, match="empty"):
+            result.best_program
+
+
+class TestEvalHealth:
+    def test_merge_and_dict_roundtrip(self):
+        a = EvalHealth(evaluations=3, retries=1, timeouts=1)
+        a.record_error("timeout")
+        a.quarantined.append("p0")
+        b = EvalHealth(evaluations=2, worker_crashes=1)
+        b.record_error("worker_crash")
+        b.quarantined.append("p1")
+        a.merge(b)
+        assert a.evaluations == 5
+        assert a.errors == {"timeout": 1, "worker_crash": 1}
+        assert a.quarantined == ["p0", "p1"]
+        restored = EvalHealth.from_dict(a.as_dict())
+        assert restored == a
+
+    def test_summary_mentions_key_counters(self):
+        health = EvalHealth(evaluations=7, timeouts=2)
+        text = health.summary()
+        assert "evaluations=7" in text
+        assert "timeouts=2" in text

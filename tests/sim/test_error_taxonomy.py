@@ -1,0 +1,87 @@
+"""The crash taxonomy contract: stable kinds, index plumbing, and
+clean pickling (crash exceptions cross process boundaries when
+evaluation runs in a pool)."""
+
+import pickle
+
+import pytest
+
+from repro.sim.errors import (
+    AlignmentFault,
+    CrashError,
+    DivideError,
+    HangError,
+    InvalidFetch,
+    MemoryFault,
+    SimError,
+)
+
+ALL_CRASHES = [
+    CrashError("generic crash", 3),
+    MemoryFault(0x4000_0000, 4),
+    AlignmentFault(0x7, 16, 2),
+    DivideError(5),
+    InvalidFetch(99, 1),
+    HangError(1000),
+]
+
+
+class TestKinds:
+    def test_stable_kind_strings(self):
+        kinds = {type(exc).__name__: exc.kind for exc in ALL_CRASHES}
+        assert kinds == {
+            "CrashError": "crash",
+            "MemoryFault": "memory_fault",
+            "AlignmentFault": "alignment_fault",
+            "DivideError": "divide_error",
+            "InvalidFetch": "invalid_fetch",
+            "HangError": "hang",
+        }
+
+    def test_kinds_unique_across_subclasses(self):
+        kinds = [exc.kind for exc in ALL_CRASHES]
+        assert len(kinds) == len(set(kinds))
+
+    def test_hierarchy(self):
+        for exc in ALL_CRASHES:
+            assert isinstance(exc, CrashError)
+            assert isinstance(exc, SimError)
+
+
+class TestInstructionIndex:
+    def test_index_plumbing(self):
+        assert CrashError("x", 3).instruction_index == 3
+        assert MemoryFault(0x10, 4).instruction_index == 4
+        assert AlignmentFault(0x7, 16, 2).instruction_index == 2
+        assert DivideError(5).instruction_index == 5
+        assert InvalidFetch(99, 1).instruction_index == 1
+
+    def test_index_defaults_to_unknown(self):
+        assert CrashError("x").instruction_index == -1
+        assert MemoryFault(0x10).instruction_index == -1
+        assert HangError(1000).instruction_index == -1
+
+
+class TestPickling:
+    """Required for cross-process transport in parallel evaluation."""
+
+    @pytest.mark.parametrize(
+        "exc", ALL_CRASHES, ids=lambda e: type(e).__name__
+    )
+    def test_roundtrip_preserves_identity(self, exc):
+        restored = pickle.loads(pickle.dumps(exc))
+        assert type(restored) is type(exc)
+        assert restored.kind == exc.kind
+        assert restored.instruction_index == exc.instruction_index
+        assert str(restored) == str(exc)
+
+    def test_structured_attributes_survive(self):
+        fault = pickle.loads(pickle.dumps(MemoryFault(0x4000_0000, 7)))
+        assert fault.address == 0x4000_0000
+        align = pickle.loads(pickle.dumps(AlignmentFault(0x7, 16, 2)))
+        assert align.address == 0x7
+        assert align.alignment == 16
+        fetch = pickle.loads(pickle.dumps(InvalidFetch(99, 1)))
+        assert fetch.target == 99
+        hang = pickle.loads(pickle.dumps(HangError(1234)))
+        assert hang.budget == 1234

@@ -49,3 +49,53 @@ class TestLoop:
     def test_unknown_target_rejected(self, capsys):
         exit_code = main(["loop", "nonsense", "--scale", "smoke"])
         assert exit_code == 2
+
+    def test_resilience_flags_parse(self):
+        parser = build_parser()
+        args = parser.parse_args([
+            "loop", "irf", "--checkpoint-dir", "/tmp/ck",
+            "--resume", "/tmp/ck/checkpoint_000002.json",
+            "--eval-timeout", "2.5", "--max-retries", "3",
+        ])
+        assert args.checkpoint_dir == "/tmp/ck"
+        assert args.resume == "/tmp/ck/checkpoint_000002.json"
+        assert args.eval_timeout == 2.5
+        assert args.max_retries == 3
+
+    def test_resume_latest_requires_checkpoint_dir(self, capsys):
+        exit_code = main([
+            "loop", "int_adder", "--scale", "smoke", "--resume-latest",
+        ])
+        assert exit_code == 2
+        assert "--checkpoint-dir" in capsys.readouterr().err
+
+    def test_resume_from_missing_checkpoint_fails_cleanly(
+        self, capsys, tmp_path
+    ):
+        exit_code = main([
+            "loop", "int_adder", "--scale", "smoke",
+            "--resume", str(tmp_path),
+        ])
+        assert exit_code == 2
+        assert "checkpoint" in capsys.readouterr().err
+
+    def test_checkpointed_run_then_resume(self, capsys, tmp_path):
+        checkpoint_dir = str(tmp_path / "ck")
+        exit_code = main([
+            "loop", "int_adder", "--scale", "smoke",
+            "--checkpoint-dir", checkpoint_dir,
+        ])
+        assert exit_code == 0
+        first = capsys.readouterr().out
+        assert "final detection" in first
+        import os
+        assert any(
+            name.startswith("checkpoint_")
+            for name in os.listdir(checkpoint_dir)
+        )
+        exit_code = main([
+            "loop", "int_adder", "--scale", "smoke",
+            "--checkpoint-dir", checkpoint_dir, "--resume-latest",
+        ])
+        assert exit_code == 0
+        assert "final detection" in capsys.readouterr().out

@@ -24,6 +24,15 @@ class TestMapParallel:
     def test_empty(self):
         assert map_parallel(_square, [], workers=4) == []
 
+    def test_negative_workers_behave_like_one(self):
+        assert map_parallel(_square, [1, 2, 3], workers=-8) == [1, 4, 9]
+
+    def test_oversized_worker_request_is_clamped(self):
+        # More workers than items (and than most machines have cores):
+        # must not over-spawn, and results stay correct and ordered.
+        result = map_parallel(_square, list(range(4)), workers=10_000)
+        assert result == [i * i for i in range(4)]
+
 
 class TestEvaluatorParallel:
     def test_process_pool_evaluation_matches_sequential(self):

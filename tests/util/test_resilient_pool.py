@@ -1,0 +1,175 @@
+"""ResilientPool: failure isolation under hangs, crashes, and flakes.
+
+Worker functions live at module level so process pools can pickle
+them; fault schedules that must survive worker restarts communicate
+through marker files in a temp directory carried inside the item.
+"""
+
+import os
+import time
+
+from repro.util.parallel import (
+    STATUS_CRASHED,
+    STATUS_ERRORED,
+    STATUS_OK,
+    STATUS_TIMED_OUT,
+    ResilientPool,
+    TaskOutcome,
+    clamp_workers,
+)
+
+
+def _square(x):
+    return x * x
+
+
+def _raise_on_three(x):
+    if x == 3:
+        raise ValueError("three is right out")
+    return x
+
+
+def _hang_on_one(x):
+    if x == 1:
+        time.sleep(60)
+    return x
+
+
+def _exit_on_two(x):
+    if x == 2:
+        os._exit(17)
+    return x
+
+
+def _fail_until_marked(item):
+    """Fails until its marker file exists (written on first failure)."""
+    value, marker_dir = item
+    marker = os.path.join(marker_dir, f"seen_{value}")
+    if value == 1 and not os.path.exists(marker):
+        open(marker, "w").close()
+        raise RuntimeError("transient failure")
+    return value
+
+
+def _exit_until_marked(item):
+    """Kills its worker once, then succeeds (pool-degradation probe)."""
+    value, marker_dir = item
+    marker = os.path.join(marker_dir, f"seen_{value}")
+    if value == 1 and not os.path.exists(marker):
+        open(marker, "w").close()
+        os._exit(1)
+    return value
+
+
+class TestClampWorkers:
+    def test_negative_behaves_like_one(self):
+        assert clamp_workers(-4) == 1
+        assert clamp_workers(0) == 1
+
+    def test_none_behaves_like_one(self):
+        assert clamp_workers(None) == 1
+
+    def test_capped_by_cpu_count(self):
+        assert clamp_workers(10_000) <= (os.cpu_count() or 1)
+
+    def test_capped_by_item_count(self):
+        assert clamp_workers(8, items=3) <= 3
+
+    def test_empty_items_still_one(self):
+        assert clamp_workers(8, items=0) == 1
+
+
+class TestHappyPath:
+    def test_order_and_values(self):
+        outcomes = ResilientPool(workers=2).map(_square, list(range(8)))
+        assert [o.value for o in outcomes] == [i * i for i in range(8)]
+        assert all(o.ok for o in outcomes)
+        assert all(o.status == STATUS_OK for o in outcomes)
+        assert all(o.attempts == 1 for o in outcomes)
+
+    def test_empty(self):
+        assert ResilientPool(workers=4).map(_square, []) == []
+
+    def test_inline_when_no_parallelism_requested(self):
+        pool = ResilientPool(workers=1)
+        outcomes = pool.map(_square, [1, 2, 3])
+        assert [o.value for o in outcomes] == [1, 4, 9]
+        assert all(o.where == "inline" for o in outcomes)
+
+
+class TestErrorIsolation:
+    def test_one_bad_task_costs_one_task(self):
+        outcomes = ResilientPool(workers=2).map(
+            _raise_on_three, [1, 2, 3, 4]
+        )
+        assert [o.status for o in outcomes] == [
+            STATUS_OK, STATUS_OK, STATUS_ERRORED, STATUS_OK,
+        ]
+        bad = outcomes[2]
+        assert bad.error_type == "ValueError"
+        assert "three" in bad.error
+
+    def test_inline_path_isolates_errors_too(self):
+        outcomes = ResilientPool(workers=1).map(
+            _raise_on_three, [3, 5]
+        )
+        assert outcomes[0].status == STATUS_ERRORED
+        assert outcomes[1].ok
+
+
+class TestTimeout:
+    def test_hung_task_is_killed_and_marked(self):
+        pool = ResilientPool(workers=2, timeout=1.0)
+        started = time.monotonic()
+        outcomes = pool.map(_hang_on_one, [0, 1, 2, 3])
+        elapsed = time.monotonic() - started
+        assert outcomes[1].status == STATUS_TIMED_OUT
+        assert [o.status for i, o in enumerate(outcomes) if i != 1] == \
+            [STATUS_OK] * 3
+        assert pool.respawns >= 1
+        # The 60s sleeper must not have been waited out.
+        assert elapsed < 30
+
+
+class TestWorkerCrash:
+    def test_dead_worker_is_contained_and_pool_respawned(self):
+        pool = ResilientPool(workers=2)
+        outcomes = pool.map(_exit_on_two, [0, 1, 2, 3])
+        assert outcomes[2].status == STATUS_CRASHED
+        assert [o.ok for i, o in enumerate(outcomes) if i != 2] == \
+            [True] * 3
+        assert pool.respawns >= 1
+
+
+class TestRetry:
+    def test_transient_failure_retried_to_success(self, tmp_path):
+        items = [(i, str(tmp_path)) for i in range(3)]
+        outcomes = ResilientPool(workers=2, max_retries=2).map(
+            _fail_until_marked, items
+        )
+        assert all(o.ok for o in outcomes)
+        assert outcomes[1].attempts == 2
+        assert outcomes[0].attempts == 1
+
+    def test_retry_budget_exhausted(self):
+        outcomes = ResilientPool(workers=2, max_retries=2).map(
+            _raise_on_three, [3]
+        )
+        assert outcomes[0].status == STATUS_ERRORED
+        assert outcomes[0].attempts == 3
+
+
+class TestGracefulDegradation:
+    def test_falls_back_inline_when_pool_irrecoverable(self, tmp_path):
+        items = [(i, str(tmp_path)) for i in range(4)]
+        pool = ResilientPool(workers=2, max_respawns=0, max_retries=1)
+        outcomes = pool.map(_exit_until_marked, items)
+        assert all(o.ok for o in outcomes)
+        assert pool.degraded
+        assert any(o.where == "inline" for o in outcomes)
+
+
+class TestTaskOutcome:
+    def test_ok_property(self):
+        assert TaskOutcome(index=0, status=STATUS_OK).ok
+        assert not TaskOutcome(index=0, status=STATUS_TIMED_OUT).ok
