@@ -4,7 +4,11 @@ Commands:
 
 * ``report`` — regenerate every paper table/figure at a scale preset,
 * ``loop`` — run the Harpocrates loop for one target and print the
-  convergence curve plus final detection,
+  convergence curve plus final detection (``--workers`` takes either
+  a local process count or a ``host:port,host:port`` fleet of
+  ``repro-worker`` agents),
+* ``worker`` — serve as a distributed evaluation agent (also
+  installed as the ``repro-worker`` console script),
 * ``baselines`` — grade the baseline suites on the six structures,
 * ``generate`` — emit a constrained-random program as assembly,
 * ``fuzz`` — run the SiliFuzz-style campaign and print its statistics.
@@ -42,6 +46,19 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_workers(value: str):
+    """``--workers`` accepts a local process count *or* a
+    ``host:port[,host:port...]`` fleet of ``repro-worker`` agents.
+
+    Returns ``(local_count, endpoints)`` — exactly one is meaningful.
+    """
+    from repro.dist.coordinator import parse_endpoints
+
+    if ":" in value:
+        return 1, parse_endpoints(value)
+    return int(value), None
+
+
 def _cmd_loop(args: argparse.Namespace) -> int:
     from repro.core import CheckpointError, scaled_targets
     from repro.experiments.fig10 import run_target
@@ -54,6 +71,11 @@ def _cmd_loop(args: argparse.Namespace) -> int:
         print(f"unknown target {args.target!r}; "
               f"choose one of {sorted(targets)}", file=sys.stderr)
         return 2
+    try:
+        workers, endpoints = _parse_workers(args.workers)
+    except ValueError as exc:
+        print(f"bad --workers value: {exc}", file=sys.stderr)
+        return 2
     resume_from = args.resume
     if resume_from is None and args.resume_latest:
         if args.checkpoint_dir is None:
@@ -65,11 +87,16 @@ def _cmd_loop(args: argparse.Namespace) -> int:
         curve = run_target(
             targets[args.target],
             scale,
-            workers=args.workers,
+            workers=workers,
             eval_timeout=args.eval_timeout,
             max_retries=args.max_retries,
             checkpoint_dir=args.checkpoint_dir,
             resume_from=resume_from,
+            worker_endpoints=endpoints,
+            checkpoint_keep=(
+                args.checkpoint_keep if args.checkpoint_keep > 0 else None
+            ),
+            checkpoint_milestone_every=args.checkpoint_milestones,
         )
     except CheckpointError as exc:
         print(f"checkpoint error: {exc}", file=sys.stderr)
@@ -77,6 +104,19 @@ def _cmd_loop(args: argparse.Namespace) -> int:
     print(curve.render())
     print(f"final detection: {curve.final_detection:.1%}")
     return 0
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    from repro.dist.worker import main as worker_main
+
+    forwarded = ["--listen", args.listen]
+    if args.slots is not None:
+        forwarded += ["--slots", str(args.slots)]
+    if args.eval_timeout is not None:
+        forwarded += ["--eval-timeout", str(args.eval_timeout)]
+    if args.max_retries is not None:
+        forwarded += ["--max-retries", str(args.max_retries)]
+    return worker_main(forwarded)
 
 
 def _cmd_baselines(args: argparse.Namespace) -> int:
@@ -151,10 +191,25 @@ def build_parser() -> argparse.ArgumentParser:
         help="irf | l1d | int_adder | int_mul | fp_adder | fp_mul",
     )
     _add_scale_argument(loop_parser)
-    loop_parser.add_argument("--workers", type=int, default=1)
+    loop_parser.add_argument(
+        "--workers", default="1", metavar="N|HOST:PORT,...",
+        help="local evaluation processes (an integer), or a "
+             "comma-separated repro-worker fleet to shard each "
+             "generation across (host:port[,host:port...])",
+    )
     loop_parser.add_argument(
         "--checkpoint-dir", default=None,
         help="write a resumable JSON checkpoint after each iteration",
+    )
+    loop_parser.add_argument(
+        "--checkpoint-keep", type=int, default=5, metavar="N",
+        help="rotate checkpoints, keeping the newest N (default 5; "
+             "0 keeps every checkpoint)",
+    )
+    loop_parser.add_argument(
+        "--checkpoint-milestones", type=int, default=0, metavar="K",
+        help="additionally keep every K-th iteration's checkpoint as "
+             "a milestone (default 0 = none)",
     )
     loop_parser.add_argument(
         "--resume", default=None, metavar="PATH",
@@ -175,6 +230,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="extra attempts for transiently failing evaluations",
     )
     loop_parser.set_defaults(handler=_cmd_loop)
+
+    worker_parser = subparsers.add_parser(
+        "worker",
+        help="serve as a distributed evaluation agent (repro-worker)",
+    )
+    worker_parser.add_argument(
+        "--listen", default="127.0.0.1:7070", metavar="HOST:PORT",
+        help="address to listen on (default 127.0.0.1:7070)",
+    )
+    worker_parser.add_argument(
+        "--slots", type=int, default=None,
+        help="local evaluation parallelism (default: CPU count)",
+    )
+    worker_parser.add_argument(
+        "--eval-timeout", type=float, default=None, metavar="SECONDS",
+        help="override the coordinator's per-candidate budget",
+    )
+    worker_parser.add_argument(
+        "--max-retries", type=int, default=None,
+        help="override the coordinator's retry budget",
+    )
+    worker_parser.set_defaults(handler=_cmd_worker)
 
     baselines_parser = subparsers.add_parser(
         "baselines", help="grade the baseline suites (Figs 4/5/6)"

@@ -245,3 +245,57 @@ def latest_checkpoint(directory: str) -> Optional[str]:
     if not candidates:
         return None
     return os.path.join(directory, candidates[-1])
+
+
+# -- compaction/rotation -----------------------------------------------------
+
+
+def checkpoint_iteration(name: str) -> Optional[int]:
+    """The iteration number encoded in a checkpoint file name
+    (None for files that are not per-iteration checkpoints)."""
+    if not (name.startswith("checkpoint_") and name.endswith(".json")):
+        return None
+    stem = name[len("checkpoint_"):-len(".json")]
+    if not stem.isdigit():
+        return None
+    return int(stem)
+
+
+def compact_checkpoints(
+    directory: str, keep: int = 5, milestone_every: int = 0
+) -> List[str]:
+    """Rotate old checkpoints so multi-thousand-iteration campaigns
+    don't accumulate one JSON file per iteration.
+
+    Keeps the ``keep`` highest-iteration checkpoints plus, when
+    ``milestone_every > 0``, every checkpoint whose iteration is a
+    multiple of it (coarse long-term history for post-mortems).
+    ``keep <= 0`` disables rotation entirely.  Deletion failures are
+    ignored — compaction is best-effort housekeeping and must never
+    take down a campaign.  Returns the paths actually removed.
+    """
+    if keep <= 0:
+        return []
+    try:
+        names = os.listdir(directory)
+    except OSError:
+        return []
+    numbered = sorted(
+        (iteration, name)
+        for name in names
+        if (iteration := checkpoint_iteration(name)) is not None
+    )
+    newest = {name for _, name in numbered[-keep:]}
+    removed = []
+    for iteration, name in numbered[:-keep]:
+        if milestone_every > 0 and iteration % milestone_every == 0:
+            continue
+        if name in newest:
+            continue
+        path = os.path.join(directory, name)
+        try:
+            os.unlink(path)
+        except OSError:
+            continue
+        removed.append(path)
+    return removed

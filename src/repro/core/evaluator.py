@@ -87,6 +87,13 @@ class EvalHealth:
     fallback_inline: int = 0
     #: Process-pool reconstructions performed.
     pool_respawns: int = 0
+    #: Distributed-fleet telemetry (all zero for single-host runs):
+    #: worker hosts declared dead during the run, ...
+    workers_lost: int = 0
+    #: ... their in-flight tasks re-dispatched to survivors, and ...
+    redispatched: int = 0
+    #: ... straggler tasks speculatively duplicated by idle workers.
+    stolen: int = 0
 
     def record_error(self, kind: str) -> None:
         self.errors[kind] = self.errors.get(kind, 0) + 1
@@ -101,6 +108,9 @@ class EvalHealth:
         self.quarantined.extend(other.quarantined)
         self.fallback_inline += other.fallback_inline
         self.pool_respawns += other.pool_respawns
+        self.workers_lost += other.workers_lost
+        self.redispatched += other.redispatched
+        self.stolen += other.stolen
 
     @property
     def total_errors(self) -> int:
@@ -116,6 +126,9 @@ class EvalHealth:
             "quarantined": list(self.quarantined),
             "fallback_inline": self.fallback_inline,
             "pool_respawns": self.pool_respawns,
+            "workers_lost": self.workers_lost,
+            "redispatched": self.redispatched,
+            "stolen": self.stolen,
         }
 
     @classmethod
@@ -131,16 +144,25 @@ class EvalHealth:
         health.quarantined = [str(n) for n in data.get("quarantined", [])]
         health.fallback_inline = int(data.get("fallback_inline", 0))
         health.pool_respawns = int(data.get("pool_respawns", 0))
+        health.workers_lost = int(data.get("workers_lost", 0))
+        health.redispatched = int(data.get("redispatched", 0))
+        health.stolen = int(data.get("stolen", 0))
         return health
 
     def summary(self) -> str:
         """One-line operator-facing digest."""
-        return (
+        text = (
             f"evaluations={self.evaluations} errors={self.total_errors} "
             f"timeouts={self.timeouts} worker_crashes={self.worker_crashes} "
             f"retries={self.retries} quarantined={len(self.quarantined)} "
             f"respawns={self.pool_respawns}"
         )
+        if self.workers_lost or self.redispatched or self.stolen:
+            text += (
+                f" workers_lost={self.workers_lost} "
+                f"redispatched={self.redispatched} stolen={self.stolen}"
+            )
+        return text
 
 
 def _evaluate_one(args) -> EvaluatedProgram:

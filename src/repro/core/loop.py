@@ -25,6 +25,7 @@ from typing import List, Optional, Sequence
 
 from repro.core.checkpoint import (
     LoopCheckpoint,
+    compact_checkpoints,
     decode_evaluated,
     decode_program,
     decode_rng_state,
@@ -296,6 +297,8 @@ class HarpocratesLoop:
         checkpoint_dir: Optional[str] = None,
         checkpoint_every: int = 1,
         resume_from: Optional[str] = None,
+        checkpoint_keep: Optional[int] = None,
+        checkpoint_milestone_every: int = 0,
     ) -> LoopResult:
         """Execute the loop; returns the surviving elite and history.
 
@@ -306,9 +309,13 @@ class HarpocratesLoop:
         ``checkpoint_dir`` enables per-iteration checkpointing (every
         ``checkpoint_every`` iterations, plus always the final one);
         ``resume_from`` restores a prior run from a checkpoint file or
-        directory and continues it bit-exactly.  ``KeyboardInterrupt``
-        ends the run gracefully: the returned result covers every
-        completed iteration and is marked ``interrupted``.
+        directory and continues it bit-exactly.  ``checkpoint_keep``
+        rotates old checkpoints after each write, keeping the newest N
+        (plus every ``checkpoint_milestone_every``-th iteration as a
+        milestone); ``None`` keeps every checkpoint.
+        ``KeyboardInterrupt`` ends the run gracefully: the returned
+        result covers every completed iteration and is marked
+        ``interrupted``.
         """
         config = self.config
         config.validate()
@@ -415,6 +422,12 @@ class HarpocratesLoop:
                             checkpoint_dir, iteration + 1, population,
                             rng, result, best_so_far, stale,
                         )
+                        if checkpoint_keep is not None:
+                            compact_checkpoints(
+                                checkpoint_dir,
+                                keep=checkpoint_keep,
+                                milestone_every=checkpoint_milestone_every,
+                            )
                 if converged:
                     break
         except KeyboardInterrupt:

@@ -56,7 +56,15 @@ class LoopStepTiming:
 
 
 class Manager:
-    """Orchestrates generation/mutation/evaluation flows for a target."""
+    """Orchestrates generation/mutation/evaluation flows for a target.
+
+    ``worker_endpoints`` (``[(host, port), ...]``) selects the
+    distributed evaluation backend: generations are sharded across
+    that ``repro-worker`` fleet, falling back to the local pool when
+    no worker is reachable.  The fleet rebuilds the target from the
+    registry, so ``dist_scales`` must carry the ``(program_scale,
+    loop_scale)`` pair the target was built with.
+    """
 
     def __init__(
         self,
@@ -64,19 +72,49 @@ class Manager:
         workers: int = 1,
         eval_timeout: Optional[float] = None,
         max_retries: int = 0,
+        worker_endpoints: Optional[Sequence[Tuple[str, int]]] = None,
+        dist_scales: Optional[Tuple[float, float]] = None,
     ):
         self.target = target
         self.generator = Generator(target.generation)
-        self.evaluator = Evaluator(
-            target.metric,
-            target.machine,
-            workers=workers,
-            eval_timeout=eval_timeout,
-            max_retries=max_retries,
-        )
+        if worker_endpoints:
+            # Imported lazily: repro.dist imports this package.
+            from repro.dist.evaluator import DistributedEvaluator
+
+            if dist_scales is None:
+                raise ValueError(
+                    "worker_endpoints requires dist_scales — the "
+                    "(program_scale, loop_scale) the target was "
+                    "scaled with, so the fleet rebuilds it identically"
+                )
+            self.evaluator: Evaluator = DistributedEvaluator(
+                target.metric,
+                target.machine,
+                workers=workers,
+                eval_timeout=eval_timeout,
+                max_retries=max_retries,
+                endpoints=worker_endpoints,
+                target_key=target.key,
+                program_scale=dist_scales[0],
+                loop_scale=dist_scales[1],
+            )
+        else:
+            self.evaluator = Evaluator(
+                target.metric,
+                target.machine,
+                workers=workers,
+                eval_timeout=eval_timeout,
+                max_retries=max_retries,
+            )
         self.mutator: Mutator = InstructionReplacementMutator(
             self.generator.arch, pool_names=target.pool_names
         )
+
+    def close(self) -> None:
+        """Release evaluator resources (fleet connections, if any)."""
+        close = getattr(self.evaluator, "close", None)
+        if close is not None:
+            close()
 
     # -- §V-B2 flows -------------------------------------------------------
 
@@ -128,6 +166,8 @@ class Manager:
         checkpoint_dir: Optional[str] = None,
         checkpoint_every: int = 1,
         resume_from: Optional[str] = None,
+        checkpoint_keep: Optional[int] = None,
+        checkpoint_milestone_every: int = 0,
     ) -> LoopResult:
         return self.build_loop().run(
             iterations,
@@ -135,6 +175,8 @@ class Manager:
             checkpoint_dir=checkpoint_dir,
             checkpoint_every=checkpoint_every,
             resume_from=resume_from,
+            checkpoint_keep=checkpoint_keep,
+            checkpoint_milestone_every=checkpoint_milestone_every,
         )
 
     # -- Table I instrumentation ---------------------------------------------

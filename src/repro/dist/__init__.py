@@ -1,0 +1,68 @@
+"""Distributed evaluation: shard a generation across a worker fleet.
+
+Harpocrates' wall-clock is dominated by the hardware-model-in-the-loop
+evaluation step — every candidate runs through the cycle-level
+out-of-order model, so a generation costs ``population / cores``
+(§VI-B1 runs 96-way on a single host).  This package scales that step
+past one machine: a **coordinator** (embedded in the campaign process)
+shards each generation's candidates across any number of
+**repro-worker** agents over a length-prefixed JSON wire protocol.
+
+Topology::
+
+    campaign process                         worker hosts
+    ┌──────────────────────┐                ┌─────────────────────┐
+    │ HarpocratesLoop      │   TCP/JSON     │ repro-worker :7070  │
+    │  └ DistributedEval.  │◄──────────────►│  └ Evaluator        │
+    │     └ Coordinator ───┼───────────────►│     └ ResilientPool │
+    │        └ local pool  │                ├─────────────────────┤
+    │          (fallback)  │◄──────────────►│ repro-worker :7071  │
+    └──────────────────────┘                └─────────────────────┘
+
+Module map:
+
+* :mod:`repro.dist.protocol` — the framed JSON wire protocol
+  (versioned hello/capability handshake, eval/result, heartbeats),
+* :mod:`repro.dist.worker` — the ``repro-worker`` agent: a TCP server
+  wrapping the existing :class:`~repro.core.evaluator.Evaluator` +
+  :class:`~repro.util.parallel.ResilientPool`, so per-host quarantine,
+  timeouts, and retries keep working unchanged,
+* :mod:`repro.dist.coordinator` — least-loaded (pull-based) dispatch,
+  work-stealing of stragglers, heartbeat failure detection, and
+  re-dispatch of a dead worker's in-flight tasks,
+* :mod:`repro.dist.evaluator` — :class:`DistributedEvaluator`, the
+  drop-in :class:`~repro.core.evaluator.Evaluator` backend that falls
+  back to the local pool when no workers are reachable.
+
+Failure semantics: a lost host costs its in-flight tasks once — they
+are re-dispatched to surviving workers (or the local pool when the
+whole fleet is gone) — never the campaign.  Results are reassembled in
+submission order, so a distributed run ranks **identically** to a
+local run with the same seed.
+"""
+
+# Exports resolve lazily (PEP 562) so `python -m repro.dist.worker`
+# does not re-import the module it is executing.
+_EXPORTS = {
+    "Coordinator": "repro.dist.coordinator",
+    "WorkerInfo": "repro.dist.coordinator",
+    "parse_endpoints": "repro.dist.coordinator",
+    "DistributedEvaluator": "repro.dist.evaluator",
+    "PROTOCOL_VERSION": "repro.dist.protocol",
+    "ProtocolError": "repro.dist.protocol",
+    "WorkerServer": "repro.dist.worker",
+}
+
+__all__ = sorted(_EXPORTS)
+
+
+def __getattr__(name):
+    try:
+        module_name = _EXPORTS[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        ) from None
+    from importlib import import_module
+
+    return getattr(import_module(module_name), name)

@@ -1,0 +1,464 @@
+"""The fleet coordinator: shard one generation across worker hosts.
+
+Dispatch is **pull-based**: one driver thread per live worker claims up
+to that worker's ``slots`` tasks from a shared queue, ships them as one
+``eval`` batch, and claims again when the results land.  Fast workers
+therefore pull more often — least-loaded balancing without a central
+scheduler — and when the queue runs dry an idle worker **steals** a
+straggler: it re-dispatches a task that is still in flight on a busier
+worker, and whichever copy finishes first wins (evaluation is
+deterministic, so duplicates agree; each worker steals a given task at
+most once, bounding the waste).
+
+Failure detection is heartbeat-based.  While awaiting a batch the
+driver pings on every idle interval; the worker's reader thread pongs
+even mid-evaluation, so silence — not slowness — marks a host dead.  A
+dead worker's in-flight tasks are re-enqueued exactly once and flow to
+the survivors; tasks still unfinished when the whole fleet is gone are
+returned unassigned for the caller's local fallback.  A lost host
+costs its in-flight work once, never the campaign.
+
+Results are reassembled in submission order, so a distributed
+generation ranks identically to a local one with the same seed.
+"""
+
+from __future__ import annotations
+
+import logging
+import socket
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core.evaluator import EvalHealth
+from repro.dist import protocol
+from repro.dist.protocol import (
+    MSG_CONFIGURE,
+    MSG_CONFIGURED,
+    MSG_ERROR,
+    MSG_EVAL,
+    MSG_HELLO,
+    MSG_PING,
+    MSG_PONG,
+    MSG_RESULT,
+    MSG_SHUTDOWN,
+    PROTOCOL_VERSION,
+    FrameTimeout,
+    ProtocolError,
+)
+
+logger = logging.getLogger("repro.dist")
+
+
+def parse_endpoints(spec: str) -> List[Tuple[str, int]]:
+    """``host:port[,host:port...]`` → endpoint list."""
+    endpoints = []
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        host, sep, port = part.rpartition(":")
+        if not sep:
+            raise ValueError(
+                f"worker endpoint {part!r} is not host:port"
+            )
+        try:
+            endpoints.append((host, int(port)))
+        except ValueError:
+            raise ValueError(
+                f"worker endpoint {part!r} has a non-numeric port"
+            ) from None
+    if not endpoints:
+        raise ValueError(f"no worker endpoints in {spec!r}")
+    return endpoints
+
+
+@dataclass
+class WorkerInfo:
+    """Connection state for one fleet member."""
+
+    host: str
+    port: int
+    sock: Optional[socket.socket] = None
+    slots: int = 1
+    alive: bool = False
+    #: Generations to skip before retrying a failed endpoint.
+    cooldown: int = 0
+
+    @property
+    def name(self) -> str:
+        return f"{self.host}:{self.port}"
+
+
+class _Generation:
+    """Shared dispatch state for one :meth:`Coordinator.evaluate`."""
+
+    def __init__(self, records: Sequence[dict]):
+        self.records = list(records)
+        self.pending: Deque[int] = deque(range(len(records)))
+        self.results: List[Optional[dict]] = [None] * len(records)
+        self.done: Set[int] = set()
+        self.in_flight: Dict[str, Set[int]] = {}
+        self.stolen: Dict[str, Set[int]] = {}
+        self.health = EvalHealth()
+        self.cond = threading.Condition()
+
+    def finished(self) -> bool:
+        return len(self.done) == len(self.records)
+
+
+class Coordinator:
+    """Owns the worker connections for one campaign.
+
+    Connections persist across generations; endpoints that fail get a
+    short reconnect cooldown so a permanently dead host does not tax
+    every generation with a connect timeout.  All evaluation state is
+    per-call, so one coordinator serves the whole loop.
+    """
+
+    def __init__(
+        self,
+        endpoints: Sequence[Tuple[str, int]],
+        target_key: str,
+        program_scale: float,
+        loop_scale: float,
+        paper: bool = False,
+        eval_timeout: Optional[float] = None,
+        max_retries: int = 0,
+        heartbeat_interval: float = 2.0,
+        heartbeat_misses: int = 3,
+        connect_timeout: float = 5.0,
+        steal: bool = True,
+        steal_delay: float = 1.0,
+        reconnect_cooldown: int = 3,
+    ):
+        self.workers = [
+            WorkerInfo(host=host, port=port) for host, port in endpoints
+        ]
+        self.target_key = target_key
+        self.program_scale = program_scale
+        self.loop_scale = loop_scale
+        self.paper = paper
+        self.eval_timeout = eval_timeout
+        self.max_retries = max_retries
+        self.heartbeat_interval = heartbeat_interval
+        self.heartbeat_misses = max(1, int(heartbeat_misses))
+        self.connect_timeout = connect_timeout
+        self.steal = steal
+        self.steal_delay = max(0.0, float(steal_delay))
+        self.reconnect_cooldown = max(0, int(reconnect_cooldown))
+        self._ping_seq = 0
+
+    # -- connections -------------------------------------------------------
+
+    def connect(self) -> int:
+        """(Re)connect every cold endpoint; returns the live count."""
+        for worker in self.workers:
+            if worker.alive:
+                continue
+            if worker.cooldown > 0:
+                worker.cooldown -= 1
+                continue
+            try:
+                self._connect_one(worker)
+            except (OSError, ProtocolError, FrameTimeout) as exc:
+                logger.warning(
+                    "worker %s unreachable: %s", worker.name, exc
+                )
+                self._disconnect(worker)
+                worker.cooldown = self.reconnect_cooldown
+        return sum(1 for worker in self.workers if worker.alive)
+
+    def _connect_one(self, worker: WorkerInfo) -> None:
+        sock = socket.create_connection(
+            (worker.host, worker.port), timeout=self.connect_timeout
+        )
+        sock.settimeout(self.heartbeat_interval)
+        worker.sock = sock
+        protocol.send_frame(sock, {
+            "type": MSG_HELLO,
+            "protocol": PROTOCOL_VERSION,
+            "role": "coordinator",
+        })
+        hello = self._recv_patiently(sock, self.connect_timeout)
+        protocol.check_hello(hello, expected_role="worker")
+        worker.slots = max(1, int(hello.get("slots", 1)))
+        protocol.send_frame(sock, {
+            "type": MSG_CONFIGURE,
+            "target": self.target_key,
+            "program_scale": self.program_scale,
+            "loop_scale": self.loop_scale,
+            "paper": self.paper,
+            "eval_timeout": self.eval_timeout,
+            "max_retries": self.max_retries,
+        })
+        reply = self._recv_patiently(sock, self.connect_timeout)
+        if reply["type"] == MSG_ERROR:
+            raise ProtocolError(
+                f"worker rejected configuration: {reply.get('message')}"
+            )
+        if reply["type"] != MSG_CONFIGURED:
+            raise ProtocolError(
+                f"expected configured, got {reply['type']!r}"
+            )
+        worker.alive = True
+        logger.info(
+            "worker %s connected (slots=%d)", worker.name, worker.slots
+        )
+
+    @staticmethod
+    def _recv_patiently(sock: socket.socket, budget: float):
+        """Receive one frame, tolerating idle timeouts up to ``budget``
+        (handshake replies may lag the socket's heartbeat timeout)."""
+        deadline = time.monotonic() + budget
+        while True:
+            try:
+                return protocol.recv_frame(sock)
+            except FrameTimeout:
+                if time.monotonic() > deadline:
+                    raise
+
+    def _disconnect(self, worker: WorkerInfo) -> None:
+        worker.alive = False
+        if worker.sock is not None:
+            try:
+                worker.sock.close()
+            except OSError:
+                pass
+            worker.sock = None
+
+    def close(self) -> None:
+        """Orderly shutdown: tell each live worker goodbye."""
+        for worker in self.workers:
+            if worker.alive and worker.sock is not None:
+                try:
+                    protocol.send_frame(
+                        worker.sock, {"type": MSG_SHUTDOWN}
+                    )
+                except (OSError, ProtocolError):
+                    pass
+            self._disconnect(worker)
+
+    # -- evaluation --------------------------------------------------------
+
+    def evaluate(
+        self, records: Sequence[dict]
+    ) -> Optional[Tuple[List[Optional[dict]], EvalHealth]]:
+        """Shard one generation's encoded candidates across the fleet.
+
+        Returns ``(results, health_delta)`` where ``results`` holds one
+        wire record per candidate **in submission order**; entries are
+        ``None`` for tasks no worker completed (the caller evaluates
+        those locally).  Returns ``None`` when no worker is reachable
+        at all — the caller should fall back to the local pool.
+        """
+        if not records:
+            return [], EvalHealth()
+        if self.connect() == 0:
+            return None
+        generation = _Generation(records)
+        for worker in self.workers:
+            generation.in_flight[worker.name] = set()
+            generation.stolen[worker.name] = set()
+        drivers = [
+            threading.Thread(
+                target=self._drive,
+                args=(worker, generation),
+                name=f"repro-dist-{worker.name}",
+                daemon=True,
+            )
+            for worker in self.workers
+            if worker.alive
+        ]
+        for driver in drivers:
+            driver.start()
+        for driver in drivers:
+            driver.join()
+        unfinished = len(records) - len(generation.done)
+        if unfinished:
+            logger.warning(
+                "%d task(s) unassigned after fleet loss; "
+                "falling back to local evaluation", unfinished,
+            )
+        return generation.results, generation.health
+
+    # -- per-worker driver -------------------------------------------------
+
+    def _drive(self, worker: WorkerInfo, generation: _Generation) -> None:
+        try:
+            while True:
+                batch = self._claim(worker, generation)
+                if batch is None:
+                    return
+                self._dispatch(worker, generation, batch)
+        except (OSError, ProtocolError, FrameTimeout, ValueError) as exc:
+            self._lose(worker, generation, exc)
+
+    def _claim(
+        self, worker: WorkerInfo, generation: _Generation
+    ) -> Optional[List[int]]:
+        """Take up to ``slots`` pending tasks (or steal one straggler).
+
+        Returns ``None`` when the generation has nothing left for this
+        worker: every task is done, or the remainder is in flight on
+        other workers and already stolen (or stealing is off).
+        """
+        mine = generation.in_flight[worker.name]
+        attempted = generation.stolen[worker.name]
+        idle_since = time.monotonic()
+        with generation.cond:
+            while True:
+                if generation.finished():
+                    return None
+                take: List[int] = []
+                while generation.pending and len(take) < worker.slots:
+                    take.append(generation.pending.popleft())
+                if take:
+                    mine.update(take)
+                    return take
+                # Speculation is held back briefly so a healthy fleet
+                # finishing a generation does not duplicate its last
+                # few tasks; true stragglers out-wait the delay.
+                may_steal = self.steal and (
+                    time.monotonic() - idle_since >= self.steal_delay
+                )
+                if may_steal:
+                    stealable = [
+                        index
+                        for other in self.workers
+                        if other.name != worker.name
+                        for index in sorted(
+                            generation.in_flight[other.name]
+                        )
+                        if index not in generation.done
+                        and index not in attempted
+                        and index not in mine
+                    ]
+                    if stealable:
+                        index = stealable[0]
+                        attempted.add(index)
+                        mine.add(index)
+                        generation.health.stolen += 1
+                        logger.info(
+                            "worker %s stealing straggler task %d",
+                            worker.name, index,
+                        )
+                        return [index]
+                others_busy = any(
+                    generation.in_flight[other.name] - generation.done
+                    for other in self.workers
+                    if other.name != worker.name
+                )
+                if not generation.pending and not others_busy:
+                    return None
+                generation.cond.wait(0.1)
+
+    def _dispatch(
+        self,
+        worker: WorkerInfo,
+        generation: _Generation,
+        batch: List[int],
+    ) -> None:
+        """Send one batch and pump frames until every task resolves."""
+        assert worker.sock is not None
+        protocol.send_frame(worker.sock, {
+            "type": MSG_EVAL,
+            "batch": [
+                {"id": index, "program": generation.records[index]}
+                for index in batch
+            ],
+        })
+        expect = set(batch)
+        missed = 0
+        while expect:
+            try:
+                message = protocol.recv_frame(worker.sock)
+            except FrameTimeout:
+                missed += 1
+                if missed > self.heartbeat_misses:
+                    raise ProtocolError(
+                        f"worker {worker.name} missed "
+                        f"{missed} heartbeats"
+                    ) from None
+                self._ping_seq += 1
+                protocol.send_frame(
+                    worker.sock,
+                    {"type": MSG_PING, "seq": self._ping_seq},
+                )
+                continue
+            missed = 0
+            kind = message["type"]
+            if kind == MSG_PONG:
+                continue
+            if kind == MSG_ERROR:
+                raise ProtocolError(
+                    f"worker {worker.name} reported: "
+                    f"{message.get('message')}"
+                )
+            if kind != MSG_RESULT:
+                raise ProtocolError(
+                    f"unexpected {kind!r} from worker {worker.name}"
+                )
+            self._absorb(worker, generation, message, expect)
+
+    def _absorb(
+        self,
+        worker: WorkerInfo,
+        generation: _Generation,
+        message: dict,
+        expect: Set[int],
+    ) -> None:
+        results = message.get("results")
+        if not isinstance(results, list):
+            raise ProtocolError("result message has no results list")
+        delta = message.get("health")
+        mine = generation.in_flight[worker.name]
+        with generation.cond:
+            if isinstance(delta, dict):
+                generation.health.merge(EvalHealth.from_dict(delta))
+            for record in results:
+                index = int(record["id"])
+                expect.discard(index)
+                mine.discard(index)
+                if index in generation.done:
+                    continue  # a stolen duplicate lost the race
+                if not 0 <= index < len(generation.results):
+                    raise ProtocolError(
+                        f"result for unknown task id {index}"
+                    )
+                generation.done.add(index)
+                generation.results[index] = dict(record)
+            generation.cond.notify_all()
+
+    def _lose(
+        self,
+        worker: WorkerInfo,
+        generation: _Generation,
+        reason: Exception,
+    ) -> None:
+        """Mark a worker dead and re-enqueue its unfinished tasks."""
+        logger.warning("lost worker %s: %s", worker.name, reason)
+        self._disconnect(worker)
+        worker.cooldown = self.reconnect_cooldown
+        with generation.cond:
+            mine = generation.in_flight[worker.name]
+            elsewhere = {
+                index
+                for other in self.workers
+                if other.name != worker.name and other.alive
+                for index in generation.in_flight[other.name]
+            }
+            requeue = sorted(
+                index
+                for index in mine
+                if index not in generation.done
+                and index not in elsewhere
+                and index not in generation.pending
+            )
+            generation.pending.extend(requeue)
+            mine.clear()
+            generation.health.workers_lost += 1
+            generation.health.redispatched += len(requeue)
+            generation.cond.notify_all()

@@ -1,0 +1,230 @@
+"""The coordinator↔worker wire protocol: length-prefixed JSON frames.
+
+Every frame is a 4-byte big-endian unsigned length followed by that
+many bytes of UTF-8 JSON encoding one message object.  Messages always
+carry a ``"type"`` key; unknown keys are ignored (forward
+compatibility), unknown *types* are a :class:`ProtocolError`.
+
+Message types
+-------------
+
+``hello``
+    Capability handshake, first frame in each direction.  Carries
+    ``protocol`` (version — mismatches abort the connection), ``role``
+    (``coordinator`` / ``worker``), and, from the worker, ``slots``
+    (its local parallelism) and ``pid``.
+``configure``
+    Coordinator → worker: which target structure to evaluate and at
+    what scale (``target``, ``program_scale``, ``loop_scale``,
+    ``paper``, ``eval_timeout``, ``max_retries``).  The worker rebuilds
+    the metric/machine/generator locally from the target registry, so
+    only plain JSON ever crosses the wire.  Answered by ``configured``
+    or ``error``.
+``eval``
+    Coordinator → worker: a batch of candidates, each a task ``id``
+    plus the same policy-aware genome ``program`` record the
+    checkpoints use (reconstruction is bit-exact, so remote evaluation
+    is deterministic).  Answered by ``result``.
+``result``
+    Worker → coordinator: per-task fitness records (``id``,
+    ``fitness``, ``total_cycles``, ``crashed``, ``error_kind``,
+    ``attempts``) plus the worker's :class:`~repro.core.evaluator.
+    EvalHealth` delta for the batch.
+``ping`` / ``pong``
+    Heartbeats.  The worker answers from its reader thread even while
+    a batch is evaluating, so the coordinator can tell *slow* from
+    *dead*.
+``shutdown`` / ``bye``
+    Orderly connection teardown.
+``error``
+    A structured failure report (``message``); the peer treats the
+    request that provoked it as failed.
+
+:func:`recv_frame` distinguishes an *idle* timeout (no header byte
+arrived — :class:`FrameTimeout`, retryable, heartbeat time) from a
+*torn* frame (timeout mid-frame — :class:`ProtocolError`, fatal).
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+import time
+from typing import Dict, Optional
+
+from repro.core.errors import EvaluationError
+
+#: Bump on incompatible wire changes; checked in the hello handshake.
+PROTOCOL_VERSION = 1
+
+#: Frames larger than this are rejected outright (corrupt or hostile).
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+#: Once a frame header has arrived, the body must follow within this
+#: budget — a peer that stalls mid-frame is broken, not merely idle.
+BODY_TIMEOUT = 30.0
+
+_HEADER = struct.Struct("!I")
+
+MSG_HELLO = "hello"
+MSG_CONFIGURE = "configure"
+MSG_CONFIGURED = "configured"
+MSG_EVAL = "eval"
+MSG_RESULT = "result"
+MSG_PING = "ping"
+MSG_PONG = "pong"
+MSG_SHUTDOWN = "shutdown"
+MSG_BYE = "bye"
+MSG_ERROR = "error"
+
+#: Every type a conforming peer may emit.
+KNOWN_TYPES = frozenset({
+    MSG_HELLO, MSG_CONFIGURE, MSG_CONFIGURED, MSG_EVAL, MSG_RESULT,
+    MSG_PING, MSG_PONG, MSG_SHUTDOWN, MSG_BYE, MSG_ERROR,
+})
+
+
+class ProtocolError(EvaluationError):
+    """The peer sent something unframeable, oversized, or malformed."""
+
+    kind = "protocol_error"
+
+
+class ConnectionClosed(ProtocolError):
+    """The peer closed the connection (EOF on a frame boundary)."""
+
+    kind = "connection_closed"
+
+
+class FrameTimeout(Exception):
+    """No frame arrived within the socket timeout (idle, not broken).
+
+    Deliberately *not* a :class:`ProtocolError`: the coordinator's
+    heartbeat loop catches it to inject a ping, whereas protocol errors
+    condemn the connection.
+    """
+
+
+def send_frame(sock: socket.socket, message: Dict[str, object]) -> None:
+    """Serialize and send one message (length-prefixed JSON)."""
+    payload = json.dumps(message, separators=(",", ":")).encode("utf-8")
+    if len(payload) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"outgoing frame of {len(payload)} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte limit"
+        )
+    sock.sendall(_HEADER.pack(len(payload)) + payload)
+
+
+def _recv_exact(
+    sock: socket.socket, count: int, deadline: Optional[float]
+) -> bytes:
+    """Read exactly ``count`` bytes; EOF or a blown deadline raises."""
+    chunks = []
+    remaining = count
+    while remaining:
+        if deadline is not None and time.monotonic() > deadline:
+            raise ProtocolError(
+                f"peer stalled mid-frame ({count - remaining}/{count} "
+                f"bytes arrived within {BODY_TIMEOUT:.0f}s)"
+            )
+        try:
+            chunk = sock.recv(remaining)
+        except socket.timeout:
+            # Socket timeouts inside a frame just re-check the deadline;
+            # the *idle* case (no header byte at all) is handled by the
+            # caller before any byte is read.
+            continue
+        if not chunk:
+            raise ConnectionClosed(
+                "connection closed mid-frame"
+                if len(chunks) or count != remaining
+                else "connection closed"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_frame(sock: socket.socket) -> Dict[str, object]:
+    """Receive one message; blocks per the socket's timeout.
+
+    Raises :class:`FrameTimeout` when the socket times out before any
+    header byte arrives (the peer is idle — heartbeat opportunity),
+    :class:`ConnectionClosed` on EOF at a frame boundary, and
+    :class:`ProtocolError` for torn, oversized, or malformed frames.
+    """
+    try:
+        first = sock.recv(1)
+    except socket.timeout:
+        raise FrameTimeout("no frame within the socket timeout") from None
+    if not first:
+        raise ConnectionClosed("connection closed")
+    deadline = time.monotonic() + BODY_TIMEOUT
+    header = first + _recv_exact(sock, _HEADER.size - 1, deadline)
+    (length,) = _HEADER.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"incoming frame claims {length} bytes "
+            f"(limit {MAX_FRAME_BYTES}); refusing"
+        )
+    payload = _recv_exact(sock, length, deadline)
+    return parse_message(payload)
+
+
+def parse_message(payload: bytes) -> Dict[str, object]:
+    """Decode and validate one frame body."""
+    try:
+        message = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"malformed frame: {exc}") from exc
+    if not isinstance(message, dict):
+        raise ProtocolError(
+            f"frame is not a JSON object (got {type(message).__name__})"
+        )
+    kind = message.get("type")
+    if not isinstance(kind, str):
+        raise ProtocolError("frame has no string 'type' field")
+    if kind not in KNOWN_TYPES:
+        raise ProtocolError(f"unknown message type {kind!r}")
+    return message
+
+
+def check_hello(
+    message: Dict[str, object], expected_role: str
+) -> Dict[str, object]:
+    """Validate the peer's hello; returns it for capability fields."""
+    if message.get("type") != MSG_HELLO:
+        raise ProtocolError(
+            f"expected hello, got {message.get('type')!r}"
+        )
+    version = message.get("protocol")
+    if version != PROTOCOL_VERSION:
+        raise ProtocolError(
+            f"protocol version mismatch: peer speaks {version!r}, "
+            f"this side speaks {PROTOCOL_VERSION}"
+        )
+    role = message.get("role")
+    if role != expected_role:
+        raise ProtocolError(
+            f"expected a {expected_role!r} peer, got {role!r}"
+        )
+    return message
+
+
+def result_record(task_id: int, evaluated) -> Dict[str, object]:
+    """One per-task entry of a ``result`` message.
+
+    Only the scores cross the wire — the coordinator re-attaches its
+    own :class:`~repro.isa.program.Program` object by task id, so no
+    program reconstruction happens on the way back.
+    """
+    return {
+        "id": task_id,
+        "fitness": evaluated.fitness,
+        "total_cycles": evaluated.total_cycles,
+        "crashed": evaluated.crashed,
+        "error_kind": evaluated.error_kind,
+        "attempts": evaluated.attempts,
+    }

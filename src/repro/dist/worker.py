@@ -1,0 +1,398 @@
+"""The ``repro-worker`` agent: one host's slice of the fleet.
+
+A :class:`WorkerServer` listens for coordinator connections and
+evaluates the candidate batches it is sent, wrapping the existing
+:class:`~repro.core.evaluator.Evaluator` (and therefore
+:class:`~repro.util.parallel.ResilientPool`) — so per-host parallelism,
+per-task timeouts, bounded retry, quarantine, and health telemetry all
+keep working exactly as they do in a single-host campaign.
+
+Each connection runs two threads:
+
+* the **reader** parses frames and answers pings immediately — the
+  coordinator's heartbeats get a prompt pong even while a long batch
+  is co-simulating, which is what lets it tell slow from dead;
+* the **executor** drains a queue of eval batches, reconstructs each
+  candidate from its policy-aware genome record (bit-exact, the same
+  records the checkpoints use), grades the batch, and streams the
+  ``result`` frame back.
+
+Run standalone via the ``repro-worker`` console script or
+``harpocrates worker``::
+
+    repro-worker --listen 0.0.0.0:7070 --slots 8 --eval-timeout 60
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import queue
+import socket
+import sys
+import threading
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.checkpoint import decode_program
+from repro.core.evaluator import QUARANTINE_FITNESS, Evaluator
+from repro.core.generator import Generator
+from repro.core.targets import paper_targets, scaled_targets
+from repro.dist import protocol
+from repro.dist.protocol import (
+    MSG_BYE,
+    MSG_CONFIGURE,
+    MSG_CONFIGURED,
+    MSG_ERROR,
+    MSG_EVAL,
+    MSG_HELLO,
+    MSG_PING,
+    MSG_PONG,
+    MSG_RESULT,
+    MSG_SHUTDOWN,
+    PROTOCOL_VERSION,
+    ConnectionClosed,
+    ProtocolError,
+)
+from repro.util.parallel import clamp_workers
+
+
+def parse_listen(value: str) -> Tuple[str, int]:
+    """``host:port`` → ``(host, port)``; a bare port binds loopback."""
+    host, sep, port = value.rpartition(":")
+    if not sep:
+        host, port = "127.0.0.1", value
+    try:
+        return host or "127.0.0.1", int(port)
+    except ValueError:
+        raise ValueError(f"invalid listen address {value!r}") from None
+
+
+def default_evaluator_factory(
+    spec, slots: int, eval_timeout: Optional[float], max_retries: int
+) -> Evaluator:
+    """Build the production evaluator for one configured target."""
+    return Evaluator(
+        spec.metric,
+        spec.machine,
+        workers=slots,
+        eval_timeout=eval_timeout,
+        max_retries=max_retries,
+    )
+
+
+class _Connection:
+    """State for one coordinator connection (reader + executor)."""
+
+    def __init__(self, server: "WorkerServer", sock: socket.socket):
+        self.server = server
+        self.sock = sock
+        self.send_lock = threading.Lock()
+        self.batches: "queue.Queue[Optional[dict]]" = queue.Queue()
+        self.generator: Optional[Generator] = None
+        self.evaluator: Optional[Evaluator] = None
+        self.closed = threading.Event()
+
+    def send(self, message: Dict[str, object]) -> None:
+        with self.send_lock:
+            protocol.send_frame(self.sock, message)
+
+    def close(self) -> None:
+        if self.closed.is_set():
+            return
+        self.closed.set()
+        self.batches.put(None)
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+
+class WorkerServer:
+    """A TCP server evaluating candidate batches for coordinators.
+
+    Parameters mirror the local evaluation stack: ``slots`` is this
+    host's parallelism (default: CPU count), ``eval_timeout`` /
+    ``max_retries`` override whatever the coordinator's ``configure``
+    message requests (None/negative = accept the coordinator's
+    values).  ``evaluator_factory`` is an injection point for tests —
+    the fault-injecting doubles plug in here to exercise failover.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        slots: Optional[int] = None,
+        eval_timeout: Optional[float] = None,
+        max_retries: Optional[int] = None,
+        evaluator_factory=default_evaluator_factory,
+    ):
+        self.host = host
+        self.requested_port = port
+        self.slots = clamp_workers(slots if slots else os.cpu_count())
+        self.eval_timeout = eval_timeout
+        self.max_retries = max_retries
+        self.evaluator_factory = evaluator_factory
+        self._listener: Optional[socket.socket] = None
+        self._accept_thread: Optional[threading.Thread] = None
+        self._connections: List[_Connection] = []
+        self._lock = threading.Lock()
+        self._closing = threading.Event()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def port(self) -> int:
+        """The bound port (useful with ``port=0`` ephemeral binds)."""
+        if self._listener is None:
+            raise RuntimeError("server not started")
+        return self._listener.getsockname()[1]
+
+    def start(self) -> "WorkerServer":
+        """Bind and begin accepting in a daemon thread; returns self."""
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((self.host, self.requested_port))
+        listener.listen(16)
+        self._listener = listener
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="repro-worker-accept", daemon=True
+        )
+        self._accept_thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Blocking variant of :meth:`start` (the CLI entrypoint)."""
+        if self._listener is None:
+            self.start()
+        try:
+            while not self._closing.is_set():
+                self._closing.wait(0.5)
+        except KeyboardInterrupt:
+            pass
+        finally:
+            self.close()
+
+    def close(self) -> None:
+        """Stop accepting and drop every live connection."""
+        self._closing.set()
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+        with self._lock:
+            connections = list(self._connections)
+        for connection in connections:
+            connection.close()
+
+    # -- connection handling -----------------------------------------------
+
+    def _accept_loop(self) -> None:
+        assert self._listener is not None
+        while not self._closing.is_set():
+            try:
+                sock, _addr = self._listener.accept()
+            except OSError:
+                return  # listener closed
+            connection = _Connection(self, sock)
+            with self._lock:
+                self._connections.append(connection)
+            threading.Thread(
+                target=self._serve_connection,
+                args=(connection,),
+                name="repro-worker-conn",
+                daemon=True,
+            ).start()
+
+    def _serve_connection(self, connection: _Connection) -> None:
+        executor = threading.Thread(
+            target=self._executor_loop,
+            args=(connection,),
+            name="repro-worker-exec",
+            daemon=True,
+        )
+        executor.start()
+        try:
+            hello = protocol.recv_frame(connection.sock)
+            protocol.check_hello(hello, expected_role="coordinator")
+            connection.send({
+                "type": MSG_HELLO,
+                "protocol": PROTOCOL_VERSION,
+                "role": "worker",
+                "slots": self.slots,
+                "pid": os.getpid(),
+            })
+            while True:
+                message = protocol.recv_frame(connection.sock)
+                kind = message["type"]
+                if kind == MSG_PING:
+                    connection.send(
+                        {"type": MSG_PONG, "seq": message.get("seq")}
+                    )
+                elif kind == MSG_CONFIGURE:
+                    self._configure(connection, message)
+                elif kind == MSG_EVAL:
+                    connection.batches.put(message)
+                elif kind == MSG_SHUTDOWN:
+                    connection.send({"type": MSG_BYE})
+                    return
+                else:
+                    connection.send({
+                        "type": MSG_ERROR,
+                        "message": f"unexpected {kind!r} message",
+                    })
+        except (ConnectionClosed, ProtocolError, OSError):
+            return
+        finally:
+            connection.close()
+            with self._lock:
+                if connection in self._connections:
+                    self._connections.remove(connection)
+
+    def _configure(self, connection: _Connection, message: dict) -> None:
+        try:
+            target_key = str(message["target"])
+            if message.get("paper"):
+                targets = paper_targets()
+            else:
+                targets = scaled_targets(
+                    program_scale=float(message["program_scale"]),
+                    loop_scale=float(message["loop_scale"]),
+                )
+            spec = targets[target_key]
+            eval_timeout = self.eval_timeout
+            if eval_timeout is None:
+                raw = message.get("eval_timeout")
+                eval_timeout = None if raw is None else float(raw)
+            max_retries = self.max_retries
+            if max_retries is None:
+                max_retries = int(message.get("max_retries", 0))
+            connection.generator = Generator(spec.generation)
+            connection.evaluator = self.evaluator_factory(
+                spec, self.slots, eval_timeout, max_retries
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            connection.send({
+                "type": MSG_ERROR,
+                "message": f"bad configure: {type(exc).__name__}: {exc}",
+            })
+            return
+        connection.send({"type": MSG_CONFIGURED, "target": target_key})
+
+    # -- evaluation --------------------------------------------------------
+
+    def _executor_loop(self, connection: _Connection) -> None:
+        while True:
+            message = connection.batches.get()
+            if message is None or connection.closed.is_set():
+                return
+            try:
+                self._evaluate_batch(connection, message)
+            except (ProtocolError, OSError):
+                connection.close()
+                return
+
+    def _evaluate_batch(self, connection: _Connection, message: dict) -> None:
+        if connection.evaluator is None or connection.generator is None:
+            connection.send({
+                "type": MSG_ERROR,
+                "message": "eval before configure",
+            })
+            return
+        batch = message.get("batch")
+        if not isinstance(batch, list):
+            connection.send({
+                "type": MSG_ERROR,
+                "message": "eval message has no batch list",
+            })
+            return
+        ids: List[int] = []
+        programs = []
+        undecodable: List[Tuple[int, str]] = []
+        for entry in batch:
+            task_id = int(entry["id"])
+            record = dict(entry["program"])
+            try:
+                program = decode_program(record, connection.generator)
+            except Exception as exc:
+                # A record this host cannot reconstruct costs that
+                # candidate (quarantined), not the batch.
+                undecodable.append(
+                    (task_id, str(record.get("name", f"task{task_id}")))
+                )
+                continue
+            ids.append(task_id)
+            programs.append(program)
+        evaluated = connection.evaluator.evaluate(programs)
+        health = connection.evaluator.take_health()
+        results = [
+            protocol.result_record(task_id, entry)
+            for task_id, entry in zip(ids, evaluated)
+        ]
+        for task_id, name in undecodable:
+            health.record_error("candidate_error")
+            health.quarantined.append(name)
+            results.append({
+                "id": task_id,
+                "fitness": QUARANTINE_FITNESS,
+                "total_cycles": 0,
+                "crashed": False,
+                "error_kind": "candidate_error",
+                "attempts": 1,
+            })
+        connection.send({
+            "type": MSG_RESULT,
+            "results": results,
+            "health": health.as_dict(),
+        })
+
+
+def main(argv=None) -> int:
+    """``repro-worker`` console entrypoint."""
+    parser = argparse.ArgumentParser(
+        prog="repro-worker",
+        description="Harpocrates distributed-evaluation worker agent",
+    )
+    parser.add_argument(
+        "--listen", default="127.0.0.1:7070", metavar="HOST:PORT",
+        help="address to listen on (default 127.0.0.1:7070; port 0 "
+             "binds an ephemeral port)",
+    )
+    parser.add_argument(
+        "--slots", type=int, default=None,
+        help="local evaluation parallelism (default: CPU count)",
+    )
+    parser.add_argument(
+        "--eval-timeout", type=float, default=None, metavar="SECONDS",
+        help="override the coordinator's per-candidate wall-clock budget",
+    )
+    parser.add_argument(
+        "--max-retries", type=int, default=None,
+        help="override the coordinator's retry budget",
+    )
+    args = parser.parse_args(argv)
+    try:
+        host, port = parse_listen(args.listen)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    server = WorkerServer(
+        host=host,
+        port=port,
+        slots=args.slots,
+        eval_timeout=args.eval_timeout,
+        max_retries=args.max_retries,
+    )
+    server.start()
+    print(
+        f"repro-worker listening on {host}:{server.port} "
+        f"(slots={server.slots}, pid={os.getpid()})",
+        flush=True,
+    )
+    server.serve_forever()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

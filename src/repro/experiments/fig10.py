@@ -14,8 +14,9 @@ starts high thanks to the cache-aware generation constraints.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.core.evaluator import EvalHealth
 from repro.core.loop import LoopResult
 from repro.core.manager import Manager
 from repro.core.targets import TargetSpec, scaled_targets
@@ -31,6 +32,8 @@ class ConvergencePoint:
     iteration: int
     coverage: float
     detection: Optional[float]
+    #: Candidates quarantined during this iteration's evaluation.
+    quarantined: int = 0
 
 
 @dataclass
@@ -41,6 +44,9 @@ class ConvergenceCurve:
     title: str
     points: List[ConvergencePoint] = field(default_factory=list)
     final_detection: float = 0.0
+    #: Run-level evaluation health (None when the loop did not run,
+    #: e.g. a fully resumed converged campaign).
+    health: Optional[EvalHealth] = None
 
     @property
     def final_coverage(self) -> float:
@@ -76,14 +82,18 @@ class ConvergenceCurve:
                 f"{point.coverage:.4f}",
                 "-" if point.detection is None
                 else f"{point.detection:.3f}",
+                point.quarantined,
             ]
             for point in self.points
         ]
-        return format_table(
-            ["iteration", "coverage", "detection"],
+        table = format_table(
+            ["iteration", "coverage", "detection", "quarantined"],
             rows,
             title=f"Fig 10 — {self.title} convergence",
         )
+        if self.health is not None:
+            table += f"\nhealth: {self.health.summary()}"
+        return table
 
 
 def run_target(
@@ -94,19 +104,27 @@ def run_target(
     max_retries: int = 0,
     checkpoint_dir: Optional[str] = None,
     resume_from: Optional[str] = None,
+    worker_endpoints: Optional[Sequence[Tuple[str, int]]] = None,
+    checkpoint_keep: Optional[int] = None,
+    checkpoint_milestone_every: int = 0,
 ) -> ConvergenceCurve:
     """Run the loop for one target, sampling detection along the way.
 
     ``eval_timeout``/``max_retries`` harden evaluation against wedged
     or flaky candidates; ``checkpoint_dir``/``resume_from`` enable the
     long-run checkpoint/resume flow (on resume, curve points cover the
-    resumed iterations — the checkpointed history holds the rest).
+    resumed iterations — the checkpointed history holds the rest);
+    ``checkpoint_keep`` rotates old checkpoints.  ``worker_endpoints``
+    shards every generation across a ``repro-worker`` fleet (results
+    are deterministic, so the curve matches the single-host run).
     """
     manager = Manager(
         target,
         workers=workers,
         eval_timeout=eval_timeout,
         max_retries=max_retries,
+        worker_endpoints=worker_endpoints,
+        dist_scales=(scale.program_scale, scale.loop_scale),
     )
     curve = ConvergenceCurve(target=target.key, title=target.title)
     sample_every = max(scale.detection_sample_every, 1)
@@ -126,14 +144,21 @@ def run_target(
                 iteration=stats.iteration,
                 coverage=stats.best_fitness,
                 detection=detection,
+                quarantined=stats.quarantined,
             )
         )
 
-    result: LoopResult = manager.run_loop(
-        on_iteration=on_iteration,
-        checkpoint_dir=checkpoint_dir,
-        resume_from=resume_from,
-    )
+    try:
+        result: LoopResult = manager.run_loop(
+            on_iteration=on_iteration,
+            checkpoint_dir=checkpoint_dir,
+            resume_from=resume_from,
+            checkpoint_keep=checkpoint_keep,
+            checkpoint_milestone_every=checkpoint_milestone_every,
+        )
+    finally:
+        manager.close()
+    curve.health = result.health
     if not result.best:
         return curve
     best = result.best_program

@@ -25,6 +25,27 @@ from repro.experiments.harness import baseline_workloads
 from repro.experiments.presets import ExperimentScale, active_scale
 
 
+def campaign_health(curves) -> str:
+    """Aggregate evaluation-health digest across the Fig 10 campaigns.
+
+    One line per target plus a merged total, so degradation (timeouts,
+    quarantines, lost distributed workers) is visible in every report
+    instead of hiding in per-run telemetry.
+    """
+    from repro.core.evaluator import EvalHealth
+
+    lines = ["Campaign evaluation health (Fig 10 runs)"]
+    total = EvalHealth()
+    for key, curve in curves.items():
+        if curve.health is None:
+            lines.append(f"  {key:<10} (no loop run)")
+            continue
+        total.merge(curve.health)
+        lines.append(f"  {key:<10} {curve.health.summary()}")
+    lines.append(f"  {'total':<10} {total.summary()}")
+    return "\n".join(lines)
+
+
 def run_all(
     scale: Optional[ExperimentScale] = None,
     stream=None,
@@ -57,6 +78,7 @@ def run_all(
     curves = fig10.run(scale, workers=workers)
     for curve in curves.values():
         emit(curve.render())
+    emit(campaign_health(curves))
 
     comparison = fig11.run(
         scale,

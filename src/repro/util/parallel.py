@@ -20,6 +20,8 @@ segfaults, so the pool here is built around failure isolation:
 from __future__ import annotations
 
 import os
+import signal
+import threading
 import time
 from collections import deque
 from concurrent.futures import (
@@ -144,8 +146,10 @@ class ResilientPool:
         considered transient.
     max_respawns:
         Pool reconstruction budget.  Once exhausted, the pool degrades
-        gracefully: remaining tasks run in-process (no timeout
-        enforcement, but exceptions stay contained).
+        gracefully: remaining tasks run in-process (exceptions stay
+        contained; timeouts are still enforced via ``SIGALRM`` on a
+        POSIX main thread — see :func:`inline_timeout_supported` — and
+        are a documented no-op elsewhere).
     backoff_base / backoff_cap:
         Exponential-backoff schedule between retries, in seconds
         (``base * 2**(attempt-1)``, capped).
@@ -369,14 +373,44 @@ class ResilientPool:
     def _run_inline(self, fn: Callable[[Any], Any], task: _Task) -> TaskOutcome:
         """Execute one task in-process with the same retry discipline.
 
-        No wall-clock enforcement is possible here (a hang would hang
-        the caller), which is why this path is the *fallback*, not the
-        default."""
+        Wall-clock enforcement here rides on ``SIGALRM`` (see
+        :func:`inline_timeout_supported`): on a POSIX main thread a
+        wedged candidate is interrupted and recorded as ``timed_out``
+        just like in the pool path.  Elsewhere (Windows, or a pool
+        degraded inside a worker thread) enforcement is a documented
+        no-op — a hang would hang the caller — which is why this path
+        is the *fallback*, not the default."""
+        enforce = self.timeout is not None and inline_timeout_supported()
         while True:
             task.attempts += 1
             started = time.monotonic()
             try:
-                value = fn(task.item)
+                if enforce:
+                    with _alarm(self.timeout):
+                        value = fn(task.item)
+                else:
+                    value = fn(task.item)
+            except _InlineTimeout:
+                if task.attempts <= self.max_retries:
+                    # Timeouts are always considered transient, as in
+                    # the pool path.
+                    time.sleep(min(
+                        self.backoff_cap,
+                        self.backoff_base * (2 ** (task.attempts - 1)),
+                    ))
+                    continue
+                return TaskOutcome(
+                    index=task.index,
+                    status=STATUS_TIMED_OUT,
+                    error=(
+                        f"exceeded {self.timeout:.3f}s wall-clock "
+                        f"budget (inline SIGALRM guard)"
+                    ),
+                    error_type="TimeoutError",
+                    attempts=task.attempts,
+                    duration=time.monotonic() - started,
+                    where="inline",
+                )
             except Exception as exc:
                 retry_allowed = task.attempts <= self.max_retries
                 if retry_allowed and self.retryable is not None:
@@ -404,3 +438,53 @@ class ResilientPool:
                 duration=time.monotonic() - started,
                 where="inline",
             )
+
+
+# -- inline (SIGALRM) timeout enforcement ------------------------------------
+
+
+class _InlineTimeout(BaseException):
+    """Raised by the SIGALRM handler to interrupt a wedged task.
+
+    Derives from ``BaseException`` so candidate code using a broad
+    ``except Exception`` cannot swallow the enforcement signal.
+    """
+
+
+def inline_timeout_supported() -> bool:
+    """True when the degraded in-process path can enforce timeouts.
+
+    Requires ``SIGALRM`` (POSIX) and the main thread — Python only
+    delivers signals there.  Everywhere else the inline path runs
+    without wall-clock enforcement (documented no-op).
+    """
+    return (
+        hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+
+
+class _alarm:
+    """Context manager arming a one-shot ``ITIMER_REAL`` interval.
+
+    Saves and restores both the previous handler and any previously
+    armed timer, so nesting (or a caller's own alarm) survives."""
+
+    def __init__(self, seconds: float):
+        self.seconds = max(1e-3, float(seconds))
+        self._previous_handler = None
+        self._previous_timer = (0.0, 0.0)
+
+    def __enter__(self) -> "_alarm":
+        def _on_alarm(signum, frame):
+            raise _InlineTimeout()
+
+        self._previous_handler = signal.signal(signal.SIGALRM, _on_alarm)
+        self._previous_timer = signal.setitimer(
+            signal.ITIMER_REAL, self.seconds
+        )
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        signal.setitimer(signal.ITIMER_REAL, *self._previous_timer)
+        signal.signal(signal.SIGALRM, self._previous_handler)

@@ -8,6 +8,8 @@ import pytest
 from repro.core.checkpoint import (
     CHECKPOINT_VERSION,
     LoopCheckpoint,
+    checkpoint_iteration,
+    compact_checkpoints,
     decode_program,
     encode_program,
     latest_checkpoint,
@@ -180,3 +182,91 @@ class TestCheckpointFiles:
             n for n in os.listdir(str(tmp_path)) if n.endswith(".tmp")
         ]
         assert leftovers == []
+
+
+def _touch_checkpoints(directory, iterations):
+    for iteration in iterations:
+        path = directory / f"checkpoint_{iteration:06d}.json"
+        path.write_text("{}")
+
+
+class TestCompaction:
+    def test_iteration_parsing(self):
+        assert checkpoint_iteration("checkpoint_000042.json") == 42
+        assert checkpoint_iteration("checkpoint_0.json") == 0
+        assert checkpoint_iteration("notes.txt") is None
+        assert checkpoint_iteration("checkpoint_best.json") is None
+        assert checkpoint_iteration("checkpoint_000001.json.tmp") is None
+
+    def test_keeps_latest_n(self, tmp_path):
+        _touch_checkpoints(tmp_path, range(1, 11))
+        removed = compact_checkpoints(str(tmp_path), keep=3)
+        survivors = sorted(os.listdir(str(tmp_path)))
+        assert survivors == [
+            "checkpoint_000008.json",
+            "checkpoint_000009.json",
+            "checkpoint_000010.json",
+        ]
+        assert len(removed) == 7
+
+    def test_milestones_survive(self, tmp_path):
+        _touch_checkpoints(tmp_path, range(1, 13))
+        compact_checkpoints(str(tmp_path), keep=2, milestone_every=5)
+        survivors = sorted(os.listdir(str(tmp_path)))
+        assert survivors == [
+            "checkpoint_000005.json",   # milestone
+            "checkpoint_000010.json",   # milestone
+            "checkpoint_000011.json",   # latest 2
+            "checkpoint_000012.json",
+        ]
+
+    def test_keep_zero_disables_rotation(self, tmp_path):
+        _touch_checkpoints(tmp_path, range(1, 6))
+        assert compact_checkpoints(str(tmp_path), keep=0) == []
+        assert len(os.listdir(str(tmp_path))) == 5
+
+    def test_foreign_files_untouched(self, tmp_path):
+        _touch_checkpoints(tmp_path, range(1, 8))
+        (tmp_path / "notes.txt").write_text("keep me")
+        (tmp_path / "checkpoint_best.json").write_text("{}")
+        compact_checkpoints(str(tmp_path), keep=1)
+        survivors = set(os.listdir(str(tmp_path)))
+        assert {"notes.txt", "checkpoint_best.json",
+                "checkpoint_000007.json"} == survivors
+
+    def test_missing_directory_is_a_noop(self, tmp_path):
+        assert compact_checkpoints(str(tmp_path / "nope"), keep=3) == []
+
+    def test_loop_rotates_as_it_checkpoints(self, tmp_path):
+        make_loop().run(
+            iterations=5, checkpoint_dir=str(tmp_path),
+            checkpoint_keep=2,
+        )
+        names = sorted(
+            n for n in os.listdir(str(tmp_path)) if n.endswith(".json")
+        )
+        assert names == [
+            "checkpoint_000004.json", "checkpoint_000005.json",
+        ]
+
+    def test_rotation_preserves_resume(self, tmp_path):
+        reference = make_loop().run()
+        make_loop().run(
+            iterations=3, checkpoint_dir=str(tmp_path),
+            checkpoint_keep=1,
+        )
+        resumed = make_loop().run(resume_from=str(tmp_path))
+        assert resumed.fitness_curve() == reference.fitness_curve()
+
+    def test_milestones_kept_by_loop(self, tmp_path):
+        make_loop().run(
+            iterations=5, checkpoint_dir=str(tmp_path),
+            checkpoint_keep=1, checkpoint_milestone_every=2,
+        )
+        names = sorted(
+            n for n in os.listdir(str(tmp_path)) if n.endswith(".json")
+        )
+        assert names == [
+            "checkpoint_000002.json", "checkpoint_000004.json",
+            "checkpoint_000005.json",
+        ]

@@ -6,7 +6,11 @@ through marker files in a temp directory carried inside the item.
 """
 
 import os
+import signal
+import threading
 import time
+
+import pytest
 
 from repro.util.parallel import (
     STATUS_CRASHED,
@@ -16,6 +20,7 @@ from repro.util.parallel import (
     ResilientPool,
     TaskOutcome,
     clamp_workers,
+    inline_timeout_supported,
 )
 
 
@@ -167,6 +172,117 @@ class TestGracefulDegradation:
         assert all(o.ok for o in outcomes)
         assert pool.degraded
         assert any(o.where == "inline" for o in outcomes)
+
+
+def _crash_then_hang(item):
+    """Kills the (sole) pool worker once, then hangs on value 1 —
+    drives a timeout-enforcing pool into its degraded inline path
+    with a wedged task still pending."""
+    value, marker_dir = item
+    if value == 0:
+        marker = os.path.join(marker_dir, "crashed")
+        if not os.path.exists(marker):
+            open(marker, "w").close()
+            os._exit(1)
+    if value == 1:
+        time.sleep(30)
+    return value
+
+
+def _swallowing_sleep(x):
+    """Candidate code with a broad except must not defeat the guard."""
+    try:
+        time.sleep(30)
+    except Exception:
+        return "swallowed"
+    return x
+
+
+def _inline(pool, fn, item):
+    """Run one task through the degraded in-process path directly."""
+    from repro.util.parallel import _Task
+
+    return pool._run_inline(fn, _Task(index=0, item=item))
+
+
+needs_sigalrm = pytest.mark.skipif(
+    not inline_timeout_supported(),
+    reason="inline timeout needs SIGALRM on the main thread",
+)
+
+
+class TestInlineTimeout:
+    """The degraded in-process fallback enforces wall-clock budgets
+    via SIGALRM (POSIX main thread only; documented no-op
+    elsewhere)."""
+
+    @needs_sigalrm
+    def test_degraded_pool_still_enforces_timeout(self, tmp_path):
+        """End to end: the worker dies, respawn budget is exhausted,
+        and the wedged task that then runs *in-process* is still
+        interrupted and marked timed out."""
+        pool = ResilientPool(workers=1, timeout=0.3, max_respawns=0)
+        items = [(i, str(tmp_path)) for i in range(3)]
+        started = time.monotonic()
+        outcomes = pool.map(_crash_then_hang, items)
+        elapsed = time.monotonic() - started
+        assert pool.degraded
+        assert outcomes[0].status == STATUS_CRASHED
+        assert outcomes[1].status == STATUS_TIMED_OUT
+        assert outcomes[1].where == "inline"
+        assert outcomes[1].error_type == "TimeoutError"
+        assert "SIGALRM" in outcomes[1].error
+        assert outcomes[2].ok
+        assert outcomes[2].where == "inline"
+        assert elapsed < 10  # the 30s sleeper was not waited out
+
+    @needs_sigalrm
+    def test_inline_guard_interrupts_sleep(self):
+        pool = ResilientPool(workers=1, timeout=0.2)
+        started = time.monotonic()
+        outcome = _inline(pool, _swallowing_sleep, 1)
+        assert time.monotonic() - started < 5
+        assert outcome.status == STATUS_TIMED_OUT
+        assert outcome.value != "swallowed"
+
+    @needs_sigalrm
+    def test_inline_timeout_consumes_retry_budget(self):
+        pool = ResilientPool(
+            workers=1, timeout=0.1, max_retries=2,
+            backoff_base=0.01,
+        )
+        outcome = _inline(pool, _swallowing_sleep, 1)
+        assert outcome.status == STATUS_TIMED_OUT
+        assert outcome.attempts == 3
+
+    @needs_sigalrm
+    def test_signal_state_restored_after_enforcement(self):
+        previous = signal.getsignal(signal.SIGALRM)
+        pool = ResilientPool(workers=1, timeout=0.1)
+        _inline(pool, _swallowing_sleep, 1)
+        assert signal.getsignal(signal.SIGALRM) is previous
+        assert signal.getitimer(signal.ITIMER_REAL) == (0.0, 0.0)
+
+    @needs_sigalrm
+    def test_fast_tasks_unaffected_by_enforcement(self):
+        pool = ResilientPool(workers=1, timeout=5.0)
+        outcome = _inline(pool, _square, 3)
+        assert outcome.ok
+        assert outcome.value == 9
+        assert signal.getitimer(signal.ITIMER_REAL) == (0.0, 0.0)
+
+    def test_unsupported_off_main_thread(self):
+        """Signals only reach the main thread, so enforcement must
+        report itself unavailable from a worker thread."""
+        seen = {}
+
+        def probe():
+            seen["supported"] = inline_timeout_supported()
+
+        thread = threading.Thread(target=probe)
+        thread.start()
+        thread.join()
+        assert seen["supported"] is False
 
 
 class TestTaskOutcome:
