@@ -6,15 +6,56 @@ the paper's qualitative *shape* (who wins, what saturates, what
 correlates).  EXPERIMENTS.md records a full run at the larger
 ``default`` scale; set ``REPRO_SCALE=full`` for the paper's literal
 parameters.
+
+Benchmarks also emit machine-readable artifacts: one
+``BENCH_<name>.json`` per benchmark under ``benchmarks/artifacts/``
+(override with ``BENCH_ARTIFACT_DIR``), recording throughput and
+wall-clock so CI and perf-tracking tooling can diff runs without
+scraping pytest output.
 """
 
 from __future__ import annotations
 
+import json
+import os
+import time
 from dataclasses import replace
 
 import pytest
 
 from repro.experiments.presets import SMOKE
+
+#: Where ``BENCH_*.json`` artifacts land (gitignored by default).
+ARTIFACT_DIR = os.environ.get(
+    "BENCH_ARTIFACT_DIR",
+    os.path.join(os.path.dirname(os.path.abspath(__file__)), "artifacts"),
+)
+
+
+def write_bench_artifact(name: str, payload: dict) -> str:
+    """Write ``BENCH_<name>.json`` into the artifact directory.
+
+    ``payload`` is augmented with the benchmark name and a UNIX
+    timestamp; returns the path written.  Never raises into the
+    benchmark — an unwritable artifact dir costs the artifact, not
+    the run.
+    """
+    record = {"benchmark": name, "unix_time": time.time(), **payload}
+    path = os.path.join(ARTIFACT_DIR, f"BENCH_{name}.json")
+    try:
+        os.makedirs(ARTIFACT_DIR, exist_ok=True)
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(record, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+    except OSError:
+        return ""
+    return path
+
+
+@pytest.fixture(scope="session")
+def bench_artifact():
+    """The artifact writer, as a fixture so benchmarks stay terse."""
+    return write_bench_artifact
 
 #: The scale every benchmark runs at.
 BENCH_SCALE = replace(

@@ -8,7 +8,7 @@ the §VI-A rate comparison.
 from repro.experiments.table1 import run as run_table1
 
 
-def test_table1_loop_step(benchmark, bench_scale):
+def test_table1_loop_step(benchmark, bench_scale, bench_artifact):
     result = benchmark.pedantic(
         run_table1, args=(bench_scale,), rounds=1, iterations=1
     )
@@ -22,3 +22,14 @@ def test_table1_loop_step(benchmark, bench_scale):
     assert timing.compilation_seconds > 0
     assert timing.evaluation_seconds > 0
     assert timing.instructions_per_second > 0
+    bench_artifact("table1_loop_step", {
+        "mean_seconds": benchmark.stats["mean"],
+        "phases_seconds": {
+            "generation": timing.generation_seconds,
+            "mutation": timing.mutation_seconds,
+            "compilation": timing.compilation_seconds,
+            "evaluation": timing.evaluation_seconds,
+        },
+        "ops_per_second": timing.instructions_per_second,
+        "unit": "runnable instr/s",
+    })

@@ -18,7 +18,7 @@ from repro.sim.functional import FunctionalSimulator
 from tests.conftest import build_mixed_program
 
 
-def test_functional_sim_throughput(benchmark):
+def test_functional_sim_throughput(benchmark, bench_artifact):
     program = build_mixed_program(x64(), count=250, seed=33)
     simulator = FunctionalSimulator()
 
@@ -28,17 +28,29 @@ def test_functional_sim_throughput(benchmark):
     assert not result.crashed
     instructions_per_second = len(program) / benchmark.stats["mean"]
     print(f"\nfunctional: {instructions_per_second:,.0f} instr/s")
+    bench_artifact("functional_sim", {
+        "mean_seconds": benchmark.stats["mean"],
+        "instructions": len(program),
+        "ops_per_second": instructions_per_second,
+        "unit": "instr/s",
+    })
 
 
-def test_cosim_throughput(benchmark):
+def test_cosim_throughput(benchmark, bench_artifact):
     program = build_mixed_program(x64(), count=150, seed=34)
     golden = benchmark(lambda: golden_run(program))
     assert not golden.crashed
     instructions_per_second = len(program) / benchmark.stats["mean"]
     print(f"\nco-simulation: {instructions_per_second:,.0f} instr/s")
+    bench_artifact("cosim", {
+        "mean_seconds": benchmark.stats["mean"],
+        "instructions": len(program),
+        "ops_per_second": instructions_per_second,
+        "unit": "instr/s",
+    })
 
 
-def test_netlist_batch_eval_throughput(benchmark):
+def test_netlist_batch_eval_throughput(benchmark, bench_artifact):
     netlist = build_array_multiplier(16)
     rng = random.Random(0)
     inputs = {
@@ -52,9 +64,16 @@ def test_netlist_batch_eval_throughput(benchmark):
     ops_per_second = 512 / benchmark.stats["mean"]
     print(f"\nnetlist: {ops_per_second:,.0f} faulty mults/s "
           f"({netlist.gate_count} gates)")
+    bench_artifact("netlist_batch_eval", {
+        "mean_seconds": benchmark.stats["mean"],
+        "batch": 512,
+        "gate_count": netlist.gate_count,
+        "ops_per_second": ops_per_second,
+        "unit": "faulty mults/s",
+    })
 
 
-def test_injection_throughput(benchmark):
+def test_injection_throughput(benchmark, bench_artifact):
     golden = golden_run(build_sha(scale=6))
     assert not golden.crashed
 
@@ -65,3 +84,9 @@ def test_injection_throughput(benchmark):
     assert report.total == 100
     rate = report.total / benchmark.stats["mean"]
     print(f"\ninjection: {rate:,.0f} register transients/s")
+    bench_artifact("injection", {
+        "mean_seconds": benchmark.stats["mean"],
+        "injections": report.total,
+        "ops_per_second": rate,
+        "unit": "register transients/s",
+    })

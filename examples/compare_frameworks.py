@@ -6,7 +6,6 @@ integer multiplier (coverage = IBR, faults = permanent gate stuck-ats)
 and prints a Fig-11-style comparison table.
 """
 
-from dataclasses import replace
 
 from repro import Manager, golden_run, scaled_targets
 from repro.baselines import SiliFuzz, SiliFuzzConfig, mibench_suite, \

@@ -16,7 +16,7 @@ from __future__ import annotations
 from typing import Callable, Dict, List
 
 from repro.baselines.kernelbuilder import KernelBuilder
-from repro.isa.operands import imm, reg
+from repro.isa.operands import reg
 from repro.isa.program import Program
 
 

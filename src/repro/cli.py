@@ -60,6 +60,7 @@ def _parse_workers(value: str):
 
 
 def _cmd_loop(args: argparse.Namespace) -> int:
+    from repro import obs
     from repro.core import CheckpointError, scaled_targets
     from repro.experiments.fig10 import run_target
 
@@ -83,6 +84,21 @@ def _cmd_loop(args: argparse.Namespace) -> int:
                   file=sys.stderr)
             return 2
         resume_from = args.checkpoint_dir
+    metrics_server = None
+    if args.trace_dir is not None or args.metrics_port is not None:
+        obs.configure(enabled=True, trace_dir=args.trace_dir)
+    if args.metrics_port is not None:
+        from repro.obs.server import MetricsServer
+
+        metrics_server = MetricsServer(port=args.metrics_port).start()
+        # Operator chatter goes to stderr so stdout stays a stable,
+        # diffable convergence report.
+        print(
+            f"observability endpoint on "
+            f"http://127.0.0.1:{metrics_server.port} "
+            f"(/metrics, /status)",
+            file=sys.stderr,
+        )
     try:
         curve = run_target(
             targets[args.target],
@@ -101,8 +117,17 @@ def _cmd_loop(args: argparse.Namespace) -> int:
     except CheckpointError as exc:
         print(f"checkpoint error: {exc}", file=sys.stderr)
         return 2
+    finally:
+        if metrics_server is not None:
+            metrics_server.close()
+        if obs.enabled():
+            obs.shutdown()
     print(curve.render())
     print(f"final detection: {curve.final_detection:.1%}")
+    if curve.phase_times:
+        # To stderr: timings vary run to run, and stdout must stay
+        # byte-comparable between local and distributed campaigns.
+        print(curve.render_phases(), file=sys.stderr)
     return 0
 
 
@@ -116,6 +141,8 @@ def _cmd_worker(args: argparse.Namespace) -> int:
         forwarded += ["--eval-timeout", str(args.eval_timeout)]
     if args.max_retries is not None:
         forwarded += ["--max-retries", str(args.max_retries)]
+    if args.trace_dir is not None:
+        forwarded += ["--trace-dir", args.trace_dir]
     return worker_main(forwarded)
 
 
@@ -229,6 +256,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-retries", type=int, default=0,
         help="extra attempts for transiently failing evaluations",
     )
+    loop_parser.add_argument(
+        "--trace-dir", default=None, metavar="DIR",
+        help="enable observability: write span-trace JSONL and a "
+             "final metrics snapshot into DIR",
+    )
+    loop_parser.add_argument(
+        "--metrics-port", type=int, default=None, metavar="PORT",
+        help="serve live /metrics (Prometheus text) and /status "
+             "(JSON) on this loopback port while the campaign runs "
+             "(0 binds an ephemeral port, printed to stderr)",
+    )
     loop_parser.set_defaults(handler=_cmd_loop)
 
     worker_parser = subparsers.add_parser(
@@ -250,6 +288,11 @@ def build_parser() -> argparse.ArgumentParser:
     worker_parser.add_argument(
         "--max-retries", type=int, default=None,
         help="override the coordinator's retry budget",
+    )
+    worker_parser.add_argument(
+        "--trace-dir", default=None, metavar="DIR",
+        help="enable observability: write span-trace JSONL and a "
+             "final metrics snapshot into DIR",
     )
     worker_parser.set_defaults(handler=_cmd_worker)
 

@@ -23,6 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+from repro import obs
 from repro.coverage.metrics import CoverageMetric
 from repro.isa.program import Program
 from repro.sim.config import DEFAULT_MACHINE, MachineConfig
@@ -98,7 +99,14 @@ class EvalHealth:
     def record_error(self, kind: str) -> None:
         self.errors[kind] = self.errors.get(kind, 0) + 1
 
-    def merge(self, other: "EvalHealth") -> None:
+    def merge(self, other: "EvalHealth") -> "EvalHealth":
+        """Fold ``other`` into this record and return ``self``.
+
+        Counters add, error-kind tallies union additively, and the
+        quarantine list concatenates preserving ``other``'s order — so
+        merging a sequence of deltas in a fixed order yields a stable
+        quarantine order (the distributed coordinator relies on this).
+        """
         self.evaluations += other.evaluations
         self.retries += other.retries
         self.timeouts += other.timeouts
@@ -111,6 +119,7 @@ class EvalHealth:
         self.workers_lost += other.workers_lost
         self.redispatched += other.redispatched
         self.stolen += other.stolen
+        return self
 
     @property
     def total_errors(self) -> int:
@@ -174,7 +183,11 @@ def _evaluate_one(args) -> EvaluatedProgram:
     """
     program, metric, machine = args
     try:
-        golden = golden_run(program, machine)
+        # Fine-grained sim/metric phases (trace=False: per-candidate
+        # spans would swamp the JSONL log).  Only the inline path
+        # records — pool subprocesses have observability disabled.
+        with obs.phase("sim_golden_run", trace=False):
+            golden = golden_run(program, machine)
     except CrashError:
         return EvaluatedProgram(
             program=program,
@@ -184,7 +197,8 @@ def _evaluate_one(args) -> EvaluatedProgram:
             error_kind=None,
             attempts=1,
         )
-    fitness = metric(golden)
+    with obs.phase("coverage_metric", trace=False):
+        fitness = metric(golden)
     return EvaluatedProgram(
         program=program,
         fitness=fitness,
@@ -249,6 +263,11 @@ class Evaluator:
         back quarantined with :data:`QUARANTINE_FITNESS`."""
         jobs = self._jobs(programs)
         self._health.evaluations += len(jobs)
+        obs.inc(
+            "repro_evaluations_total",
+            len(jobs),
+            "Candidate evaluations requested",
+        )
         if self.workers <= 1 and self.eval_timeout is None:
             return [self._evaluate_inline(job) for job in jobs]
         pool = ResilientPool(
@@ -296,6 +315,12 @@ class Evaluator:
         self, outcome: TaskOutcome, program: Program
     ) -> EvaluatedProgram:
         self._health.retries += max(0, outcome.attempts - 1)
+        if obs.enabled():
+            obs.observe(
+                "repro_eval_seconds",
+                outcome.duration,
+                "Per-candidate evaluation wall-clock",
+            )
         if outcome.where == "inline":
             self._health.fallback_inline += 1
         if outcome.ok:
@@ -322,6 +347,11 @@ class Evaluator:
     ) -> EvaluatedProgram:
         self._health.record_error(kind)
         self._health.quarantined.append(program.name)
+        obs.inc(
+            "repro_quarantined_total",
+            help_text="Candidates quarantined, by error kind",
+            kind=kind,
+        )
         return EvaluatedProgram(
             program=program,
             fitness=QUARANTINE_FITNESS,

@@ -23,6 +23,7 @@ import time
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
+from repro import obs
 from repro.core.checkpoint import (
     LoopCheckpoint,
     compact_checkpoints,
@@ -175,6 +176,8 @@ class HarpocratesLoop:
             self.generator.genome_of(parent.program)
             for parent in survivors
         ]
+        # Instrumentation must never touch ``rng`` — checkpoint resume
+        # and local/distributed equality depend on the exact draw order.
         for parent_index, genome in enumerate(genomes):
             for child_index in range(per_parent):
                 base: Genome = genome
@@ -187,15 +190,17 @@ class HarpocratesLoop:
                          if i != parent_index]
                     )
                     base = crossover.crossover(genome, other, rng)
-                mutated = self.mutator.mutate(base, rng)
+                with obs.phase("mutate", trace=False):
+                    mutated = self.mutator.mutate(base, rng)
                 seed = rng.getrandbits(32)
                 name = (
                     f"it{iteration:05d}_p{parent_index:02d}"
                     f"c{child_index:02d}"
                 )
-                offspring.append(
-                    self.generator.realize(mutated, seed, name=name)
-                )
+                with obs.phase("generate", trace=False):
+                    offspring.append(
+                        self.generator.realize(mutated, seed, name=name)
+                    )
         return offspring[: self.config.population]
 
     # -- health plumbing ---------------------------------------------------
@@ -348,8 +353,10 @@ class HarpocratesLoop:
         try:
             for iteration in range(start_iteration, iterations):
                 started = time.perf_counter()
-                ranked = self.evaluator.rank(population)
-                survivors = ranked[: config.keep]
+                with obs.phase("evaluate"):
+                    ranked = self.evaluator.rank(population)
+                with obs.phase("select"):
+                    survivors = ranked[: config.keep]
                 elapsed = time.perf_counter() - started
                 quarantined = self._fold_health(health)
                 healthy = [
@@ -375,6 +382,35 @@ class HarpocratesLoop:
                 result.history.append(stats)
                 result.best = list(survivors)
                 result.iterations_run = iteration + 1
+                if obs.enabled():
+                    obs.inc(
+                        "repro_iterations_total",
+                        help_text="Loop iterations completed",
+                    )
+                    obs.set_gauge(
+                        "repro_generation",
+                        float(iteration + 1),
+                        "Current generation number",
+                    )
+                    obs.set_gauge(
+                        "repro_best_fitness",
+                        stats.best_fitness,
+                        "Best fitness in the current elite",
+                    )
+                    obs.status.update(
+                        generation=iteration + 1,
+                        iterations_budget=iterations,
+                        best_fitness=stats.best_fitness,
+                        mean_fitness=stats.mean_fitness,
+                        quarantined_total=len(health.quarantined),
+                    )
+                    obs.status.set_quarantined(health.quarantined)
+                    obs.event(
+                        "iteration",
+                        n=iteration,
+                        best=stats.best_fitness,
+                        quarantined=quarantined,
+                    )
                 if on_iteration is not None:
                     on_iteration(stats, survivors)
                 improvement = stats.best_fitness - best_so_far
@@ -403,9 +439,10 @@ class HarpocratesLoop:
                     # Elitism: survivors carry over unchanged alongside
                     # their offspring, so the maximum coverage attained
                     # is retained across iterations (as in Fig 10).
-                    offspring = self._next_generation(
-                        survivors, iteration, rng
-                    )
+                    with obs.span("next_generation", n=iteration):
+                        offspring = self._next_generation(
+                            survivors, iteration, rng
+                        )
                     carried = [entry.program for entry in survivors]
                     population = \
                         (carried + offspring)[: config.population]
@@ -418,10 +455,12 @@ class HarpocratesLoop:
                         and (iteration + 1) % checkpoint_every == 0
                     )
                     if due or is_last:
-                        self._write_checkpoint(
-                            checkpoint_dir, iteration + 1, population,
-                            rng, result, best_so_far, stale,
-                        )
+                        with obs.phase("checkpoint"):
+                            self._write_checkpoint(
+                                checkpoint_dir, iteration + 1,
+                                population, rng, result, best_so_far,
+                                stale,
+                            )
                         if checkpoint_keep is not None:
                             compact_checkpoints(
                                 checkpoint_dir,

@@ -29,12 +29,14 @@ import socket
 import threading
 import time
 from collections import deque
-from dataclasses import dataclass
-from typing import Deque, Dict, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass, field
+from typing import Deque, Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
+from repro import obs
 from repro.core.evaluator import EvalHealth
 from repro.dist import protocol
 from repro.dist.protocol import (
+    CAP_ZLIB,
     MSG_CONFIGURE,
     MSG_CONFIGURED,
     MSG_ERROR,
@@ -86,6 +88,8 @@ class WorkerInfo:
     alive: bool = False
     #: Generations to skip before retrying a failed endpoint.
     cooldown: int = 0
+    #: Capabilities both sides advertised (empty for legacy peers).
+    caps: FrozenSet[str] = field(default_factory=frozenset)
 
     @property
     def name(self) -> str:
@@ -103,10 +107,24 @@ class _Generation:
         self.in_flight: Dict[str, Set[int]] = {}
         self.stolen: Dict[str, Set[int]] = {}
         self.health = EvalHealth()
+        #: Per-worker health deltas, folded in deterministically (by
+        #: worker name) once the generation completes — so quarantine
+        #: order never depends on result-arrival races.
+        self.deltas: Dict[str, List[EvalHealth]] = {}
         self.cond = threading.Condition()
 
     def finished(self) -> bool:
         return len(self.done) == len(self.records)
+
+    def merged_health(self) -> EvalHealth:
+        """Coordinator-side telemetry plus every worker delta, merged
+        in worker-name order via :meth:`EvalHealth.merge`."""
+        merged = EvalHealth()
+        merged.merge(self.health)
+        for name in sorted(self.deltas):
+            for delta in self.deltas[name]:
+                merged.merge(delta)
+        return merged
 
 
 class Coordinator:
@@ -181,10 +199,12 @@ class Coordinator:
             "type": MSG_HELLO,
             "protocol": PROTOCOL_VERSION,
             "role": "coordinator",
+            "caps": sorted(protocol.LOCAL_CAPS),
         })
         hello = self._recv_patiently(sock, self.connect_timeout)
         protocol.check_hello(hello, expected_role="worker")
         worker.slots = max(1, int(hello.get("slots", 1)))
+        worker.caps = protocol.negotiated_caps(hello)
         protocol.send_frame(sock, {
             "type": MSG_CONFIGURE,
             "target": self.target_key,
@@ -205,7 +225,21 @@ class Coordinator:
             )
         worker.alive = True
         logger.info(
-            "worker %s connected (slots=%d)", worker.name, worker.slots
+            "worker %s connected (slots=%d, caps=%s)",
+            worker.name, worker.slots, sorted(worker.caps) or "-",
+        )
+        if obs.enabled():
+            obs.status.set_worker(
+                worker.name, alive=True, slots=worker.slots,
+                caps=sorted(worker.caps), in_flight=0,
+            )
+            self._gauge_fleet()
+
+    def _gauge_fleet(self) -> None:
+        obs.set_gauge(
+            "repro_dist_workers_alive",
+            sum(1 for worker in self.workers if worker.alive),
+            "Fleet members currently connected",
         )
 
     @staticmethod
@@ -282,7 +316,7 @@ class Coordinator:
                 "%d task(s) unassigned after fleet loss; "
                 "falling back to local evaluation", unfinished,
             )
-        return generation.results, generation.health
+        return generation.results, generation.merged_health()
 
     # -- per-worker driver -------------------------------------------------
 
@@ -363,13 +397,33 @@ class Coordinator:
     ) -> None:
         """Send one batch and pump frames until every task resolves."""
         assert worker.sock is not None
-        protocol.send_frame(worker.sock, {
-            "type": MSG_EVAL,
-            "batch": [
-                {"id": index, "program": generation.records[index]}
-                for index in batch
-            ],
-        })
+        protocol.send_frame(
+            worker.sock,
+            {
+                "type": MSG_EVAL,
+                "batch": [
+                    {"id": index, "program": generation.records[index]}
+                    for index in batch
+                ],
+            },
+            compress=CAP_ZLIB in worker.caps,
+        )
+        if obs.enabled():
+            obs.inc(
+                "repro_dist_batches_total",
+                help_text="Eval batches dispatched to the fleet",
+                worker=worker.name,
+            )
+            obs.inc(
+                "repro_dist_tasks_dispatched_total",
+                len(batch),
+                "Tasks shipped to workers (steals re-count)",
+                worker=worker.name,
+            )
+            obs.status.set_worker(
+                worker.name,
+                in_flight=len(generation.in_flight[worker.name]),
+            )
         expect = set(batch)
         missed = 0
         while expect:
@@ -414,10 +468,15 @@ class Coordinator:
         if not isinstance(results, list):
             raise ProtocolError("result message has no results list")
         delta = message.get("health")
+        snap = message.get("metrics")
+        if obs.enabled() and isinstance(snap, dict):
+            obs.merge_worker_snapshot(worker.name, snap)
         mine = generation.in_flight[worker.name]
         with generation.cond:
             if isinstance(delta, dict):
-                generation.health.merge(EvalHealth.from_dict(delta))
+                generation.deltas.setdefault(worker.name, []).append(
+                    EvalHealth.from_dict(delta)
+                )
             for record in results:
                 index = int(record["id"])
                 expect.discard(index)
@@ -442,6 +501,13 @@ class Coordinator:
         logger.warning("lost worker %s: %s", worker.name, reason)
         self._disconnect(worker)
         worker.cooldown = self.reconnect_cooldown
+        if obs.enabled():
+            obs.inc(
+                "repro_dist_workers_lost_total",
+                help_text="Fleet members lost mid-generation",
+            )
+            obs.status.set_worker(worker.name, alive=False, in_flight=0)
+            self._gauge_fleet()
         with generation.cond:
             mine = generation.in_flight[worker.name]
             elsewhere = {

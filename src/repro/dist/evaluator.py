@@ -21,6 +21,7 @@ from __future__ import annotations
 import logging
 from typing import List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.core.checkpoint import encode_program
 from repro.core.evaluator import EvaluatedProgram, Evaluator
 from repro.coverage.metrics import CoverageMetric
@@ -92,7 +93,8 @@ class DistributedEvaluator(Evaluator):
         if not programs:
             return []
         records = [encode_program(program) for program in programs]
-        outcome = self.coordinator.evaluate(records)
+        with obs.phase("dist_dispatch"):
+            outcome = self.coordinator.evaluate(records)
         if outcome is None:
             if not self._warned_local:
                 logger.warning(
@@ -110,6 +112,11 @@ class DistributedEvaluator(Evaluator):
         ]
         leftovers: List[EvaluatedProgram] = []
         if leftover_indices:
+            obs.inc(
+                "repro_dist_local_fallback_total",
+                len(leftover_indices),
+                "Tasks the fleet left behind, evaluated locally",
+            )
             # Whatever the fleet could not finish runs on the local
             # resilient pool with full timeout/retry/quarantine
             # semantics (this also updates local health counters).

@@ -11,8 +11,9 @@ Message types
 ``hello``
     Capability handshake, first frame in each direction.  Carries
     ``protocol`` (version — mismatches abort the connection), ``role``
-    (``coordinator`` / ``worker``), and, from the worker, ``slots``
-    (its local parallelism) and ``pid``.
+    (``coordinator`` / ``worker``), ``caps`` (optional capability
+    list — see below), and, from the worker, ``slots`` (its local
+    parallelism) and ``pid``.
 ``configure``
     Coordinator → worker: which target structure to evaluate and at
     what scale (``target``, ``program_scale``, ``loop_scale``,
@@ -43,6 +44,27 @@ Message types
 :func:`recv_frame` distinguishes an *idle* timeout (no header byte
 arrived — :class:`FrameTimeout`, retryable, heartbeat time) from a
 *torn* frame (timeout mid-frame — :class:`ProtocolError`, fatal).
+
+Capabilities
+------------
+
+Optional features are negotiated through ``caps`` lists exchanged in
+the hellos; a feature is active only when **both** sides advertise it
+(:func:`negotiated_caps`).  Peers that omit ``caps`` (protocol v1
+seeds) negotiate the empty set and keep working unchanged.
+
+``zlib`` (:data:`CAP_ZLIB`)
+    Batch compression.  Large frames (``eval`` batches, ``result``
+    batches — at paper scale a generation serializes MBs of genome
+    records) may be sent zlib-compressed: the top bit of the length
+    header marks a compressed body, which is inflated (with a
+    decompression-bomb guard) before JSON parsing.  Never used before
+    the handshake completes, so legacy peers never see the flag.
+``metrics`` (:data:`CAP_METRICS`)
+    Worker metric shipping.  The worker samples its local
+    :mod:`repro.obs` registry and attaches the snapshot to each
+    ``result`` message, where the coordinator merges it into
+    fleet-wide ``worker``-labelled series.
 """
 
 from __future__ import annotations
@@ -51,7 +73,8 @@ import json
 import socket
 import struct
 import time
-from typing import Dict, Optional
+import zlib
+from typing import Dict, FrozenSet, Optional
 
 from repro.core.errors import EvaluationError
 
@@ -60,6 +83,22 @@ PROTOCOL_VERSION = 1
 
 #: Frames larger than this are rejected outright (corrupt or hostile).
 MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+#: Capability names (see the module docstring).
+CAP_ZLIB = "zlib"
+CAP_METRICS = "metrics"
+
+#: Every capability this build understands and advertises.
+LOCAL_CAPS: FrozenSet[str] = frozenset({CAP_ZLIB, CAP_METRICS})
+
+#: Top bit of the length header: the frame body is zlib-compressed.
+#: Safe to steal — MAX_FRAME_BYTES keeps real lengths far below 2^31 —
+#: and only ever set after both peers advertised :data:`CAP_ZLIB`.
+COMPRESS_FLAG = 0x8000_0000
+
+#: Frames smaller than this are sent uncompressed even when the peer
+#: supports zlib (the deflate header would outweigh the savings).
+MIN_COMPRESS_BYTES = 512
 
 #: Once a frame header has arrived, the body must follow within this
 #: budget — a peer that stalls mid-frame is broken, not merely idle.
@@ -106,15 +145,31 @@ class FrameTimeout(Exception):
     """
 
 
-def send_frame(sock: socket.socket, message: Dict[str, object]) -> None:
-    """Serialize and send one message (length-prefixed JSON)."""
+def send_frame(
+    sock: socket.socket,
+    message: Dict[str, object],
+    *,
+    compress: bool = False,
+) -> None:
+    """Serialize and send one message (length-prefixed JSON).
+
+    ``compress=True`` (only after :data:`CAP_ZLIB` was negotiated)
+    deflates the body when it is large enough to benefit; the
+    compressed length carries :data:`COMPRESS_FLAG` in the header.
+    """
     payload = json.dumps(message, separators=(",", ":")).encode("utf-8")
     if len(payload) > MAX_FRAME_BYTES:
         raise ProtocolError(
             f"outgoing frame of {len(payload)} bytes exceeds the "
             f"{MAX_FRAME_BYTES}-byte limit"
         )
-    sock.sendall(_HEADER.pack(len(payload)) + payload)
+    header = len(payload)
+    if compress and len(payload) >= MIN_COMPRESS_BYTES:
+        deflated = zlib.compress(payload, 6)
+        if len(deflated) < len(payload):
+            payload = deflated
+            header = len(payload) | COMPRESS_FLAG
+    sock.sendall(_HEADER.pack(header) + payload)
 
 
 def _recv_exact(
@@ -163,14 +218,33 @@ def recv_frame(sock: socket.socket) -> Dict[str, object]:
         raise ConnectionClosed("connection closed")
     deadline = time.monotonic() + BODY_TIMEOUT
     header = first + _recv_exact(sock, _HEADER.size - 1, deadline)
-    (length,) = _HEADER.unpack(header)
+    (raw_length,) = _HEADER.unpack(header)
+    compressed = bool(raw_length & COMPRESS_FLAG)
+    length = raw_length & ~COMPRESS_FLAG
     if length > MAX_FRAME_BYTES:
         raise ProtocolError(
             f"incoming frame claims {length} bytes "
             f"(limit {MAX_FRAME_BYTES}); refusing"
         )
     payload = _recv_exact(sock, length, deadline)
+    if compressed:
+        payload = _inflate(payload)
     return parse_message(payload)
+
+
+def _inflate(payload: bytes) -> bytes:
+    """Decompress a zlib frame body, bounded against zip bombs."""
+    decompressor = zlib.decompressobj()
+    try:
+        inflated = decompressor.decompress(payload, MAX_FRAME_BYTES + 1)
+    except zlib.error as exc:
+        raise ProtocolError(f"bad compressed frame: {exc}") from exc
+    if len(inflated) > MAX_FRAME_BYTES or decompressor.unconsumed_tail:
+        raise ProtocolError(
+            f"compressed frame inflates past the "
+            f"{MAX_FRAME_BYTES}-byte limit; refusing"
+        )
+    return inflated
 
 
 def parse_message(payload: bytes) -> Dict[str, object]:
@@ -211,6 +285,18 @@ def check_hello(
             f"expected a {expected_role!r} peer, got {role!r}"
         )
     return message
+
+
+def negotiated_caps(hello: Dict[str, object]) -> FrozenSet[str]:
+    """Capabilities active with this peer: the intersection of its
+    advertised ``caps`` and ours.  Peers predating capabilities (no
+    ``caps`` key, or a malformed one) negotiate the empty set."""
+    advertised = hello.get("caps")
+    if not isinstance(advertised, list):
+        return frozenset()
+    return LOCAL_CAPS.intersection(
+        item for item in advertised if isinstance(item, str)
+    )
 
 
 def result_record(task_id: int, evaluated) -> Dict[str, object]:

@@ -31,14 +31,17 @@ import queue
 import socket
 import sys
 import threading
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, FrozenSet, List, Optional, Tuple
 
+from repro import obs
 from repro.core.checkpoint import decode_program
 from repro.core.evaluator import QUARANTINE_FITNESS, Evaluator
 from repro.core.generator import Generator
 from repro.core.targets import paper_targets, scaled_targets
 from repro.dist import protocol
 from repro.dist.protocol import (
+    CAP_METRICS,
+    CAP_ZLIB,
     MSG_BYE,
     MSG_CONFIGURE,
     MSG_CONFIGURED,
@@ -90,11 +93,15 @@ class _Connection:
         self.batches: "queue.Queue[Optional[dict]]" = queue.Queue()
         self.generator: Optional[Generator] = None
         self.evaluator: Optional[Evaluator] = None
+        #: Capabilities negotiated with this coordinator.
+        self.caps: FrozenSet[str] = frozenset()
         self.closed = threading.Event()
 
-    def send(self, message: Dict[str, object]) -> None:
+    def send(
+        self, message: Dict[str, object], compress: bool = False
+    ) -> None:
         with self.send_lock:
-            protocol.send_frame(self.sock, message)
+            protocol.send_frame(self.sock, message, compress=compress)
 
     def close(self) -> None:
         if self.closed.is_set():
@@ -216,12 +223,19 @@ class WorkerServer:
         try:
             hello = protocol.recv_frame(connection.sock)
             protocol.check_hello(hello, expected_role="coordinator")
+            connection.caps = protocol.negotiated_caps(hello)
+            if CAP_METRICS in connection.caps:
+                # Metrics-only: the coordinator asked for snapshots, so
+                # start sampling (tracing stays a local --trace-dir
+                # decision).
+                obs.enable()
             connection.send({
                 "type": MSG_HELLO,
                 "protocol": PROTOCOL_VERSION,
                 "role": "worker",
                 "slots": self.slots,
                 "pid": os.getpid(),
+                "caps": sorted(protocol.LOCAL_CAPS),
             })
             while True:
                 message = protocol.recv_frame(connection.sock)
@@ -315,7 +329,7 @@ class WorkerServer:
             record = dict(entry["program"])
             try:
                 program = decode_program(record, connection.generator)
-            except Exception as exc:
+            except Exception:
                 # A record this host cannot reconstruct costs that
                 # candidate (quarantined), not the batch.
                 undecodable.append(
@@ -324,8 +338,18 @@ class WorkerServer:
                 continue
             ids.append(task_id)
             programs.append(program)
-        evaluated = connection.evaluator.evaluate(programs)
+        with obs.phase("worker_batch"):
+            evaluated = connection.evaluator.evaluate(programs)
         health = connection.evaluator.take_health()
+        obs.inc(
+            "repro_worker_batches_total",
+            help_text="Eval batches this worker completed",
+        )
+        obs.inc(
+            "repro_worker_tasks_total",
+            len(batch),
+            "Tasks this worker graded",
+        )
         results = [
             protocol.result_record(task_id, entry)
             for task_id, entry in zip(ids, evaluated)
@@ -341,11 +365,16 @@ class WorkerServer:
                 "error_kind": "candidate_error",
                 "attempts": 1,
             })
-        connection.send({
+        reply: Dict[str, object] = {
             "type": MSG_RESULT,
             "results": results,
             "health": health.as_dict(),
-        })
+        }
+        if CAP_METRICS in connection.caps and obs.enabled():
+            # Cumulative snapshot: the coordinator merges with replace
+            # semantics, so resending the running totals is idempotent.
+            reply["metrics"] = obs.snapshot()
+        connection.send(reply, compress=CAP_ZLIB in connection.caps)
 
 
 def main(argv=None) -> int:
@@ -371,7 +400,14 @@ def main(argv=None) -> int:
         "--max-retries", type=int, default=None,
         help="override the coordinator's retry budget",
     )
+    parser.add_argument(
+        "--trace-dir", default=None, metavar="DIR",
+        help="enable observability and write span-trace JSONL plus a "
+             "final metrics snapshot into DIR",
+    )
     args = parser.parse_args(argv)
+    if args.trace_dir is not None:
+        obs.configure(enabled=True, trace_dir=args.trace_dir)
     try:
         host, port = parse_listen(args.listen)
     except ValueError as exc:
@@ -391,6 +427,7 @@ def main(argv=None) -> int:
         flush=True,
     )
     server.serve_forever()
+    obs.shutdown()
     return 0
 
 

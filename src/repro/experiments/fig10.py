@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.core.evaluator import EvalHealth
 from repro.core.loop import LoopResult
 from repro.core.manager import Manager
@@ -47,6 +48,9 @@ class ConvergenceCurve:
     #: Run-level evaluation health (None when the loop did not run,
     #: e.g. a fully resumed converged campaign).
     health: Optional[EvalHealth] = None
+    #: Wall-clock seconds per loop phase for this run, sourced from
+    #: the observability registry (empty unless obs was enabled).
+    phase_times: Dict[str, float] = field(default_factory=dict)
 
     @property
     def final_coverage(self) -> float:
@@ -95,6 +99,33 @@ class ConvergenceCurve:
             table += f"\nhealth: {self.health.summary()}"
         return table
 
+    def render_phases(self) -> str:
+        """Phase-time breakdown table (empty string without data)."""
+        return render_phase_table(
+            self.phase_times,
+            title=f"Fig 10 — {self.title} phase-time breakdown",
+        )
+
+
+def render_phase_table(
+    phase_times: Dict[str, float], title: str
+) -> str:
+    """Render per-phase wall-clock (seconds and share) as a table."""
+    if not phase_times:
+        return ""
+    total = sum(phase_times.values())
+    rows = [
+        [
+            name,
+            f"{seconds:.3f}",
+            f"{seconds / total:.1%}" if total > 0 else "-",
+        ]
+        for name, seconds in sorted(
+            phase_times.items(), key=lambda item: -item[1]
+        )
+    ]
+    return format_table(["phase", "seconds", "share"], rows, title=title)
+
 
 def run_target(
     target: TargetSpec,
@@ -128,6 +159,7 @@ def run_target(
     )
     curve = ConvergenceCurve(target=target.key, title=target.title)
     sample_every = max(scale.detection_sample_every, 1)
+    phases_before = obs.phase_times()
 
     def on_iteration(stats, survivors):
         detection = None
@@ -159,6 +191,12 @@ def run_target(
     finally:
         manager.close()
     curve.health = result.health
+    if obs.enabled():
+        curve.phase_times = {
+            name: seconds - phases_before.get(name, 0.0)
+            for name, seconds in obs.phase_times().items()
+            if seconds - phases_before.get(name, 0.0) > 0.0
+        }
     if not result.best:
         return curve
     best = result.best_program

@@ -12,6 +12,7 @@ import sys
 import time
 from typing import Optional
 
+from repro import obs
 from repro.experiments import (
     fig1,
     fig10,
@@ -46,6 +47,22 @@ def campaign_health(curves) -> str:
     return "\n".join(lines)
 
 
+def campaign_phases(curves) -> str:
+    """Phase-time breakdown summed across the Fig 10 campaigns.
+
+    Sourced from the observability registry's per-phase timers, so the
+    report answers "where did the wall-clock go?" (evaluate vs mutate
+    vs generate vs checkpointing) without a profiler attached.
+    """
+    total = {}
+    for curve in curves.values():
+        for name, seconds in curve.phase_times.items():
+            total[name] = total.get(name, 0.0) + seconds
+    return fig10.render_phase_table(
+        total, title="Phase-time breakdown (all Fig 10 runs)"
+    )
+
+
 def run_all(
     scale: Optional[ExperimentScale] = None,
     stream=None,
@@ -54,6 +71,9 @@ def run_all(
     """Run and print every experiment at the given scale."""
     scale = scale if scale is not None else active_scale()
     stream = stream if stream is not None else sys.stdout
+    # Metrics-only observability so the Fig 10 section can report where
+    # the wall-clock went (no tracer, no endpoint — near-free).
+    obs.enable()
 
     def emit(text: str) -> None:
         stream.write(text + "\n\n")
@@ -79,6 +99,9 @@ def run_all(
     for curve in curves.values():
         emit(curve.render())
     emit(campaign_health(curves))
+    phases = campaign_phases(curves)
+    if phases:
+        emit(phases)
 
     comparison = fig11.run(
         scale,

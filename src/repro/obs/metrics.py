@@ -1,0 +1,453 @@
+"""Zero-dependency metrics: counters, gauges, fixed-bucket histograms.
+
+The registry is the in-process store behind the observability layer
+(§"you cannot optimize what you cannot see").  It is deliberately
+minimal — stdlib only, a few hundred lines — but speaks the two
+formats the rest of the stack needs:
+
+* the **Prometheus text exposition format** (:meth:`MetricsRegistry.
+  render`), served by :mod:`repro.obs.server` at ``/metrics``;
+* a **JSON snapshot** (:meth:`MetricsRegistry.snapshot` /
+  :meth:`MetricsRegistry.merge_snapshot`) that crosses the distributed
+  wire protocol, letting every ``repro-worker`` ship its series to the
+  coordinator where they are merged into fleet-wide,
+  ``worker``-labelled series.
+
+Semantics worth knowing:
+
+* Families are keyed by name; label *names* are fixed at registration
+  (re-registering with a different kind or label set raises).
+* Children are keyed by their label *values* and created on demand;
+  the same values always return the same child.
+* Histograms use fixed upper bounds (``le`` is inclusive, as in
+  Prometheus); counts are stored per-bucket and cumulated at render.
+* Snapshot merging uses **replace** semantics: a worker ships its
+  cumulative registry, so the coordinator overwrites that worker's
+  series rather than accumulating (idempotent across re-sends).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+KIND_COUNTER = "counter"
+KIND_GAUGE = "gauge"
+KIND_HISTOGRAM = "histogram"
+
+#: Default histogram bounds, in seconds — sized for evaluation and
+#: phase durations (sub-millisecond up to a minute).
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 30.0, 60.0,
+)
+
+#: Snapshot schema version (bumped on incompatible changes; merging is
+#: forward-tolerant — unknown keys are ignored).
+SNAPSHOT_VERSION = 1
+
+
+def _format_value(value: float) -> str:
+    """Prometheus-style number: integers render without a decimal."""
+    if isinstance(value, bool):  # bool is an int subclass; be explicit
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _escape_label(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _label_pairs(
+    names: Sequence[str], values: Sequence[str]
+) -> str:
+    if not names:
+        return ""
+    inner = ",".join(
+        f'{name}="{_escape_label(value)}"'
+        for name, value in zip(names, values)
+    )
+    return "{" + inner + "}"
+
+
+class Counter:
+    """Monotonically increasing value (one labelled child)."""
+
+    __slots__ = ("_value", "_lock")
+
+    def __init__(self, lock: threading.Lock):
+        self._value = 0.0
+        self._lock = lock
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counters only go up, got {amount}")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def _restore(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+
+class Gauge:
+    """A value that can go up and down (one labelled child)."""
+
+    __slots__ = ("_value", "_lock")
+
+    def __init__(self, lock: threading.Lock):
+        self._value = 0.0
+        self._lock = lock
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.inc(-amount)
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def _restore(self, value: float) -> None:
+        self.set(value)
+
+
+class Histogram:
+    """Fixed-bucket histogram (one labelled child).
+
+    ``bounds`` are inclusive upper bounds; one implicit ``+Inf`` bucket
+    catches the rest.  ``counts`` holds per-bucket (non-cumulative)
+    counts, ``len(bounds) + 1`` entries.
+    """
+
+    __slots__ = ("bounds", "counts", "sum", "count", "_lock")
+
+    def __init__(self, bounds: Sequence[float], lock: threading.Lock):
+        self.bounds = tuple(float(b) for b in bounds)
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.sum = 0.0
+        self.count = 0
+        self._lock = lock
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        index = len(self.bounds)
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                index = i
+                break
+        with self._lock:
+            self.counts[index] += 1
+            self.sum += value
+            self.count += 1
+
+    def _restore(self, counts, total, count) -> None:
+        with self._lock:
+            fresh = [int(c) for c in counts]
+            if len(fresh) != len(self.counts):
+                raise ValueError(
+                    f"histogram has {len(self.counts)} buckets, "
+                    f"snapshot has {len(fresh)}"
+                )
+            self.counts = fresh
+            self.sum = float(total)
+            self.count = int(count)
+
+
+class MetricFamily:
+    """All children of one metric name.
+
+    Label names are immutable after construction; children are created
+    on first use of a label-value combination and cached forever.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        kind: str,
+        help_text: str = "",
+        label_names: Sequence[str] = (),
+        buckets: Optional[Sequence[float]] = None,
+    ):
+        if kind not in (KIND_COUNTER, KIND_GAUGE, KIND_HISTOGRAM):
+            raise ValueError(f"unknown metric kind {kind!r}")
+        self.name = name
+        self.kind = kind
+        self.help = help_text
+        self.label_names: Tuple[str, ...] = tuple(label_names)
+        if len(set(self.label_names)) != len(self.label_names):
+            raise ValueError(f"duplicate label names in {name}")
+        self.buckets = (
+            tuple(float(b) for b in (buckets or DEFAULT_BUCKETS))
+            if kind == KIND_HISTOGRAM else None
+        )
+        self._children: Dict[Tuple[str, ...], object] = {}
+        self._lock = threading.Lock()
+
+    # -- children ----------------------------------------------------------
+
+    def labels(self, **labels: str):
+        """The child for this label-value combination (created lazily).
+
+        Exactly the registered label names must be supplied; values are
+        coerced to strings.
+        """
+        if set(labels) != set(self.label_names):
+            raise ValueError(
+                f"{self.name} takes labels {list(self.label_names)}, "
+                f"got {sorted(labels)}"
+            )
+        key = tuple(str(labels[name]) for name in self.label_names)
+        return self._child(key)
+
+    def _child(self, key: Tuple[str, ...]):
+        child = self._children.get(key)
+        if child is not None:
+            return child
+        with self._lock:
+            child = self._children.get(key)
+            if child is None:
+                if self.kind == KIND_COUNTER:
+                    child = Counter(self._lock)
+                elif self.kind == KIND_GAUGE:
+                    child = Gauge(self._lock)
+                else:
+                    child = Histogram(self.buckets, self._lock)
+                self._children[key] = child
+            return child
+
+    @property
+    def _default(self):
+        """The label-less child (only valid for label-less families)."""
+        if self.label_names:
+            raise ValueError(
+                f"{self.name} has labels {list(self.label_names)}; "
+                f"use .labels(...)"
+            )
+        return self._child(())
+
+    # Convenience delegates so label-less families read naturally.
+    def inc(self, amount: float = 1.0) -> None:
+        self._default.inc(amount)
+
+    def set(self, value: float) -> None:
+        self._default.set(value)
+
+    def observe(self, value: float) -> None:
+        self._default.observe(value)
+
+    @property
+    def value(self) -> float:
+        return self._default.value
+
+    def children(self) -> Iterable[Tuple[Tuple[str, ...], object]]:
+        """(label values, child) pairs in deterministic order."""
+        return sorted(self._children.items(), key=lambda item: item[0])
+
+
+class MetricsRegistry:
+    """A named collection of metric families (thread-safe)."""
+
+    def __init__(self):
+        self._families: Dict[str, MetricFamily] = {}
+        self._lock = threading.Lock()
+
+    # -- registration ------------------------------------------------------
+
+    def _get_or_create(
+        self,
+        name: str,
+        kind: str,
+        help_text: str,
+        labels: Sequence[str],
+        buckets: Optional[Sequence[float]] = None,
+    ) -> MetricFamily:
+        family = self._families.get(name)
+        if family is None:
+            with self._lock:
+                family = self._families.get(name)
+                if family is None:
+                    family = MetricFamily(
+                        name, kind, help_text, labels, buckets
+                    )
+                    self._families[name] = family
+        if family.kind != kind:
+            raise ValueError(
+                f"{name} is a {family.kind}, not a {kind}"
+            )
+        if family.label_names != tuple(labels):
+            raise ValueError(
+                f"{name} was registered with labels "
+                f"{list(family.label_names)}, not {list(labels)}"
+            )
+        return family
+
+    def counter(
+        self, name: str, help_text: str = "", labels: Sequence[str] = ()
+    ) -> MetricFamily:
+        return self._get_or_create(name, KIND_COUNTER, help_text, labels)
+
+    def gauge(
+        self, name: str, help_text: str = "", labels: Sequence[str] = ()
+    ) -> MetricFamily:
+        return self._get_or_create(name, KIND_GAUGE, help_text, labels)
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str = "",
+        labels: Sequence[str] = (),
+        buckets: Optional[Sequence[float]] = None,
+    ) -> MetricFamily:
+        return self._get_or_create(
+            name, KIND_HISTOGRAM, help_text, labels, buckets
+        )
+
+    def families(self) -> List[MetricFamily]:
+        """Registered families, sorted by name (deterministic)."""
+        with self._lock:
+            return [
+                self._families[name] for name in sorted(self._families)
+            ]
+
+    def get(self, name: str) -> Optional[MetricFamily]:
+        return self._families.get(name)
+
+    # -- exposition --------------------------------------------------------
+
+    def render(self) -> str:
+        """The Prometheus text exposition format (version 0.0.4)."""
+        lines: List[str] = []
+        for family in self.families():
+            if family.help:
+                lines.append(f"# HELP {family.name} {family.help}")
+            lines.append(f"# TYPE {family.name} {family.kind}")
+            for values, child in family.children():
+                if family.kind == KIND_HISTOGRAM:
+                    self._render_histogram(lines, family, values, child)
+                else:
+                    pairs = _label_pairs(family.label_names, values)
+                    lines.append(
+                        f"{family.name}{pairs} "
+                        f"{_format_value(child.value)}"
+                    )
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    @staticmethod
+    def _render_histogram(
+        lines: List[str],
+        family: MetricFamily,
+        values: Tuple[str, ...],
+        child: Histogram,
+    ) -> None:
+        names = family.label_names
+        cumulative = 0
+        for bound, count in zip(child.bounds, child.counts):
+            cumulative += count
+            pairs = _label_pairs(
+                names + ("le",), values + (_format_value(bound),)
+            )
+            lines.append(f"{family.name}_bucket{pairs} {cumulative}")
+        pairs = _label_pairs(names + ("le",), values + ("+Inf",))
+        lines.append(f"{family.name}_bucket{pairs} {child.count}")
+        base = _label_pairs(names, values)
+        lines.append(f"{family.name}_sum{base} {_format_value(child.sum)}")
+        lines.append(f"{family.name}_count{base} {child.count}")
+
+    # -- snapshots (the wire format) ---------------------------------------
+
+    def snapshot(self) -> Dict[str, object]:
+        """A JSON-able copy of every family and child."""
+        families = []
+        for family in self.families():
+            children = []
+            for values, child in family.children():
+                record: Dict[str, object] = {"labels": list(values)}
+                if family.kind == KIND_HISTOGRAM:
+                    record["counts"] = list(child.counts)
+                    record["sum"] = child.sum
+                    record["count"] = child.count
+                else:
+                    record["value"] = child.value
+                children.append(record)
+            families.append({
+                "name": family.name,
+                "kind": family.kind,
+                "help": family.help,
+                "label_names": list(family.label_names),
+                "buckets": (
+                    list(family.buckets) if family.buckets else None
+                ),
+                "children": children,
+            })
+        return {"version": SNAPSHOT_VERSION, "families": families}
+
+    def merge_snapshot(
+        self,
+        snapshot: Dict[str, object],
+        extra_labels: Optional[Dict[str, str]] = None,
+        rename=None,
+    ) -> None:
+        """Fold a peer's snapshot into this registry.
+
+        ``extra_labels`` (e.g. ``{"worker": "host:port"}``) are appended
+        to every series so fleet members stay distinguishable; families
+        that already carry one of those label names are skipped — they
+        were fleet-merged upstream (an in-process loopback worker
+        shares the coordinator registry, so its snapshot can contain
+        the coordinator's own per-worker series).  ``rename``
+        optionally maps family names (used to namespace fleet series
+        away from the coordinator's own).  Values use **replace**
+        semantics: re-merging a newer snapshot from the same peer
+        overwrites its previous series.
+        """
+        extra = dict(extra_labels or {})
+        extra_names = tuple(sorted(extra))
+        for record in snapshot.get("families", []):
+            name = str(record["name"])
+            if rename is not None:
+                name = rename(name)
+                if name is None:
+                    continue
+            kind = str(record["kind"])
+            own_names = tuple(
+                str(n) for n in record.get("label_names", [])
+            )
+            if extra_names and set(own_names) & set(extra_names):
+                continue
+            label_names = own_names + extra_names
+            family = self._get_or_create(
+                name,
+                kind,
+                str(record.get("help", "")),
+                label_names,
+                record.get("buckets") or None,
+            )
+            for child_record in record.get("children", []):
+                values = tuple(
+                    str(v) for v in child_record.get("labels", [])
+                ) + tuple(str(extra[n]) for n in extra_names)
+                child = family._child(values)
+                if kind == KIND_HISTOGRAM:
+                    child._restore(
+                        child_record.get("counts", []),
+                        child_record.get("sum", 0.0),
+                        child_record.get("count", 0),
+                    )
+                else:
+                    child._restore(child_record.get("value", 0.0))

@@ -1,0 +1,107 @@
+"""The live campaign status endpoint (stdlib ``http.server``).
+
+``MetricsServer`` binds a tiny threading HTTP server serving:
+
+* ``GET /metrics`` — the Prometheus text exposition of the process
+  registry (fleet-merged series included on a coordinator);
+* ``GET /status`` — the campaign status JSON (generation, best
+  fitness, per-worker liveness/load, quarantine list);
+* ``GET /`` — a plain-text index of the above.
+
+Started by ``harpocrates loop --metrics-port N`` (``0`` binds an
+ephemeral port; :attr:`MetricsServer.port` reports the real one), so a
+long distributed campaign can be watched live::
+
+    curl -s localhost:9100/status | python -m json.tool
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional
+
+from repro import obs
+
+#: Content type mandated by the Prometheus text exposition format.
+EXPOSITION_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes the three endpoints; never raises into the campaign."""
+
+    server_version = "repro-obs/1"
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        path = self.path.split("?", 1)[0]
+        if path == "/metrics":
+            self._reply(obs.render_metrics(), EXPOSITION_CONTENT_TYPE)
+        elif path == "/status":
+            payload = json.dumps(obs.status_dict(), indent=2, default=str)
+            self._reply(payload, "application/json; charset=utf-8")
+        elif path in ("/", "/index.html"):
+            self._reply(
+                "harpocrates observability\n"
+                "  /metrics  Prometheus text exposition\n"
+                "  /status   campaign status JSON\n",
+                "text/plain; charset=utf-8",
+            )
+        else:
+            self._reply("not found\n", "text/plain; charset=utf-8", 404)
+
+    def _reply(
+        self, body: str, content_type: str, code: int = 200
+    ) -> None:
+        data = body.encode("utf-8")
+        self.send_response(code)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        try:
+            self.wfile.write(data)
+        except (BrokenPipeError, ConnectionResetError):
+            pass
+
+    def log_message(self, format, *args) -> None:
+        """Silence per-request logging (scrapers hit this every 15s)."""
+
+
+class MetricsServer:
+    """Owns the HTTP server thread for one campaign."""
+
+    def __init__(self, port: int = 0, host: str = "127.0.0.1"):
+        self.host = host
+        self.requested_port = port
+        self._httpd: Optional[ThreadingHTTPServer] = None
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def port(self) -> int:
+        """The bound port (meaningful after :meth:`start`)."""
+        if self._httpd is None:
+            raise RuntimeError("server not started")
+        return self._httpd.server_address[1]
+
+    def start(self) -> "MetricsServer":
+        """Bind and serve from a daemon thread; returns self."""
+        self._httpd = ThreadingHTTPServer(
+            (self.host, self.requested_port), _Handler
+        )
+        self._httpd.daemon_threads = True
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="repro-obs-http",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def close(self) -> None:
+        if self._httpd is not None:
+            self._httpd.shutdown()
+            self._httpd.server_close()
+            self._httpd = None
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None

@@ -1,0 +1,84 @@
+"""Live campaign status: the JSON behind the ``/status`` endpoint.
+
+One process-wide :class:`CampaignStatus` (owned by :mod:`repro.obs`)
+accumulates the operator-facing view of a running campaign — current
+generation, best fitness, per-worker liveness/load, the quarantine
+list — updated from the loop and the distributed coordinator.  All
+methods are thread-safe; :meth:`as_dict` returns a deep-enough copy
+that the HTTP handler can serialize it without holding the lock.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, List, Optional
+
+
+class CampaignStatus:
+    """Mutable, thread-safe campaign state for the status endpoint."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._campaign: Dict[str, object] = {}
+        self._workers: Dict[str, Dict[str, object]] = {}
+        self._quarantined: List[str] = []
+        self._started = time.time()
+
+    def update(self, **fields) -> None:
+        """Merge campaign-level fields (generation, best_fitness, ...)."""
+        now = time.time()
+        with self._lock:
+            self._campaign.update(fields)
+            self._campaign["updated_unix"] = now
+
+    def set_quarantined(self, names) -> None:
+        """Replace the quarantine list (a copy is stored)."""
+        names = [str(name) for name in names]
+        with self._lock:
+            self._quarantined = names
+
+    def set_worker(self, name: str, **fields) -> None:
+        """Merge per-worker fields (alive, slots, in_flight, ...)."""
+        now = time.time()
+        with self._lock:
+            worker = self._workers.setdefault(name, {})
+            worker.update(fields)
+            worker["updated_unix"] = now
+
+    def remove_worker(self, name: str) -> None:
+        with self._lock:
+            self._workers.pop(name, None)
+
+    def clear(self) -> None:
+        """Forget everything (fresh campaign / test isolation)."""
+        with self._lock:
+            self._campaign = {}
+            self._workers = {}
+            self._quarantined = []
+            self._started = time.time()
+
+    def as_dict(self) -> Dict[str, object]:
+        """A serializable copy of the full status."""
+        with self._lock:
+            return {
+                "started_unix": self._started,
+                "uptime_seconds": time.time() - self._started,
+                "campaign": dict(self._campaign),
+                "workers": {
+                    name: dict(fields)
+                    for name, fields in sorted(self._workers.items())
+                },
+                "quarantined": list(self._quarantined),
+            }
+
+    # -- convenience accessors (tests, rendering) --------------------------
+
+    def get(self, key: str, default=None):
+        with self._lock:
+            return self._campaign.get(key, default)
+
+    def worker(self, name: str) -> Optional[Dict[str, object]]:
+        with self._lock:
+            fields = self._workers.get(name)
+            return dict(fields) if fields is not None else None

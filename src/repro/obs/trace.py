@@ -1,0 +1,160 @@
+"""Span-based tracing to append-only JSONL event logs.
+
+A :class:`Tracer` writes one JSON object per line to
+``<trace_dir>/trace-<pid>.jsonl``:
+
+* ``{"type": "span", "name": ..., "span": id, "parent": id|null,
+  "depth": n, "ts": wall-clock start, "dur_s": duration, ...attrs}``
+  — emitted when a span *closes* (so records are complete);
+* ``{"type": "event", "name": ..., "ts": ..., ...fields}`` — point
+  events (iteration summaries, campaign milestones).
+
+Span nesting is tracked per thread, so parallel drivers produce
+correctly parented spans.  The file handle is line-buffered and writes
+are locked, keeping the log valid JSONL even under concurrency.
+
+When tracing is disabled the process-wide tracer is
+:data:`NULL_TRACER`, whose ``span()`` hands back one shared no-op
+context manager — the guarded call sites in the hot loops cost an
+attribute check and a function call, nothing more.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import threading
+import time
+from typing import Dict, Optional
+
+
+class _NullContext:
+    """Reentrant, shareable no-op context manager."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullContext":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+NULL_CONTEXT = _NullContext()
+
+
+class NullTracer:
+    """The disabled tracer: every operation is a no-op."""
+
+    __slots__ = ()
+    path: Optional[str] = None
+
+    def span(self, name: str, **attrs) -> _NullContext:
+        return NULL_CONTEXT
+
+    def event(self, name: str, **fields) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+
+NULL_TRACER = NullTracer()
+
+
+class _Span:
+    """One open span; created by :meth:`Tracer.span`."""
+
+    __slots__ = ("tracer", "name", "attrs", "span_id", "parent_id",
+                 "depth", "started", "wall")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: Dict):
+        self.tracer = tracer
+        self.name = name
+        self.attrs = attrs
+
+    def __enter__(self) -> "_Span":
+        tracer = self.tracer
+        stack = tracer._stack()
+        self.span_id = next(tracer._ids)
+        self.parent_id = stack[-1] if stack else None
+        self.depth = len(stack)
+        stack.append(self.span_id)
+        self.wall = time.time()
+        self.started = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        duration = time.perf_counter() - self.started
+        stack = self.tracer._stack()
+        if stack and stack[-1] == self.span_id:
+            stack.pop()
+        record = {
+            "type": "span",
+            "name": self.name,
+            "span": self.span_id,
+            "parent": self.parent_id,
+            "depth": self.depth,
+            "ts": self.wall,
+            "dur_s": duration,
+        }
+        if exc_type is not None:
+            record["error"] = exc_type.__name__
+        if self.attrs:
+            record.update(self.attrs)
+        self.tracer._write(record)
+        return False
+
+
+class Tracer:
+    """Writes spans and events as JSONL under ``trace_dir``."""
+
+    def __init__(self, trace_dir: str, name: str = "trace"):
+        os.makedirs(trace_dir, exist_ok=True)
+        self.trace_dir = trace_dir
+        self.path = os.path.join(
+            trace_dir, f"{name}-{os.getpid()}.jsonl"
+        )
+        self._fh = open(self.path, "a", encoding="utf-8")
+        self._write_lock = threading.Lock()
+        self._local = threading.local()
+        self._ids = itertools.count(1)
+        self._closed = False
+
+    def _stack(self) -> list:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def span(self, name: str, **attrs) -> _Span:
+        """A context manager timing one named span (nesting-aware)."""
+        return _Span(self, name, attrs)
+
+    def event(self, name: str, **fields) -> None:
+        """Record a point event."""
+        record = {"type": "event", "name": name, "ts": time.time()}
+        record.update(fields)
+        self._write(record)
+
+    def _write(self, record: Dict) -> None:
+        if self._closed:
+            return
+        line = json.dumps(record, separators=(",", ":"), default=str)
+        with self._write_lock:
+            if self._closed:
+                return
+            self._fh.write(line + "\n")
+            self._fh.flush()
+
+    def close(self) -> None:
+        with self._write_lock:
+            if self._closed:
+                return
+            self._closed = True
+            try:
+                self._fh.close()
+            except OSError:
+                pass

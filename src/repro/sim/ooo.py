@@ -25,7 +25,7 @@ from the functional pass, timing from this pass.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.isa import registers as regs_module

@@ -41,6 +41,8 @@ from typing import (
     TypeVar,
 )
 
+from repro import obs
+
 ItemT = TypeVar("ItemT")
 ResultT = TypeVar("ResultT")
 
@@ -221,6 +223,11 @@ class ResilientPool:
                     if self.respawns > self.max_respawns:
                         # Pool is irrecoverable: degrade to in-process.
                         self.degraded = True
+                        obs.inc(
+                            "repro_pool_degraded_total",
+                            help_text="Pools that fell back to "
+                                      "in-process execution",
+                        )
                         while pending:
                             task = pending.popleft()
                             outcomes[task.index] = self._run_inline(fn, task)
@@ -253,6 +260,10 @@ class ResilientPool:
                     self._kill(executor)
                     executor = None
                     self.respawns += 1
+                    obs.inc(
+                        "repro_pool_respawns_total",
+                        help_text="Process-pool reconstructions",
+                    )
                     self._finish_or_retry(
                         task, STATUS_TIMED_OUT, pending, outcomes,
                         error=f"exceeded {self.timeout:.3f}s wall-clock budget",
@@ -264,6 +275,10 @@ class ResilientPool:
                     self._kill(executor)
                     executor = None
                     self.respawns += 1
+                    obs.inc(
+                        "repro_pool_respawns_total",
+                        help_text="Process-pool reconstructions",
+                    )
                     self._finish_or_retry(
                         task, STATUS_CRASHED, pending, outcomes,
                         error=str(exc) or "worker process died",
@@ -345,7 +360,16 @@ class ResilientPool:
                 self.backoff_base * (2 ** (task.attempts - 1)),
             )
             pending.append(task)
+            obs.inc(
+                "repro_pool_retries_total",
+                help_text="Task attempts re-queued after a failure",
+            )
             return
+        obs.inc(
+            "repro_pool_failures_total",
+            help_text="Tasks that exhausted their attempts, by status",
+            status=status,
+        )
         outcomes[task.index] = TaskOutcome(
             index=task.index,
             status=status,

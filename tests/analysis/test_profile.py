@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.analysis import ProgramProfile, characterize, compare_profiles
+from repro.analysis import characterize, compare_profiles
 from repro.isa import FUClass, Program, imm, make, mem, reg
 
 

@@ -5,7 +5,6 @@ the same computation over the same seeded input data — the kernels are
 genuine workloads, not instruction salads.
 """
 
-import pytest
 
 from repro.baselines.mibench import (
     build_bitcount,

@@ -4,8 +4,7 @@ import pytest
 
 from repro.baselines.kernelbuilder import KernelBuilder
 from repro.baselines.mibench import MIBENCH_BUILDERS, mibench_suite
-from repro.baselines.opendcdiag import OPENDCDIAG_BUILDERS, \
-    opendcdiag_suite
+from repro.baselines.opendcdiag import OPENDCDIAG_BUILDERS
 from repro.isa.instructions import FUClass
 from repro.sim import golden_run, run_program
 

@@ -6,7 +6,7 @@ import random
 
 import pytest
 
-from repro.isa import Program, imm, make, mem, reg, x64
+from repro.isa import Program, make, mem, reg, x64
 from repro.sim import golden_run
 
 

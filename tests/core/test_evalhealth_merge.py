@@ -1,0 +1,94 @@
+"""`EvalHealth.merge` semantics: the distributed coordinator folds
+per-worker deltas into one campaign record and depends on counters
+adding, error-kind tallies unioning, and quarantine order being a
+pure function of merge order."""
+
+from repro.core.evaluator import EvalHealth
+
+
+def make(**kwargs):
+    health = EvalHealth()
+    for key, value in kwargs.items():
+        setattr(health, key, value)
+    return health
+
+
+class TestMerge:
+    def test_merge_returns_self(self):
+        base = EvalHealth()
+        assert base.merge(EvalHealth()) is base
+
+    def test_counters_add(self):
+        base = make(evaluations=3, retries=1, timeouts=1,
+                    worker_crashes=0, fallback_inline=2,
+                    pool_respawns=1, workers_lost=0,
+                    redispatched=4, stolen=1)
+        delta = make(evaluations=5, retries=0, timeouts=2,
+                     worker_crashes=1, fallback_inline=0,
+                     pool_respawns=0, workers_lost=1,
+                     redispatched=0, stolen=2)
+        base.merge(delta)
+        assert base.evaluations == 8
+        assert base.retries == 1
+        assert base.timeouts == 3
+        assert base.worker_crashes == 1
+        assert base.fallback_inline == 2
+        assert base.pool_respawns == 1
+        assert base.workers_lost == 1
+        assert base.redispatched == 4
+        assert base.stolen == 3
+
+    def test_error_kinds_union_additively(self):
+        base = EvalHealth()
+        base.record_error("timeout")
+        base.record_error("timeout")
+        delta = EvalHealth()
+        delta.record_error("timeout")
+        delta.record_error("sim_crash")
+        base.merge(delta)
+        assert base.errors == {"timeout": 3, "sim_crash": 1}
+        assert base.total_errors == 4
+        # The delta is not mutated by the merge.
+        assert delta.errors == {"timeout": 1, "sim_crash": 1}
+
+    def test_quarantine_concatenates_preserving_order(self):
+        base = make(quarantined=["a", "b"])
+        base.merge(make(quarantined=["c"]))
+        base.merge(make(quarantined=["d", "e"]))
+        assert base.quarantined == ["a", "b", "c", "d", "e"]
+
+    def test_fixed_merge_order_gives_stable_quarantine_order(self):
+        """Merging the same deltas in the same order always yields the
+        same quarantine list — the coordinator merges per-worker deltas
+        in sorted worker-name order to exploit exactly this."""
+        deltas = {
+            "worker-b": [make(quarantined=["b1"]),
+                         make(quarantined=["b2"])],
+            "worker-a": [make(quarantined=["a1"])],
+        }
+
+        def fold():
+            total = EvalHealth()
+            for name in sorted(deltas):
+                for delta in deltas[name]:
+                    total.merge(delta)
+            return total.quarantined
+
+        assert fold() == ["a1", "b1", "b2"]
+        assert fold() == fold()
+
+    def test_merge_chain_equals_dict_round_trip(self):
+        base = make(evaluations=2, quarantined=["x"])
+        base.record_error("candidate_error")
+        base.merge(make(evaluations=1, stolen=1, quarantined=["y"]))
+        restored = EvalHealth.from_dict(base.as_dict())
+        assert restored.as_dict() == base.as_dict()
+        assert restored.quarantined == ["x", "y"]
+        assert restored.errors == {"candidate_error": 1}
+
+    def test_merge_empty_is_identity(self):
+        base = make(evaluations=4, quarantined=["p"])
+        base.record_error("timeout")
+        before = base.as_dict()
+        base.merge(EvalHealth())
+        assert base.as_dict() == before

@@ -6,7 +6,6 @@ from repro.core.evaluator import Evaluator
 from repro.core.generator import Generator
 from repro.core.loop import HarpocratesLoop, LoopConfig
 from repro.core.manager import Manager
-from repro.core.mutator import InstructionReplacementMutator
 from repro.core.targets import paper_targets, scaled_targets
 from repro.coverage.metrics import IbrCoverage
 from repro.isa.instructions import FUClass

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.coverage.ace import ace_l1d, ace_register_file
-from repro.isa import Program, imm, make, mem, reg, x64
+from repro.isa import Program, imm, make, mem, reg
 from repro.sim.config import CacheConfig, MachineConfig
 from repro.sim.cosim import golden_run
 

@@ -1,15 +1,13 @@
 """Unit tests for the Input Bit Ratio coverage metric."""
 
-import pytest
 
 from repro.coverage.ibr import UNIT_INPUT_WIDTH, ibr
 from repro.coverage.metrics import (
     AceIrfCoverage,
-    AceL1dCoverage,
     IbrCoverage,
     standard_metrics,
 )
-from repro.isa import FUClass, Program, imm, make, reg, x64
+from repro.isa import FUClass, Program, imm, make, reg
 from repro.sim.cosim import golden_run
 
 

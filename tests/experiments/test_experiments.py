@@ -11,9 +11,6 @@ from repro.experiments.harness import (
     SweepResult,
     WorkloadRow,
     baseline_workloads,
-    grade_workloads,
-    structure_irf,
-    structure_unit,
 )
 from repro.experiments.presets import (
     DEFAULT,
@@ -22,7 +19,6 @@ from repro.experiments.presets import (
     active_scale,
 )
 from repro.experiments.table1 import run as run_table1
-from repro.isa.instructions import FUClass
 
 TINY = replace(
     SMOKE,

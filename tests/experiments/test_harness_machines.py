@@ -2,7 +2,6 @@
 
 from dataclasses import replace
 
-import pytest
 
 from repro.core.targets import SCALED_L1D_MACHINE
 from repro.experiments.harness import (
@@ -53,7 +52,6 @@ class TestStructureMachines:
 
     def test_full_scale_uses_default_l1d_machine(self):
         from repro.experiments.fig456 import run_fig4
-        from repro.experiments.presets import FULL
 
         # We cannot afford to *run* the full preset; instead check the
         # machine-selection logic directly via the structure builder.

@@ -5,7 +5,7 @@ from dataclasses import replace
 import pytest
 
 from repro.core.targets import scaled_targets
-from repro.experiments.fig10 import ConvergenceCurve, run_target
+from repro.experiments.fig10 import run_target
 from repro.experiments.fig11 import run as run_fig11
 from repro.experiments.presets import SMOKE
 from repro.experiments.speed import detection_vs_cycles

@@ -1,11 +1,10 @@
 """Unit tests for L1D transient fault injection."""
 
-import pytest
 
 from repro.faults.injector import FaultInjector, campaign_cache_transient
 from repro.faults.models import CacheTransient
 from repro.faults.outcomes import Outcome
-from repro.isa import Program, imm, make, mem, reg
+from repro.isa import Program, make, mem, reg
 from repro.sim.cache import residency_intervals
 from repro.sim.config import CacheConfig, MachineConfig
 from repro.sim.cosim import golden_run

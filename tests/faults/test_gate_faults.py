@@ -11,7 +11,7 @@ from repro.faults.models import GateIntermittent, GatePermanent
 from repro.faults.outcomes import Outcome
 from repro.gatelevel.adder import build_cla_adder
 from repro.gatelevel.units import IntAdderUnit
-from repro.isa import FUClass, Program, imm, make, reg
+from repro.isa import FUClass, Program, make, reg
 from repro.sim.cosim import golden_run
 
 

@@ -1,11 +1,10 @@
 """Unit + property tests for the netlist core."""
 
 import pytest
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.gatelevel.netlist import (
-    GateOp,
     Netlist,
     StuckAt,
     full_adder,

@@ -4,7 +4,6 @@ import pytest
 
 from repro.isa import FUClass, imm, make, mem, reg, rel, x64
 from repro.isa.instructions import Instruction
-from repro.isa.operands import OperandKind
 
 
 @pytest.fixture(scope="module")

@@ -4,12 +4,9 @@ import pytest
 
 from repro.isa import registers
 from repro.isa.operands import (
-    ImmOperand,
     MemOperand,
     OperandKind,
     OperandSpec,
-    RegOperand,
-    RelOperand,
     imm,
     matches,
     mem,

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.isa import FUClass, Program, imm, make, reg, x64
+from repro.isa import FUClass, Program, imm, make, reg
 
 
 @pytest.fixture(scope="module")

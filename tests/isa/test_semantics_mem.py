@@ -1,6 +1,5 @@
 """Semantics tests: loads, stores, stack, LEA, branches, crashes."""
 
-import pytest
 
 from repro.isa import imm, make, mem, reg, rel
 from repro.sim.config import DEFAULT_MACHINE

@@ -1,10 +1,9 @@
 """Semantics tests: multiply and divide, including traps."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.isa import imm, make, reg
+from repro.isa import make, reg
 from repro.util.bitops import MASK64, to_signed, to_unsigned
 
 from tests.isa.conftest import gpr, run_snippet

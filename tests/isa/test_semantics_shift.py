@@ -4,7 +4,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.isa import imm, make, reg
-from repro.util.bitops import MASK32, MASK64, to_unsigned
+from repro.util.bitops import MASK64
 
 from tests.isa.conftest import gpr, run_snippet
 

@@ -3,7 +3,6 @@
 import math
 import struct
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.isa import imm, reg, x64
+from repro.isa import imm, reg
 from repro.microprobe.ir import BasicBlock, Microbenchmark, Slot
 
 

@@ -4,16 +4,14 @@ import random
 
 import pytest
 
-from repro.isa.instructions import FUClass
 from repro.isa.operands import (
     ImmOperand,
-    MemOperand,
     OperandKind,
     RegOperand,
     RelOperand,
 )
 from repro.microprobe.arch_module import ArchitectureModule
-from repro.microprobe.ir import BasicBlock, Microbenchmark, Slot
+from repro.microprobe.ir import Microbenchmark
 from repro.microprobe.passes import (
     BranchResolutionPass,
     GuardInsertionPass,

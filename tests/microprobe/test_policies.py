@@ -8,7 +8,6 @@ from repro.microprobe.arch_module import ArchitectureModule
 from repro.microprobe.ir import Microbenchmark
 from repro.microprobe.policies import (
     GenerationConfig,
-    Policy,
     constrained_random_policy,
     sequence_policy,
 )

@@ -3,15 +3,13 @@ deterministic, crash-free, and honour their generation constraints."""
 
 import pytest
 
-from repro.isa.instructions import FUClass
 from repro.microprobe import (
     GenerationConfig,
     MemoryAccessMode,
     Synthesizer,
 )
-from repro.microprobe.ir import Microbenchmark, Slot
 from repro.microprobe.wrappers import StandardWrapper
-from repro.sim import golden_run, run_program
+from repro.sim import run_program
 
 
 @pytest.fixture(scope="module")

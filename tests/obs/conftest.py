@@ -1,0 +1,13 @@
+"""Observability tests share one process-wide obs state — isolate it."""
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def fresh_obs():
+    """Every obs test starts and ends with observability disabled."""
+    obs.reset()
+    yield
+    obs.reset()

@@ -1,0 +1,67 @@
+"""Observability must not perturb the campaign.
+
+Two properties: identical seeded runs produce identical metric values
+(ignoring wall-clock timings), and enabling observability does not
+change the campaign's outcome relative to a run without it.
+"""
+
+from repro import obs
+from repro.core.manager import Manager
+from repro.core.targets import scaled_targets
+
+SCALES = (0.03, 0.008)
+
+
+def run_campaign():
+    spec = scaled_targets(*SCALES)["int_adder"]
+    manager = Manager(spec)
+    try:
+        return manager.run_loop(iterations=2)
+    finally:
+        manager.close()
+
+
+def timeless_snapshot():
+    """Metric values with timing-dependent series filtered out."""
+    values = {}
+    for family in obs.registry().families():
+        if "seconds" in family.name:
+            continue
+        for labels, child in family.children():
+            if hasattr(child, "counts"):
+                values[(family.name, labels)] = (
+                    tuple(child.counts), child.count
+                )
+            else:
+                values[(family.name, labels)] = child.value
+    return values
+
+
+class TestDeterminism:
+    def test_identical_seeded_runs_identical_metrics(self):
+        obs.enable()
+        first_result = run_campaign()
+        first = timeless_snapshot()
+        assert first, "instrumented run recorded no metrics"
+
+        obs.reset()
+        obs.enable()
+        second_result = run_campaign()
+        second = timeless_snapshot()
+
+        assert first == second
+        assert [(e.name, e.fitness) for e in first_result.best] == \
+               [(e.name, e.fitness) for e in second_result.best]
+
+    def test_enabling_obs_does_not_change_the_campaign(self):
+        disabled = run_campaign()
+        assert not obs.registry().families()  # stayed off
+
+        obs.enable()
+        enabled = run_campaign()
+
+        assert [(e.name, e.fitness, e.total_cycles)
+                for e in disabled.best] == \
+               [(e.name, e.fitness, e.total_cycles)
+                for e in enabled.best]
+        assert disabled.fitness_curve() == enabled.fitness_curve()

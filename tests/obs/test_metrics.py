@@ -1,0 +1,197 @@
+"""Metrics-registry semantics: kinds, labels, buckets, exposition."""
+
+import pytest
+
+from repro import obs
+from repro.obs.metrics import DEFAULT_BUCKETS, MetricsRegistry
+
+
+class TestCounters:
+    def test_counter_accumulates(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c_total", "help")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+
+    def test_counter_rejects_negative(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.counter("c_total").inc(-1)
+
+    def test_kind_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x_total")
+        with pytest.raises(ValueError, match="is a counter"):
+            registry.gauge("x_total")
+
+
+class TestLabels:
+    def test_label_names_are_immutable(self):
+        registry = MetricsRegistry()
+        registry.counter("lab_total", labels=("kind",))
+        with pytest.raises(ValueError, match="registered with labels"):
+            registry.counter("lab_total", labels=("other",))
+
+    def test_labels_must_match_exactly(self):
+        registry = MetricsRegistry()
+        family = registry.counter("lab_total", labels=("kind",))
+        with pytest.raises(ValueError, match="takes labels"):
+            family.labels(kind="a", extra="b")
+        with pytest.raises(ValueError, match="takes labels"):
+            family.labels()
+
+    def test_same_values_same_child(self):
+        registry = MetricsRegistry()
+        family = registry.counter("lab_total", labels=("kind",))
+        family.labels(kind="a").inc()
+        family.labels(kind="a").inc()
+        family.labels(kind="b").inc()
+        values = dict(family.children())
+        assert values[("a",)].value == 2
+        assert values[("b",)].value == 1
+
+    def test_labelless_shortcut_rejected_on_labelled_family(self):
+        registry = MetricsRegistry()
+        family = registry.counter("lab_total", labels=("kind",))
+        with pytest.raises(ValueError, match="has labels"):
+            family.inc()
+
+
+class TestHistograms:
+    def test_bucketing_is_inclusive_upper_bound(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram(
+            "h_seconds", buckets=(0.1, 1.0, 10.0)
+        )
+        histogram.observe(0.1)   # le=0.1 (inclusive)
+        histogram.observe(0.5)   # le=1.0
+        histogram.observe(5.0)   # le=10.0
+        histogram.observe(50.0)  # +Inf
+        child = dict(histogram.children())[()]
+        assert child.counts == [1, 1, 1, 1]
+        assert child.count == 4
+        assert child.sum == pytest.approx(55.6)
+
+    def test_default_buckets_span_sub_ms_to_a_minute(self):
+        assert DEFAULT_BUCKETS[0] <= 0.001
+        assert DEFAULT_BUCKETS[-1] >= 60.0
+        assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
+
+    def test_render_emits_cumulative_buckets(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("h_seconds", buckets=(1.0, 2.0))
+        histogram.observe(0.5)
+        histogram.observe(1.5)
+        text = registry.render()
+        assert 'h_seconds_bucket{le="1"} 1' in text
+        assert 'h_seconds_bucket{le="2"} 2' in text
+        assert 'h_seconds_bucket{le="+Inf"} 2' in text
+        assert "h_seconds_sum 2" in text
+        assert "h_seconds_count 2" in text
+
+
+class TestExposition:
+    def test_render_help_type_and_labels(self):
+        registry = MetricsRegistry()
+        registry.counter(
+            "demo_total", "What it counts", labels=("kind",)
+        ).labels(kind="x").inc(3)
+        text = registry.render()
+        assert "# HELP demo_total What it counts" in text
+        assert "# TYPE demo_total counter" in text
+        assert 'demo_total{kind="x"} 3' in text
+
+    def test_label_values_are_escaped(self):
+        registry = MetricsRegistry()
+        registry.gauge("g", labels=("path",)).labels(
+            path='a"b\\c\nd'
+        ).set(1)
+        assert 'path="a\\"b\\\\c\\nd"' in registry.render()
+
+
+class TestSnapshots:
+    def test_snapshot_merge_round_trip(self):
+        source = MetricsRegistry()
+        source.counter("c_total", "h", labels=("kind",)) \
+            .labels(kind="a").inc(5)
+        source.histogram("h_seconds", buckets=(1.0,)).observe(0.5)
+        sink = MetricsRegistry()
+        sink.merge_snapshot(source.snapshot())
+        assert sink.get("c_total").labels(kind="a").value == 5
+        child = dict(sink.get("h_seconds").children())[()]
+        assert child.counts == [1, 0]
+
+    def test_merge_replace_semantics_is_idempotent(self):
+        source = MetricsRegistry()
+        source.counter("c_total").inc(7)
+        sink = MetricsRegistry()
+        sink.merge_snapshot(source.snapshot())
+        sink.merge_snapshot(source.snapshot())  # re-send: no doubling
+        assert sink.get("c_total").value == 7
+
+    def test_merge_extra_labels_namespace_workers(self):
+        source = MetricsRegistry()
+        source.counter("c_total").inc(2)
+        sink = MetricsRegistry()
+        sink.merge_snapshot(
+            source.snapshot(), extra_labels={"worker": "w1"}
+        )
+        assert sink.get("c_total").labels(worker="w1").value == 2
+
+    def test_merge_skips_families_already_carrying_extra_label(self):
+        source = MetricsRegistry()
+        source.counter("seen_total", labels=("worker",)) \
+            .labels(worker="inner").inc(9)
+        source.counter("plain_total").inc(1)
+        sink = MetricsRegistry()
+        sink.merge_snapshot(
+            source.snapshot(), extra_labels={"worker": "w1"}
+        )
+        assert sink.get("seen_total") is None
+        assert sink.get("plain_total").labels(worker="w1").value == 1
+
+    def test_merge_rename_can_skip(self):
+        source = MetricsRegistry()
+        source.counter("keep_total").inc(1)
+        source.counter("drop_total").inc(1)
+        sink = MetricsRegistry()
+        sink.merge_snapshot(
+            source.snapshot(),
+            rename=lambda name: None if "drop" in name else name,
+        )
+        assert sink.get("keep_total") is not None
+        assert sink.get("drop_total") is None
+
+
+class TestFacade:
+    def test_disabled_helpers_record_nothing(self):
+        obs.inc("never_total")
+        obs.set_gauge("never", 1.0)
+        obs.observe("never_seconds", 0.1)
+        with obs.phase("never_phase"):
+            pass
+        assert obs.registry().families() == []
+        assert obs.phase_times() == {}
+
+    def test_phase_accumulates_seconds_and_calls(self):
+        obs.enable()
+        for _ in range(3):
+            with obs.phase("p"):
+                pass
+        times = obs.phase_times()
+        assert set(times) == {"p"}
+        assert times["p"] >= 0.0
+        calls = obs.registry().get("repro_phase_calls_total")
+        assert calls.labels(phase="p").value == 3
+
+    def test_fleet_merge_namespaces_and_skips_nested(self):
+        obs.enable()
+        worker_registry = MetricsRegistry()
+        worker_registry.counter("repro_worker_tasks_total").inc(4)
+        worker_registry.counter("repro_fleet_already").inc(1)
+        obs.merge_worker_snapshot("w1", worker_registry.snapshot())
+        fleet = obs.registry().get("repro_fleet_worker_tasks_total")
+        assert fleet.labels(worker="w1").value == 4
+        # Already-fleet families never nest into fleet_fleet_*.
+        assert obs.registry().get("repro_fleet_fleet_already") is None

@@ -1,0 +1,110 @@
+"""Tracer: span nesting, JSONL round-trip, facade wiring."""
+
+import json
+import threading
+
+from repro import obs
+from repro.obs.trace import NULL_CONTEXT, NULL_TRACER, Tracer
+
+
+def read_jsonl(path):
+    with open(path, encoding="utf-8") as fh:
+        return [json.loads(line) for line in fh if line.strip()]
+
+
+class TestTracer:
+    def test_span_records_round_trip(self, tmp_path):
+        tracer = Tracer(str(tmp_path))
+        with tracer.span("outer", target="int_adder"):
+            with tracer.span("inner"):
+                pass
+        tracer.event("milestone", n=3)
+        tracer.close()
+        records = read_jsonl(tracer.path)
+        # Spans are written on close: inner lands before outer.
+        assert [r["name"] for r in records] == \
+            ["inner", "outer", "milestone"]
+        inner, outer, milestone = records
+        assert inner["parent"] == outer["span"]
+        assert inner["depth"] == 1
+        assert outer["parent"] is None
+        assert outer["depth"] == 0
+        assert outer["target"] == "int_adder"
+        assert outer["dur_s"] >= inner["dur_s"] >= 0.0
+        assert milestone == {
+            "type": "event", "name": "milestone",
+            "ts": milestone["ts"], "n": 3,
+        }
+
+    def test_span_error_is_recorded(self, tmp_path):
+        tracer = Tracer(str(tmp_path))
+        try:
+            with tracer.span("boom"):
+                raise RuntimeError("x")
+        except RuntimeError:
+            pass
+        tracer.close()
+        (record,) = read_jsonl(tracer.path)
+        assert record["error"] == "RuntimeError"
+
+    def test_nesting_is_per_thread(self, tmp_path):
+        tracer = Tracer(str(tmp_path))
+        barrier = threading.Barrier(2)
+
+        def worker():
+            barrier.wait()
+            with tracer.span("threaded"):
+                pass
+
+        threads = [threading.Thread(target=worker) for _ in range(2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        tracer.close()
+        records = read_jsonl(tracer.path)
+        # Concurrent top-level spans must not parent each other.
+        assert all(r["parent"] is None for r in records)
+        assert all(r["depth"] == 0 for r in records)
+
+    def test_write_after_close_is_dropped(self, tmp_path):
+        tracer = Tracer(str(tmp_path))
+        tracer.close()
+        tracer.event("late")
+        assert read_jsonl(tracer.path) == []
+
+
+class TestNullTracer:
+    def test_null_tracer_is_free_and_shared(self):
+        context = NULL_TRACER.span("anything", k=1)
+        assert context is NULL_CONTEXT
+        with context:
+            pass
+        NULL_TRACER.event("nothing")
+        NULL_TRACER.close()
+
+
+class TestFacadeTracing:
+    def test_configure_trace_dir_opens_tracer(self, tmp_path):
+        obs.configure(enabled=True, trace_dir=str(tmp_path))
+        with obs.span("hello"):
+            pass
+        obs.event("point", n=1)
+        path = obs.tracer().path
+        obs.shutdown()
+        names = [r["name"] for r in read_jsonl(path)]
+        assert names == ["hello", "point"]
+
+    def test_shutdown_dumps_final_metrics_snapshot(self, tmp_path):
+        obs.configure(enabled=True, trace_dir=str(tmp_path))
+        obs.inc("repro_demo_total", 2.0)
+        obs.shutdown()
+        snapshots = list(tmp_path.glob("metrics-*.json"))
+        assert len(snapshots) == 1
+        snap = json.loads(snapshots[0].read_text())
+        names = [f["name"] for f in snap["families"]]
+        assert "repro_demo_total" in names
+
+    def test_disabled_span_is_shared_noop(self):
+        assert obs.span("x") is NULL_CONTEXT
+        assert obs.phase("x") is NULL_CONTEXT

@@ -7,7 +7,6 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.gatelevel.adder import build_ripple_adder
-from repro.gatelevel.netlist import StuckAt
 from repro.gatelevel.units import IntAdderUnit
 from repro.isa import decode_program, encode_program, x64
 from repro.microprobe import GenerationConfig, Synthesizer

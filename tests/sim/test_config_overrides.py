@@ -4,7 +4,6 @@ import pytest
 
 from repro.sim.config import (
     CacheConfig,
-    CoreConfig,
     DEFAULT_MACHINE,
     MachineConfig,
     MemoryMap,

@@ -1,6 +1,5 @@
 """Tests for the golden-run co-simulation entry point."""
 
-import pytest
 
 from repro.isa import Program, make, mem, reg
 from repro.sim import golden_run

@@ -1,8 +1,7 @@
 """Unit tests for the functional simulator and override machinery."""
 
-import pytest
 
-from repro.isa import Program, imm, make, mem, reg, x64
+from repro.isa import Program, make, mem, reg
 from repro.sim.functional import FunctionalSimulator
 from repro.sim.overrides import Overrides
 

@@ -1,14 +1,11 @@
 """Unit tests for the out-of-order timing model."""
 
-import pytest
 
-from repro.isa import FUClass, Program, imm, make, mem, reg, x64
+from repro.isa import FUClass, Program, imm, make, mem, reg
 from repro.sim.config import CoreConfig, MachineConfig
-from repro.sim.cosim import golden_run
 from repro.sim.functional import FunctionalSimulator
 from repro.sim.ooo import TimingModel
 
-from tests.conftest import build_mixed_program
 
 
 def _schedule(isa, instructions, machine=None, **kwargs):

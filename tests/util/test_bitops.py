@@ -1,6 +1,5 @@
 """Unit tests for bit-manipulation helpers."""
 
-import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 

@@ -1,6 +1,5 @@
 """Tests for the parallel map helper and table formatting."""
 
-import pytest
 
 from repro.util.parallel import map_parallel
 from repro.util.tables import format_table
