@@ -1,0 +1,122 @@
+"""Evaluation-cache benchmarks: the tentpole perf claim, measured.
+
+Two quantities back the "stop re-simulating work we already did"
+claim: a cache *hit* must be far cheaper than the co-simulation it
+replaces, and a full cached loop must finish faster than the same
+loop with the cache disabled.  The hit-vs-miss assertion is a CI
+gate; the artifacts land in ``benchmarks/artifacts/BENCH_*.json``.
+"""
+
+import time
+
+from repro.core.evalcache import EvaluationCache
+from repro.core.evaluator import Evaluator
+from repro.core.generator import Generator
+from repro.core.loop import HarpocratesLoop, LoopConfig
+from repro.core.targets import scaled_targets
+from repro.microprobe import GenerationConfig
+
+SCALES = (0.04, 0.012)  # bench-preset program/loop scales
+TARGET_KEY = "int_adder"
+
+
+def _spec():
+    return scaled_targets(*SCALES)[TARGET_KEY]
+
+
+def test_cache_hit_beats_simulation(benchmark, bench_artifact):
+    """One cache hit vs one cold evaluation of the same program."""
+    spec = _spec()
+    generator = Generator(spec.generation)
+    program = generator.initial_population(1, base_seed=11)[0]
+
+    # Cold path: every evaluate() sees an empty cache, so it pays the
+    # digest AND the co-simulation — the price a survivor used to pay
+    # every generation.
+    def miss():
+        evaluator = Evaluator(
+            spec.metric, spec.machine, cache=EvaluationCache()
+        )
+        return evaluator.evaluate([program])[0]
+
+    started = time.perf_counter()
+    cold = miss()
+    miss_seconds = time.perf_counter() - started
+    assert not cold.crashed
+
+    # Hot path: the cache already holds the result.
+    warm_cache = EvaluationCache()
+    warm = Evaluator(spec.metric, spec.machine, cache=warm_cache)
+    warm.evaluate([program])
+    assert warm_cache.misses == 1
+
+    hot = benchmark(lambda: warm.evaluate([program])[0])
+    hit_seconds = benchmark.stats["mean"]
+    assert warm_cache.hits > 0
+    assert (hot.name, hot.fitness, hot.total_cycles, hot.crashed) == (
+        cold.name, cold.fitness, cold.total_cycles, cold.crashed
+    )
+
+    speedup = miss_seconds / hit_seconds
+    print(f"\ncache hit: {hit_seconds * 1e6:,.0f}us vs "
+          f"miss {miss_seconds * 1e3:,.1f}ms ({speedup:,.0f}x)")
+    bench_artifact("eval_cache_hit", {
+        "hit_mean_seconds": hit_seconds,
+        "miss_seconds": miss_seconds,
+        "speedup": speedup,
+        "unit": "x over cold evaluation",
+    })
+    # The CI gate: serving from the cache must beat re-simulating.
+    assert hit_seconds < miss_seconds
+
+
+def test_cached_loop_beats_uncached(bench_artifact):
+    """End to end: same campaign, cache on vs off.
+
+    At the default elitism ratio the cache eliminates the keep/population
+    fraction of simulations per generation, so the cached campaign must
+    finish measurably faster — and produce identical results.
+    """
+    spec = _spec()
+    config = LoopConfig(
+        population=12, keep=4, offspring_per_parent=2,
+        iterations=4, seed=6,
+    )
+    generation = GenerationConfig(num_instructions=30, data_size=2048)
+
+    def run(cache):
+        loop = HarpocratesLoop(
+            Generator(generation),
+            Evaluator(spec.metric, spec.machine, cache=cache),
+            config=config,
+        )
+        started = time.perf_counter()
+        result = loop.run()
+        return time.perf_counter() - started, result
+
+    uncached_seconds, uncached = run(None)
+    cache = EvaluationCache()
+    cached_seconds, cached = run(cache)
+
+    # Determinism first: the speedup must not change the science.
+    assert [r.best_fitness for r in cached.history] == \
+           [r.best_fitness for r in uncached.history]
+    assert [e.name for e in cached.best] == \
+           [e.name for e in uncached.best]
+    assert cache.hits > 0
+
+    throughput_cached = config.iterations / cached_seconds
+    throughput_uncached = config.iterations / uncached_seconds
+    print(f"\nloop: cached {cached_seconds:.2f}s vs "
+          f"uncached {uncached_seconds:.2f}s "
+          f"({uncached_seconds / cached_seconds:.2f}x)")
+    bench_artifact("eval_cache_loop", {
+        "cached_seconds": cached_seconds,
+        "uncached_seconds": uncached_seconds,
+        "iterations": config.iterations,
+        "cache_hits": cache.hits,
+        "generations_per_second_cached": throughput_cached,
+        "generations_per_second_uncached": throughput_uncached,
+        "unit": "generations/s",
+    })
+    assert throughput_cached > throughput_uncached

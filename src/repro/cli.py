@@ -19,6 +19,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro.core.evalcache import DEFAULT_EVAL_CACHE_SIZE
 from repro.experiments.presets import DEFAULT, FULL, SMOKE
 
 _PRESETS = {"smoke": SMOKE, "default": DEFAULT, "full": FULL}
@@ -113,6 +114,9 @@ def _cmd_loop(args: argparse.Namespace) -> int:
                 args.checkpoint_keep if args.checkpoint_keep > 0 else None
             ),
             checkpoint_milestone_every=args.checkpoint_milestones,
+            eval_cache_size=(
+                None if args.no_eval_cache else args.eval_cache_size
+            ),
         )
     except CheckpointError as exc:
         print(f"checkpoint error: {exc}", file=sys.stderr)
@@ -128,6 +132,9 @@ def _cmd_loop(args: argparse.Namespace) -> int:
         # To stderr: timings vary run to run, and stdout must stay
         # byte-comparable between local and distributed campaigns.
         print(curve.render_phases(), file=sys.stderr)
+    latency = curve.render_latency()
+    if latency:
+        print(latency, file=sys.stderr)
     return 0
 
 
@@ -255,6 +262,18 @@ def build_parser() -> argparse.ArgumentParser:
     loop_parser.add_argument(
         "--max-retries", type=int, default=0,
         help="extra attempts for transiently failing evaluations",
+    )
+    loop_parser.add_argument(
+        "--eval-cache-size", type=int,
+        default=DEFAULT_EVAL_CACHE_SIZE, metavar="N",
+        help="bound on the content-addressed evaluation cache "
+             f"(default {DEFAULT_EVAL_CACHE_SIZE}); survivors carried "
+             "by elitism are served from it instead of re-simulating",
+    )
+    loop_parser.add_argument(
+        "--no-eval-cache", action="store_true",
+        help="disable the evaluation cache (every candidate "
+             "re-simulates; results are identical, just slower)",
     )
     loop_parser.add_argument(
         "--trace-dir", default=None, metavar="DIR",

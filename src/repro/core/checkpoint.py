@@ -41,6 +41,23 @@ CHECKPOINT_VERSION = 1
 #: File-name template for per-iteration checkpoints within a directory.
 CHECKPOINT_NAME = "checkpoint_{iteration:06d}.json"
 
+#: Sidecar file holding the serialized evaluation cache (see
+#: :mod:`repro.core.evalcache`).  Deliberately does *not* match the
+#: ``checkpoint_*.json`` pattern, so :func:`compact_checkpoints`
+#: rotation never deletes it.
+EVALCACHE_NAME = "evalcache.json"
+
+
+def evalcache_path(path: str) -> str:
+    """The evaluation-cache sidecar path for a checkpoint location.
+
+    ``path`` may be the checkpoint directory itself or any checkpoint
+    file inside it — either way the sidecar lives alongside the
+    per-iteration checkpoints."""
+    if os.path.isdir(path):
+        return os.path.join(path, EVALCACHE_NAME)
+    return os.path.join(os.path.dirname(path) or ".", EVALCACHE_NAME)
+
 
 # -- program records ---------------------------------------------------------
 

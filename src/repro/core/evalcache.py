@@ -1,0 +1,277 @@
+"""Content-addressed evaluation cache: never simulate the same work twice.
+
+The genetic loop re-evaluates every generation from scratch, yet
+elitism (``core/loop.py``) carries the ``keep`` survivors into the next
+population *unchanged* — at the paper's production config (population
+32, keep 8, §VI-B) a quarter of every generation after the first is a
+program whose co-simulation result is already known.  Co-simulation is
+where essentially all wall-clock goes (§VI-B1 runs thousands of
+generations on 96 threads), so the evaluator consults this cache before
+shipping anything to a simulator.
+
+Identity is *semantic*, not nominal: two programs digest equal when
+their instruction streams, wrapper initialization (``init_seed``,
+``data_size``), machine configuration, and grading metric all match —
+the cosmetic ``name`` (and provenance metadata) are explicitly
+excluded, so a survivor renamed by bookkeeping still hits.  Only
+deterministic outcomes are stored (healthy evaluations and
+architectural crashes); quarantines may be transient and always
+re-evaluate.
+
+The cache is a bounded LRU and serializes to a JSON sidecar next to
+the loop's checkpoints (see :data:`~repro.core.checkpoint.
+EVALCACHE_NAME`), so a resumed campaign stays warm.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from collections import OrderedDict
+from typing import Optional, Tuple
+
+from repro.isa.program import Program
+from repro.sim.config import MachineConfig
+
+#: Default LRU bound: comfortably holds the survivors of thousands of
+#: generations at paper scale (keep=16) while staying a few MB of
+#: digests even with pathological churn.
+DEFAULT_EVAL_CACHE_SIZE = 4096
+
+#: Bump when the sidecar schema changes incompatibly; stale sidecars
+#: are ignored (the campaign just re-simulates).
+EVALCACHE_VERSION = 1
+
+#: A cached outcome: ``(fitness, total_cycles, crashed)``.
+CachedResult = Tuple[float, int, bool]
+
+
+# -- digests -----------------------------------------------------------------
+
+
+def machine_fingerprint(machine: MachineConfig) -> str:
+    """Canonical JSON text of a machine configuration.
+
+    Built field by field (not ``repr``) so dict/set ordering can never
+    leak into the digest: functional-unit counts are sorted by class
+    name, the unpipelined set is sorted.
+    """
+    core = machine.core
+    payload = {
+        "memory": [
+            machine.memory.data_base,
+            machine.memory.data_size,
+            machine.memory.stack_base,
+            machine.memory.stack_size,
+        ],
+        "cache": [
+            machine.cache.size,
+            machine.cache.line_size,
+            machine.cache.associativity,
+            machine.cache.hit_latency,
+            machine.cache.miss_latency,
+        ],
+        "core": {
+            "widths": [
+                core.fetch_width,
+                core.rename_width,
+                core.issue_width,
+                core.commit_width,
+            ],
+            "queues": [
+                core.rob_size,
+                core.iq_size,
+                core.load_queue_size,
+                core.store_queue_size,
+            ],
+            "pregs": [core.num_int_pregs, core.num_fp_pregs],
+            "fu_counts": sorted(
+                (fu_class.value, count)
+                for fu_class, count in core.fu_counts.items()
+            ),
+            "unpipelined": sorted(
+                fu_class.value for fu_class in core.unpipelined
+            ),
+        },
+        "max_dynamic_instructions": machine.max_dynamic_instructions,
+    }
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def metric_identity(metric) -> str:
+    """Stable identity of a grading metric.
+
+    The standard metrics carry a unique ``name`` ("ace_irf",
+    "ibr_int_adder_0", ...); anything without one falls back to its
+    qualified type name, which is correct for stateless metrics.
+    """
+    name = getattr(metric, "name", None)
+    if name:
+        return str(name)
+    return f"{type(metric).__module__}.{type(metric).__qualname__}"
+
+
+def evaluation_context(metric, machine: MachineConfig) -> bytes:
+    """Digest prefix binding cached scores to one (metric, machine).
+
+    Computed once per evaluator, then mixed into every program digest —
+    a score cached for one target structure or machine geometry can
+    never be served for another.
+    """
+    hasher = hashlib.sha256()
+    hasher.update(metric_identity(metric).encode("utf-8"))
+    hasher.update(b"\x00")
+    hasher.update(machine_fingerprint(machine).encode("utf-8"))
+    return hasher.digest()
+
+
+def program_digest(program: Program, context: bytes) -> str:
+    """Hex digest of a program's semantic identity under ``context``.
+
+    Covers the instruction stream (definition names disambiguate
+    same-mnemonic operand variants, rendered operands pin the values)
+    plus the wrapper parameters that shape execution (``init_seed``,
+    ``data_size``).  ``name``, ``source``, and ``metadata`` are
+    cosmetic and excluded on purpose.
+    """
+    hasher = hashlib.sha256()
+    hasher.update(context)
+    hasher.update(
+        f"\x00{program.init_seed}\x00{program.data_size}\x00".encode()
+    )
+    for instruction in program.instructions:
+        hasher.update(instruction.definition.name.encode("utf-8"))
+        hasher.update(b"\x1f")
+        hasher.update(instruction.to_asm().encode("utf-8"))
+        hasher.update(b"\n")
+    return hasher.hexdigest()
+
+
+# -- the cache ---------------------------------------------------------------
+
+
+class EvaluationCache:
+    """Bounded LRU of digest → ``(fitness, total_cycles, crashed)``.
+
+    Stores outcomes, not programs: on a hit the evaluator rebuilds an
+    :class:`~repro.core.evaluator.EvaluatedProgram` around the queried
+    program object, so a cached record is indistinguishable from a
+    fresh evaluation (``attempts`` is normalized to 1 — retry counts
+    are an execution-environment artifact, not part of the result).
+
+    ``hits`` / ``misses`` / ``evictions`` count since construction (or
+    the last :meth:`clear`); the evaluator mirrors them into the obs
+    registry as ``repro_eval_cache_*`` series.
+    """
+
+    def __init__(self, size: int = DEFAULT_EVAL_CACHE_SIZE):
+        if size <= 0:
+            raise ValueError(f"cache size must be positive, got {size}")
+        self.size = int(size)
+        self._entries: "OrderedDict[str, CachedResult]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, digest: str) -> bool:
+        return digest in self._entries
+
+    def get(self, digest: str) -> Optional[CachedResult]:
+        """The cached outcome for ``digest`` (None on a miss);
+        refreshes LRU recency and tallies hit/miss."""
+        entry = self._entries.get(digest)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(digest)
+        self.hits += 1
+        return entry
+
+    def put(
+        self, digest: str, fitness: float, total_cycles: int, crashed: bool
+    ) -> None:
+        """Store one outcome, evicting the least recently used entries
+        beyond the bound."""
+        self._entries[digest] = (float(fitness), int(total_cycles),
+                                 bool(crashed))
+        self._entries.move_to_end(digest)
+        while len(self._entries) > self.size:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    # -- persistence (the checkpoint sidecar) ------------------------------
+
+    def save(self, path: str) -> str:
+        """Atomically serialize the cache to ``path`` (JSON).
+
+        Entries are written oldest → newest so a reload reproduces the
+        exact LRU order.  Same temp-file + ``os.replace`` dance as the
+        checkpoints: a reader never observes a torn sidecar.
+        """
+        payload = {
+            "version": EVALCACHE_VERSION,
+            "size": self.size,
+            "entries": [
+                [digest, fitness, total_cycles, crashed]
+                for digest, (fitness, total_cycles, crashed)
+                in self._entries.items()
+            ],
+        }
+        directory = os.path.dirname(path) or "."
+        os.makedirs(directory, exist_ok=True)
+        handle, temp_path = tempfile.mkstemp(
+            dir=directory, prefix=".evalcache_", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(handle, "w") as stream:
+                json.dump(payload, stream)
+            os.replace(temp_path, path)
+        except BaseException:
+            try:
+                os.unlink(temp_path)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def load(self, path: str) -> bool:
+        """Replace the contents from a sidecar file.
+
+        Best-effort by design — a missing, corrupt, or incompatible
+        sidecar returns False and leaves the cache empty (the campaign
+        just re-simulates).  Loaded entries respect this cache's own
+        bound (newest win), whatever size wrote the file.
+        """
+        try:
+            with open(path) as stream:
+                payload = json.load(stream)
+        except (OSError, ValueError):
+            return False
+        if not isinstance(payload, dict) \
+                or payload.get("version") != EVALCACHE_VERSION:
+            return False
+        entries = payload.get("entries")
+        if not isinstance(entries, list):
+            return False
+        self._entries.clear()
+        try:
+            for record in entries[-self.size:]:
+                digest, fitness, total_cycles, crashed = record
+                self._entries[str(digest)] = (
+                    float(fitness), int(total_cycles), bool(crashed)
+                )
+        except (TypeError, ValueError):
+            self._entries.clear()
+            return False
+        return True

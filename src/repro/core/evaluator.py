@@ -20,10 +20,16 @@ record so degradation stays observable.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro import obs
+from repro.core.evalcache import (
+    EvaluationCache,
+    evaluation_context,
+    program_digest,
+)
 from repro.coverage.metrics import CoverageMetric
 from repro.isa.program import Program
 from repro.sim.config import DEFAULT_MACHINE, MachineConfig
@@ -77,6 +83,13 @@ class EvalHealth:
     """
 
     evaluations: int = 0
+    #: Of those, candidates served from the evaluation cache (no
+    #: simulation ran).  In-memory telemetry only: deliberately absent
+    #: from :meth:`as_dict` and :meth:`summary`, so checkpoints and the
+    #: stdout digest stay byte-identical whether the cache is on or
+    #: off — operators read the saved work off the
+    #: ``repro_eval_cache_*`` obs series instead.
+    cache_hits: int = 0
     retries: int = 0
     timeouts: int = 0
     worker_crashes: int = 0
@@ -108,6 +121,7 @@ class EvalHealth:
         quarantine order (the distributed coordinator relies on this).
         """
         self.evaluations += other.evaluations
+        self.cache_hits += other.cache_hits
         self.retries += other.retries
         self.timeouts += other.timeouts
         self.worker_crashes += other.worker_crashes
@@ -166,6 +180,8 @@ class EvalHealth:
             f"retries={self.retries} quarantined={len(self.quarantined)} "
             f"respawns={self.pool_respawns}"
         )
+        if self.fallback_inline:
+            text += f" fallback_inline={self.fallback_inline}"
         if self.workers_lost or self.redispatched or self.stolen:
             text += (
                 f" workers_lost={self.workers_lost} "
@@ -214,6 +230,13 @@ class Evaluator:
     co-simulation; ``max_retries`` grants extra attempts to transiently
     failing evaluations.  Both are inert in the fast in-process path
     used by small runs (``workers <= 1`` and no timeout).
+
+    ``cache`` (an :class:`~repro.core.evalcache.EvaluationCache`)
+    enables content-addressed result reuse: every :meth:`evaluate`
+    consults it first and only misses reach a simulator.  Cache hits
+    still count into ``health.evaluations`` (the "candidates graded"
+    meaning is unchanged) and additionally into ``health.cache_hits``,
+    so cached and uncached runs report identical health digests.
     """
 
     #: The picklable per-candidate worker.  Subclasses (e.g. fault-
@@ -229,13 +252,28 @@ class Evaluator:
         workers: int = 1,
         eval_timeout: Optional[float] = None,
         max_retries: int = 0,
+        cache: Optional[EvaluationCache] = None,
     ):
         self.metric = metric
         self.machine = machine
         self.workers = workers
         self.eval_timeout = eval_timeout
         self.max_retries = max_retries
+        self.cache = cache
+        self._cache_context: Optional[bytes] = None
         self._health = EvalHealth()
+        # One ResilientPool per evaluator lifetime: worker processes
+        # spawn once per campaign, not once per generation (respawn-on-
+        # breakage still applies inside the pool).
+        self._pool: Optional[ResilientPool] = None
+        self._pool_respawns_seen = 0
+
+    def close(self) -> None:
+        """Shut down the persistent worker pool (idempotent)."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+            self._pool_respawns_seen = 0
 
     # -- health ------------------------------------------------------------
 
@@ -260,7 +298,86 @@ class Evaluator:
         """Grade every program; result order matches input order.
 
         Never raises for a candidate failure: misbehaving programs come
-        back quarantined with :data:`QUARANTINE_FITNESS`."""
+        back quarantined with :data:`QUARANTINE_FITNESS`.
+
+        With a cache attached, known programs are served without
+        simulating and only the misses are dispatched (inline, to the
+        local pool, or across the fleet — whichever backend
+        :meth:`_evaluate_uncached` provides); results scatter back into
+        input order.  A hit reproduces the fresh record exactly, except
+        that ``attempts`` is normalized to 1."""
+        programs = list(programs)
+        if self.cache is None or not programs:
+            return self._evaluate_uncached(programs)
+        context = self._context()
+        digests = [
+            program_digest(program, context) for program in programs
+        ]
+        results: List[Optional[EvaluatedProgram]] = [None] * len(programs)
+        miss_indices: List[int] = []
+        for index, digest in enumerate(digests):
+            hit = self.cache.get(digest)
+            if hit is None:
+                miss_indices.append(index)
+                continue
+            fitness, total_cycles, crashed = hit
+            results[index] = EvaluatedProgram(
+                program=programs[index],
+                fitness=fitness,
+                total_cycles=total_cycles,
+                crashed=crashed,
+            )
+        hits = len(programs) - len(miss_indices)
+        if hits:
+            self._health.evaluations += hits
+            self._health.cache_hits += hits
+            obs.inc(
+                "repro_evaluations_total",
+                hits,
+                "Candidate evaluations requested",
+            )
+            obs.inc(
+                "repro_eval_cache_hits_total",
+                hits,
+                "Evaluations served from the result cache",
+            )
+        if miss_indices:
+            obs.inc(
+                "repro_eval_cache_misses_total",
+                len(miss_indices),
+                "Evaluations that required a simulation",
+            )
+            missed = self._evaluate_uncached(
+                [programs[index] for index in miss_indices]
+            )
+            for spot, evaluated in zip(miss_indices, missed):
+                results[spot] = evaluated
+                # Only deterministic outcomes are worth remembering:
+                # quarantines (timeouts, crashes of the *worker*, ...)
+                # may be transient and must re-evaluate next time.
+                if evaluated.error_kind is None:
+                    self.cache.put(
+                        digests[spot],
+                        evaluated.fitness,
+                        evaluated.total_cycles,
+                        evaluated.crashed,
+                    )
+        if obs.enabled():
+            obs.set_gauge(
+                "repro_eval_cache_size",
+                float(len(self.cache)),
+                "Entries currently held by the evaluation cache",
+            )
+        return [entry for entry in results if entry is not None]
+
+    def _evaluate_uncached(
+        self, programs: Sequence[Program]
+    ) -> List[EvaluatedProgram]:
+        """The simulation backend: grade every program, no cache.
+
+        Subclasses that replace the execution substrate (e.g. the
+        distributed evaluator) override this, keeping the cache lookup
+        in :meth:`evaluate` common to every backend."""
         jobs = self._jobs(programs)
         self._health.evaluations += len(jobs)
         obs.inc(
@@ -270,13 +387,11 @@ class Evaluator:
         )
         if self.workers <= 1 and self.eval_timeout is None:
             return [self._evaluate_inline(job) for job in jobs]
-        pool = ResilientPool(
-            workers=self.workers,
-            timeout=self.eval_timeout,
-            max_retries=self.max_retries,
-        )
+        pool = self._ensure_pool()
         outcomes = pool.map(self.worker_fn, jobs)
-        self._health.pool_respawns += pool.respawns
+        self._health.pool_respawns += pool.respawns - \
+            self._pool_respawns_seen
+        self._pool_respawns_seen = pool.respawns
         return [
             self._from_outcome(outcome, programs[outcome.index])
             for outcome in outcomes
@@ -292,6 +407,25 @@ class Evaluator:
 
     # -- internals ---------------------------------------------------------
 
+    def _context(self) -> bytes:
+        """The digest prefix for this (metric, machine), computed once."""
+        if self._cache_context is None:
+            self._cache_context = evaluation_context(
+                self.metric, self.machine
+            )
+        return self._cache_context
+
+    def _ensure_pool(self) -> ResilientPool:
+        """The campaign-lifetime pool, spawned on first parallel use."""
+        if self._pool is None:
+            self._pool = ResilientPool(
+                workers=self.workers,
+                timeout=self.eval_timeout,
+                max_retries=self.max_retries,
+            )
+            self._pool_respawns_seen = 0
+        return self._pool
+
     def _jobs(self, programs: Sequence[Program]) -> List[tuple]:
         """One picklable argument tuple per candidate; the first
         element must be the program (used for quarantine records)."""
@@ -301,6 +435,7 @@ class Evaluator:
 
     def _evaluate_inline(self, job) -> EvaluatedProgram:
         program = job[0]
+        started = time.perf_counter()
         try:
             return self.worker_fn(job)
         except Exception as exc:
@@ -310,6 +445,13 @@ class Evaluator:
                 attempts=1,
                 detail=f"{type(exc).__name__}: {exc}",
             )
+        finally:
+            if obs.enabled():
+                obs.observe(
+                    "repro_eval_seconds",
+                    time.perf_counter() - started,
+                    "Per-candidate evaluation wall-clock",
+                )
 
     def _from_outcome(
         self, outcome: TaskOutcome, program: Program

@@ -27,6 +27,7 @@ from repro import obs
 from repro.core.checkpoint import (
     LoopCheckpoint,
     compact_checkpoints,
+    evalcache_path,
     decode_evaluated,
     decode_program,
     decode_rng_state,
@@ -253,6 +254,11 @@ class HarpocratesLoop:
             converged_at=result.converged_at,
         )
         checkpoint.save(directory)
+        # Persist the evaluation cache alongside (never rotated away),
+        # so a resumed campaign skips the survivors it already graded.
+        cache = getattr(self.evaluator, "cache", None)
+        if cache is not None:
+            cache.save(evalcache_path(directory))
 
     def _restore(
         self, resume_from: str, rng: random.Random, result: LoopResult
@@ -341,6 +347,11 @@ class HarpocratesLoop:
         if resume_from is not None:
             population, start_iteration, best_so_far, stale = \
                 self._restore(resume_from, rng, result)
+            # Warm the evaluation cache from the checkpoint sidecar
+            # (best-effort: a missing/stale sidecar just re-simulates).
+            cache = getattr(self.evaluator, "cache", None)
+            if cache is not None:
+                cache.load(evalcache_path(resume_from))
             if result.converged_at is not None:
                 # The checkpointed campaign already converged; there is
                 # nothing left to run.

@@ -18,6 +18,7 @@ import time
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence, Tuple
 
+from repro.core.evalcache import DEFAULT_EVAL_CACHE_SIZE, EvaluationCache
 from repro.core.evaluator import Evaluator
 from repro.core.generator import Generator
 from repro.core.loop import HarpocratesLoop, LoopConfig, LoopResult
@@ -64,6 +65,10 @@ class Manager:
     no worker is reachable.  The fleet rebuilds the target from the
     registry, so ``dist_scales`` must carry the ``(program_scale,
     loop_scale)`` pair the target was built with.
+
+    ``eval_cache_size`` bounds the content-addressed evaluation cache
+    consulted before any simulation (elitism survivors hit it every
+    generation); ``None`` disables caching entirely.
     """
 
     def __init__(
@@ -74,9 +79,14 @@ class Manager:
         max_retries: int = 0,
         worker_endpoints: Optional[Sequence[Tuple[str, int]]] = None,
         dist_scales: Optional[Tuple[float, float]] = None,
+        eval_cache_size: Optional[int] = DEFAULT_EVAL_CACHE_SIZE,
     ):
         self.target = target
         self.generator = Generator(target.generation)
+        cache = (
+            EvaluationCache(eval_cache_size)
+            if eval_cache_size is not None else None
+        )
         if worker_endpoints:
             # Imported lazily: repro.dist imports this package.
             from repro.dist.evaluator import DistributedEvaluator
@@ -93,6 +103,7 @@ class Manager:
                 workers=workers,
                 eval_timeout=eval_timeout,
                 max_retries=max_retries,
+                cache=cache,
                 endpoints=worker_endpoints,
                 target_key=target.key,
                 program_scale=dist_scales[0],
@@ -105,6 +116,7 @@ class Manager:
                 workers=workers,
                 eval_timeout=eval_timeout,
                 max_retries=max_retries,
+                cache=cache,
             )
         self.mutator: Mutator = InstructionReplacementMutator(
             self.generator.arch, pool_names=target.pool_names

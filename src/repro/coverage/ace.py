@@ -70,15 +70,21 @@ def _transitive_liveness(
         if record.mem_write is not None:
             live[index] = True
             continue
-        for version in by_writer.get(index, []):
+        versions = by_writer.get(index)
+        if versions is None:
+            continue
+        count = len(records)
+        for version in versions:
             if version.end_read:
                 live[index] = True
                 break
-            if any(
-                reader >= 0 and reader < len(records) and live[reader]
-                for reader, _cycle, _width in version.data_reads
-            ):
-                live[index] = True
+            # Explicit loop instead of any(<genexpr>): no generator
+            # frame per version on this O(versions × reads) hot path.
+            for reader, _cycle, _width in version.data_reads:
+                if 0 <= reader < count and live[reader]:
+                    live[index] = True
+                    break
+            if live[index]:
                 break
     return live
 
@@ -107,22 +113,30 @@ def ace_register_file(
     """
     live = _transitive_liveness(records, schedule) \
         if records is not None else None
+    live_count = len(live) if live is not None else 0
     ace_bit_cycles = 0
     for version in schedule.int_versions:
-        live_reads = [
-            (cycle, width)
-            for reader, cycle, width in version.data_reads
-            if reader < 0           # the wrapper's end-of-program dump
-            or live is None
-            or (reader < len(live) and live[reader])
-        ]
-        if not live_reads:
+        # Single pass over the reads (instead of filtering into a list
+        # and taking two max() passes): track the last live read cycle
+        # and the widest live consumption — a value read only through
+        # 32-bit accesses has un-ACE upper bits.
+        last_cycle = 0
+        widest = 0
+        found = False
+        for reader, cycle, width in version.data_reads:
+            if reader >= 0 and live is not None and (
+                reader >= live_count or not live[reader]
+            ):
+                continue            # reader < 0: the wrapper's dump
+            found = True
+            if cycle > last_cycle:
+                last_cycle = cycle
+            if width > widest:
+                widest = width
+        if not found:
             continue
-        window = max(cycle for cycle, _w in live_reads) \
-            - version.ready_cycle
-        # Bits exposed = the widest live consumption: a value read only
-        # through 32-bit accesses has un-ACE upper bits.
-        exposed_bits = min(max(width for _c, width in live_reads), 64)
+        window = last_cycle - version.ready_cycle
+        exposed_bits = min(widest, 64)
         ace_bit_cycles += max(0, window) * exposed_bits
     total = (
         schedule.machine.core.num_int_pregs
@@ -148,8 +162,10 @@ def ace_l1d(schedule: Schedule) -> AceReport:
     config = schedule.machine.cache
     layout = schedule.machine.memory
     line_words = config.line_size // WORD_BYTES
-    # Per (set, way): the current residency's per-word interval state.
-    open_lines: Dict[Tuple[int, int], List[Tuple[int, int]]] = {}
+    # Per (set, way): the current residency's per-word last-touch cycle
+    # (plain ints — an earlier revision threaded a dead accumulator
+    # through here as tuples, pure churn on this hot path).
+    open_lines: Dict[Tuple[int, int], List[int]] = {}
     line_bases: Dict[Tuple[int, int], int] = {}
     ace_cycles = 0
 
@@ -160,12 +176,12 @@ def ace_l1d(schedule: Schedule) -> AceReport:
             return 0
         if not counts_as_read:
             return 0
-        return sum(max(0, cycle - prev) for prev, _acc in state)
+        return sum(max(0, cycle - prev) for prev in state)
 
     for event in schedule.cache_events:
         key = (event.set_index, event.way)
         if event.kind == "fill":
-            open_lines[key] = [(event.cycle, 0) for _ in range(line_words)]
+            open_lines[key] = [event.cycle] * line_words
             line_bases[key] = event.address
         elif event.kind in ("evict", "flush"):
             # Dirty writebacks are observed only when the data belongs
@@ -179,7 +195,7 @@ def ace_l1d(schedule: Schedule) -> AceReport:
             if state is None:
                 # Access to a line we never saw filled (pre-warmed state);
                 # open an implicit residency starting now.
-                state = [(event.cycle, 0) for _ in range(line_words)]
+                state = [event.cycle] * line_words
                 open_lines[key] = state
                 line_bases[key] = event.address - (
                     event.address % schedule.machine.cache.line_size
@@ -187,10 +203,9 @@ def ace_l1d(schedule: Schedule) -> AceReport:
             base = line_bases[key]
             for word in _word_span(event.address, event.size, base):
                 if 0 <= word < line_words:
-                    prev, acc = state[word]
                     if event.kind == "load":
-                        ace_cycles += max(0, event.cycle - prev)
-                    state[word] = (event.cycle, acc)
+                        ace_cycles += max(0, event.cycle - state[word])
+                    state[word] = event.cycle
     total = config.size * 8 * schedule.total_cycles
     return AceReport(
         structure="l1d_cache",

@@ -20,6 +20,11 @@ costs its in-flight work once, never the campaign.
 
 Results are reassembled in submission order, so a distributed
 generation ranks identically to a local one with the same seed.
+
+With an evaluation cache attached to the owning
+:class:`~repro.dist.evaluator.DistributedEvaluator`, the lookup runs
+coordinator-side before dispatch: only cache *misses* ever reach this
+module, so cached candidates cost zero network and zero worker time.
 """
 
 from __future__ import annotations

@@ -13,7 +13,10 @@ it by config and every generation is sharded across the fleet by the
    like a single-host run.
 
 Every path preserves submission order, so distributed and local runs
-rank identically for the same seed.
+rank identically for the same seed.  When an
+:class:`~repro.core.evalcache.EvaluationCache` is attached, lookups
+happen *coordinator-side* (in the inherited ``evaluate``) before any
+sharding — cached candidates never cross the wire.
 """
 
 from __future__ import annotations
@@ -23,6 +26,7 @@ from typing import List, Optional, Sequence, Tuple
 
 from repro import obs
 from repro.core.checkpoint import encode_program
+from repro.core.evalcache import EvaluationCache
 from repro.core.evaluator import EvaluatedProgram, Evaluator
 from repro.coverage.metrics import CoverageMetric
 from repro.dist.coordinator import Coordinator
@@ -50,6 +54,7 @@ class DistributedEvaluator(Evaluator):
         workers: int = 1,
         eval_timeout: Optional[float] = None,
         max_retries: int = 0,
+        cache: Optional[EvaluationCache] = None,
         *,
         endpoints: Sequence[Tuple[str, int]],
         target_key: str,
@@ -68,6 +73,7 @@ class DistributedEvaluator(Evaluator):
             workers=workers,
             eval_timeout=eval_timeout,
             max_retries=max_retries,
+            cache=cache,
         )
         self.coordinator = Coordinator(
             endpoints,
@@ -85,10 +91,15 @@ class DistributedEvaluator(Evaluator):
         )
         self._warned_local = False
 
-    def evaluate(
+    def _evaluate_uncached(
         self, programs: Sequence[Program]
     ) -> List[EvaluatedProgram]:
-        """Shard across the fleet; fall back locally as needed."""
+        """Shard across the fleet; fall back locally as needed.
+
+        This is the *backend* under the inherited cache-aware
+        :meth:`~repro.core.evaluator.Evaluator.evaluate`: with a cache
+        attached, the coordinator-side lookup has already filtered out
+        known programs, so cached candidates never cross the wire."""
         programs = list(programs)
         if not programs:
             return []
@@ -102,7 +113,7 @@ class DistributedEvaluator(Evaluator):
                     "locally (will keep retrying the fleet)"
                 )
                 self._warned_local = True
-            return super().evaluate(programs)
+            return super()._evaluate_uncached(programs)
         self._warned_local = False
         results, delta = outcome
         self._health.merge(delta)
@@ -120,7 +131,8 @@ class DistributedEvaluator(Evaluator):
             # Whatever the fleet could not finish runs on the local
             # resilient pool with full timeout/retry/quarantine
             # semantics (this also updates local health counters).
-            leftovers = super().evaluate(
+            # These are already cache misses, so bypass the lookup.
+            leftovers = super()._evaluate_uncached(
                 [programs[index] for index in leftover_indices]
             )
         by_index = dict(zip(leftover_indices, leftovers))
@@ -142,3 +154,4 @@ class DistributedEvaluator(Evaluator):
     def close(self) -> None:
         """Release the fleet connections (sends orderly shutdowns)."""
         self.coordinator.close()
+        super().close()

@@ -17,9 +17,11 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro import obs
+from repro.core.evalcache import DEFAULT_EVAL_CACHE_SIZE
 from repro.core.evaluator import EvalHealth
 from repro.core.loop import LoopResult
 from repro.core.manager import Manager
+from repro.obs.metrics import HistogramSnapshot
 from repro.core.targets import TargetSpec, scaled_targets
 from repro.experiments.presets import DEFAULT, ExperimentScale
 from repro.sim.cosim import golden_run
@@ -51,6 +53,9 @@ class ConvergenceCurve:
     #: Wall-clock seconds per loop phase for this run, sourced from
     #: the observability registry (empty unless obs was enabled).
     phase_times: Dict[str, float] = field(default_factory=dict)
+    #: Per-candidate evaluation-latency distribution for this run
+    #: (the ``repro_eval_seconds`` delta; None unless obs was enabled).
+    eval_latency: Optional[HistogramSnapshot] = None
 
     @property
     def final_coverage(self) -> float:
@@ -106,6 +111,38 @@ class ConvergenceCurve:
             title=f"Fig 10 — {self.title} phase-time breakdown",
         )
 
+    def render_latency(self) -> str:
+        """Evaluation-latency percentile table (empty without data)."""
+        return render_latency_table(
+            self.eval_latency,
+            title=f"Fig 10 — {self.title} evaluation latency",
+        )
+
+
+def render_latency_table(
+    latency: Optional[HistogramSnapshot], title: str
+) -> str:
+    """Render per-candidate evaluation-latency percentiles.
+
+    Percentiles are interpolated from the fixed ``repro_eval_seconds``
+    buckets (Prometheus ``histogram_quantile`` semantics), reported in
+    milliseconds.  Empty string when there is no data.
+    """
+    if latency is None or latency.count == 0:
+        return ""
+    row = [
+        latency.count,
+        f"{latency.mean * 1000.0:.2f}",
+        f"{latency.quantile(0.5) * 1000.0:.2f}",
+        f"{latency.quantile(0.9) * 1000.0:.2f}",
+        f"{latency.quantile(0.99) * 1000.0:.2f}",
+    ]
+    return format_table(
+        ["evaluations", "mean_ms", "p50_ms", "p90_ms", "p99_ms"],
+        [row],
+        title=title,
+    )
+
 
 def render_phase_table(
     phase_times: Dict[str, float], title: str
@@ -138,6 +175,7 @@ def run_target(
     worker_endpoints: Optional[Sequence[Tuple[str, int]]] = None,
     checkpoint_keep: Optional[int] = None,
     checkpoint_milestone_every: int = 0,
+    eval_cache_size: Optional[int] = DEFAULT_EVAL_CACHE_SIZE,
 ) -> ConvergenceCurve:
     """Run the loop for one target, sampling detection along the way.
 
@@ -148,6 +186,7 @@ def run_target(
     ``checkpoint_keep`` rotates old checkpoints.  ``worker_endpoints``
     shards every generation across a ``repro-worker`` fleet (results
     are deterministic, so the curve matches the single-host run).
+    ``eval_cache_size`` bounds the evaluation cache (None disables it).
     """
     manager = Manager(
         target,
@@ -156,10 +195,12 @@ def run_target(
         max_retries=max_retries,
         worker_endpoints=worker_endpoints,
         dist_scales=(scale.program_scale, scale.loop_scale),
+        eval_cache_size=eval_cache_size,
     )
     curve = ConvergenceCurve(target=target.key, title=target.title)
     sample_every = max(scale.detection_sample_every, 1)
     phases_before = obs.phase_times()
+    latency_before = obs.histogram_snapshot("repro_eval_seconds")
 
     def on_iteration(stats, survivors):
         detection = None
@@ -197,6 +238,12 @@ def run_target(
             for name, seconds in obs.phase_times().items()
             if seconds - phases_before.get(name, 0.0) > 0.0
         }
+        latency_after = obs.histogram_snapshot("repro_eval_seconds")
+        if latency_after is not None:
+            curve.eval_latency = (
+                latency_after.delta(latency_before)
+                if latency_before is not None else latency_after
+            )
     if not result.best:
         return curve
     best = result.best_program

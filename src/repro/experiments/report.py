@@ -63,6 +63,27 @@ def campaign_phases(curves) -> str:
     )
 
 
+def campaign_latency(curves) -> str:
+    """Evaluation-latency percentiles pooled across the Fig 10 runs.
+
+    Merges each curve's ``repro_eval_seconds`` delta into one
+    campaign-wide distribution (empty string without data).  Printed to
+    stderr only: latencies vary run to run, and the report's stdout
+    must stay byte-comparable across cache/distribution settings.
+    """
+    merged = None
+    for curve in curves.values():
+        if curve.eval_latency is None:
+            continue
+        merged = (
+            curve.eval_latency if merged is None
+            else merged.merge(curve.eval_latency)
+        )
+    return fig10.render_latency_table(
+        merged, title="Evaluation latency (all Fig 10 runs)"
+    )
+
+
 def run_all(
     scale: Optional[ExperimentScale] = None,
     stream=None,
@@ -102,6 +123,11 @@ def run_all(
     phases = campaign_phases(curves)
     if phases:
         emit(phases)
+    latency = campaign_latency(curves)
+    if latency:
+        # stderr, not the report stream: latencies vary run to run and
+        # would break the report's byte-stability.
+        print(latency, file=sys.stderr)
 
     comparison = fig11.run(
         scale,

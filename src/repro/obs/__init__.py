@@ -44,6 +44,8 @@ from typing import Dict, Optional, Sequence
 
 from repro.obs.metrics import (  # noqa: F401  (re-exported API)
     DEFAULT_BUCKETS,
+    KIND_HISTOGRAM,
+    HistogramSnapshot,
     MetricFamily,
     MetricsRegistry,
 )
@@ -262,6 +264,23 @@ def phase(name: str, trace: bool = True):
     if not _state.enabled:
         return NULL_CONTEXT
     return _PhaseTimer(name, trace)
+
+
+def histogram_snapshot(name: str) -> Optional[HistogramSnapshot]:
+    """An immutable copy of the label-less histogram ``name``.
+
+    None when the family does not exist, is not a histogram, or has no
+    label-less child yet.  The experiment harness captures one before
+    and one after a loop and takes the :meth:`~repro.obs.metrics.
+    HistogramSnapshot.delta` to isolate that loop's latencies.
+    """
+    family = _state.registry.get(name)
+    if family is None or family.kind != KIND_HISTOGRAM:
+        return None
+    for values, child in family.children():
+        if values == ():
+            return HistogramSnapshot.of(child)
+    return None
 
 
 def phase_times() -> Dict[str, float]:

@@ -169,6 +169,98 @@ class Histogram:
             self.count = int(count)
 
 
+class HistogramSnapshot:
+    """An immutable copy of one histogram child, with quantile math.
+
+    Captured via :func:`repro.obs.histogram_snapshot` (or built
+    directly from a :class:`Histogram`), snapshots support the delta/merge/quantile
+    operations the experiment tables need: ``delta`` isolates one
+    loop's observations from a shared registry, ``merge`` pools
+    per-target latencies into a campaign-wide distribution, and
+    ``quantile`` interpolates within fixed buckets exactly like
+    Prometheus's ``histogram_quantile``.
+    """
+
+    __slots__ = ("bounds", "counts", "sum", "count")
+
+    def __init__(
+        self,
+        bounds: Sequence[float],
+        counts: Sequence[int],
+        total: float,
+        count: int,
+    ):
+        self.bounds = tuple(float(b) for b in bounds)
+        self.counts = tuple(int(c) for c in counts)
+        if len(self.counts) != len(self.bounds) + 1:
+            raise ValueError(
+                f"expected {len(self.bounds) + 1} bucket counts, "
+                f"got {len(self.counts)}"
+            )
+        self.sum = float(total)
+        self.count = int(count)
+
+    @classmethod
+    def of(cls, histogram: Histogram) -> "HistogramSnapshot":
+        return cls(
+            histogram.bounds,
+            list(histogram.counts),
+            histogram.sum,
+            histogram.count,
+        )
+
+    def delta(self, earlier: "HistogramSnapshot") -> "HistogramSnapshot":
+        """Observations recorded after ``earlier`` was captured."""
+        if self.bounds != earlier.bounds:
+            raise ValueError("cannot delta histograms with different buckets")
+        return HistogramSnapshot(
+            self.bounds,
+            [a - b for a, b in zip(self.counts, earlier.counts)],
+            self.sum - earlier.sum,
+            self.count - earlier.count,
+        )
+
+    def merge(self, other: "HistogramSnapshot") -> "HistogramSnapshot":
+        """The pooled distribution of both snapshots."""
+        if self.bounds != other.bounds:
+            raise ValueError("cannot merge histograms with different buckets")
+        return HistogramSnapshot(
+            self.bounds,
+            [a + b for a, b in zip(self.counts, other.counts)],
+            self.sum + other.sum,
+            self.count + other.count,
+        )
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """The ``q``-quantile, linearly interpolated within its bucket
+        (Prometheus ``histogram_quantile`` semantics).
+
+        Values landing in the implicit ``+Inf`` bucket clamp to the
+        highest finite bound; an empty snapshot returns 0.0.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        cumulative = 0
+        for index, count in enumerate(self.counts):
+            cumulative += count
+            if cumulative >= rank and count > 0:
+                if index >= len(self.bounds):
+                    # +Inf bucket: no upper bound to interpolate toward.
+                    return self.bounds[-1] if self.bounds else 0.0
+                upper = self.bounds[index]
+                lower = self.bounds[index - 1] if index > 0 else 0.0
+                position = (rank - (cumulative - count)) / count
+                return lower + (upper - lower) * position
+        return self.bounds[-1] if self.bounds else 0.0
+
+
 class MetricFamily:
     """All children of one metric name.
 

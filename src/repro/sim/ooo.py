@@ -44,10 +44,16 @@ class _SlotTracker:
         self._used: Dict[int, int] = {}
 
     def take(self, earliest: int) -> int:
+        # Hot path: one dict probe per cycle scanned (the naive form
+        # pays two lookups per probed cycle plus two more on update).
+        used = self._used
+        width = self.width
         cycle = earliest
-        while self._used.get(cycle, 0) >= self.width:
+        count = used.get(cycle, 0)
+        while count >= width:
             cycle += 1
-        self._used[cycle] = self._used.get(cycle, 0) + 1
+            count = used.get(cycle, 0)
+        used[cycle] = count + 1
         return cycle
 
 
@@ -68,10 +74,18 @@ class _FUPool:
         instances = self._next_free[fu_class]
         best_instance = 0
         best_cycle = max(earliest, instances[0])
-        for index, next_free in enumerate(instances):
-            candidate = max(earliest, next_free)
-            if candidate < best_cycle:
-                best_instance, best_cycle = index, candidate
+        # Hot path: instance 0 already being idle at ``earliest`` is the
+        # common case and no later instance can beat it (ties resolve to
+        # the lowest index); otherwise scan with an early exit on the
+        # first idle instance, which is likewise unbeatable.
+        if len(instances) > 1 and best_cycle > earliest:
+            for index in range(1, len(instances)):
+                next_free = instances[index]
+                if next_free <= earliest:
+                    best_instance, best_cycle = index, earliest
+                    break
+                if next_free < best_cycle:
+                    best_instance, best_cycle = index, next_free
         occupancy = latency if fu_class in self._unpipelined else 1
         instances[best_instance] = best_cycle + occupancy
         return best_instance, best_cycle

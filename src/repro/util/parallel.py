@@ -127,6 +127,13 @@ class _Task:
 class ResilientPool:
     """A process pool that survives hangs, crashes, and flaky tasks.
 
+    Worker processes are **persistent**: the first :meth:`map` call
+    spawns them and later calls reuse them, so a campaign pays process
+    startup once rather than once per generation.  Breakage (timeout
+    kills, worker crashes) still tears the pool down and respawns it,
+    with the respawn budget applied per :meth:`map` call.  Call
+    :meth:`close` when done.
+
     Parameters
     ----------
     workers:
@@ -178,6 +185,22 @@ class ResilientPool:
         self.respawns = 0
         #: True once the pool fell back to in-process execution.
         self.degraded = False
+        # The persistent executor: worker processes survive across
+        # map() calls, so a campaign pays process spawn once, not once
+        # per generation.  Torn down by breakage (then respawned) or
+        # by close().
+        self._executor: Optional[ProcessPoolExecutor] = None
+        self._executor_workers = 0
+
+    def close(self) -> None:
+        """Shut the persistent worker processes down (idempotent).
+
+        A pool remains usable after close(): the next :meth:`map` call
+        simply spawns fresh workers."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=False, cancel_futures=True)
+            self._executor = None
+            self._executor_workers = 0
 
     # -- public API --------------------------------------------------------
 
@@ -214,13 +237,20 @@ class ResilientPool:
         workers: int,
     ) -> None:
         pending: Deque[_Task] = deque(tasks)
-        executor: Optional[ProcessPoolExecutor] = None
+        executor: Optional[ProcessPoolExecutor] = self._lease_executor(
+            workers
+        )
         inflight: Dict[Any, _Task] = {}
         order: Deque[Any] = deque()
+        # The respawn budget is per map() call: one sick generation may
+        # burn through max_respawns and degrade, but the next call gets
+        # a fresh budget (self.respawns stays cumulative for telemetry).
+        respawns_at_start = self.respawns
         try:
             while pending or order:
                 if executor is None:
-                    if self.respawns > self.max_respawns:
+                    if self.respawns - respawns_at_start > \
+                            self.max_respawns:
                         # Pool is irrecoverable: degrade to in-process.
                         self.degraded = True
                         obs.inc(
@@ -232,7 +262,7 @@ class ResilientPool:
                             task = pending.popleft()
                             outcomes[task.index] = self._run_inline(fn, task)
                         return
-                    executor = ProcessPoolExecutor(max_workers=workers)
+                    executor = self._lease_executor(workers)
                 # Keep at most ``workers`` tasks in flight so a freshly
                 # submitted task starts (approximately) immediately and
                 # its wall-clock budget measures execution, not queueing.
@@ -257,7 +287,7 @@ class ResilientPool:
                 except FuturesTimeoutError:
                     self._drop(future, inflight, order)
                     self._harvest(fn, inflight, order, outcomes, pending)
-                    self._kill(executor)
+                    self._retire(executor)
                     executor = None
                     self.respawns += 1
                     obs.inc(
@@ -272,7 +302,7 @@ class ResilientPool:
                 except BrokenExecutor as exc:
                     self._drop(future, inflight, order)
                     self._harvest(fn, inflight, order, outcomes, pending)
-                    self._kill(executor)
+                    self._retire(executor)
                     executor = None
                     self.respawns += 1
                     obs.inc(
@@ -301,9 +331,34 @@ class ResilientPool:
                         attempts=task.attempts,
                         duration=time.monotonic() - task.submitted,
                     )
-        finally:
+        except BaseException:
+            # Abnormal exit (e.g. KeyboardInterrupt): don't leave live
+            # worker processes behind an abandoned generation.
             if executor is not None:
-                executor.shutdown(wait=False, cancel_futures=True)
+                self._retire(executor)
+            raise
+        # Normal exit: the executor stays warm for the next map() call.
+
+    def _lease_executor(self, workers: int) -> ProcessPoolExecutor:
+        """The persistent executor, (re)created on demand.
+
+        An executor sized below this call's parallelism is replaced —
+        extra capacity from a wider earlier generation is kept (idle
+        workers are cheap; respawning is not)."""
+        if self._executor is not None and self._executor_workers < workers:
+            self._executor.shutdown(wait=False, cancel_futures=True)
+            self._executor = None
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(max_workers=workers)
+            self._executor_workers = workers
+        return self._executor
+
+    def _retire(self, executor: ProcessPoolExecutor) -> None:
+        """Tear an executor down hard and forget it if persistent."""
+        self._kill(executor)
+        if self._executor is executor:
+            self._executor = None
+            self._executor_workers = 0
 
     @staticmethod
     def _drop(future, inflight, order) -> None:

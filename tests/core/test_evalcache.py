@@ -1,0 +1,374 @@
+"""Content-addressed evaluation cache: digests, LRU bounds, and the
+determinism contract (cache on/off, fresh/resumed runs must be
+indistinguishable except for how many simulations actually ran)."""
+
+import dataclasses
+import json
+import os
+
+import pytest
+
+from repro.core.checkpoint import EVALCACHE_NAME, evalcache_path
+from repro.core.evalcache import (
+    EVALCACHE_VERSION,
+    EvaluationCache,
+    evaluation_context,
+    machine_fingerprint,
+    program_digest,
+)
+from repro.core.evaluator import Evaluator
+from repro.core.generator import Generator
+from repro.core.loop import HarpocratesLoop, LoopConfig
+from repro.coverage.metrics import IbrCoverage
+from repro.isa.instructions import FUClass
+from repro.microprobe.policies import GenerationConfig
+from repro.sim.config import DEFAULT_MACHINE
+
+GEN_CONFIG = GenerationConfig(num_instructions=40, data_size=2048)
+METRIC = IbrCoverage(FUClass.INT_ADDER)
+
+
+@pytest.fixture(scope="module")
+def generator():
+    return Generator(GEN_CONFIG)
+
+
+@pytest.fixture(scope="module")
+def population(generator):
+    return generator.initial_population(6, base_seed=2)
+
+
+class TestDigest:
+    def test_name_is_cosmetic(self, population):
+        context = evaluation_context(METRIC, DEFAULT_MACHINE)
+        program = population[0]
+        renamed = dataclasses.replace(program, name="totally_different")
+        assert program_digest(program, context) == \
+            program_digest(renamed, context)
+
+    def test_metadata_and_source_are_cosmetic(self, population):
+        context = evaluation_context(METRIC, DEFAULT_MACHINE)
+        program = population[0]
+        relabelled = dataclasses.replace(
+            program, source="elsewhere", metadata={"extra": 1}
+        )
+        assert program_digest(program, context) == \
+            program_digest(relabelled, context)
+
+    def test_different_instructions_differ(self, population):
+        context = evaluation_context(METRIC, DEFAULT_MACHINE)
+        digests = {program_digest(p, context) for p in population}
+        assert len(digests) == len(population)
+
+    def test_init_seed_is_semantic(self, population):
+        # init_seed shapes the wrapper's register/memory init, so two
+        # programs differing only in it can execute differently.
+        context = evaluation_context(METRIC, DEFAULT_MACHINE)
+        program = population[0]
+        reseeded = dataclasses.replace(
+            program, init_seed=program.init_seed + 1
+        )
+        assert program_digest(program, context) != \
+            program_digest(reseeded, context)
+
+    def test_machine_config_is_semantic(self, population):
+        small = dataclasses.replace(
+            DEFAULT_MACHINE, max_dynamic_instructions=123
+        )
+        assert machine_fingerprint(small) != \
+            machine_fingerprint(DEFAULT_MACHINE)
+        program = population[0]
+        assert program_digest(
+            program, evaluation_context(METRIC, DEFAULT_MACHINE)
+        ) != program_digest(
+            program, evaluation_context(METRIC, small)
+        )
+
+    def test_metric_is_semantic(self, population):
+        other = IbrCoverage(FUClass.INT_MUL)
+        program = population[0]
+        assert program_digest(
+            program, evaluation_context(METRIC, DEFAULT_MACHINE)
+        ) != program_digest(
+            program, evaluation_context(other, DEFAULT_MACHINE)
+        )
+
+
+class TestLRU:
+    def test_bound_holds(self):
+        cache = EvaluationCache(size=3)
+        for index in range(10):
+            cache.put(f"d{index}", float(index), index, False)
+        assert len(cache) == 3
+        assert cache.evictions == 7
+        assert "d9" in cache and "d7" in cache
+        assert "d0" not in cache
+
+    def test_get_refreshes_recency(self):
+        cache = EvaluationCache(size=2)
+        cache.put("a", 1.0, 1, False)
+        cache.put("b", 2.0, 2, False)
+        assert cache.get("a") is not None  # a becomes most recent
+        cache.put("c", 3.0, 3, False)      # evicts b, not a
+        assert "a" in cache and "c" in cache
+        assert "b" not in cache
+
+    def test_hit_miss_counters(self):
+        cache = EvaluationCache(size=4)
+        cache.put("a", 1.0, 1, False)
+        assert cache.get("a") == (1.0, 1, False)
+        assert cache.get("missing") is None
+        assert cache.hits == 1
+        assert cache.misses == 1
+
+    def test_rejects_nonpositive_size(self):
+        with pytest.raises(ValueError):
+            EvaluationCache(size=0)
+
+
+class TestSidecar:
+    def test_round_trip_preserves_entries_and_order(self, tmp_path):
+        cache = EvaluationCache(size=4)
+        cache.put("a", 1.5, 10, False)
+        cache.put("b", 2.5, 20, True)
+        cache.get("a")  # a is now most recent
+        path = str(tmp_path / EVALCACHE_NAME)
+        cache.save(path)
+        restored = EvaluationCache(size=4)
+        assert restored.load(path)
+        assert restored.get("a") == (1.5, 10, False)
+        assert restored.get("b") == (2.5, 20, True)
+        # LRU order survived: with one slot of headroom, inserting two
+        # new entries must evict the two oldest ("b" was older).
+        restored2 = EvaluationCache(size=3)
+        assert restored2.load(path)
+        restored2.put("c", 3.0, 30, False)
+        restored2.put("d", 4.0, 40, False)
+        assert "a" in restored2
+        assert "b" not in restored2
+
+    def test_load_respects_own_bound(self, tmp_path):
+        big = EvaluationCache(size=10)
+        for index in range(10):
+            big.put(f"d{index}", float(index), index, False)
+        path = str(tmp_path / EVALCACHE_NAME)
+        big.save(path)
+        small = EvaluationCache(size=3)
+        assert small.load(path)
+        assert len(small) == 3
+        assert "d9" in small        # newest entries win
+        assert "d0" not in small
+
+    def test_load_missing_file_is_false(self, tmp_path):
+        cache = EvaluationCache()
+        assert not cache.load(str(tmp_path / "nope.json"))
+
+    def test_load_rejects_corrupt_and_wrong_version(self, tmp_path):
+        path = tmp_path / EVALCACHE_NAME
+        path.write_text("{not json")
+        assert not EvaluationCache().load(str(path))
+        path.write_text(json.dumps(
+            {"version": EVALCACHE_VERSION + 1, "entries": []}
+        ))
+        assert not EvaluationCache().load(str(path))
+        path.write_text(json.dumps(
+            {"version": EVALCACHE_VERSION, "entries": [["short"]]}
+        ))
+        cache = EvaluationCache()
+        assert not cache.load(str(path))
+        assert len(cache) == 0
+
+    def test_evalcache_path_for_dir_and_file(self, tmp_path):
+        directory = str(tmp_path)
+        assert evalcache_path(directory) == \
+            os.path.join(directory, EVALCACHE_NAME)
+        file_path = os.path.join(directory, "checkpoint_000004.json")
+        assert evalcache_path(file_path) == \
+            os.path.join(directory, EVALCACHE_NAME)
+
+
+class TestEvaluatorCaching:
+    def test_hit_equals_fresh_evaluation(self, population):
+        def signature(entries):
+            return [
+                (e.name, e.fitness, e.total_cycles, e.crashed,
+                 e.error_kind, e.attempts)
+                for e in entries
+            ]
+
+        fresh = Evaluator(METRIC).evaluate(population)
+        cached = Evaluator(METRIC, cache=EvaluationCache())
+        first = cached.evaluate(population)
+        second = cached.evaluate(population)
+        assert signature(first) == signature(fresh)
+        assert signature(second) == signature(fresh)
+        assert cached.cache.hits == len(population)
+
+    def test_hits_count_as_evaluations(self, population):
+        cached = Evaluator(METRIC, cache=EvaluationCache())
+        cached.evaluate(population)
+        cached.evaluate(population)
+        health = cached.take_health()
+        assert health.evaluations == 2 * len(population)
+        assert health.cache_hits == len(population)
+
+    def test_cache_hits_invisible_in_dict_and_summary(self, population):
+        uncached = Evaluator(METRIC)
+        cached = Evaluator(METRIC, cache=EvaluationCache())
+        uncached.evaluate(population)
+        uncached.evaluate(population)
+        cached.evaluate(population)
+        cached.evaluate(population)
+        plain = uncached.take_health()
+        warm = cached.take_health()
+        assert warm.as_dict() == plain.as_dict()
+        assert warm.summary() == plain.summary()
+        assert "cache_hits" not in warm.as_dict()
+
+    def test_rank_order_unchanged_by_cache(self, population):
+        plain = Evaluator(METRIC).rank(population)
+        cached = Evaluator(METRIC, cache=EvaluationCache())
+        cached.rank(population)          # populate
+        warm = cached.rank(population)   # fully cached
+        assert [(e.name, e.fitness) for e in warm] == \
+            [(e.name, e.fitness) for e in plain]
+
+
+def make_loop(cache, config):
+    return HarpocratesLoop(
+        Generator(GEN_CONFIG),
+        Evaluator(METRIC, cache=cache),
+        config=config,
+    )
+
+
+SMALL_CONFIG = LoopConfig(
+    population=6, keep=2, offspring_per_parent=2, iterations=5, seed=4
+)
+
+
+class TestLoopDeterminism:
+    def test_cache_on_off_identical_results(self, tmp_path):
+        plain_dir = tmp_path / "plain"
+        cached_dir = tmp_path / "cached"
+        plain = make_loop(None, SMALL_CONFIG).run(
+            checkpoint_dir=str(plain_dir)
+        )
+        cached = make_loop(EvaluationCache(), SMALL_CONFIG).run(
+            checkpoint_dir=str(cached_dir)
+        )
+        assert cached.fitness_curve() == plain.fitness_curve()
+        assert [e.name for e in cached.best] == \
+            [e.name for e in plain.best]
+        assert [e.program.to_asm() for e in cached.best] == \
+            [e.program.to_asm() for e in plain.best]
+        assert cached.health.summary() == plain.health.summary()
+        # Checkpoints are identical up to wall-clock (elapsed_seconds
+        # differs between any two runs, cached or not); the cache adds
+        # only its own sidecar (which rotation never touches).
+        names = sorted(
+            n for n in os.listdir(str(plain_dir))
+            if n.startswith("checkpoint_")
+        )
+        assert names == sorted(
+            n for n in os.listdir(str(cached_dir))
+            if n.startswith("checkpoint_")
+        )
+
+        def timeless(path):
+            payload = json.loads(path.read_text())
+            for record in payload.get("history", []):
+                record["elapsed_seconds"] = 0.0
+            return payload
+
+        for name in names:
+            assert timeless(plain_dir / name) == \
+                timeless(cached_dir / name)
+        assert (cached_dir / EVALCACHE_NAME).exists()
+        assert not (plain_dir / EVALCACHE_NAME).exists()
+
+    def test_warm_resume_matches_uninterrupted_run(self, tmp_path):
+        reference = make_loop(EvaluationCache(), SMALL_CONFIG).run()
+        make_loop(EvaluationCache(), SMALL_CONFIG).run(
+            iterations=3, checkpoint_dir=str(tmp_path)
+        )
+        # A *fresh* loop resumes: its empty cache is warmed from the
+        # sidecar, and the outcome still matches bit-exactly.
+        resumed_cache = EvaluationCache()
+        resumed = make_loop(resumed_cache, SMALL_CONFIG).run(
+            resume_from=str(tmp_path)
+        )
+        assert len(resumed_cache) > 0   # sidecar actually loaded
+        assert resumed.fitness_curve() == reference.fitness_curve()
+        assert [e.name for e in resumed.best] == \
+            [e.name for e in reference.best]
+
+
+class TestSimulationSavings:
+    """The acceptance criterion: at the default population/keep ratio
+    the cache eliminates >= 25% of golden_run co-simulations."""
+
+    @staticmethod
+    def _counted_run(monkeypatch, counts):
+        import repro.core.evaluator as evaluator_module
+        from repro.sim.cosim import golden_run as real_golden_run
+
+        def counting(program, machine):
+            counts["sims"] += 1
+            return real_golden_run(program, machine)
+
+        monkeypatch.setattr(evaluator_module, "golden_run", counting)
+
+    def test_default_config_saves_a_quarter(self, tmp_path, monkeypatch):
+        counts = {"sims": 0}
+        self._counted_run(monkeypatch, counts)
+        # Default-config ratio: population=32, keep=8 (paper §VI-B).
+        config = LoopConfig(seed=3)
+        assert config.population == 32 and config.keep == 8
+        generator_config = GenerationConfig(
+            num_instructions=20, data_size=2048
+        )
+
+        def loop(cache):
+            return HarpocratesLoop(
+                Generator(generator_config),
+                Evaluator(METRIC, cache=cache),
+                config=config,
+            )
+
+        def segmented(cache_size, directory):
+            """3 cold iterations + 3 resumed; per-segment sim counts."""
+            cache = EvaluationCache(cache_size) if cache_size else None
+            counts["sims"] = 0
+            cold = loop(cache).run(
+                iterations=3, checkpoint_dir=directory
+            )
+            cold_sims = counts["sims"]
+            counts["sims"] = 0
+            resumed = loop(
+                EvaluationCache(cache_size) if cache_size else None
+            ).run(iterations=6, resume_from=directory)
+            return cold_sims, counts["sims"], cold, resumed
+
+        cached_cold, cached_warm, _, cached_result = segmented(
+            256, str(tmp_path / "cached")
+        )
+        plain_cold, plain_warm, _, plain_result = segmented(
+            0, str(tmp_path / "plain")
+        )
+        # Identical science, fewer simulations.
+        assert cached_result.fitness_curve() == \
+            plain_result.fitness_curve()
+        assert [e.name for e in cached_result.best] == \
+            [e.name for e in plain_result.best]
+        # Uncached evaluates the full population every iteration.
+        assert plain_cold == 32 * 3
+        assert plain_warm == 32 * 3
+        # Cached: only generation 0 simulates everything; elitism's 8
+        # survivors hit thereafter, and the sidecar keeps the resumed
+        # segment warm from its very first generation.
+        assert cached_cold == 32 + 24 * 2
+        assert cached_warm == 24 * 3
+        savings = (plain_warm - cached_warm) / plain_warm
+        assert savings >= 0.25
+        assert cached_cold + cached_warm < plain_cold + plain_warm

@@ -92,3 +92,27 @@ class TestMerge:
         before = base.as_dict()
         base.merge(EvalHealth())
         assert base.as_dict() == before
+
+    def test_cache_hits_add_but_stay_out_of_dict(self):
+        base = make(evaluations=4, cache_hits=2)
+        base.merge(make(evaluations=3, cache_hits=1))
+        assert base.cache_hits == 3
+        # In-memory telemetry only: checkpoints (as_dict) and the
+        # stdout digest (summary) must not change with the cache on.
+        assert "cache_hits" not in base.as_dict()
+        assert "cache_hits" not in base.summary()
+
+
+class TestSummary:
+    def test_fallback_inline_shown_when_nonzero(self):
+        degraded = make(evaluations=9, fallback_inline=3)
+        assert "fallback_inline=3" in degraded.summary()
+
+    def test_fallback_inline_hidden_when_zero(self):
+        assert "fallback_inline" not in EvalHealth().summary()
+
+    def test_fleet_counters_shown_when_nonzero(self):
+        fleet = make(workers_lost=1, redispatched=2, stolen=0)
+        text = fleet.summary()
+        assert "workers_lost=1" in text
+        assert "redispatched=2" in text

@@ -1,9 +1,12 @@
 """Unit tests for ACE lifetime analysis."""
 
+from types import SimpleNamespace
+
 import pytest
 
-from repro.coverage.ace import ace_l1d, ace_register_file
+from repro.coverage.ace import WORD_BITS, ace_l1d, ace_register_file
 from repro.isa import Program, imm, make, mem, reg
+from repro.sim.cache import CacheEvent
 from repro.sim.config import CacheConfig, MachineConfig
 from repro.sim.cosim import golden_run
 
@@ -118,6 +121,80 @@ class TestL1dAce:
             _run(isa, write_then_reads, small_cache_machine).schedule
         )
         assert b.ace_bit_cycles > a.ace_bit_cycles
+
+
+class TestL1dIntervalAccounting:
+    """Exact interval arithmetic on synthetic event traces (this state
+    was once a (prev, acc) tuple with a dead accumulator — the plain-
+    int rewrite must account identically)."""
+
+    @staticmethod
+    def _schedule(events, machine=None, total_cycles=100):
+        machine = machine or MachineConfig()
+        return SimpleNamespace(
+            machine=machine, cache_events=events, total_cycles=total_cycles
+        )
+
+    @staticmethod
+    def _event(kind, cycle, address, machine, size=8, dirty=False):
+        line_size = machine.cache.line_size
+        if kind in ("fill", "evict", "flush"):
+            size = line_size
+        return CacheEvent(
+            cycle=cycle, kind=kind, address=address, size=size,
+            set_index=0, way=0, dirty=dirty,
+        )
+
+    def test_load_intervals_sum_exactly(self):
+        machine = MachineConfig()
+        base = machine.memory.data_base
+        events = [
+            self._event("fill", 10, base, machine),
+            self._event("load", 15, base, machine),       # 15 - 10 = 5
+            self._event("load", 25, base, machine),       # 25 - 15 = 10
+            self._event("store", 30, base + 8, machine),  # un-ACE write
+            self._event("evict", 50, base, machine, dirty=False),
+        ]
+        report = ace_l1d(self._schedule(events, machine))
+        assert report.ace_bit_cycles == 15 * WORD_BITS
+
+    def test_observed_dirty_evict_reads_every_word(self):
+        machine = MachineConfig()
+        base = machine.memory.data_base
+        line_words = machine.cache.line_size // 8
+        events = [
+            self._event("fill", 0, base, machine),
+            self._event("store", 5, base, machine),
+            self._event("evict", 20, base, machine, dirty=True),
+        ]
+        report = ace_l1d(self._schedule(events, machine))
+        # Word 0 accrues 20-5; the other words 20-0 each.
+        expected = (20 - 5) + (line_words - 1) * 20
+        assert report.ace_bit_cycles == expected * WORD_BITS
+
+    def test_dirty_stack_evict_is_unobserved(self):
+        machine = MachineConfig()
+        base = machine.memory.stack_base
+        events = [
+            self._event("fill", 0, base, machine),
+            self._event("store", 5, base, machine),
+            self._event("evict", 20, base, machine, dirty=True),
+        ]
+        report = ace_l1d(self._schedule(events, machine))
+        assert report.ace_bit_cycles == 0
+
+    def test_implicit_residency_starts_at_first_touch(self):
+        machine = MachineConfig()
+        base = machine.memory.data_base
+        events = [
+            # No fill: the load opens the residency, so its own
+            # interval is empty; only the second load accrues.
+            self._event("load", 30, base, machine),
+            self._event("load", 42, base, machine),   # 42 - 30 = 12
+            self._event("evict", 60, base, machine, dirty=False),
+        ]
+        report = ace_l1d(self._schedule(events, machine))
+        assert report.ace_bit_cycles == 12 * WORD_BITS
 
 
 class TestAceIsDetectionUpperBound:

@@ -8,6 +8,7 @@ degrades gracefully to the local pool.
 
 import pytest
 
+from repro.core.evalcache import EvaluationCache
 from repro.core.evaluator import Evaluator
 from repro.core.generator import Generator
 from repro.core.targets import scaled_targets
@@ -94,6 +95,43 @@ class TestLoopback:
         finally:
             distributed.close()
         assert [e.name for e in evaluated] == [p.name for p in population]
+
+
+class TestCoordinatorCache:
+    """The evaluation cache runs coordinator-side: known candidates
+    never cross the wire, and the cached ranking stays byte-identical
+    to the local uncached one."""
+
+    def test_second_rank_served_from_cache(self, spec, fleet):
+        generator = Generator(spec.generation)
+        population = generator.initial_population(8, base_seed=7)
+        local = Evaluator(spec.metric, spec.machine).rank(population)
+        cache = EvaluationCache()
+        distributed = make_distributed(spec, fleet, cache=cache)
+        try:
+            first = distributed.rank(population)
+            misses_after_first = cache.misses
+            second = distributed.rank(population)
+            health = distributed.take_health()
+        finally:
+            distributed.close()
+        # The first pass populated the cache; the second never left
+        # the coordinator.
+        assert misses_after_first == len(population)
+        assert cache.hits == len(population)
+        assert cache.misses == misses_after_first
+        signature = [
+            (e.name, e.fitness, e.total_cycles, e.crashed)
+            for e in local
+        ]
+        assert [(e.name, e.fitness, e.total_cycles, e.crashed)
+                for e in first] == signature
+        assert [(e.name, e.fitness, e.total_cycles, e.crashed)
+                for e in second] == signature
+        # Hits still count as evaluations — totals match an uncached
+        # campaign — with the savings visible in cache_hits only.
+        assert health.evaluations == 2 * len(population)
+        assert health.cache_hits == len(population)
 
 
 class TestGracefulFallback:

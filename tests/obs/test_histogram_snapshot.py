@@ -1,0 +1,134 @@
+"""HistogramSnapshot: quantile/delta/merge math for latency tables.
+
+The Fig 10 latency percentiles (p50/p90/p99 of ``repro_eval_seconds``)
+are computed from these snapshots, so interpolation must match
+Prometheus ``histogram_quantile`` semantics exactly.
+"""
+
+import pytest
+
+from repro import obs
+from repro.obs.metrics import HistogramSnapshot
+
+BOUNDS = (0.1, 0.5, 1.0)
+
+
+def snap(counts, total=0.0):
+    count = sum(counts)
+    return HistogramSnapshot(BOUNDS, counts, total, count)
+
+
+class TestConstruction:
+    def test_counts_length_validated(self):
+        with pytest.raises(ValueError):
+            HistogramSnapshot(BOUNDS, [1, 2], 0.0, 3)
+
+    def test_values_normalized(self):
+        s = HistogramSnapshot([1], ["2", "3"], "4.5", "5")
+        assert s.bounds == (1.0,)
+        assert s.counts == (2, 3)
+        assert s.sum == 4.5
+        assert s.count == 5
+
+
+class TestQuantile:
+    def test_interpolates_within_bucket(self):
+        # 10 observations, all in (0.1, 0.5]: the median sits at the
+        # middle of that bucket.
+        s = snap([0, 10, 0, 0])
+        assert s.quantile(0.5) == pytest.approx(0.1 + 0.4 * 0.5)
+
+    def test_first_bucket_interpolates_from_zero(self):
+        s = snap([10, 0, 0, 0])
+        assert s.quantile(0.5) == pytest.approx(0.05)
+
+    def test_spans_buckets_cumulatively(self):
+        # 5 fast + 5 slow: p90 ranks 9th, i.e. 4/5 through the
+        # second occupied bucket.
+        s = snap([5, 5, 0, 0])
+        assert s.quantile(0.9) == pytest.approx(0.1 + 0.4 * (4 / 5))
+
+    def test_inf_bucket_clamps_to_highest_bound(self):
+        s = snap([0, 0, 0, 4])
+        assert s.quantile(0.99) == BOUNDS[-1]
+
+    def test_empty_returns_zero(self):
+        assert snap([0, 0, 0, 0]).quantile(0.5) == 0.0
+
+    def test_out_of_range_rejected(self):
+        s = snap([1, 0, 0, 0])
+        with pytest.raises(ValueError):
+            s.quantile(-0.1)
+        with pytest.raises(ValueError):
+            s.quantile(1.5)
+
+    def test_monotone_in_q(self):
+        s = snap([3, 4, 2, 1])
+        values = [s.quantile(q / 10) for q in range(11)]
+        assert values == sorted(values)
+
+
+class TestMean:
+    def test_mean(self):
+        assert snap([2, 0, 0, 0], total=0.08).mean == pytest.approx(0.04)
+
+    def test_empty_mean_is_zero(self):
+        assert snap([0, 0, 0, 0]).mean == 0.0
+
+
+class TestDeltaMerge:
+    def test_delta_isolates_new_observations(self):
+        before = snap([1, 2, 0, 0], total=0.9)
+        after = snap([3, 2, 1, 0], total=2.4)
+        d = after.delta(before)
+        assert d.counts == (2, 0, 1, 0)
+        assert d.count == 3
+        assert d.sum == pytest.approx(1.5)
+
+    def test_merge_pools_distributions(self):
+        m = snap([1, 0, 0, 0], total=0.05).merge(
+            snap([0, 2, 0, 1], total=3.0)
+        )
+        assert m.counts == (1, 2, 0, 1)
+        assert m.count == 4
+        assert m.sum == pytest.approx(3.05)
+
+    def test_mismatched_buckets_rejected(self):
+        other = HistogramSnapshot((1.0, 2.0), [0, 0, 0], 0.0, 0)
+        with pytest.raises(ValueError):
+            snap([0, 0, 0, 0]).delta(other)
+        with pytest.raises(ValueError):
+            snap([0, 0, 0, 0]).merge(other)
+
+
+class TestFacade:
+    """obs.histogram_snapshot: the registry-side capture point."""
+
+    def test_missing_family_is_none(self):
+        obs.enable()
+        assert obs.histogram_snapshot("no_such_metric") is None
+
+    def test_non_histogram_family_is_none(self):
+        obs.enable()
+        obs.inc("repro_some_counter")
+        assert obs.histogram_snapshot("repro_some_counter") is None
+
+    def test_labelled_only_family_is_none(self):
+        obs.enable()
+        obs.observe("repro_latency", 0.2, buckets=BOUNDS, phase="x")
+        assert obs.histogram_snapshot("repro_latency") is None
+
+    def test_snapshot_is_a_frozen_copy(self):
+        obs.enable()
+        obs.observe("repro_latency", 0.2, buckets=BOUNDS)
+        first = obs.histogram_snapshot("repro_latency")
+        assert first is not None
+        assert first.count == 1
+        obs.observe("repro_latency", 0.7, buckets=BOUNDS)
+        second = obs.histogram_snapshot("repro_latency")
+        # The earlier snapshot did not move with the live histogram.
+        assert first.count == 1
+        assert second.count == 2
+        d = second.delta(first)
+        assert d.count == 1
+        assert d.sum == pytest.approx(0.7)

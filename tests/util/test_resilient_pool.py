@@ -285,6 +285,97 @@ class TestInlineTimeout:
         assert seen["supported"] is False
 
 
+class TestPersistentExecutor:
+    """One process-pool spawn per campaign, not per generation: the
+    executor leased for a map() call stays warm for the next one."""
+
+    def test_executor_reused_across_maps(self):
+        pool = ResilientPool(workers=2)
+        try:
+            first = pool.map(_square, [1, 2, 3, 4])
+            executor = pool._executor
+            assert executor is not None
+            second = pool.map(_square, [5, 6, 7, 8])
+            assert pool._executor is executor
+            assert [o.value for o in first] == [1, 4, 9, 16]
+            assert [o.value for o in second] == [25, 36, 49, 64]
+        finally:
+            pool.close()
+
+    def test_close_releases_and_pool_stays_usable(self):
+        pool = ResilientPool(workers=2)
+        pool.map(_square, [1, 2])
+        pool.close()
+        assert pool._executor is None
+        # close() is a release, not a poison pill: the next map()
+        # simply spawns fresh workers.
+        outcomes = pool.map(_square, [3, 4])
+        assert [o.value for o in outcomes] == [9, 16]
+        assert pool._executor is not None
+        pool.close()
+
+    def test_close_is_idempotent(self):
+        pool = ResilientPool(workers=2)
+        pool.map(_square, [1])
+        pool.close()
+        pool.close()
+        assert pool._executor is None
+
+    def test_undersized_executor_replaced_wider_kept(self):
+        # Exercised through _lease_executor directly: map() clamps its
+        # width by the host CPU count, which CI can't rely on.
+        pool = ResilientPool(workers=4)
+        try:
+            small = pool._lease_executor(1)
+            assert pool._executor_workers == 1
+            # A wider lease must replace the undersized executor...
+            wide = pool._lease_executor(2)
+            assert wide is not small
+            assert pool._executor_workers == 2
+            # ...but a narrower one keeps the oversized executor warm.
+            assert pool._lease_executor(1) is wide
+            assert pool._executor_workers == 2
+        finally:
+            pool.close()
+
+    def test_crash_retires_executor_then_recovers(self):
+        pool = ResilientPool(workers=2)
+        try:
+            outcomes = pool.map(_exit_on_two, [0, 1, 2, 3])
+            assert outcomes[2].status == STATUS_CRASHED
+            assert pool.respawns >= 1
+            # The replacement executor (post-respawn) stays leased.
+            survivor = pool._executor
+            assert survivor is not None
+            clean = pool.map(_square, [1, 2, 3])
+            assert all(o.ok for o in clean)
+            assert pool._executor is survivor
+        finally:
+            pool.close()
+
+    def test_respawn_budget_is_per_map(self, tmp_path):
+        """Degradation is scoped to the map() that hit it: the next
+        generation gets a fresh respawn budget (while ``respawns``
+        keeps the cumulative campaign count)."""
+        pool = ResilientPool(workers=2, max_respawns=0, max_retries=1)
+        try:
+            items = [(i, str(tmp_path)) for i in range(4)]
+            first = pool.map(_exit_until_marked, items)
+            assert all(o.ok for o in first)
+            assert pool.degraded
+            respawns_after_first = pool.respawns
+            assert respawns_after_first >= 1
+            # Markers now exist, so the second map is clean — and it
+            # must run pooled again, not inherit the exhausted budget
+            # (``degraded`` itself stays latched for telemetry).
+            second = pool.map(_exit_until_marked, items)
+            assert all(o.ok for o in second)
+            assert all(o.where == "pool" for o in second)
+            assert pool.respawns == respawns_after_first
+        finally:
+            pool.close()
+
+
 class TestTaskOutcome:
     def test_ok_property(self):
         assert TaskOutcome(index=0, status=STATUS_OK).ok
