@@ -78,6 +78,19 @@ def _cmd_loop(args: argparse.Namespace) -> int:
     except ValueError as exc:
         print(f"bad --workers value: {exc}", file=sys.stderr)
         return 2
+    fleet_listen = None
+    if args.fleet_listen is not None:
+        from repro.dist.worker import parse_listen
+
+        if endpoints is None:
+            print("--fleet-listen requires a distributed fleet "
+                  "(--workers host:port,...)", file=sys.stderr)
+            return 2
+        try:
+            fleet_listen = parse_listen(args.fleet_listen)
+        except ValueError as exc:
+            print(f"bad --fleet-listen value: {exc}", file=sys.stderr)
+            return 2
     resume_from = args.resume
     if resume_from is None and args.resume_latest:
         if args.checkpoint_dir is None:
@@ -117,6 +130,7 @@ def _cmd_loop(args: argparse.Namespace) -> int:
             eval_cache_size=(
                 None if args.no_eval_cache else args.eval_cache_size
             ),
+            fleet_listen=fleet_listen,
         )
     except CheckpointError as exc:
         print(f"checkpoint error: {exc}", file=sys.stderr)
@@ -150,6 +164,10 @@ def _cmd_worker(args: argparse.Namespace) -> int:
         forwarded += ["--max-retries", str(args.max_retries)]
     if args.trace_dir is not None:
         forwarded += ["--trace-dir", args.trace_dir]
+    if args.announce is not None:
+        forwarded += ["--announce", args.announce]
+    if args.advertise_host is not None:
+        forwarded += ["--advertise-host", args.advertise_host]
     return worker_main(forwarded)
 
 
@@ -276,6 +294,13 @@ def build_parser() -> argparse.ArgumentParser:
              "re-simulates; results are identical, just slower)",
     )
     loop_parser.add_argument(
+        "--fleet-listen", default=None, metavar="HOST:PORT",
+        help="accept late-joining repro-worker agents on this "
+             "address: workers started with --announce after the "
+             "campaign begins register here and are admitted into "
+             "dispatch at the next generation (distributed runs only)",
+    )
+    loop_parser.add_argument(
         "--trace-dir", default=None, metavar="DIR",
         help="enable observability: write span-trace JSONL and a "
              "final metrics snapshot into DIR",
@@ -312,6 +337,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace-dir", default=None, metavar="DIR",
         help="enable observability: write span-trace JSONL and a "
              "final metrics snapshot into DIR",
+    )
+    worker_parser.add_argument(
+        "--announce", default=None, metavar="HOST:PORT",
+        help="register with a running campaign's --fleet-listen "
+             "address (retries with exponential backoff while "
+             "unconnected)",
+    )
+    worker_parser.add_argument(
+        "--advertise-host", default=None, metavar="HOST",
+        help="hostname to advertise when announcing",
     )
     worker_parser.set_defaults(handler=_cmd_worker)
 

@@ -3,6 +3,7 @@
 from repro.core.checkpoint import LoopCheckpoint, latest_checkpoint
 from repro.core.errors import (
     CandidateEvaluationError,
+    CheckpointCorruptError,
     CheckpointError,
     EvaluationError,
     EvaluationTimeout,
@@ -39,6 +40,7 @@ from repro.core.targets import (
 
 __all__ = [
     "CandidateEvaluationError",
+    "CheckpointCorruptError",
     "CheckpointError",
     "EvalHealth",
     "EvaluatedProgram",

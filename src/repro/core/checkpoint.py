@@ -25,15 +25,19 @@ elite and fitness curve for the same seed.
 from __future__ import annotations
 
 import json
+import logging
 import os
 import tempfile
 from dataclasses import asdict, dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from repro.core.errors import CheckpointError
+from repro.core.errors import CheckpointCorruptError, CheckpointError
 from repro.core.evaluator import EvaluatedProgram, EvalHealth
 from repro.core.generator import Generator
 from repro.isa.program import Program
+from repro.util.statefile import payload_checksum, quarantine_file
+
+logger = logging.getLogger("repro.checkpoint")
 
 #: Bump when the on-disk schema changes incompatibly.
 CHECKPOINT_VERSION = 1
@@ -46,6 +50,38 @@ CHECKPOINT_NAME = "checkpoint_{iteration:06d}.json"
 #: ``checkpoint_*.json`` pattern, so :func:`compact_checkpoints`
 #: rotation never deletes it.
 EVALCACHE_NAME = "evalcache.json"
+
+
+def _decode_state_bytes(data: bytes) -> str:
+    """Decode raw state-file bytes, classifying binary garbage.
+
+    A checkpoint is UTF-8 JSON by construction; bytes that don't
+    decode mean the file was overwritten or bit-rotted, which is
+    corruption, not an I/O error."""
+    try:
+        return data.decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise CheckpointCorruptError(
+            f"not valid UTF-8 (binary garbage): {exc}"
+        ) from exc
+
+
+def verify_payload_checksum(payload: Dict[str, object], what: str) -> None:
+    """Raise :class:`CheckpointCorruptError` on a checksum mismatch.
+
+    Payloads written before checksums existed (no ``checksum`` field)
+    pass — they simply don't carry the extra protection.
+    """
+    recorded = payload.get("checksum")
+    if recorded is None:
+        return
+    actual = payload_checksum(payload)
+    if recorded != actual:
+        raise CheckpointCorruptError(
+            f"{what} checksum mismatch: file says {recorded!r}, "
+            f"content hashes to {actual!r} — torn write or on-disk "
+            f"corruption"
+        )
 
 
 def evalcache_path(path: str) -> str:
@@ -161,16 +197,26 @@ class LoopCheckpoint:
         # JSON has no -inf literal; encode as None.
         if payload["best_so_far"] == float("-inf"):
             payload["best_so_far"] = None
+        # Embedded content checksum: a torn or truncated write is
+        # detected on load and quarantined instead of resumed from.
+        payload["checksum"] = payload_checksum(payload)
         return json.dumps(payload, indent=2)
 
     @classmethod
     def from_json(cls, text: str) -> "LoopCheckpoint":
+        if not text.strip():
+            raise CheckpointCorruptError(
+                "checkpoint file is empty (torn write)"
+            )
         try:
             payload = json.loads(text)
         except json.JSONDecodeError as exc:
-            raise CheckpointError(f"unreadable checkpoint: {exc}") from exc
+            raise CheckpointCorruptError(
+                f"unreadable checkpoint: {exc}"
+            ) from exc
         if not isinstance(payload, dict):
-            raise CheckpointError("checkpoint is not a JSON object")
+            raise CheckpointCorruptError("checkpoint is not a JSON object")
+        verify_payload_checksum(payload, "checkpoint")
         version = payload.get("version")
         if version != CHECKPOINT_VERSION:
             raise CheckpointError(
@@ -179,7 +225,9 @@ class LoopCheckpoint:
             )
         for key in ("iteration", "population", "rng_state"):
             if key not in payload:
-                raise CheckpointError(f"checkpoint missing field {key!r}")
+                raise CheckpointCorruptError(
+                    f"checkpoint missing field {key!r}"
+                )
         best_so_far = payload.get("best_so_far")
         return cls(
             iteration=int(payload["iteration"]),
@@ -226,23 +274,88 @@ class LoopCheckpoint:
 
     @classmethod
     def load(cls, path: str) -> "LoopCheckpoint":
-        """Read a checkpoint from a file, or the latest one in a
-        directory."""
+        """Read a checkpoint from a file, or the newest *valid* one in
+        a directory.
+
+        Directory loads degrade gracefully: a torn, truncated, or
+        garbage newest checkpoint is quarantined (renamed
+        ``*.corrupt``, reported with a warning) and the next-newest
+        valid checkpoint is used instead — resume from a damaged
+        directory loses at most the iterations after the last good
+        write, never the campaign.  Loading an explicit *file* path
+        still fails loudly (after quarantining the damage), since the
+        caller asked for exactly that state.
+        """
         if os.path.isdir(path):
-            latest = latest_checkpoint(path)
-            if latest is None:
-                raise CheckpointError(
-                    f"no checkpoints found in directory {path!r}"
-                )
-            path = latest
+            return cls.load_latest_valid(path)
         try:
-            with open(path) as stream:
-                text = stream.read()
+            with open(path, "rb") as stream:
+                data = stream.read()
         except OSError as exc:
             raise CheckpointError(
                 f"cannot read checkpoint {path!r}: {exc}"
             ) from exc
-        return cls.from_json(text)
+        try:
+            return cls.from_json(_decode_state_bytes(data))
+        except CheckpointCorruptError as exc:
+            quarantined = quarantine_file(path)
+            logger.warning(
+                "checkpoint %s is corrupt (%s)%s",
+                path, exc,
+                f"; quarantined as {quarantined}" if quarantined else "",
+            )
+            raise
+
+    @classmethod
+    def load_latest_valid(cls, directory: str) -> "LoopCheckpoint":
+        """Newest valid checkpoint in ``directory``, quarantining any
+        damaged newer ones along the way."""
+        try:
+            names = os.listdir(directory)
+        except OSError as exc:
+            raise CheckpointError(
+                f"cannot list checkpoint directory {directory!r}: {exc}"
+            ) from exc
+        numbered = sorted(
+            (iteration, name)
+            for name in names
+            if (iteration := checkpoint_iteration(name)) is not None
+        )
+        if not numbered:
+            raise CheckpointError(
+                f"no checkpoints found in directory {directory!r}"
+            )
+        for _iteration, name in reversed(numbered):
+            path = os.path.join(directory, name)
+            try:
+                with open(path, "rb") as stream:
+                    data = stream.read()
+            except OSError as exc:
+                logger.warning(
+                    "skipping unreadable checkpoint %s: %s", path, exc
+                )
+                continue
+            try:
+                return cls.from_json(_decode_state_bytes(data))
+            except CheckpointCorruptError as exc:
+                quarantined = quarantine_file(path)
+                logger.warning(
+                    "checkpoint %s is corrupt (%s)%s; falling back to "
+                    "the previous checkpoint",
+                    path, exc,
+                    f"; quarantined as {quarantined}"
+                    if quarantined else "",
+                )
+            except CheckpointError as exc:
+                # Honest incompatibility (e.g. schema version): not
+                # corruption, so leave the file alone but keep looking.
+                logger.warning(
+                    "skipping incompatible checkpoint %s: %s", path, exc
+                )
+        raise CheckpointError(
+            f"no valid checkpoint in directory {directory!r} "
+            f"(all candidates were corrupt or incompatible)"
+        )
 
     def restore_health(self) -> EvalHealth:
         return EvalHealth.from_dict(self.health)
@@ -250,18 +363,35 @@ class LoopCheckpoint:
 
 def latest_checkpoint(directory: str) -> Optional[str]:
     """Path of the highest-iteration checkpoint in ``directory``
-    (None when there is none)."""
+    (None when there is none).
+
+    Zero-byte files (torn writes) and files whose names don't parse as
+    per-iteration checkpoints are skipped, never selected.
+    """
     try:
         names = os.listdir(directory)
     except OSError:
         return None
-    candidates = sorted(
-        name for name in names
-        if name.startswith("checkpoint_") and name.endswith(".json")
-    )
-    if not candidates:
+    best: Optional[Tuple[int, str]] = None
+    for name in names:
+        iteration = checkpoint_iteration(name)
+        if iteration is None:
+            continue
+        path = os.path.join(directory, name)
+        try:
+            if os.path.getsize(path) == 0:
+                logger.warning(
+                    "ignoring zero-byte checkpoint %s (torn write)",
+                    path,
+                )
+                continue
+        except OSError:
+            continue
+        if best is None or iteration > best[0]:
+            best = (iteration, name)
+    if best is None:
         return None
-    return os.path.join(directory, candidates[-1])
+    return os.path.join(directory, best[1])
 
 
 # -- compaction/rotation -----------------------------------------------------
@@ -297,11 +427,28 @@ def compact_checkpoints(
         names = os.listdir(directory)
     except OSError:
         return []
-    numbered = sorted(
-        (iteration, name)
-        for name in names
-        if (iteration := checkpoint_iteration(name)) is not None
-    )
+    numbered = []
+    for name in sorted(names):
+        iteration = checkpoint_iteration(name)
+        if iteration is None:
+            continue  # foreign file or unparseable name: untouched
+        path = os.path.join(directory, name)
+        try:
+            size = os.path.getsize(path)
+        except OSError:
+            continue
+        if size == 0:
+            # A torn write must never occupy a "newest keep" slot and
+            # rotate a good checkpoint away; quarantine it instead.
+            quarantined = quarantine_file(path)
+            logger.warning(
+                "zero-byte checkpoint %s (torn write)%s",
+                path,
+                f" quarantined as {quarantined}" if quarantined else "",
+            )
+            continue
+        numbered.append((iteration, name))
+    numbered.sort()
     newest = {name for _, name in numbered[-keep:]}
     removed = []
     for iteration, name in numbered[:-keep]:

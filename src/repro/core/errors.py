@@ -85,6 +85,19 @@ class CheckpointError(EvaluationError):
     kind = "checkpoint_error"
 
 
+class CheckpointCorruptError(CheckpointError):
+    """A checkpoint file is torn, truncated, or garbage on disk.
+
+    Distinguished from plain :class:`CheckpointError` (which also
+    covers honest incompatibilities like a version mismatch) because
+    corruption triggers quarantine: the damaged file is renamed to
+    ``*.corrupt`` and resume falls back to the newest valid
+    checkpoint instead of crashing.
+    """
+
+    kind = "checkpoint_corrupt"
+
+
 class LoopConfigError(ValueError):
     """An invalid :class:`repro.core.loop.LoopConfig` was rejected
     up front (e.g. ``population <= 0`` or ``keep <= 0``)."""

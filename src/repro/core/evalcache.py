@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import logging
 import os
 import tempfile
 from collections import OrderedDict
@@ -34,6 +35,13 @@ from typing import Optional, Tuple
 
 from repro.isa.program import Program
 from repro.sim.config import MachineConfig
+from repro.util.statefile import (
+    checksum_ok,
+    payload_checksum,
+    quarantine_file,
+)
+
+logger = logging.getLogger("repro.evalcache")
 
 #: Default LRU bound: comfortably holds the survivors of thousands of
 #: generations at paper scale (keep=16) while staying a few MB of
@@ -217,7 +225,9 @@ class EvaluationCache:
 
         Entries are written oldest → newest so a reload reproduces the
         exact LRU order.  Same temp-file + ``os.replace`` dance as the
-        checkpoints: a reader never observes a torn sidecar.
+        checkpoints: a reader never observes a torn sidecar.  A content
+        checksum is embedded so :meth:`load` can detect torn writes and
+        on-disk corruption, not just unparseable JSON.
         """
         payload = {
             "version": EVALCACHE_VERSION,
@@ -228,6 +238,7 @@ class EvaluationCache:
                 in self._entries.items()
             ],
         }
+        payload["checksum"] = payload_checksum(payload)
         directory = os.path.dirname(path) or "."
         os.makedirs(directory, exist_ok=True)
         handle, temp_path = tempfile.mkstemp(
@@ -250,20 +261,61 @@ class EvaluationCache:
 
         Best-effort by design — a missing, corrupt, or incompatible
         sidecar returns False and leaves the cache empty (the campaign
-        just re-simulates).  Loaded entries respect this cache's own
+        just re-simulates; the cache is an accelerator, never a
+        correctness dependency).  A *corrupt* sidecar — truncated JSON,
+        garbage bytes, a checksum mismatch, malformed entries — is
+        additionally quarantined (renamed ``*.corrupt``) with a logged
+        warning so the damage is visible but the campaign starts cold
+        instead of aborting.  A missing file is silent: that is the
+        normal first-run case.  Loaded entries respect this cache's own
         bound (newest win), whatever size wrote the file.
         """
         try:
-            with open(path) as stream:
-                payload = json.load(stream)
-        except (OSError, ValueError):
+            with open(path, "rb") as stream:
+                data = stream.read()
+        except FileNotFoundError:
             return False
-        if not isinstance(payload, dict) \
-                or payload.get("version") != EVALCACHE_VERSION:
+        except OSError as exc:
+            logger.warning(
+                "eval-cache sidecar %s unreadable (%s); starting cold",
+                path, exc,
+            )
+            return False
+
+        def _corrupt(reason: str) -> bool:
+            quarantined = quarantine_file(path)
+            logger.warning(
+                "eval-cache sidecar %s is corrupt (%s)%s; starting cold",
+                path, reason,
+                f" — quarantined as {quarantined}" if quarantined else "",
+            )
+            self._entries.clear()
+            return False
+
+        try:
+            payload = json.loads(data.decode("utf-8"))
+        except UnicodeDecodeError:
+            return _corrupt("not valid UTF-8 (binary garbage)")
+        except ValueError:
+            return _corrupt(
+                "truncated or garbage JSON" if data.strip()
+                else "empty file (torn write)"
+            )
+        if not isinstance(payload, dict):
+            return _corrupt("not a JSON object")
+        if not checksum_ok(payload):
+            return _corrupt("content checksum mismatch")
+        if payload.get("version") != EVALCACHE_VERSION:
+            # Honest incompatibility, not damage: no quarantine.
+            logger.info(
+                "eval-cache sidecar %s has version %r (want %r); "
+                "starting cold", path, payload.get("version"),
+                EVALCACHE_VERSION,
+            )
             return False
         entries = payload.get("entries")
         if not isinstance(entries, list):
-            return False
+            return _corrupt("entries is not a list")
         self._entries.clear()
         try:
             for record in entries[-self.size:]:
@@ -272,6 +324,5 @@ class EvaluationCache:
                     float(fitness), int(total_cycles), bool(crashed)
                 )
         except (TypeError, ValueError):
-            self._entries.clear()
-            return False
+            return _corrupt("malformed entry record")
         return True

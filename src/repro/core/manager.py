@@ -69,6 +69,10 @@ class Manager:
     ``eval_cache_size`` bounds the content-addressed evaluation cache
     consulted before any simulation (elitism survivors hit it every
     generation); ``None`` disables caching entirely.
+
+    ``fleet_listen`` (``(host, port)``, distributed only) opens the
+    fleet-registration listener so workers started *after* the
+    campaign can announce themselves and be admitted into dispatch.
     """
 
     def __init__(
@@ -80,6 +84,7 @@ class Manager:
         worker_endpoints: Optional[Sequence[Tuple[str, int]]] = None,
         dist_scales: Optional[Tuple[float, float]] = None,
         eval_cache_size: Optional[int] = DEFAULT_EVAL_CACHE_SIZE,
+        fleet_listen: Optional[Tuple[str, int]] = None,
     ):
         self.target = target
         self.generator = Generator(target.generation)
@@ -108,6 +113,7 @@ class Manager:
                 target_key=target.key,
                 program_scale=dist_scales[0],
                 loop_scale=dist_scales[1],
+                fleet_listen=fleet_listen,
             )
         else:
             self.evaluator = Evaluator(

@@ -40,6 +40,7 @@ from typing import Deque, Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 from repro import obs
 from repro.core.evaluator import EvalHealth
 from repro.dist import protocol
+from repro.dist.membership import RegistrationListener
 from repro.dist.protocol import (
     CAP_ZLIB,
     MSG_CONFIGURE,
@@ -47,6 +48,7 @@ from repro.dist.protocol import (
     MSG_ERROR,
     MSG_EVAL,
     MSG_HELLO,
+    MSG_LEAVING,
     MSG_PING,
     MSG_PONG,
     MSG_RESULT,
@@ -54,6 +56,7 @@ from repro.dist.protocol import (
     PROTOCOL_VERSION,
     FrameTimeout,
     ProtocolError,
+    validate_port,
 )
 
 logger = logging.getLogger("repro.dist")
@@ -72,10 +75,11 @@ def parse_endpoints(spec: str) -> List[Tuple[str, int]]:
                 f"worker endpoint {part!r} is not host:port"
             )
         try:
-            endpoints.append((host, int(port)))
+            endpoints.append((host, validate_port(port)))
         except ValueError:
             raise ValueError(
-                f"worker endpoint {part!r} has a non-numeric port"
+                f"worker endpoint {part!r} has a bad port "
+                f"(expected a number in 1-65535)"
             ) from None
     if not endpoints:
         raise ValueError(f"no worker endpoints in {spec!r}")
@@ -95,6 +99,11 @@ class WorkerInfo:
     cooldown: int = 0
     #: Capabilities both sides advertised (empty for legacy peers).
     caps: FrozenSet[str] = field(default_factory=frozenset)
+    #: Set when the worker announced it is draining (SIGTERM): finish
+    #: pumping its in-flight batch, then deregister it cleanly.
+    draining: bool = False
+    #: A departed worker is never redialed until it re-registers.
+    departed: bool = False
 
     @property
     def name(self) -> str:
@@ -104,7 +113,13 @@ class WorkerInfo:
 class _Generation:
     """Shared dispatch state for one :meth:`Coordinator.evaluate`."""
 
-    def __init__(self, records: Sequence[dict]):
+    def __init__(self, records: Sequence[dict], seq: int = 0):
+        #: Generation sequence number, stamped on every ``eval`` frame
+        #: and echoed by workers in their ``result`` frames, so a stale
+        #: or duplicated result that straggles across a generation
+        #: boundary (lossy/chaotic transport) can never be absorbed
+        #: into the wrong generation.
+        self.seq = seq
         self.records = list(records)
         self.pending: Deque[int] = deque(range(len(records)))
         self.results: List[Optional[dict]] = [None] * len(records)
@@ -173,13 +188,86 @@ class Coordinator:
         self.steal_delay = max(0.0, float(steal_delay))
         self.reconnect_cooldown = max(0, int(reconnect_cooldown))
         self._ping_seq = 0
+        self._generation_seq = 0
+        self._membership_lock = threading.Lock()
+        self._pending_joins: List[Tuple[str, int, int]] = []
+        self._registry: Optional[RegistrationListener] = None
+
+    # -- dynamic membership ------------------------------------------------
+
+    def start_registry(
+        self, host: str = "127.0.0.1", port: int = 0
+    ) -> int:
+        """Open the fleet registration listener; returns its port.
+
+        Workers started after the campaign dial this port, announce
+        their own listen address, and are admitted into dispatch from
+        the next generation on.
+        """
+        self._registry = RegistrationListener(
+            self.admit, host=host, port=port
+        ).start()
+        logger.info(
+            "fleet registration listening on %s:%d",
+            host, self._registry.port,
+        )
+        return self._registry.port
+
+    def admit(self, host: str, port: int, slots: int = 1) -> None:
+        """Admit (or re-admit) one worker endpoint into the fleet.
+
+        Thread-safe; called by the registration listener.  A brand-new
+        endpoint joins the dial list at the next generation boundary;
+        a known endpoint has its departure/cooldown state cleared so a
+        drained or crashed host that came back is redialed promptly.
+        """
+        with self._membership_lock:
+            for worker in self.workers:
+                if (worker.host, worker.port) == (host, port):
+                    worker.departed = False
+                    worker.draining = False
+                    worker.cooldown = 0
+                    logger.info(
+                        "worker %s re-registered with the fleet",
+                        worker.name,
+                    )
+                    break
+            else:
+                pending = {(h, p) for h, p, _ in self._pending_joins}
+                if (host, port) in pending:
+                    return  # duplicate announce while still pending
+                self._pending_joins.append((host, port, slots))
+                logger.info(
+                    "worker %s:%d joined the fleet (admitted at the "
+                    "next generation)", host, port,
+                )
+        if obs.enabled():
+            obs.inc(
+                "repro_fleet_joins_total",
+                help_text="Workers admitted after campaign start "
+                          "(late joins and re-registrations)",
+            )
+
+    def _merge_pending_joins(self) -> None:
+        """Fold registered-but-not-yet-dialed workers into the fleet.
+
+        Runs at generation boundaries only (from :meth:`connect`), so
+        driver threads never see the worker list mutate mid-dispatch.
+        """
+        with self._membership_lock:
+            pending, self._pending_joins = self._pending_joins, []
+        for host, port, slots in pending:
+            self.workers.append(
+                WorkerInfo(host=host, port=port, slots=max(1, slots))
+            )
 
     # -- connections -------------------------------------------------------
 
     def connect(self) -> int:
         """(Re)connect every cold endpoint; returns the live count."""
+        self._merge_pending_joins()
         for worker in self.workers:
-            if worker.alive:
+            if worker.alive or worker.departed:
                 continue
             if worker.cooldown > 0:
                 worker.cooldown -= 1
@@ -270,6 +358,9 @@ class Coordinator:
 
     def close(self) -> None:
         """Orderly shutdown: tell each live worker goodbye."""
+        if self._registry is not None:
+            self._registry.close()
+            self._registry = None
         for worker in self.workers:
             if worker.alive and worker.sock is not None:
                 try:
@@ -297,7 +388,8 @@ class Coordinator:
             return [], EvalHealth()
         if self.connect() == 0:
             return None
-        generation = _Generation(records)
+        self._generation_seq += 1
+        generation = _Generation(records, seq=self._generation_seq)
         for worker in self.workers:
             generation.in_flight[worker.name] = set()
             generation.stolen[worker.name] = set()
@@ -332,6 +424,9 @@ class Coordinator:
                 if batch is None:
                     return
                 self._dispatch(worker, generation, batch)
+                if worker.draining:
+                    self._depart(worker, generation)
+                    return
         except (OSError, ProtocolError, FrameTimeout, ValueError) as exc:
             self._lose(worker, generation, exc)
 
@@ -406,6 +501,7 @@ class Coordinator:
             worker.sock,
             {
                 "type": MSG_EVAL,
+                "gen": generation.seq,
                 "batch": [
                     {"id": index, "program": generation.records[index]}
                     for index in batch
@@ -432,6 +528,18 @@ class Coordinator:
         expect = set(batch)
         missed = 0
         while expect:
+            # Another worker may have stolen and finished some of this
+            # batch (e.g. the eval frame was lost in transit and this
+            # worker will never answer) — don't wait for results that
+            # already exist.
+            with generation.cond:
+                finished = expect & generation.done
+                if finished:
+                    generation.in_flight[worker.name] -= finished
+            if finished:
+                expect -= finished
+                if not expect:
+                    break
             try:
                 message = protocol.recv_frame(worker.sock)
             except FrameTimeout:
@@ -451,7 +559,23 @@ class Coordinator:
             kind = message["type"]
             if kind == MSG_PONG:
                 continue
+            if kind == MSG_LEAVING:
+                # The worker is draining (SIGTERM): it will still
+                # stream the results for this batch, then wants out.
+                worker.draining = True
+                logger.info(
+                    "worker %s is draining; finishing its in-flight "
+                    "batch then deregistering", worker.name,
+                )
+                continue
             if kind == MSG_ERROR:
+                if worker.draining or message.get("draining"):
+                    # The batch raced the drain and was refused, not
+                    # evaluated.  Return with the tasks still marked
+                    # in flight; the departure path requeues them —
+                    # a drain is never a loss.
+                    worker.draining = True
+                    return
                 raise ProtocolError(
                     f"worker {worker.name} reported: "
                     f"{message.get('message')}"
@@ -469,6 +593,16 @@ class Coordinator:
         message: dict,
         expect: Set[int],
     ) -> None:
+        gen = message.get("gen")
+        if gen is not None and gen != generation.seq:
+            # A duplicated or delayed result frame straggled across a
+            # generation boundary; its task ids mean nothing here.
+            logger.warning(
+                "ignoring stale result from worker %s "
+                "(generation %s, now on %d)", worker.name, gen,
+                generation.seq,
+            )
+            return
         results = message.get("results")
         if not isinstance(results, list):
             raise ProtocolError("result message has no results list")
@@ -494,6 +628,37 @@ class Coordinator:
                     )
                 generation.done.add(index)
                 generation.results[index] = dict(record)
+            generation.cond.notify_all()
+
+    def _depart(
+        self, worker: WorkerInfo, generation: _Generation
+    ) -> None:
+        """Deregister a drained worker: its batch completed, nothing
+        is lost, and it is not redialed until it re-registers."""
+        logger.info("worker %s drained and deregistered", worker.name)
+        self._disconnect(worker)
+        worker.departed = True
+        worker.draining = False
+        if obs.enabled():
+            obs.inc(
+                "repro_fleet_drains_total",
+                help_text="Workers that drained in-flight work and "
+                          "deregistered cleanly (SIGTERM)",
+            )
+            obs.status.set_worker(worker.name, alive=False, in_flight=0)
+            self._gauge_fleet()
+        with generation.cond:
+            # A drained batch is fully pumped, but requeue defensively:
+            # any task somehow still marked in flight must not be lost.
+            mine = generation.in_flight[worker.name]
+            requeue = sorted(
+                index
+                for index in mine
+                if index not in generation.done
+                and index not in generation.pending
+            )
+            generation.pending.extend(requeue)
+            mine.clear()
             generation.cond.notify_all()
 
     def _lose(

@@ -66,6 +66,8 @@ class DistributedEvaluator(Evaluator):
         connect_timeout: float = 5.0,
         steal: bool = True,
         steal_delay: float = 1.0,
+        fleet_listen: Optional[Tuple[str, int]] = None,
+        breaker_threshold: int = 5,
     ):
         super().__init__(
             metric,
@@ -89,7 +91,54 @@ class DistributedEvaluator(Evaluator):
             steal=steal,
             steal_delay=steal_delay,
         )
+        if fleet_listen is not None:
+            host, port = fleet_listen
+            self.fleet_listen_port: Optional[int] = \
+                self.coordinator.start_registry(host=host, port=port)
+        else:
+            self.fleet_listen_port = None
+        #: Consecutive fleet-wide failures before the breaker trips to
+        #: permanent local evaluation (<= 0 disables the breaker).
+        self.breaker_threshold = int(breaker_threshold)
+        self._breaker_failures = 0
+        self._breaker_open = False
         self._warned_local = False
+        self._gauge_breaker()
+
+    # -- circuit breaker ---------------------------------------------------
+
+    @property
+    def breaker_open(self) -> bool:
+        """True once the breaker tripped to permanent local fallback."""
+        return self._breaker_open
+
+    def _gauge_breaker(self) -> None:
+        if obs.enabled():
+            obs.set_gauge(
+                "repro_dist_breaker_state",
+                1.0 if self._breaker_open else 0.0,
+                "Distributed-dispatch circuit breaker "
+                "(0=closed, 1=open: permanent local fallback)",
+            )
+
+    def _breaker_record(self, fleet_worked: bool) -> None:
+        if fleet_worked:
+            self._breaker_failures = 0
+            return
+        self._breaker_failures += 1
+        if (
+            self.breaker_threshold > 0
+            and not self._breaker_open
+            and self._breaker_failures >= self.breaker_threshold
+        ):
+            self._breaker_open = True
+            logger.warning(
+                "distributed dispatch failed fleet-wide %d "
+                "consecutive times; circuit breaker open — evaluating "
+                "locally for the rest of the campaign",
+                self._breaker_failures,
+            )
+            self._gauge_breaker()
 
     def _evaluate_uncached(
         self, programs: Sequence[Program]
@@ -103,10 +152,13 @@ class DistributedEvaluator(Evaluator):
         programs = list(programs)
         if not programs:
             return []
+        if self._breaker_open:
+            return super()._evaluate_uncached(programs)
         records = [encode_program(program) for program in programs]
         with obs.phase("dist_dispatch"):
             outcome = self.coordinator.evaluate(records)
         if outcome is None:
+            self._breaker_record(fleet_worked=False)
             if not self._warned_local:
                 logger.warning(
                     "no distributed workers reachable; evaluating "
@@ -116,6 +168,11 @@ class DistributedEvaluator(Evaluator):
             return super()._evaluate_uncached(programs)
         self._warned_local = False
         results, delta = outcome
+        # A "successful" dispatch where the fleet finished nothing is
+        # still a fleet-wide failure for breaker purposes.
+        self._breaker_record(
+            fleet_worked=any(record is not None for record in results)
+        )
         self._health.merge(delta)
         leftover_indices = [
             index for index, record in enumerate(results)

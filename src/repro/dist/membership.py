@@ -1,0 +1,196 @@
+"""Dynamic fleet membership: late joins, re-announcement, departure.
+
+The seed fleet was static — the endpoint list the campaign started
+with was the fleet forever.  This module supplies the three pieces
+that make membership dynamic:
+
+* :class:`RegistrationListener` — a tiny TCP acceptor the coordinator
+  runs so workers started *after* the campaign can announce their
+  listen address (one ``register`` frame, answered by ``registered``)
+  and be admitted into dispatch from the next generation on;
+* :func:`announce` — the worker-side one-shot registration call;
+* :class:`ExponentialBackoff` — the retry pacing for workers that
+  keep announcing until a coordinator picks them up (exponential
+  growth with jitter, hard-capped at a ceiling so a long-lived
+  disconnection never degrades into multi-minute blind spots).
+
+Nothing here touches the evaluation RNG: backoff jitter draws from a
+private :class:`random.Random`, so join/leave timing can never perturb
+campaign determinism.
+"""
+
+from __future__ import annotations
+
+import logging
+import random
+import socket
+import threading
+from typing import Callable, Optional, Tuple
+
+from repro.dist import protocol
+from repro.dist.protocol import (
+    MSG_REGISTER,
+    MSG_REGISTERED,
+    ProtocolError,
+    validate_port,
+)
+
+logger = logging.getLogger("repro.dist")
+
+
+class ExponentialBackoff:
+    """Exponential retry delays with jitter, capped at a ceiling.
+
+    ``next_delay()`` returns ``min(cap, base * factor**attempt)``
+    stretched by up to ``jitter`` (a fraction) of itself — but never
+    beyond ``cap``, which is a hard ceiling.  ``reset()`` starts the
+    schedule over (call it after a successful reconnect).
+    """
+
+    def __init__(
+        self,
+        base: float = 0.5,
+        cap: float = 30.0,
+        factor: float = 2.0,
+        jitter: float = 0.25,
+        rng: Optional[random.Random] = None,
+    ):
+        if base <= 0:
+            raise ValueError(f"base must be positive, got {base}")
+        if cap < base:
+            raise ValueError(f"cap ({cap}) must be >= base ({base})")
+        if factor < 1.0:
+            raise ValueError(f"factor must be >= 1, got {factor}")
+        if not 0.0 <= jitter <= 1.0:
+            raise ValueError(f"jitter must be in [0, 1], got {jitter}")
+        self.base = float(base)
+        self.cap = float(cap)
+        self.factor = float(factor)
+        self.jitter = float(jitter)
+        self.attempt = 0
+        self._rng = rng if rng is not None else random.Random()
+
+    def next_delay(self) -> float:
+        raw = self.base * (self.factor ** self.attempt)
+        self.attempt += 1
+        raw = min(self.cap, raw)
+        jittered = raw * (1.0 + self.jitter * self._rng.random())
+        return min(self.cap, jittered)
+
+    def reset(self) -> None:
+        self.attempt = 0
+
+
+class RegistrationListener:
+    """Coordinator-side acceptor for late-joining workers.
+
+    Each accepted connection is one-shot: read a single ``register``
+    frame, hand ``(host, port, slots)`` to ``on_register``, answer
+    ``registered``, close.  Malformed traffic (the chaos suite aims
+    garbage here too) is logged and dropped — a bad registration can
+    never take the campaign down.
+    """
+
+    def __init__(
+        self,
+        on_register: Callable[[str, int, int], None],
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ):
+        self.on_register = on_register
+        self.host = host
+        self.requested_port = port
+        self._listener: Optional[socket.socket] = None
+        self._thread: Optional[threading.Thread] = None
+        self._closing = threading.Event()
+
+    @property
+    def port(self) -> int:
+        if self._listener is None:
+            raise RuntimeError("registration listener not started")
+        return self._listener.getsockname()[1]
+
+    def start(self) -> "RegistrationListener":
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((self.host, self.requested_port))
+        listener.listen(8)
+        self._listener = listener
+        self._thread = threading.Thread(
+            target=self._accept_loop,
+            name="repro-fleet-registry",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def close(self) -> None:
+        self._closing.set()
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+
+    def _accept_loop(self) -> None:
+        assert self._listener is not None
+        while not self._closing.is_set():
+            try:
+                sock, addr = self._listener.accept()
+            except OSError:
+                return  # listener closed
+            try:
+                self._handle(sock, addr)
+            except (OSError, ProtocolError, ValueError) as exc:
+                logger.warning(
+                    "dropped bad fleet registration from %s: %s",
+                    addr, exc,
+                )
+            finally:
+                try:
+                    sock.close()
+                except OSError:
+                    pass
+
+    def _handle(self, sock: socket.socket, addr) -> None:
+        sock.settimeout(5.0)
+        message = protocol.recv_frame(sock)
+        if message.get("type") != MSG_REGISTER:
+            raise ProtocolError(
+                f"expected register, got {message.get('type')!r}"
+            )
+        # An absent host means "reach me at the address I dialed from"
+        # (the common case for workers bound to 0.0.0.0).
+        host = str(message.get("host") or addr[0])
+        port = validate_port(message.get("port"), "registered port")
+        slots = max(1, int(message.get("slots", 1)))
+        self.on_register(host, port, slots)
+        protocol.send_frame(sock, {"type": MSG_REGISTERED})
+
+
+def announce(
+    registry: Tuple[str, int],
+    worker_host: str,
+    worker_port: int,
+    slots: int = 1,
+    timeout: float = 5.0,
+) -> bool:
+    """One-shot worker → coordinator registration.
+
+    Returns True when the coordinator acknowledged; False on any
+    connection or protocol failure (the caller retries under
+    :class:`ExponentialBackoff`).
+    """
+    try:
+        with socket.create_connection(registry, timeout=timeout) as sock:
+            sock.settimeout(timeout)
+            protocol.send_frame(sock, {
+                "type": MSG_REGISTER,
+                "host": worker_host,
+                "port": worker_port,
+                "slots": slots,
+            })
+            reply = protocol.recv_frame(sock)
+            return reply.get("type") == MSG_REGISTERED
+    except (OSError, ProtocolError, protocol.FrameTimeout):
+        return False

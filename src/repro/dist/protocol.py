@@ -25,18 +25,33 @@ Message types
     Coordinator → worker: a batch of candidates, each a task ``id``
     plus the same policy-aware genome ``program`` record the
     checkpoints use (reconstruction is bit-exact, so remote evaluation
-    is deterministic).  Answered by ``result``.
+    is deterministic).  Carries a generation sequence tag ``gen``.
+    Answered by ``result``.
 ``result``
     Worker → coordinator: per-task fitness records (``id``,
     ``fitness``, ``total_cycles``, ``crashed``, ``error_kind``,
     ``attempts``) plus the worker's :class:`~repro.core.evaluator.
-    EvalHealth` delta for the batch.
+    EvalHealth` delta for the batch.  Echoes the ``gen`` tag of the
+    ``eval`` it answers, so the coordinator can discard duplicated or
+    straggling results that cross a generation boundary on a lossy
+    transport.
 ``ping`` / ``pong``
     Heartbeats.  The worker answers from its reader thread even while
     a batch is evaluating, so the coordinator can tell *slow* from
     *dead*.
 ``shutdown`` / ``bye``
     Orderly connection teardown.
+``register`` / ``registered``
+    Dynamic fleet membership.  A late-starting worker dials the
+    coordinator's registration listener and announces its own listen
+    address (``host``, ``port``, ``slots``); the coordinator admits it
+    into dispatch from the next generation on and acknowledges with
+    ``registered``.  The registration connection is one-shot.
+``leaving``
+    Worker → coordinator: this host received SIGTERM and is draining —
+    it will finish the batch already in flight (and stream its
+    ``result``), but must not be sent further work.  The coordinator
+    deregisters it instead of declaring it dead.
 ``error``
     A structured failure report (``message``); the peer treats the
     request that provoked it as failed.
@@ -116,12 +131,34 @@ MSG_PONG = "pong"
 MSG_SHUTDOWN = "shutdown"
 MSG_BYE = "bye"
 MSG_ERROR = "error"
+MSG_REGISTER = "register"
+MSG_REGISTERED = "registered"
+MSG_LEAVING = "leaving"
 
 #: Every type a conforming peer may emit.
 KNOWN_TYPES = frozenset({
     MSG_HELLO, MSG_CONFIGURE, MSG_CONFIGURED, MSG_EVAL, MSG_RESULT,
     MSG_PING, MSG_PONG, MSG_SHUTDOWN, MSG_BYE, MSG_ERROR,
+    MSG_REGISTER, MSG_REGISTERED, MSG_LEAVING,
 })
+
+
+def validate_port(value: object, what: str = "port") -> int:
+    """Parse and range-check one TCP port.
+
+    Accepts an int or a numeric string; raises :class:`ValueError`
+    with a clear message for anything non-numeric or outside
+    ``[0, 65535]`` (0 is allowed — it means "bind an ephemeral port").
+    """
+    try:
+        port = int(str(value), 10)
+    except (TypeError, ValueError):
+        raise ValueError(f"{what} {value!r} is not a number") from None
+    if not 0 <= port <= 65535:
+        raise ValueError(
+            f"{what} {port} is out of range (expected 0-65535)"
+        )
+    return port
 
 
 class ProtocolError(EvaluationError):

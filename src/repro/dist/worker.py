@@ -28,9 +28,11 @@ from __future__ import annotations
 import argparse
 import os
 import queue
+import signal
 import socket
 import sys
 import threading
+import time
 from typing import Dict, FrozenSet, List, Optional, Tuple
 
 from repro import obs
@@ -39,6 +41,7 @@ from repro.core.evaluator import QUARANTINE_FITNESS, Evaluator
 from repro.core.generator import Generator
 from repro.core.targets import paper_targets, scaled_targets
 from repro.dist import protocol
+from repro.dist.membership import ExponentialBackoff, announce
 from repro.dist.protocol import (
     CAP_METRICS,
     CAP_ZLIB,
@@ -48,6 +51,7 @@ from repro.dist.protocol import (
     MSG_ERROR,
     MSG_EVAL,
     MSG_HELLO,
+    MSG_LEAVING,
     MSG_PING,
     MSG_PONG,
     MSG_RESULT,
@@ -55,19 +59,26 @@ from repro.dist.protocol import (
     PROTOCOL_VERSION,
     ConnectionClosed,
     ProtocolError,
+    validate_port,
 )
 from repro.util.parallel import clamp_workers
 
 
 def parse_listen(value: str) -> Tuple[str, int]:
-    """``host:port`` → ``(host, port)``; a bare port binds loopback."""
+    """``host:port`` → ``(host, port)``; a bare port binds loopback.
+
+    Rejects non-numeric and out-of-range ports with a clear
+    :class:`ValueError` instead of a raw traceback.
+    """
     host, sep, port = value.rpartition(":")
     if not sep:
         host, port = "127.0.0.1", value
     try:
-        return host or "127.0.0.1", int(port)
-    except ValueError:
-        raise ValueError(f"invalid listen address {value!r}") from None
+        return host or "127.0.0.1", validate_port(port)
+    except ValueError as exc:
+        raise ValueError(
+            f"invalid listen address {value!r}: {exc}"
+        ) from None
 
 
 def default_evaluator_factory(
@@ -133,6 +144,9 @@ class WorkerServer:
         eval_timeout: Optional[float] = None,
         max_retries: Optional[int] = None,
         evaluator_factory=default_evaluator_factory,
+        announce_to: Optional[Tuple[str, int]] = None,
+        advertise_host: Optional[str] = None,
+        announce_backoff: Optional[ExponentialBackoff] = None,
     ):
         self.host = host
         self.requested_port = port
@@ -140,11 +154,25 @@ class WorkerServer:
         self.eval_timeout = eval_timeout
         self.max_retries = max_retries
         self.evaluator_factory = evaluator_factory
+        #: Coordinator registration endpoint for dynamic membership:
+        #: while this worker has no coordinator connection it announces
+        #: itself here, pacing retries with exponential backoff +
+        #: jitter (so a restarted worker rejoins the fleet unassisted).
+        self.announce_to = announce_to
+        self.advertise_host = advertise_host
+        self._announce_backoff = announce_backoff
         self._listener: Optional[socket.socket] = None
         self._accept_thread: Optional[threading.Thread] = None
+        self._announce_thread: Optional[threading.Thread] = None
         self._connections: List[_Connection] = []
         self._lock = threading.Lock()
         self._closing = threading.Event()
+        self._draining = threading.Event()
+        self._drain_requested = threading.Event()
+        #: Eval batches accepted but not yet answered; drain waits for
+        #: this to hit zero so SIGTERM never loses in-flight work.
+        self._inflight = 0
+        self._inflight_cond = threading.Condition()
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -166,6 +194,13 @@ class WorkerServer:
             target=self._accept_loop, name="repro-worker-accept", daemon=True
         )
         self._accept_thread.start()
+        if self.announce_to is not None:
+            self._announce_thread = threading.Thread(
+                target=self._announce_loop,
+                name="repro-worker-announce",
+                daemon=True,
+            )
+            self._announce_thread.start()
         return self
 
     def serve_forever(self) -> None:
@@ -174,11 +209,54 @@ class WorkerServer:
             self.start()
         try:
             while not self._closing.is_set():
+                if self._drain_requested.is_set():
+                    self.drain()
+                    return
                 self._closing.wait(0.5)
         except KeyboardInterrupt:
             pass
         finally:
             self.close()
+
+    def request_drain(self) -> None:
+        """Signal-safe drain trigger (the SIGTERM handler calls this);
+        :meth:`serve_forever` performs the actual drain."""
+        self._drain_requested.set()
+
+    def drain(self, timeout: float = 60.0) -> None:
+        """Graceful departure: finish in-flight work, then leave.
+
+        Announces ``leaving`` on every coordinator connection (so the
+        coordinator deregisters this host instead of declaring it
+        dead), waits for every accepted batch to be answered, then
+        closes.  Batches arriving *after* the drain starts are
+        refused with an ``error`` frame — the coordinator re-dispatches
+        them to the survivors, so nothing is lost or duplicated.
+        """
+        self._draining.set()
+        with self._lock:
+            connections = list(self._connections)
+        for connection in connections:
+            try:
+                connection.send({"type": MSG_LEAVING})
+            except (OSError, ProtocolError):
+                pass
+        with self._inflight_cond:
+            self._inflight_cond.wait_for(
+                lambda: self._inflight == 0, timeout=timeout
+            )
+        # Let coordinators absorb the final results and deregister
+        # (they close their end once ``leaving`` is processed).
+        # Closing immediately can RST frames still in flight: a close
+        # with an unread ping in our receive queue discards the
+        # peer's receive buffer along with the results it holds.
+        deadline = time.monotonic() + 5.0
+        while time.monotonic() < deadline:
+            with self._lock:
+                if not self._connections:
+                    break
+            time.sleep(0.05)
+        self.close()
 
     def close(self) -> None:
         """Stop accepting and drop every live connection."""
@@ -192,6 +270,44 @@ class WorkerServer:
             connections = list(self._connections)
         for connection in connections:
             connection.close()
+
+    # -- dynamic membership ------------------------------------------------
+
+    def _announce_loop(self) -> None:
+        """Register with the coordinator whenever unconnected.
+
+        Exponential backoff + jitter between failed attempts (capped
+        at the backoff ceiling); a successful announce or a live
+        coordinator connection resets the schedule.  Announcing is
+        idempotent — the coordinator deduplicates — so re-announcing
+        after a disconnect is always safe.
+        """
+        assert self.announce_to is not None
+        backoff = self._announce_backoff or ExponentialBackoff(
+            base=0.5, cap=15.0
+        )
+        while not (
+            self._closing.is_set() or self._draining.is_set()
+        ):
+            with self._lock:
+                connected = bool(self._connections)
+            if connected:
+                backoff.reset()
+                self._closing.wait(0.5)
+                continue
+            accepted = announce(
+                self.announce_to,
+                self.advertise_host or "",
+                self.port,
+                slots=self.slots,
+            )
+            if accepted:
+                backoff.reset()
+                # Registered; give the coordinator a generation to
+                # dial back before re-announcing.
+                self._closing.wait(2.0)
+            else:
+                self._closing.wait(backoff.next_delay())
 
     # -- connection handling -----------------------------------------------
 
@@ -247,7 +363,22 @@ class WorkerServer:
                 elif kind == MSG_CONFIGURE:
                     self._configure(connection, message)
                 elif kind == MSG_EVAL:
-                    connection.batches.put(message)
+                    if self._draining.is_set():
+                        # Refused, not dropped: the coordinator sees
+                        # the error, condemns this connection, and
+                        # re-dispatches the batch to the survivors.
+                        connection.send({
+                            "type": MSG_ERROR,
+                            # Structured flag: lets the coordinator
+                            # classify the refusal as a drain even if
+                            # this frame beats the ``leaving`` one.
+                            "draining": True,
+                            "message": "worker is draining; "
+                                       "batch refused",
+                        })
+                    else:
+                        self._track_accepted()
+                        connection.batches.put(message)
                 elif kind == MSG_SHUTDOWN:
                     connection.send({"type": MSG_BYE})
                     return
@@ -260,9 +391,42 @@ class WorkerServer:
             return
         finally:
             connection.close()
+            self._settle_unanswered(connection)
             with self._lock:
                 if connection in self._connections:
                     self._connections.remove(connection)
+
+    # -- in-flight accounting (drain support) ------------------------------
+
+    def _track_accepted(self) -> None:
+        with self._inflight_cond:
+            self._inflight += 1
+
+    def _track_settled(self, count: int = 1) -> None:
+        if count <= 0:
+            return
+        with self._inflight_cond:
+            self._inflight -= count
+            self._inflight_cond.notify_all()
+
+    def _settle_unanswered(self, connection: "_Connection") -> None:
+        """Settle batches still queued on a dead connection so a
+        drain never waits on work that can no longer be answered.
+        The executor's ``None`` sentinel is preserved."""
+        settled = 0
+        saw_sentinel = False
+        while True:
+            try:
+                message = connection.batches.get_nowait()
+            except queue.Empty:
+                break
+            if message is None:
+                saw_sentinel = True
+            else:
+                settled += 1
+        if saw_sentinel:
+            connection.batches.put(None)
+        self._track_settled(settled)
 
     def _configure(self, connection: _Connection, message: dict) -> None:
         try:
@@ -299,13 +463,16 @@ class WorkerServer:
     def _executor_loop(self, connection: _Connection) -> None:
         while True:
             message = connection.batches.get()
-            if message is None or connection.closed.is_set():
+            if message is None:
                 return
             try:
-                self._evaluate_batch(connection, message)
+                if not connection.closed.is_set():
+                    self._evaluate_batch(connection, message)
             except (ProtocolError, OSError):
                 connection.close()
                 return
+            finally:
+                self._track_settled()
 
     def _evaluate_batch(self, connection: _Connection, message: dict) -> None:
         if connection.evaluator is None or connection.generator is None:
@@ -370,6 +537,11 @@ class WorkerServer:
             "results": results,
             "health": health.as_dict(),
         }
+        if message.get("gen") is not None:
+            # Echo the coordinator's generation tag so a duplicated or
+            # straggling result can never be absorbed into the wrong
+            # generation (see ``_Generation.seq``).
+            reply["gen"] = message["gen"]
         if CAP_METRICS in connection.caps and obs.enabled():
             # Cumulative snapshot: the coordinator merges with replace
             # semantics, so resending the running totals is idempotent.
@@ -405,11 +577,27 @@ def main(argv=None) -> int:
         help="enable observability and write span-trace JSONL plus a "
              "final metrics snapshot into DIR",
     )
+    parser.add_argument(
+        "--announce", default=None, metavar="HOST:PORT",
+        help="register with a coordinator's fleet-registration "
+             "listener, re-announcing with exponential backoff while "
+             "unconnected — lets this worker join (or rejoin) a "
+             "campaign that is already running",
+    )
+    parser.add_argument(
+        "--advertise-host", default=None, metavar="HOST",
+        help="hostname to advertise when announcing (default: the "
+             "address this worker dials the coordinator from)",
+    )
     args = parser.parse_args(argv)
     if args.trace_dir is not None:
         obs.configure(enabled=True, trace_dir=args.trace_dir)
     try:
         host, port = parse_listen(args.listen)
+        announce_to = (
+            parse_listen(args.announce)
+            if args.announce is not None else None
+        )
     except ValueError as exc:
         print(str(exc), file=sys.stderr)
         return 2
@@ -419,6 +607,13 @@ def main(argv=None) -> int:
         slots=args.slots,
         eval_timeout=args.eval_timeout,
         max_retries=args.max_retries,
+        announce_to=announce_to,
+        advertise_host=args.advertise_host,
+    )
+    # SIGTERM drains: finish the in-flight batch, tell the coordinator
+    # we are leaving, then exit — instead of being declared dead.
+    signal.signal(
+        signal.SIGTERM, lambda signum, frame: server.request_drain()
     )
     server.start()
     print(

@@ -176,6 +176,7 @@ def run_target(
     checkpoint_keep: Optional[int] = None,
     checkpoint_milestone_every: int = 0,
     eval_cache_size: Optional[int] = DEFAULT_EVAL_CACHE_SIZE,
+    fleet_listen: Optional[Tuple[str, int]] = None,
 ) -> ConvergenceCurve:
     """Run the loop for one target, sampling detection along the way.
 
@@ -196,6 +197,7 @@ def run_target(
         worker_endpoints=worker_endpoints,
         dist_scales=(scale.program_scale, scale.loop_scale),
         eval_cache_size=eval_cache_size,
+        fleet_listen=fleet_listen,
     )
     curve = ConvergenceCurve(target=target.key, title=target.title)
     sample_every = max(scale.detection_sample_every, 1)

@@ -1,0 +1,8 @@
+"""Fault-injection tooling for testing the repro infrastructure itself.
+
+The paper injects faults into *simulated CPUs*; this package injects
+faults into *our own fleet plumbing* — torn frames, dropped packets,
+duplicated messages, garbage bytes — so the chaos suite can prove the
+campaign's byte-identical-output guarantee survives real-world network
+misbehavior, not just clean loopback sockets.
+"""

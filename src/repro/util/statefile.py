@@ -1,0 +1,76 @@
+"""Corruption-safe persistent-state helpers shared by checkpointing.
+
+Checkpoints and the evaluation-cache sidecar are both JSON files that a
+crash (or a full disk, or an overeager copy tool) can leave torn,
+truncated, or replaced with garbage.  Both writers embed a content
+checksum so readers can *prove* a file is intact instead of hoping
+``json.load`` happens to fail; both readers quarantine damaged files by
+renaming them to ``*.corrupt`` so they stop matching the live-file
+patterns but survive for post-mortems.
+
+This module is deliberately dependency-free within the package so both
+:mod:`repro.core.checkpoint` and :mod:`repro.core.evalcache` can use it
+without an import cycle (checkpoint imports the evaluator, which
+imports the eval cache).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Dict, Optional
+
+#: Suffix quarantined (torn/truncated/garbage) state files get.  The
+#: pattern deliberately no longer matches ``checkpoint_*.json`` or
+#: ``evalcache.json``, so a quarantined file is invisible to resume and
+#: rotation but preserved on disk for post-mortems.
+CORRUPT_SUFFIX = ".corrupt"
+
+
+def quarantine_file(path: str) -> Optional[str]:
+    """Rename a damaged state file out of the way (``*.corrupt``).
+
+    Never overwrites an earlier quarantine (a numeric suffix is added
+    instead) and never raises — quarantining is best-effort cleanup on
+    an already-degraded path.  Returns the new path, or None when the
+    rename failed.
+    """
+    destination = path + CORRUPT_SUFFIX
+    serial = 0
+    while os.path.exists(destination):
+        serial += 1
+        destination = f"{path}{CORRUPT_SUFFIX}.{serial}"
+    try:
+        os.replace(path, destination)
+    except OSError:
+        return None
+    return destination
+
+
+def payload_checksum(payload: Dict[str, object]) -> str:
+    """Content checksum of a JSON payload (sans its checksum field).
+
+    Canonical form — sorted keys, minimal separators — so the digest
+    is independent of how the file was pretty-printed.
+    """
+    scrubbed = {
+        key: value for key, value in payload.items() if key != "checksum"
+    }
+    canonical = json.dumps(
+        scrubbed, sort_keys=True, separators=(",", ":")
+    )
+    digest = hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+    return f"sha256:{digest}"
+
+
+def checksum_ok(payload: Dict[str, object]) -> bool:
+    """Does the payload's recorded checksum match its content?
+
+    Payloads written before checksums existed (no ``checksum`` field)
+    pass — they simply don't carry the extra protection.
+    """
+    recorded = payload.get("checksum")
+    if recorded is None:
+        return True
+    return recorded == payload_checksum(payload)

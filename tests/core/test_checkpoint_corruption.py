@@ -1,0 +1,283 @@
+"""Corruption-safe state: torn checkpoints quarantine, resume survives.
+
+A crash mid-write (or a full disk, or bit rot) can leave the newest
+checkpoint truncated, empty, or garbage.  These tests prove the resume
+path degrades gracefully — the damaged file is renamed ``*.corrupt``
+with a logged warning, and the campaign restarts from the newest valid
+checkpoint — and that the eval-cache sidecar follows the same rules.
+"""
+
+import json
+import logging
+import os
+
+import pytest
+
+from repro.core.checkpoint import (
+    CHECKPOINT_VERSION,
+    LoopCheckpoint,
+    compact_checkpoints,
+    latest_checkpoint,
+)
+from repro.core.errors import CheckpointCorruptError, CheckpointError
+from repro.core.evalcache import EVALCACHE_VERSION, EvaluationCache
+from repro.core.evaluator import Evaluator
+from repro.core.generator import Generator
+from repro.core.loop import HarpocratesLoop, LoopConfig
+from repro.coverage.metrics import IbrCoverage
+from repro.isa.instructions import FUClass
+from repro.microprobe.policies import GenerationConfig
+from repro.util.statefile import payload_checksum
+
+GEN_CONFIG = GenerationConfig(num_instructions=40, data_size=2048)
+METRIC = IbrCoverage(FUClass.INT_ADDER)
+CONFIG = LoopConfig(
+    population=6, keep=2, offspring_per_parent=2, iterations=5, seed=4
+)
+
+
+def make_loop(config=CONFIG):
+    return HarpocratesLoop(
+        Generator(GEN_CONFIG), Evaluator(METRIC), config=config
+    )
+
+
+def corrupt_names(directory):
+    return sorted(
+        name for name in os.listdir(str(directory)) if ".corrupt" in name
+    )
+
+
+class TestChecksums:
+    def test_checkpoints_carry_content_checksum(self, tmp_path):
+        make_loop().run(iterations=1, checkpoint_dir=str(tmp_path))
+        payload = json.loads(
+            (tmp_path / "checkpoint_000001.json").read_text()
+        )
+        assert payload["checksum"].startswith("sha256:")
+        assert payload["checksum"] == payload_checksum(payload)
+
+    def test_flipped_field_fails_checksum(self, tmp_path):
+        make_loop().run(iterations=1, checkpoint_dir=str(tmp_path))
+        path = tmp_path / "checkpoint_000001.json"
+        payload = json.loads(path.read_text())
+        payload["iteration"] += 1  # checksum left stale
+        path.write_text(json.dumps(payload))
+        with pytest.raises(CheckpointCorruptError, match="checksum"):
+            LoopCheckpoint.load(str(path))
+        assert corrupt_names(tmp_path)
+
+    def test_legacy_checkpoint_without_checksum_accepted(self, tmp_path):
+        make_loop().run(iterations=1, checkpoint_dir=str(tmp_path))
+        path = tmp_path / "checkpoint_000001.json"
+        payload = json.loads(path.read_text())
+        del payload["checksum"]
+        path.write_text(json.dumps(payload))
+        assert LoopCheckpoint.load(str(path)).iteration == 1
+
+
+class TestQuarantineAndFallback:
+    def test_truncated_newest_falls_back_with_quarantine(
+        self, tmp_path, caplog
+    ):
+        make_loop().run(iterations=3, checkpoint_dir=str(tmp_path))
+        newest = tmp_path / "checkpoint_000003.json"
+        text = newest.read_text()
+        newest.write_text(text[: len(text) // 2])  # torn write
+        with caplog.at_level(logging.WARNING, logger="repro.checkpoint"):
+            checkpoint = LoopCheckpoint.load(str(tmp_path))
+        assert checkpoint.iteration == 2
+        assert corrupt_names(tmp_path) == [
+            "checkpoint_000003.json.corrupt"
+        ]
+        assert any("corrupt" in r.message for r in caplog.records)
+
+    def test_garbage_newest_falls_back(self, tmp_path):
+        make_loop().run(iterations=2, checkpoint_dir=str(tmp_path))
+        (tmp_path / "checkpoint_000009.json").write_bytes(
+            b"\x00\xffgarbage\x7f" * 16
+        )
+        checkpoint = LoopCheckpoint.load(str(tmp_path))
+        assert checkpoint.iteration == 2
+        assert corrupt_names(tmp_path) == [
+            "checkpoint_000009.json.corrupt"
+        ]
+
+    def test_resume_from_damaged_dir_matches_reference(self, tmp_path):
+        reference = make_loop().run()
+        make_loop().run(iterations=3, checkpoint_dir=str(tmp_path))
+        newest = tmp_path / "checkpoint_000003.json"
+        text = newest.read_text()
+        newest.write_text(text[: len(text) // 3])
+        resumed = make_loop().run(resume_from=str(tmp_path))
+        assert resumed.resumed_from == 2
+        assert resumed.fitness_curve() == reference.fitness_curve()
+        assert [e.name for e in resumed.best] == \
+            [e.name for e in reference.best]
+        assert [e.program.to_asm() for e in resumed.best] == \
+            [e.program.to_asm() for e in reference.best]
+
+    def test_explicit_file_load_still_fails_loudly(self, tmp_path):
+        path = tmp_path / "checkpoint_000001.json"
+        path.write_text("{\"version\": 1, \"itera")  # truncated
+        with pytest.raises(CheckpointCorruptError):
+            LoopCheckpoint.load(str(path))
+        assert corrupt_names(tmp_path) == [
+            "checkpoint_000001.json.corrupt"
+        ]
+
+    def test_version_mismatch_skipped_not_quarantined(self, tmp_path):
+        make_loop().run(iterations=2, checkpoint_dir=str(tmp_path))
+        future = {
+            "version": CHECKPOINT_VERSION + 1,
+            "iteration": 9, "population": [], "rng_state": [],
+        }
+        (tmp_path / "checkpoint_000009.json").write_text(
+            json.dumps(future)
+        )
+        checkpoint = LoopCheckpoint.load(str(tmp_path))
+        assert checkpoint.iteration == 2
+        # Incompatibility is honest, not damage: the file survives.
+        assert corrupt_names(tmp_path) == []
+        assert (tmp_path / "checkpoint_000009.json").exists()
+
+    def test_all_corrupt_raises_checkpoint_error(self, tmp_path):
+        for iteration in (1, 2):
+            (tmp_path / f"checkpoint_00000{iteration}.json").write_text(
+                "garbage"
+            )
+        with pytest.raises(CheckpointError, match="no valid checkpoint"):
+            LoopCheckpoint.load(str(tmp_path))
+        assert len(corrupt_names(tmp_path)) == 2
+
+    def test_repeat_quarantine_never_overwrites(self, tmp_path):
+        path = tmp_path / "checkpoint_000001.json"
+        for _ in range(3):
+            path.write_text("garbage")
+            with pytest.raises(CheckpointError):
+                LoopCheckpoint.load(str(tmp_path))
+        assert corrupt_names(tmp_path) == [
+            "checkpoint_000001.json.corrupt",
+            "checkpoint_000001.json.corrupt.1",
+            "checkpoint_000001.json.corrupt.2",
+        ]
+
+
+class TestPoisonedDirectoryScanning:
+    def test_latest_checkpoint_skips_zero_byte(self, tmp_path, caplog):
+        make_loop().run(iterations=2, checkpoint_dir=str(tmp_path))
+        (tmp_path / "checkpoint_000099.json").touch()
+        with caplog.at_level(logging.WARNING, logger="repro.checkpoint"):
+            latest = latest_checkpoint(str(tmp_path))
+        assert latest is not None
+        assert latest.endswith("checkpoint_000002.json")
+        assert any("zero-byte" in r.message for r in caplog.records)
+
+    def test_latest_checkpoint_skips_unparseable_names(self, tmp_path):
+        (tmp_path / "checkpoint_best.json").write_text("{}")
+        (tmp_path / "checkpoint_000001.json.tmp").write_text("{}")
+        assert latest_checkpoint(str(tmp_path)) is None
+
+    def test_compaction_survives_poisoned_dir(self, tmp_path):
+        for iteration in range(1, 6):
+            (tmp_path / f"checkpoint_00000{iteration}.json").write_text(
+                "{}"
+            )
+        (tmp_path / "checkpoint_000006.json").touch()  # zero-byte
+        (tmp_path / "checkpoint_weird.json").write_text("{}")
+        (tmp_path / "notes.txt").write_text("keep me")
+        removed = compact_checkpoints(str(tmp_path), keep=2)
+        survivors = set(os.listdir(str(tmp_path)))
+        # Zero-byte file quarantined (not selected as "newest"); the
+        # newest two *real* checkpoints survive; foreign files stay.
+        assert "checkpoint_000006.json.corrupt" in survivors
+        assert {"checkpoint_000004.json", "checkpoint_000005.json",
+                "checkpoint_weird.json", "notes.txt"} <= survivors
+        assert len(removed) == 3
+
+
+class TestEvalCacheSidecar:
+    def _warm_cache(self):
+        cache = EvaluationCache(size=8)
+        cache.put("digest-a", 0.5, 100, False)
+        cache.put("digest-b", 0.75, 200, True)
+        return cache
+
+    def test_sidecar_carries_checksum(self, tmp_path):
+        path = str(tmp_path / "evalcache.json")
+        self._warm_cache().save(path)
+        payload = json.loads(open(path).read())
+        assert payload["checksum"] == payload_checksum(payload)
+
+    def test_roundtrip_still_works(self, tmp_path):
+        path = str(tmp_path / "evalcache.json")
+        self._warm_cache().save(path)
+        fresh = EvaluationCache(size=8)
+        assert fresh.load(path)
+        assert fresh.get("digest-a") == (0.5, 100, False)
+
+    def test_missing_sidecar_is_silent(self, tmp_path, caplog):
+        with caplog.at_level(logging.WARNING, logger="repro.evalcache"):
+            assert not EvaluationCache().load(
+                str(tmp_path / "missing.json")
+            )
+        assert caplog.records == []
+
+    def test_truncated_sidecar_starts_cold(self, tmp_path, caplog):
+        path = tmp_path / "evalcache.json"
+        self._warm_cache().save(str(path))
+        text = path.read_text()
+        path.write_text(text[: len(text) // 2])
+        cache = self._warm_cache()
+        with caplog.at_level(logging.WARNING, logger="repro.evalcache"):
+            assert not cache.load(str(path))
+        assert len(cache) == 0  # cold, not half-loaded
+        assert any("corrupt" in r.message for r in caplog.records)
+        assert corrupt_names(tmp_path) == ["evalcache.json.corrupt"]
+
+    def test_checksum_mismatch_quarantined(self, tmp_path):
+        path = tmp_path / "evalcache.json"
+        self._warm_cache().save(str(path))
+        payload = json.loads(path.read_text())
+        payload["entries"][0][1] = 0.99  # bit flip, stale checksum
+        path.write_text(json.dumps(payload))
+        assert not EvaluationCache().load(str(path))
+        assert corrupt_names(tmp_path) == ["evalcache.json.corrupt"]
+
+    def test_legacy_sidecar_without_checksum_accepted(self, tmp_path):
+        path = tmp_path / "evalcache.json"
+        self._warm_cache().save(str(path))
+        payload = json.loads(path.read_text())
+        del payload["checksum"]
+        path.write_text(json.dumps(payload))
+        fresh = EvaluationCache(size=8)
+        assert fresh.load(str(path))
+        assert len(fresh) == 2
+
+    def test_version_mismatch_not_quarantined(self, tmp_path):
+        path = tmp_path / "evalcache.json"
+        payload = {"version": EVALCACHE_VERSION + 1, "entries": []}
+        payload["checksum"] = payload_checksum(payload)
+        path.write_text(json.dumps(payload))
+        assert not EvaluationCache().load(str(path))
+        assert corrupt_names(tmp_path) == []
+
+    def test_zero_byte_sidecar_quarantined(self, tmp_path):
+        path = tmp_path / "evalcache.json"
+        path.touch()
+        assert not EvaluationCache().load(str(path))
+        assert corrupt_names(tmp_path) == ["evalcache.json.corrupt"]
+
+    def test_campaign_survives_corrupt_sidecar(self, tmp_path):
+        """End-to-end: resume with a garbage sidecar never aborts."""
+        reference = make_loop().run()
+        make_loop().run(iterations=3, checkpoint_dir=str(tmp_path))
+        sidecar = tmp_path / "evalcache.json"
+        sidecar.write_bytes(b"\xde\xad\xbe\xef")
+        loop = HarpocratesLoop(
+            Generator(GEN_CONFIG),
+            Evaluator(METRIC, cache=EvaluationCache()),
+            config=CONFIG,
+        )
+        resumed = loop.run(resume_from=str(tmp_path))
+        assert resumed.fitness_curve() == reference.fitness_curve()

@@ -1,0 +1,527 @@
+"""Dynamic fleet membership: late joins, drains, backoff, hardening.
+
+The fleet is no longer frozen at campaign start: workers started late
+register through the coordinator's :class:`RegistrationListener` and
+get batches from the next generation on; SIGTERM'd workers drain their
+in-flight batch and deregister with **zero** lost or duplicated
+evaluations; a worker that goes mute at the heartbeat boundary has its
+tasks re-dispatched exactly once.
+"""
+
+import random
+import socket
+import threading
+import time
+
+import pytest
+
+from repro import obs
+from repro.core.evaluator import Evaluator
+from repro.core.generator import Generator
+from repro.core.targets import scaled_targets
+from repro.dist import protocol
+from repro.dist.evaluator import DistributedEvaluator
+from repro.dist.membership import (
+    ExponentialBackoff,
+    RegistrationListener,
+    announce,
+)
+from repro.dist.protocol import (
+    MSG_CONFIGURED,
+    MSG_HELLO,
+    PROTOCOL_VERSION,
+    validate_port,
+)
+from repro.dist.worker import WorkerServer, parse_listen
+
+SCALES = (0.03, 0.008)
+TARGET_KEY = "int_adder"
+
+
+@pytest.fixture(scope="module")
+def spec():
+    return scaled_targets(*SCALES)[TARGET_KEY]
+
+
+@pytest.fixture(autouse=True)
+def fresh_obs():
+    obs.reset()
+    yield
+    obs.reset()
+
+
+def make_distributed(spec, endpoints, **overrides):
+    kwargs = dict(
+        endpoints=endpoints,
+        target_key=TARGET_KEY,
+        program_scale=SCALES[0],
+        loop_scale=SCALES[1],
+        heartbeat_interval=0.3,
+        heartbeat_misses=3,
+        connect_timeout=2.0,
+    )
+    kwargs.update(overrides)
+    return DistributedEvaluator(spec.metric, spec.machine, **kwargs)
+
+
+def signature(evaluated):
+    return [(e.name, e.fitness) for e in evaluated]
+
+
+def wait_until(predicate, timeout=10.0, interval=0.05):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return False
+
+
+class TestExponentialBackoff:
+    def test_growth_and_hard_ceiling(self):
+        backoff = ExponentialBackoff(
+            base=0.5, cap=8.0, factor=2.0, jitter=0.0
+        )
+        delays = [backoff.next_delay() for _ in range(8)]
+        assert delays[:5] == [0.5, 1.0, 2.0, 4.0, 8.0]
+        # The cap is a *ceiling*: once reached it never grows again.
+        assert delays[5:] == [8.0, 8.0, 8.0]
+
+    def test_jitter_bounded_and_capped(self):
+        backoff = ExponentialBackoff(
+            base=1.0, cap=4.0, factor=2.0, jitter=0.5,
+            rng=random.Random(1),
+        )
+        raw = [1.0, 2.0, 4.0, 4.0, 4.0, 4.0]
+        for expected in raw:
+            delay = backoff.next_delay()
+            assert expected <= delay <= min(4.0, expected * 1.5)
+        assert all(
+            backoff.next_delay() <= 4.0 for _ in range(50)
+        ), "jitter must never push past the ceiling"
+
+    def test_reset_restarts_schedule(self):
+        backoff = ExponentialBackoff(base=0.5, cap=8.0, jitter=0.0)
+        backoff.next_delay()
+        backoff.next_delay()
+        backoff.reset()
+        assert backoff.next_delay() == 0.5
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            ExponentialBackoff(base=0.0)
+        with pytest.raises(ValueError):
+            ExponentialBackoff(base=2.0, cap=1.0)
+        with pytest.raises(ValueError):
+            ExponentialBackoff(factor=0.5)
+        with pytest.raises(ValueError):
+            ExponentialBackoff(jitter=1.5)
+
+
+class TestRegistrationListener:
+    def test_announce_registers_worker(self):
+        seen = []
+        listener = RegistrationListener(
+            lambda host, port, slots: seen.append((host, port, slots))
+        ).start()
+        try:
+            assert announce(
+                ("127.0.0.1", listener.port), "10.1.2.3", 7070, slots=4
+            )
+        finally:
+            listener.close()
+        assert seen == [("10.1.2.3", 7070, 4)]
+
+    def test_empty_host_defaults_to_dialing_address(self):
+        seen = []
+        listener = RegistrationListener(
+            lambda host, port, slots: seen.append((host, port, slots))
+        ).start()
+        try:
+            assert announce(("127.0.0.1", listener.port), "", 7071)
+        finally:
+            listener.close()
+        assert seen == [("127.0.0.1", 7071, 1)]
+
+    def test_garbage_registration_dropped_not_fatal(self):
+        seen = []
+        listener = RegistrationListener(
+            lambda host, port, slots: seen.append((host, port, slots))
+        ).start()
+        try:
+            with socket.create_connection(
+                ("127.0.0.1", listener.port), timeout=2.0
+            ) as sock:
+                sock.sendall(b"\xde\xad\xbe\xef" * 64)
+            # The listener survives and still serves real announces.
+            assert announce(("127.0.0.1", listener.port), "", 7072)
+        finally:
+            listener.close()
+        assert seen == [("127.0.0.1", 7072, 1)]
+
+    def test_bad_port_in_register_rejected(self):
+        seen = []
+        listener = RegistrationListener(
+            lambda host, port, slots: seen.append((host, port, slots))
+        ).start()
+        try:
+            with socket.create_connection(
+                ("127.0.0.1", listener.port), timeout=2.0
+            ) as sock:
+                protocol.send_frame(sock, {
+                    "type": "register", "host": "", "port": "not-a-port",
+                })
+            assert announce(("127.0.0.1", listener.port), "", 7073)
+        finally:
+            listener.close()
+        assert seen == [("127.0.0.1", 7073, 1)]
+
+    def test_announce_to_dead_endpoint_returns_false(self):
+        assert not announce(("127.0.0.1", 1), "", 7070, timeout=0.3)
+
+
+class TestLateJoin:
+    def test_worker_started_after_campaign_gets_batches(self, spec):
+        """A campaign started with an empty fleet runs locally; once a
+        worker announces itself it carries the next generation — with
+        output identical to the local run throughout."""
+        obs.enable()
+        generator = Generator(spec.generation)
+        first = generator.initial_population(6, base_seed=21)
+        second = generator.initial_population(6, base_seed=22)
+        local = Evaluator(spec.metric, spec.machine)
+        expected = [signature(local.rank(p)) for p in (first, second)]
+
+        distributed = make_distributed(
+            spec, [], fleet_listen=("127.0.0.1", 0)
+        )
+        worker = None
+        try:
+            assert distributed.fleet_listen_port
+            # Generation 1: no fleet yet — local fallback.
+            got_first = signature(distributed.rank(first))
+
+            worker = WorkerServer(
+                slots=2,
+                announce_to=("127.0.0.1", distributed.fleet_listen_port),
+                announce_backoff=ExponentialBackoff(base=0.1, cap=0.5),
+            ).start()
+            coordinator = distributed.coordinator
+            assert wait_until(
+                lambda: coordinator._pending_joins or coordinator.workers
+            ), "worker never registered"
+
+            # Generation 2: the late joiner is admitted and graded it.
+            got_second = signature(distributed.rank(second))
+            health = distributed.take_health()
+        finally:
+            distributed.close()
+            if worker is not None:
+                worker.close()
+
+        assert [got_first, got_second] == expected
+        joins = obs.registry().get("repro_fleet_joins_total")
+        assert joins is not None and joins.value >= 1
+        batches = obs.registry().get("repro_dist_batches_total")
+        assert batches is not None, \
+            "late joiner never received a batch"
+        assert sum(
+            child.value for _key, child in batches.children()
+        ) >= 1
+        # Both generations graded everything exactly once (generation
+        # one locally, generation two on the late joiner).
+        assert health.evaluations == len(first) + len(second)
+
+    def test_reannounce_is_deduplicated(self, spec):
+        obs.enable()
+        distributed = make_distributed(
+            spec, [], fleet_listen=("127.0.0.1", 0)
+        )
+        try:
+            registry = ("127.0.0.1", distributed.fleet_listen_port)
+            for _ in range(3):
+                assert announce(registry, "", 7074)
+            coordinator = distributed.coordinator
+            assert wait_until(lambda: coordinator._pending_joins)
+            assert len(coordinator._pending_joins) == 1
+            # Joins count once per unique announce, not per retry.
+            joins = obs.registry().get("repro_fleet_joins_total")
+            assert joins.value == 1
+        finally:
+            distributed.close()
+
+
+def draining_worker():
+    """A one-slot worker that drains itself — the SIGTERM path — as
+    soon as its first batch starts evaluating, so the drain lands
+    deterministically mid-generation."""
+    started = threading.Event()
+
+    def factory(spec, slots, eval_timeout, max_retries):
+        from repro.dist.worker import default_evaluator_factory
+
+        inner = default_evaluator_factory(
+            spec, slots, eval_timeout, max_retries
+        )
+
+        class Notifying:
+            def evaluate(self, programs):
+                started.set()
+                return inner.evaluate(programs)
+
+            def take_health(self):
+                return inner.take_health()
+
+        return Notifying()
+
+    worker = WorkerServer(slots=1, evaluator_factory=factory).start()
+    drainer = threading.Thread(
+        target=lambda: (started.wait(20), worker.drain()), daemon=True
+    )
+    drainer.start()
+    return worker, drainer
+
+
+class TestDrain:
+    def test_sigterm_drain_loses_and_duplicates_nothing(self, spec):
+        """Drain one of two workers mid-generation: its in-flight
+        batch completes, later batches are refused and re-dispatched,
+        and every candidate is evaluated exactly once."""
+        obs.enable()
+        staying = WorkerServer(slots=1).start()
+        leaving, drainer = draining_worker()
+        endpoints = [
+            ("127.0.0.1", staying.port), ("127.0.0.1", leaving.port)
+        ]
+        generator = Generator(spec.generation)
+        population = generator.initial_population(10, base_seed=33)
+        local = Evaluator(spec.metric, spec.machine).rank(population)
+
+        distributed = make_distributed(spec, endpoints, steal=False)
+        try:
+            remote = distributed.rank(population)
+            health = distributed.take_health()
+        finally:
+            distributed.close()
+            staying.close()
+            leaving.close()
+        drainer.join(timeout=20)
+
+        assert signature(local) == signature(remote)
+        # Drained ≠ dead: no loss event, every candidate graded once.
+        assert health.workers_lost == 0
+        assert health.evaluations == len(population)
+        drains = obs.registry().get("repro_fleet_drains_total")
+        assert drains is not None and drains.value == 1
+
+    def test_departed_worker_not_redialed(self, spec):
+        staying = WorkerServer(slots=1).start()
+        leaving, drainer = draining_worker()
+        endpoints = [
+            ("127.0.0.1", staying.port), ("127.0.0.1", leaving.port)
+        ]
+        generator = Generator(spec.generation)
+        first = generator.initial_population(8, base_seed=41)
+        second = generator.initial_population(8, base_seed=42)
+        local = Evaluator(spec.metric, spec.machine)
+        expected = [signature(local.rank(p)) for p in (first, second)]
+
+        distributed = make_distributed(spec, endpoints, steal=False)
+        try:
+            got_first = signature(distributed.rank(first))
+            drainer.join(timeout=20)
+            departed = [
+                worker for worker in distributed.coordinator.workers
+                if worker.departed
+            ]
+            got_second = signature(distributed.rank(second))
+            still_departed = [
+                worker for worker in distributed.coordinator.workers
+                if worker.departed
+            ]
+        finally:
+            distributed.close()
+            staying.close()
+            leaving.close()
+
+        assert [got_first, got_second] == expected
+        assert len(departed) == 1
+        assert still_departed == departed
+        assert not departed[0].alive
+
+    def test_readmission_clears_departed_state(self, spec):
+        distributed = make_distributed(
+            spec, [("127.0.0.1", 65000)]
+        )
+        try:
+            worker = distributed.coordinator.workers[0]
+            worker.departed = True
+            worker.cooldown = 3
+            distributed.coordinator.admit("127.0.0.1", 65000)
+            assert not worker.departed
+            assert worker.cooldown == 0
+        finally:
+            distributed.close()
+
+    def test_drain_refuses_new_batches(self, spec):
+        """A batch arriving after drain started is answered with an
+        error frame, not silently swallowed."""
+        worker = WorkerServer(slots=1).start()
+        worker._draining.set()
+        try:
+            with socket.create_connection(
+                ("127.0.0.1", worker.port), timeout=2.0
+            ) as sock:
+                sock.settimeout(2.0)
+                protocol.send_frame(sock, {
+                    "type": MSG_HELLO, "protocol": PROTOCOL_VERSION,
+                    "role": "coordinator", "caps": [],
+                })
+                hello = protocol.recv_frame(sock)
+                assert hello["type"] == MSG_HELLO
+                protocol.send_frame(sock, {
+                    "type": "configure", "target": TARGET_KEY,
+                    "program_scale": SCALES[0],
+                    "loop_scale": SCALES[1], "paper": False,
+                })
+                reply = protocol.recv_frame(sock)
+                assert reply["type"] == MSG_CONFIGURED
+                protocol.send_frame(sock, {
+                    "type": "eval", "gen": 1,
+                    "batch": [{"id": 0, "program": {}}],
+                })
+                refusal = protocol.recv_frame(sock)
+        finally:
+            worker.close()
+        assert refusal["type"] == "error"
+        assert refusal.get("draining") is True
+        assert "draining" in str(refusal.get("message"))
+
+
+class MuteAfterConfigure:
+    """A fake worker that completes the handshake, then never answers
+    anything again — the shape of a wedged host whose TCP stack is
+    alive but whose process is stuck."""
+
+    def __init__(self):
+        self._listener = socket.socket(
+            socket.AF_INET, socket.SOCK_STREAM
+        )
+        self._listener.setsockopt(
+            socket.SOL_SOCKET, socket.SO_REUSEADDR, 1
+        )
+        self._listener.bind(("127.0.0.1", 0))
+        self._listener.listen(4)
+        self.port = self._listener.getsockname()[1]
+        self._socks = []
+        threading.Thread(target=self._serve, daemon=True).start()
+
+    def _serve(self):
+        while True:
+            try:
+                sock, _addr = self._listener.accept()
+            except OSError:
+                return
+            self._socks.append(sock)
+            try:
+                sock.settimeout(5.0)
+                protocol.recv_frame(sock)  # hello
+                protocol.send_frame(sock, {
+                    "type": MSG_HELLO, "protocol": PROTOCOL_VERSION,
+                    "role": "worker", "slots": 1, "pid": 0, "caps": [],
+                })
+                protocol.recv_frame(sock)  # configure
+                protocol.send_frame(sock, {"type": MSG_CONFIGURED})
+                # ... and from here on: silence.  Never pong, never
+                # answer, keep the socket open.
+            except Exception:
+                pass
+
+    def close(self):
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        for sock in self._socks:
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+
+class TestHeartbeatEdge:
+    def test_mute_worker_redispatched_exactly_once(self, spec):
+        """A worker silent past the heartbeat grace is declared dead;
+        its tasks are re-dispatched exactly once (every candidate is
+        graded a single time) and the ranking matches local."""
+        mute = MuteAfterConfigure()
+        healthy = WorkerServer(slots=2).start()
+        endpoints = [
+            ("127.0.0.1", mute.port), ("127.0.0.1", healthy.port)
+        ]
+        generator = Generator(spec.generation)
+        population = generator.initial_population(8, base_seed=17)
+        local = Evaluator(spec.metric, spec.machine).rank(population)
+
+        distributed = make_distributed(
+            spec, endpoints, steal=False,
+            heartbeat_interval=0.2, heartbeat_misses=2,
+        )
+        try:
+            remote = distributed.rank(population)
+            health = distributed.take_health()
+        finally:
+            distributed.close()
+            mute.close()
+            healthy.close()
+
+        assert signature(local) == signature(remote)
+        assert health.workers_lost == 1
+        assert health.redispatched >= 1
+        # Exactly once: the mute worker graded nothing, the healthy
+        # worker graded the whole population, nothing ran twice.
+        assert health.evaluations == len(population)
+
+
+class TestParseListen:
+    def test_host_and_port(self):
+        assert parse_listen("0.0.0.0:7070") == ("0.0.0.0", 7070)
+
+    def test_bare_port_binds_loopback(self):
+        assert parse_listen("7070") == ("127.0.0.1", 7070)
+
+    def test_empty_host_defaults_to_loopback(self):
+        assert parse_listen(":8080") == ("127.0.0.1", 8080)
+
+    def test_ephemeral_port_zero_allowed(self):
+        assert parse_listen("127.0.0.1:0") == ("127.0.0.1", 0)
+
+    def test_non_numeric_port_rejected(self):
+        with pytest.raises(ValueError, match="not a number"):
+            parse_listen("host:sevenseventy")
+
+    def test_out_of_range_port_rejected(self):
+        with pytest.raises(ValueError, match="out of range"):
+            parse_listen("host:70000")
+        with pytest.raises(ValueError, match="out of range"):
+            parse_listen("host:-1")
+
+    def test_message_names_the_bad_value(self):
+        with pytest.raises(ValueError, match="host:nope"):
+            parse_listen("host:nope")
+
+
+class TestValidatePort:
+    def test_accepts_ints_and_numeric_strings(self):
+        assert validate_port(7070) == 7070
+        assert validate_port("7070") == 7070
+        assert validate_port(0) == 0
+        assert validate_port(65535) == 65535
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            validate_port(None)
+        with pytest.raises(ValueError):
+            validate_port("12.5")
+        with pytest.raises(ValueError):
+            validate_port(65536)
