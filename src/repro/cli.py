@@ -9,6 +9,12 @@ Commands:
   ``repro-worker`` agents),
 * ``worker`` — serve as a distributed evaluation agent (also
   installed as the ``repro-worker`` console script),
+* ``service`` — run the always-on campaign service: a durable job
+  queue, an HTTP API, and a scheduler that time-shares one worker
+  fleet and one evaluation cache across many tenants' campaigns,
+* ``submit`` / ``status`` / ``cancel`` — the service's thin clients
+  (``submit --wait`` streams the finished campaign's stdout, which is
+  byte-identical to a ``loop`` run of the same target/scale/seed),
 * ``baselines`` — grade the baseline suites on the six structures,
 * ``generate`` — emit a constrained-random program as assembly,
 * ``fuzz`` — run the SiliFuzz-style campaign and print its statistics.
@@ -63,7 +69,7 @@ def _parse_workers(value: str):
 def _cmd_loop(args: argparse.Namespace) -> int:
     from repro import obs
     from repro.core import CheckpointError, scaled_targets
-    from repro.experiments.fig10 import run_target
+    from repro.experiments.fig10 import campaign_stdout, run_target
 
     scale = _PRESETS[args.scale]
     targets = scaled_targets(
@@ -131,6 +137,8 @@ def _cmd_loop(args: argparse.Namespace) -> int:
                 None if args.no_eval_cache else args.eval_cache_size
             ),
             fleet_listen=fleet_listen,
+            iterations=args.iterations,
+            seed=args.seed,
         )
     except CheckpointError as exc:
         print(f"checkpoint error: {exc}", file=sys.stderr)
@@ -140,8 +148,9 @@ def _cmd_loop(args: argparse.Namespace) -> int:
             metrics_server.close()
         if obs.enabled():
             obs.shutdown()
-    print(curve.render())
-    print(f"final detection: {curve.final_detection:.1%}")
+    # The one canonical rendering — the service's job output uses the
+    # same function, so CLI and service runs are byte-comparable.
+    sys.stdout.write(campaign_stdout(curve))
     if curve.phase_times:
         # To stderr: timings vary run to run, and stdout must stay
         # byte-comparable between local and distributed campaigns.
@@ -169,6 +178,163 @@ def _cmd_worker(args: argparse.Namespace) -> int:
     if args.advertise_host is not None:
         forwarded += ["--advertise-host", args.advertise_host]
     return worker_main(forwarded)
+
+
+def _cmd_service(args: argparse.Namespace) -> int:
+    import logging
+    import signal
+    import threading
+
+    from repro import obs
+    from repro.dist.worker import parse_listen
+    from repro.service import CampaignScheduler, ServiceServer
+
+    try:
+        listen = parse_listen(args.listen)
+        fleet_listen = (
+            parse_listen(args.fleet_listen)
+            if args.fleet_listen is not None else None
+        )
+    except ValueError as exc:
+        print(f"bad listen address: {exc}", file=sys.stderr)
+        return 2
+    logging.basicConfig(
+        level=logging.INFO,
+        format="%(asctime)s %(name)s %(levelname)s %(message)s",
+        stream=sys.stderr,
+    )
+    # The service always runs with observability on: its /metrics and
+    # /status views are the operator's window into a headless process.
+    obs.configure(enabled=True, trace_dir=args.trace_dir)
+    scheduler = CampaignScheduler(
+        args.state_dir,
+        max_concurrent=args.max_concurrent,
+        tenant_quota=args.tenant_quota,
+        local_workers=args.local_workers,
+        workers_per_campaign=args.workers_per_campaign,
+        fleet_listen=fleet_listen,
+        eval_timeout=args.eval_timeout,
+        max_retries=args.max_retries,
+    ).start()
+    server = ServiceServer(
+        scheduler, host=listen[0], port=listen[1]
+    ).start()
+    print(
+        f"campaign service on http://{listen[0]}:{server.port} "
+        f"(POST /campaigns, GET /queue, /metrics, /status)",
+        file=sys.stderr,
+    )
+    if scheduler.fleet_listen_port is not None:
+        print(
+            f"fleet registration on "
+            f"{fleet_listen[0]}:{scheduler.fleet_listen_port} "
+            f"(repro-worker --announce)",
+            file=sys.stderr,
+        )
+    stop = threading.Event()
+
+    def handle_signal(signum, frame) -> None:
+        print(
+            f"signal {signum}: draining campaigns to checkpoint...",
+            file=sys.stderr,
+        )
+        stop.set()
+
+    signal.signal(signal.SIGTERM, handle_signal)
+    signal.signal(signal.SIGINT, handle_signal)
+    stop.wait()
+    server.close()
+    scheduler.stop()
+    obs.shutdown()
+    print("service stopped; queue state persisted", file=sys.stderr)
+    return 0
+
+
+def _service_url(args: argparse.Namespace) -> str:
+    return args.service.rstrip("/")
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from repro.service.api import ServiceError, submit_job
+
+    payload = {"target": args.target, "tenant": args.tenant,
+               "scale": args.scale, "priority": args.priority}
+    if args.seed is not None:
+        payload["seed"] = args.seed
+    if args.iterations is not None:
+        payload["iterations"] = args.iterations
+    try:
+        job = submit_job(_service_url(args), payload)
+    except ServiceError as exc:
+        print(f"submit rejected: {exc}", file=sys.stderr)
+        return 2
+    except OSError as exc:
+        print(f"service unreachable: {exc}", file=sys.stderr)
+        return 2
+    print(f"submitted {job['id']} ({job['target']}, "
+          f"scale={job['scale']}, tenant={job['tenant']})",
+          file=sys.stderr)
+    if not args.wait:
+        print(job["id"])
+        return 0
+    return _wait_and_print(args, str(job["id"]))
+
+
+def _wait_and_print(args: argparse.Namespace, job_id: str) -> int:
+    from repro.service.api import wait_for_job
+
+    try:
+        job = wait_for_job(
+            _service_url(args), job_id, timeout=args.timeout
+        )
+    except TimeoutError as exc:
+        print(f"timed out: {exc}", file=sys.stderr)
+        return 3
+    if job["state"] == "done":
+        # Raw job output — byte-identical to `harpocrates loop` for
+        # the same target/scale/seed, so callers can diff directly.
+        sys.stdout.write(str(job["output"]))
+        return 0
+    print(f"{job_id} {job['state']}: {job.get('error') or ''}",
+          file=sys.stderr)
+    return 1
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.service.api import ServiceError, get_job, get_queue
+
+    try:
+        if args.job_id is None:
+            print(json.dumps(get_queue(_service_url(args)), indent=2))
+            return 0
+        if args.wait:
+            return _wait_and_print(args, args.job_id)
+        job = get_job(_service_url(args), args.job_id)
+    except ServiceError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    except OSError as exc:
+        print(f"service unreachable: {exc}", file=sys.stderr)
+        return 2
+    print(json.dumps(job, indent=2))
+    return 0
+
+
+def _cmd_cancel(args: argparse.Namespace) -> int:
+    from repro.service.api import ServiceError, cancel_job
+
+    try:
+        reply = cancel_job(_service_url(args), args.job_id)
+    except ServiceError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    except OSError as exc:
+        print(f"service unreachable: {exc}", file=sys.stderr)
+        return 2
+    print(f"{reply['id']} -> {reply['state']}", file=sys.stderr)
+    return 0
 
 
 def _cmd_baselines(args: argparse.Namespace) -> int:
@@ -301,6 +467,15 @@ def build_parser() -> argparse.ArgumentParser:
              "dispatch at the next generation (distributed runs only)",
     )
     loop_parser.add_argument(
+        "--seed", type=int, default=None,
+        help="override the target's loop seed (service jobs use the "
+             "same override, keeping CLI and service runs comparable)",
+    )
+    loop_parser.add_argument(
+        "--iterations", type=int, default=None, metavar="N",
+        help="override the scale preset's iteration count",
+    )
+    loop_parser.add_argument(
         "--trace-dir", default=None, metavar="DIR",
         help="enable observability: write span-trace JSONL and a "
              "final metrics snapshot into DIR",
@@ -349,6 +524,120 @@ def build_parser() -> argparse.ArgumentParser:
         help="hostname to advertise when announcing",
     )
     worker_parser.set_defaults(handler=_cmd_worker)
+
+    service_parser = subparsers.add_parser(
+        "service",
+        help="run the always-on multi-tenant campaign service",
+    )
+    service_parser.add_argument(
+        "--listen", default="127.0.0.1:8400", metavar="HOST:PORT",
+        help="HTTP API address (default 127.0.0.1:8400; port 0 binds "
+             "an ephemeral port, printed to stderr)",
+    )
+    service_parser.add_argument(
+        "--state-dir", required=True, metavar="DIR",
+        help="durable state: the job queue, the shared eval-cache "
+             "store, and per-job checkpoints; a restarted service "
+             "resumes every unfinished campaign from here",
+    )
+    service_parser.add_argument(
+        "--fleet-listen", default=None, metavar="HOST:PORT",
+        help="accept repro-worker --announce registrations here; "
+             "campaigns lease capacity slices from the joined fleet",
+    )
+    service_parser.add_argument(
+        "--max-concurrent", type=int, default=2, metavar="N",
+        help="campaigns running simultaneously (default 2)",
+    )
+    service_parser.add_argument(
+        "--tenant-quota", type=int, default=8, metavar="N",
+        help="max live (pending+running) jobs per tenant (default 8)",
+    )
+    service_parser.add_argument(
+        "--local-workers", type=int, default=1, metavar="N",
+        help="per-campaign local evaluation processes, the fallback "
+             "when no fleet workers are available (default 1)",
+    )
+    service_parser.add_argument(
+        "--workers-per-campaign", type=int, default=None, metavar="N",
+        help="cap fleet workers leased per campaign (default: no cap)",
+    )
+    service_parser.add_argument(
+        "--eval-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-candidate wall-clock budget for service campaigns",
+    )
+    service_parser.add_argument(
+        "--max-retries", type=int, default=0,
+        help="extra attempts for transiently failing evaluations",
+    )
+    service_parser.add_argument(
+        "--trace-dir", default=None, metavar="DIR",
+        help="additionally write span-trace JSONL into DIR",
+    )
+    service_parser.set_defaults(handler=_cmd_service)
+
+    def add_client_arguments(client_parser) -> None:
+        client_parser.add_argument(
+            "--service", default="http://127.0.0.1:8400",
+            metavar="URL", help="service base URL",
+        )
+        client_parser.add_argument(
+            "--timeout", type=float, default=600.0, metavar="SECONDS",
+            help="how long --wait polls before giving up "
+                 "(default 600)",
+        )
+
+    submit_parser = subparsers.add_parser(
+        "submit", help="submit a campaign to the service"
+    )
+    submit_parser.add_argument(
+        "target",
+        help="irf | l1d | int_adder | int_mul | fp_adder | fp_mul",
+    )
+    _add_scale_argument(submit_parser)
+    submit_parser.add_argument("--tenant", default="default")
+    submit_parser.add_argument(
+        "--seed", type=int, default=None,
+        help="loop seed override (same semantics as `loop --seed`)",
+    )
+    submit_parser.add_argument(
+        "--iterations", type=int, default=None, metavar="N",
+        help="iteration-count override",
+    )
+    submit_parser.add_argument(
+        "--priority", type=int, default=0,
+        help="priority class; lower runs first (default 0)",
+    )
+    submit_parser.add_argument(
+        "--wait", action="store_true",
+        help="block until the job finishes and write its campaign "
+             "output to stdout (byte-identical to `loop`)",
+    )
+    add_client_arguments(submit_parser)
+    submit_parser.set_defaults(handler=_cmd_submit)
+
+    status_parser = subparsers.add_parser(
+        "status", help="queue summary, or one job's record"
+    )
+    status_parser.add_argument(
+        "job_id", nargs="?", default=None,
+        help="job id (omit for the queue summary)",
+    )
+    status_parser.add_argument(
+        "--wait", action="store_true",
+        help="with a job id: poll until it finishes, then write its "
+             "campaign output to stdout (survives service restarts)",
+    )
+    add_client_arguments(status_parser)
+    status_parser.set_defaults(handler=_cmd_status)
+
+    cancel_parser = subparsers.add_parser(
+        "cancel",
+        help="cancel a job (running jobs drain to checkpoint)",
+    )
+    cancel_parser.add_argument("job_id")
+    add_client_arguments(cancel_parser)
+    cancel_parser.set_defaults(handler=_cmd_cancel)
 
     baselines_parser = subparsers.add_parser(
         "baselines", help="grade the baseline suites (Figs 4/5/6)"

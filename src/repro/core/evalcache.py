@@ -30,6 +30,7 @@ import json
 import logging
 import os
 import tempfile
+import threading
 from collections import OrderedDict
 from typing import Optional, Tuple
 
@@ -325,4 +326,75 @@ class EvaluationCache:
                 )
         except (TypeError, ValueError):
             return _corrupt("malformed entry record")
+        return True
+
+
+class SharedEvaluationCache(EvaluationCache):
+    """A thread-safe cache shared by *concurrent* campaigns.
+
+    The campaign service runs many loops at once against one store, so
+    every tenant evaluating the same (program, metric, machine)
+    identity hits the entries its neighbours already paid for.  Safety
+    rests on the digest scheme, not on trust: the machine fingerprint
+    and metric identity are mixed into every key
+    (:func:`evaluation_context`), so campaigns with different targets
+    or geometries can never observe each other's scores — they simply
+    never collide.
+
+    Differences from the per-campaign base class:
+
+    * every operation (including the hit/miss/eviction counters) runs
+      under an ``RLock`` — concurrent loop threads mutate one
+      ``OrderedDict`` safely;
+    * :meth:`load` **merges** instead of replacing: a campaign resuming
+      from its checkpoint sidecar must warm the shared store, never
+      clobber entries other campaigns are using (existing entries win,
+      so an in-memory score is never downgraded by an older file).
+    """
+
+    def __init__(self, size: int = DEFAULT_EVAL_CACHE_SIZE):
+        super().__init__(size)
+        self._lock = threading.RLock()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return super().__len__()
+
+    def __contains__(self, digest: str) -> bool:
+        with self._lock:
+            return super().__contains__(digest)
+
+    def get(self, digest: str) -> Optional[CachedResult]:
+        with self._lock:
+            return super().get(digest)
+
+    def put(
+        self, digest: str, fitness: float, total_cycles: int, crashed: bool
+    ) -> None:
+        with self._lock:
+            super().put(digest, fitness, total_cycles, crashed)
+
+    def clear(self) -> None:
+        with self._lock:
+            super().clear()
+
+    def save(self, path: str) -> str:
+        with self._lock:
+            return super().save(path)
+
+    def load(self, path: str) -> bool:
+        """Merge a sidecar into the shared store (see class docstring).
+
+        Corruption handling (quarantine, cold start for the *file*) is
+        inherited via the staging load; the in-memory store is never
+        dropped by a bad file.
+        """
+        staging = EvaluationCache(self.size)
+        if not staging.load(path):
+            return False
+        with self._lock:
+            for digest, (fitness, cycles, crashed) in \
+                    staging._entries.items():
+                if digest not in self._entries:
+                    super().put(digest, fitness, cycles, crashed)
         return True

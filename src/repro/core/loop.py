@@ -310,6 +310,7 @@ class HarpocratesLoop:
         resume_from: Optional[str] = None,
         checkpoint_keep: Optional[int] = None,
         checkpoint_milestone_every: int = 0,
+        stop_check=None,
     ) -> LoopResult:
         """Execute the loop; returns the surviving elite and history.
 
@@ -327,6 +328,14 @@ class HarpocratesLoop:
         ``KeyboardInterrupt`` ends the run gracefully: the returned
         result covers every completed iteration and is marked
         ``interrupted``.
+
+        ``stop_check`` (a zero-argument callable) is polled at every
+        generation boundary; once it returns True the loop *drains to
+        checkpoint*: a checkpoint of the boundary state is written (if
+        checkpointing is on) and the run returns marked
+        ``interrupted`` — resuming that checkpoint later continues the
+        campaign bit-exactly.  This is how the campaign service
+        implements cancellation and graceful (SIGTERM) shutdown.
         """
         config = self.config
         config.validate()
@@ -363,6 +372,19 @@ class HarpocratesLoop:
         health = result.health
         try:
             for iteration in range(start_iteration, iterations):
+                if stop_check is not None and stop_check():
+                    # Drain to checkpoint: the boundary state (the
+                    # population and RNG exactly as a longer run would
+                    # hold them here) becomes durable, and the partial
+                    # result is returned marked interrupted.
+                    result.interrupted = True
+                    if checkpoint_dir is not None:
+                        with obs.phase("checkpoint"):
+                            self._write_checkpoint(
+                                checkpoint_dir, iteration, population,
+                                rng, result, best_so_far, stale,
+                            )
+                    break
                 started = time.perf_counter()
                 with obs.phase("evaluate"):
                     ranked = self.evaluator.rank(population)

@@ -68,7 +68,11 @@ class Manager:
 
     ``eval_cache_size`` bounds the content-addressed evaluation cache
     consulted before any simulation (elitism survivors hit it every
-    generation); ``None`` disables caching entirely.
+    generation); ``None`` disables caching entirely.  ``eval_cache``
+    (an :class:`~repro.core.evalcache.EvaluationCache` instance) takes
+    precedence over ``eval_cache_size`` — the campaign service passes
+    one :class:`~repro.core.evalcache.SharedEvaluationCache` to every
+    concurrent campaign so tenants share warm entries.
 
     ``fleet_listen`` (``(host, port)``, distributed only) opens the
     fleet-registration listener so workers started *after* the
@@ -85,13 +89,17 @@ class Manager:
         dist_scales: Optional[Tuple[float, float]] = None,
         eval_cache_size: Optional[int] = DEFAULT_EVAL_CACHE_SIZE,
         fleet_listen: Optional[Tuple[str, int]] = None,
+        eval_cache: Optional[EvaluationCache] = None,
     ):
         self.target = target
         self.generator = Generator(target.generation)
-        cache = (
-            EvaluationCache(eval_cache_size)
-            if eval_cache_size is not None else None
-        )
+        if eval_cache is not None:
+            cache: Optional[EvaluationCache] = eval_cache
+        else:
+            cache = (
+                EvaluationCache(eval_cache_size)
+                if eval_cache_size is not None else None
+            )
         if worker_endpoints:
             # Imported lazily: repro.dist imports this package.
             from repro.dist.evaluator import DistributedEvaluator
@@ -186,6 +194,7 @@ class Manager:
         resume_from: Optional[str] = None,
         checkpoint_keep: Optional[int] = None,
         checkpoint_milestone_every: int = 0,
+        stop_check: Optional[Callable[[], bool]] = None,
     ) -> LoopResult:
         return self.build_loop().run(
             iterations,
@@ -195,6 +204,7 @@ class Manager:
             resume_from=resume_from,
             checkpoint_keep=checkpoint_keep,
             checkpoint_milestone_every=checkpoint_milestone_every,
+            stop_check=stop_check,
         )
 
     # -- Table I instrumentation ---------------------------------------------

@@ -87,6 +87,141 @@ def parse_endpoints(spec: str) -> List[Tuple[str, int]]:
 
 
 @dataclass
+class FleetLease:
+    """One campaign's slice of the shared fleet (see :class:`FleetPool`).
+
+    ``endpoints`` is the ``(host, port)`` list the campaign may dial —
+    possibly empty, in which case it evaluates locally.  Hand the lease
+    back with :meth:`FleetPool.release` when the campaign ends so the
+    capacity flows to the next job.
+    """
+
+    owner: str
+    endpoints: List[Tuple[str, int]]
+
+    @property
+    def empty(self) -> bool:
+        return not self.endpoints
+
+
+class FleetPool:
+    """Service-wide worker registry with per-campaign capacity leasing.
+
+    One long-lived service owns one pool; every announced worker
+    (via the PR-6 :class:`~repro.dist.membership.RegistrationListener`)
+    lands here, and each campaign *leases* a slice of endpoints for its
+    lifetime.  Leasing is least-loaded: workers carrying the fewest
+    active leases are handed out first (ties broken by address, so the
+    assignment is deterministic), which time-shares a small fleet
+    fairly across many concurrent campaigns — two campaigns on a
+    two-worker fleet get one worker each; a lone campaign gets both.
+
+    Thread-safe throughout: the registration listener admits from its
+    accept thread while scheduler runners lease/release from theirs.
+    Dead workers are not detected here — each campaign's
+    :class:`Coordinator` already handles unreachable endpoints with
+    cooldowns and local fallback — but an operator (or a drain
+    notification) can :meth:`evict` an address so new leases skip it.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._slots: Dict[Tuple[str, int], int] = {}
+        self._lease_counts: Dict[Tuple[str, int], int] = {}
+        self._leases: Dict[str, FleetLease] = {}
+
+    def admit(self, host: str, port: int, slots: int = 1) -> None:
+        """Register (or refresh) one worker endpoint.
+
+        Signature-compatible with the :class:`RegistrationListener`
+        callback, so the service wires the listener straight into the
+        pool.  Re-announcements refresh ``slots`` without counting as
+        a new join.
+        """
+        key = (str(host), int(port))
+        with self._lock:
+            known = key in self._slots
+            self._slots[key] = max(1, int(slots))
+            if not known:
+                self._lease_counts.setdefault(key, 0)
+        if not known:
+            logger.info(
+                "fleet pool admitted worker %s:%d (slots=%d)",
+                key[0], key[1], max(1, int(slots)),
+            )
+            if obs.enabled():
+                obs.inc(
+                    "repro_fleet_joins_total",
+                    help_text="Workers admitted after campaign start "
+                              "(late joins and re-registrations)",
+                )
+
+    def evict(self, host: str, port: int) -> bool:
+        """Drop an endpoint from future leases (existing leases keep
+        their endpoint list; their coordinators cope with the loss)."""
+        key = (str(host), int(port))
+        with self._lock:
+            existed = self._slots.pop(key, None) is not None
+            self._lease_counts.pop(key, None)
+        return existed
+
+    def endpoints(self) -> List[Tuple[str, int]]:
+        """All admitted endpoints, sorted (a snapshot copy)."""
+        with self._lock:
+            return sorted(self._slots)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._slots)
+
+    def lease(
+        self, owner: str, max_workers: Optional[int] = None
+    ) -> FleetLease:
+        """Lease up to ``max_workers`` endpoints for one campaign.
+
+        Least-loaded first: endpoints with the fewest active leases
+        win, ties broken by address.  ``None`` leases every admitted
+        worker (the single-campaign case).  An empty pool yields an
+        empty lease — the campaign simply runs locally.
+        """
+        with self._lock:
+            ordered = sorted(
+                self._slots,
+                key=lambda key: (self._lease_counts.get(key, 0), key),
+            )
+            if max_workers is not None:
+                ordered = ordered[: max(0, int(max_workers))]
+            for key in ordered:
+                self._lease_counts[key] = \
+                    self._lease_counts.get(key, 0) + 1
+            lease = FleetLease(owner=str(owner), endpoints=ordered)
+            self._leases[lease.owner] = lease
+            if obs.enabled():
+                obs.set_gauge(
+                    "repro_fleet_leases_active",
+                    float(len(self._leases)),
+                    "Campaigns currently holding a fleet lease",
+                )
+            return lease
+
+    def release(self, lease: FleetLease) -> None:
+        """Return a lease's capacity to the pool (idempotent)."""
+        with self._lock:
+            if self._leases.pop(lease.owner, None) is None:
+                return
+            for key in lease.endpoints:
+                count = self._lease_counts.get(key)
+                if count:
+                    self._lease_counts[key] = count - 1
+            if obs.enabled():
+                obs.set_gauge(
+                    "repro_fleet_leases_active",
+                    float(len(self._leases)),
+                    "Campaigns currently holding a fleet lease",
+                )
+
+
+@dataclass
 class WorkerInfo:
     """Connection state for one fleet member."""
 

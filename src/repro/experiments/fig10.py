@@ -13,11 +13,11 @@ starts high thanks to the cache-aware generation constraints.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro import obs
-from repro.core.evalcache import DEFAULT_EVAL_CACHE_SIZE
+from repro.core.evalcache import DEFAULT_EVAL_CACHE_SIZE, EvaluationCache
 from repro.core.evaluator import EvalHealth
 from repro.core.loop import LoopResult
 from repro.core.manager import Manager
@@ -56,6 +56,10 @@ class ConvergenceCurve:
     #: Per-candidate evaluation-latency distribution for this run
     #: (the ``repro_eval_seconds`` delta; None unless obs was enabled).
     eval_latency: Optional[HistogramSnapshot] = None
+    #: True when the loop was stopped early (``stop_check`` fired or
+    #: ``KeyboardInterrupt``): the curve covers a prefix of the
+    #: campaign, durable in its checkpoint, not a final result.
+    interrupted: bool = False
 
     @property
     def final_coverage(self) -> float:
@@ -119,6 +123,21 @@ class ConvergenceCurve:
         )
 
 
+def campaign_stdout(curve: "ConvergenceCurve") -> str:
+    """The canonical campaign stdout: curve table + final detection.
+
+    This exact text is the determinism contract's unit of comparison —
+    ``harpocrates loop`` writes it to stdout, the campaign service
+    stores it as the job result, and CI diffs the two byte-for-byte.
+    Both paths MUST build their output through this one function so
+    they can never drift apart.
+    """
+    return (
+        f"{curve.render()}\n"
+        f"final detection: {curve.final_detection:.1%}\n"
+    )
+
+
 def render_latency_table(
     latency: Optional[HistogramSnapshot], title: str
 ) -> str:
@@ -177,6 +196,12 @@ def run_target(
     checkpoint_milestone_every: int = 0,
     eval_cache_size: Optional[int] = DEFAULT_EVAL_CACHE_SIZE,
     fleet_listen: Optional[Tuple[str, int]] = None,
+    iterations: Optional[int] = None,
+    seed: Optional[int] = None,
+    eval_cache: Optional[EvaluationCache] = None,
+    stop_check: Optional[Callable[[], bool]] = None,
+    on_point: Optional[Callable[[ConvergencePoint], None]] = None,
+    resume_points: Optional[Sequence[ConvergencePoint]] = None,
 ) -> ConvergenceCurve:
     """Run the loop for one target, sampling detection along the way.
 
@@ -188,7 +213,22 @@ def run_target(
     shards every generation across a ``repro-worker`` fleet (results
     are deterministic, so the curve matches the single-host run).
     ``eval_cache_size`` bounds the evaluation cache (None disables it).
+
+    The campaign-service hooks: ``iterations``/``seed`` override the
+    target's loop budget and RNG seed (both are part of the submitted
+    config, so a service job and its CLI twin pass the same values);
+    ``eval_cache`` substitutes a pre-built (shared) cache;
+    ``stop_check`` drains the loop to its checkpoint when it returns
+    True (the curve comes back ``interrupted``); ``on_point`` fires
+    for every sampled convergence point so progress can be persisted;
+    ``resume_points`` pre-loads the points a previous (interrupted)
+    run of this campaign already sampled, so a resumed campaign's
+    final output is byte-identical to an uninterrupted one.
     """
+    if seed is not None:
+        target = replace(
+            target, loop=replace(target.loop, seed=int(seed))
+        )
     manager = Manager(
         target,
         workers=workers,
@@ -198,8 +238,11 @@ def run_target(
         dist_scales=(scale.program_scale, scale.loop_scale),
         eval_cache_size=eval_cache_size,
         fleet_listen=fleet_listen,
+        eval_cache=eval_cache,
     )
     curve = ConvergenceCurve(target=target.key, title=target.title)
+    if resume_points:
+        curve.points.extend(resume_points)
     sample_every = max(scale.detection_sample_every, 1)
     phases_before = obs.phase_times()
     latency_before = obs.histogram_snapshot("repro_eval_seconds")
@@ -214,26 +257,30 @@ def run_target(
                     golden, scale.injections, scale.seed
                 )
                 detection = report.detection_capability
-        curve.points.append(
-            ConvergencePoint(
-                iteration=stats.iteration,
-                coverage=stats.best_fitness,
-                detection=detection,
-                quarantined=stats.quarantined,
-            )
+        point = ConvergencePoint(
+            iteration=stats.iteration,
+            coverage=stats.best_fitness,
+            detection=detection,
+            quarantined=stats.quarantined,
         )
+        curve.points.append(point)
+        if on_point is not None:
+            on_point(point)
 
     try:
         result: LoopResult = manager.run_loop(
+            iterations=iterations,
             on_iteration=on_iteration,
             checkpoint_dir=checkpoint_dir,
             resume_from=resume_from,
             checkpoint_keep=checkpoint_keep,
             checkpoint_milestone_every=checkpoint_milestone_every,
+            stop_check=stop_check,
         )
     finally:
         manager.close()
     curve.health = result.health
+    curve.interrupted = result.interrupted
     if obs.enabled():
         curve.phase_times = {
             name: seconds - phases_before.get(name, 0.0)

@@ -49,7 +49,7 @@ from repro.obs.metrics import (  # noqa: F401  (re-exported API)
     MetricFamily,
     MetricsRegistry,
 )
-from repro.obs.status import CampaignStatus
+from repro.obs.status import CampaignStatus, operator_counters
 from repro.obs.trace import NULL_CONTEXT, NULL_TRACER, NullTracer, Tracer
 
 #: Fleet series (merged worker snapshots) get this family-name prefix
@@ -307,8 +307,16 @@ def snapshot() -> Dict[str, object]:
 
 
 def status_dict() -> Dict[str, object]:
-    """The `/status` JSON payload."""
-    return _state.status.as_dict()
+    """The `/status` JSON payload.
+
+    Alongside the campaign/worker view, surfaces the operator-facing
+    counter totals (eval-cache hits/misses, fleet joins/drains — see
+    :data:`~repro.obs.status.OPERATOR_COUNTER_FAMILIES`) so a watcher
+    does not have to scrape and parse ``/metrics`` for them.
+    """
+    payload = _state.status.as_dict()
+    payload["counters"] = operator_counters(_state.registry)
+    return payload
 
 
 def merge_worker_snapshot(worker: str, snap: Dict[str, object]) -> None:

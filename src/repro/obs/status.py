@@ -14,6 +14,37 @@ import threading
 import time
 from typing import Dict, List, Optional
 
+#: Counter families surfaced directly on ``/status`` (friendly name →
+#: registry family).  Operators watching a long campaign asked for the
+#: eval-cache and fleet-churn counters without scraping ``/metrics``:
+#: these are the "is the platform actually saving work / is the fleet
+#: actually churning" numbers from the cache and membership layers.
+OPERATOR_COUNTER_FAMILIES: Dict[str, str] = {
+    "eval_cache_hits": "repro_eval_cache_hits_total",
+    "eval_cache_misses": "repro_eval_cache_misses_total",
+    "fleet_joins": "repro_fleet_joins_total",
+    "fleet_drains": "repro_fleet_drains_total",
+}
+
+
+def operator_counters(registry) -> Dict[str, float]:
+    """Harvest the :data:`OPERATOR_COUNTER_FAMILIES` totals.
+
+    Each family is summed across its label children (a merged fleet
+    series carries per-worker labels).  Families that have never been
+    touched report 0.0, so the ``/status`` payload always has a stable
+    shape.
+    """
+    counters: Dict[str, float] = {}
+    for key, family_name in OPERATOR_COUNTER_FAMILIES.items():
+        total = 0.0
+        family = registry.get(family_name)
+        if family is not None:
+            for _values, child in family.children():
+                total += child.value
+        counters[key] = total
+    return counters
+
 
 class CampaignStatus:
     """Mutable, thread-safe campaign state for the status endpoint."""

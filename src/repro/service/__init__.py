@@ -1,0 +1,42 @@
+"""The campaign service: a multi-tenant, always-on coordinator.
+
+Every layer below this one — the resilient pools, the distributed
+fleet, the observability stack, the evaluation cache, chaos-hardened
+membership — assumed one CLI process owning one campaign and then
+exiting.  This package promotes the coordinator to a *service*: many
+campaigns from many tenants time-share one long-lived worker fleet,
+amortizing the expensive infrastructure (fleet spin-up, warm caches,
+persistent pools) across the whole workload instead of per run.
+
+* :mod:`repro.service.queue` — the durable job queue: per-tenant
+  quotas, priority classes with FIFO within each class, and a
+  checksummed JSON state file so a service restart resumes pending and
+  running jobs from their checkpoints;
+* :mod:`repro.service.scheduler` — runs queued campaigns concurrently,
+  leasing worker-capacity slices from a shared
+  :class:`~repro.dist.coordinator.FleetPool` and routing every
+  evaluation through one shared cross-campaign
+  :class:`~repro.core.evalcache.SharedEvaluationCache`;
+* :mod:`repro.service.api` — the stdlib HTTP API (``POST /campaigns``,
+  ``GET /campaigns/<id>``, ``DELETE /campaigns/<id>``, ``GET /queue``)
+  plus the matching client helpers behind ``harpocrates submit`` /
+  ``status`` / ``cancel``.
+
+The determinism invariant extends through the service: a campaign
+submitted over HTTP produces byte-identical ranking output to the same
+target/config/seed run via the ``harpocrates`` CLI — including when the
+service is killed and restarted mid-campaign (jobs drain to their
+checkpoints and resume bit-exactly).
+"""
+
+from repro.service.api import ServiceServer
+from repro.service.queue import Job, JobQueue, QuotaExceeded
+from repro.service.scheduler import CampaignScheduler
+
+__all__ = [
+    "CampaignScheduler",
+    "Job",
+    "JobQueue",
+    "QuotaExceeded",
+    "ServiceServer",
+]

@@ -1,0 +1,335 @@
+"""The campaign service HTTP API (stdlib ``http.server``).
+
+:class:`ServiceServer` exposes a :class:`~repro.service.scheduler.
+CampaignScheduler` over HTTP:
+
+* ``POST /campaigns`` — submit a campaign.  JSON body:
+  ``{"target": "...", "tenant": "...", "scale": "smoke|default|full",
+  "seed": N, "iterations": N, "priority": N}`` (only ``target`` is
+  required).  Replies ``201`` with the job record, ``400`` for bad
+  JSON or unknown target/scale, ``429`` when the tenant quota is full;
+* ``GET /campaigns`` — all job records;
+* ``GET /campaigns/<id>`` — one job record (``404`` unknown);
+* ``DELETE /campaigns/<id>`` — cancel: a pending job is cancelled
+  immediately, a running one drains to its next checkpoint;
+* ``GET /queue`` — queue summary (depth, per-state counts, per-tenant
+  live jobs vs. quota);
+* ``GET /metrics`` / ``GET /status`` — the observability views, same
+  formats as :mod:`repro.obs.server`.
+
+The module also ships the matching :mod:`urllib.request` client
+helpers (:func:`submit_job`, :func:`get_job`, :func:`get_queue`,
+:func:`cancel_job`, :func:`wait_for_job`) used by ``harpocrates
+submit`` / ``status`` / ``cancel`` — and by the CI smoke job, which
+byte-diffs a service job's ``output`` against the CLI run of the same
+target/seed.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, Optional
+
+from repro import obs
+from repro.obs.server import EXPOSITION_CONTENT_TYPE
+from repro.service.queue import TERMINAL_STATES, QuotaExceeded
+from repro.service.scheduler import CampaignScheduler
+
+_JSON = "application/json; charset=utf-8"
+_TEXT = "text/plain; charset=utf-8"
+
+#: Request bodies above this size are rejected outright (413).
+MAX_BODY_BYTES = 1 << 20
+
+
+class _SchedulerHTTPServer(ThreadingHTTPServer):
+    """Carries the scheduler so handler instances can reach it."""
+
+    scheduler: CampaignScheduler
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes the campaign endpoints; never raises into the service."""
+
+    server_version = "repro-service/1"
+
+    @property
+    def scheduler(self) -> CampaignScheduler:
+        return self.server.scheduler  # type: ignore[attr-defined]
+
+    # -- routing -----------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        if path == "/campaigns":
+            jobs = [job.as_dict() for job in self.scheduler.queue.jobs()]
+            self._reply_json({"jobs": jobs})
+        elif path.startswith("/campaigns/"):
+            job = self.scheduler.queue.get(path[len("/campaigns/"):])
+            if job is None:
+                self._reply_json({"error": "no such campaign"}, 404)
+            else:
+                self._reply_json(job.as_dict())
+        elif path == "/queue":
+            self._reply_json(self.scheduler.queue.summary())
+        elif path == "/metrics":
+            self._reply(obs.render_metrics(), EXPOSITION_CONTENT_TYPE)
+        elif path == "/status":
+            self._reply_json(obs.status_dict())
+        elif path == "/":
+            self._reply(
+                "harpocrates campaign service\n"
+                "  POST   /campaigns       submit a campaign\n"
+                "  GET    /campaigns       list all jobs\n"
+                "  GET    /campaigns/<id>  one job record\n"
+                "  DELETE /campaigns/<id>  cancel (drain to checkpoint)\n"
+                "  GET    /queue           queue summary\n"
+                "  GET    /metrics         Prometheus text exposition\n"
+                "  GET    /status          campaign status JSON\n",
+                _TEXT,
+            )
+        else:
+            self._reply_json({"error": "not found"}, 404)
+
+    def do_POST(self) -> None:  # noqa: N802 (http.server API)
+        path = self.path.split("?", 1)[0].rstrip("/")
+        if path != "/campaigns":
+            self._reply_json({"error": "not found"}, 404)
+            return
+        payload = self._read_json()
+        if payload is None:
+            return
+        target = payload.get("target")
+        if not isinstance(target, str):
+            self._reply_json(
+                {"error": "body must include a string 'target'"}, 400
+            )
+            return
+        try:
+            job = self.scheduler.submit(
+                target=target,
+                tenant=str(payload.get("tenant", "default")),
+                scale=str(payload.get("scale", "default")),
+                seed=_maybe_int(payload, "seed"),
+                iterations=_maybe_int(payload, "iterations"),
+                priority=int(payload.get("priority", 0)),
+            )
+        except QuotaExceeded as exc:
+            self._reply_json({"error": str(exc)}, 429)
+        except (TypeError, ValueError) as exc:
+            self._reply_json({"error": str(exc)}, 400)
+        else:
+            self._reply_json(job.as_dict(), 201)
+
+    def do_DELETE(self) -> None:  # noqa: N802 (http.server API)
+        path = self.path.split("?", 1)[0].rstrip("/")
+        if not path.startswith("/campaigns/"):
+            self._reply_json({"error": "not found"}, 404)
+            return
+        job_id = path[len("/campaigns/"):]
+        state = self.scheduler.cancel(job_id)
+        if state is None:
+            self._reply_json({"error": "no such campaign"}, 404)
+        else:
+            self._reply_json({"id": job_id, "state": state})
+
+    # -- plumbing ----------------------------------------------------------
+
+    def _read_json(self) -> Optional[Dict[str, object]]:
+        """The request body as a dict, or None after an error reply."""
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+        except ValueError:
+            length = -1
+        if length < 0 or length > MAX_BODY_BYTES:
+            self._reply_json({"error": "bad Content-Length"}, 413)
+            return None
+        try:
+            payload = json.loads(self.rfile.read(length) or b"{}")
+        except (OSError, ValueError):
+            self._reply_json({"error": "body is not valid JSON"}, 400)
+            return None
+        if not isinstance(payload, dict):
+            self._reply_json({"error": "body must be a JSON object"}, 400)
+            return None
+        return payload
+
+    def _reply_json(self, payload: object, code: int = 200) -> None:
+        self._reply(
+            json.dumps(payload, indent=2, default=str), _JSON, code
+        )
+
+    def _reply(
+        self, body: str, content_type: str, code: int = 200
+    ) -> None:
+        data = body.encode("utf-8")
+        self.send_response(code)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        try:
+            self.wfile.write(data)
+        except (BrokenPipeError, ConnectionResetError):
+            pass
+
+    def log_message(self, format, *args) -> None:
+        """Silence per-request logging (pollers hit this constantly)."""
+
+
+def _maybe_int(payload: Dict[str, object], key: str) -> Optional[int]:
+    value = payload.get(key)
+    return None if value is None else int(value)  # may raise ValueError
+
+
+class ServiceServer:
+    """Owns the HTTP server thread for one campaign service."""
+
+    def __init__(
+        self,
+        scheduler: CampaignScheduler,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ):
+        self.scheduler = scheduler
+        self.host = host
+        self.requested_port = port
+        self._httpd: Optional[_SchedulerHTTPServer] = None
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def port(self) -> int:
+        """The bound port (meaningful after :meth:`start`)."""
+        if self._httpd is None:
+            raise RuntimeError("server not started")
+        return self._httpd.server_address[1]
+
+    def start(self) -> "ServiceServer":
+        """Bind and serve from a daemon thread; returns self."""
+        self._httpd = _SchedulerHTTPServer(
+            (self.host, self.requested_port), _Handler
+        )
+        self._httpd.scheduler = self.scheduler
+        self._httpd.daemon_threads = True
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="repro-service-http",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def close(self) -> None:
+        if self._httpd is not None:
+            self._httpd.shutdown()
+            self._httpd.server_close()
+            self._httpd = None
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+
+# -- client helpers (stdlib-only; used by the CLI and by CI) ----------------
+
+
+def _request(
+    url: str,
+    method: str = "GET",
+    payload: Optional[Dict[str, object]] = None,
+    timeout: float = 10.0,
+) -> Dict[str, object]:
+    """One JSON round-trip.  HTTP errors surface as
+    :class:`ServiceError` carrying the status and the server's
+    ``error`` message; connection failures propagate as
+    :class:`urllib.error.URLError` for callers that retry."""
+    data = None
+    headers = {"Accept": "application/json"}
+    if payload is not None:
+        data = json.dumps(payload).encode("utf-8")
+        headers["Content-Type"] = "application/json"
+    request = urllib.request.Request(
+        url, data=data, headers=headers, method=method
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as reply:
+            return json.loads(reply.read().decode("utf-8"))
+    except urllib.error.HTTPError as exc:
+        try:
+            detail = json.loads(exc.read().decode("utf-8"))
+            message = str(detail.get("error", exc.reason))
+        except (OSError, ValueError):
+            message = str(exc.reason)
+        raise ServiceError(exc.code, message) from None
+
+
+class ServiceError(Exception):
+    """An HTTP-level rejection from the service (4xx/5xx)."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.message = message
+
+
+def submit_job(
+    base_url: str, payload: Dict[str, object]
+) -> Dict[str, object]:
+    """``POST /campaigns``; returns the created job record."""
+    return _request(
+        f"{base_url.rstrip('/')}/campaigns", "POST", payload
+    )
+
+
+def get_job(base_url: str, job_id: str) -> Dict[str, object]:
+    """``GET /campaigns/<id>``; returns the job record."""
+    return _request(f"{base_url.rstrip('/')}/campaigns/{job_id}")
+
+
+def get_queue(base_url: str) -> Dict[str, object]:
+    """``GET /queue``; returns the queue summary."""
+    return _request(f"{base_url.rstrip('/')}/queue")
+
+
+def cancel_job(base_url: str, job_id: str) -> Dict[str, object]:
+    """``DELETE /campaigns/<id>``; returns ``{id, state}``."""
+    return _request(
+        f"{base_url.rstrip('/')}/campaigns/{job_id}", "DELETE"
+    )
+
+
+def wait_for_job(
+    base_url: str,
+    job_id: str,
+    timeout: float = 600.0,
+    poll_interval: float = 0.5,
+) -> Dict[str, object]:
+    """Poll until the job reaches a terminal state.
+
+    Tolerates transient connection failures (the service restarting
+    mid-campaign is an *expected* event — jobs drain to checkpoint and
+    resume), raising only if the service stays unreachable past
+    ``timeout``.  Raises :class:`TimeoutError` if the job never
+    finishes.
+    """
+    deadline = time.monotonic() + timeout
+    while True:
+        try:
+            job = get_job(base_url, job_id)
+        except (urllib.error.URLError, ConnectionError, OSError):
+            if time.monotonic() > deadline:
+                raise TimeoutError(
+                    f"service unreachable waiting for {job_id}"
+                ) from None
+        else:
+            if job.get("state") in TERMINAL_STATES:
+                return job
+            if time.monotonic() > deadline:
+                raise TimeoutError(
+                    f"{job_id} still {job.get('state')} "
+                    f"after {timeout:.0f}s"
+                )
+        time.sleep(poll_interval)

@@ -1,0 +1,474 @@
+"""The durable campaign job queue.
+
+One :class:`JobQueue` holds every campaign the service has accepted,
+in five states::
+
+    pending ──claim──> running ──complete──> done
+       │                  │    ──fail─────>  failed
+       └──cancel──────────┴──cancel(drain)─> cancelled
+
+Scheduling is **priority classes with FIFO inside each class**: a
+lower ``priority`` number is served first, and jobs of equal priority
+run in submission order.  Per-tenant quotas bound how many *live*
+(pending + running) jobs any one tenant may hold, so a single noisy
+tenant can never starve the queue.
+
+Durability rides on :mod:`repro.util.statefile`: every mutation
+rewrites one checksummed JSON state file atomically, so a service
+crash (or SIGTERM) loses nothing — on reload, jobs that were running
+are returned to ``pending`` and resume from their loop checkpoints,
+including the convergence points they had already sampled (the
+``points`` record is what makes a resumed job's final output
+byte-identical to an uninterrupted run).
+
+Obs series (no-ops unless observability is enabled):
+``repro_service_jobs_total{state=...}``, ``repro_service_queue_depth``,
+and the per-tenant ``repro_service_tenant_jobs_total{tenant=...}``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro import obs
+from repro.util.statefile import read_checksummed, write_checksummed
+
+#: Bump when the state-file schema changes incompatibly; stale files
+#: are ignored (the service starts with an empty queue).
+QUEUE_STATE_VERSION = 1
+
+#: Live (pending + running) jobs one tenant may hold by default.
+DEFAULT_TENANT_QUOTA = 8
+
+#: The five job states.
+PENDING = "pending"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+CANCELLED = "cancelled"
+
+#: States a job can never leave.
+TERMINAL_STATES = frozenset({DONE, FAILED, CANCELLED})
+
+
+class QuotaExceeded(Exception):
+    """A tenant tried to hold more live jobs than its quota allows."""
+
+
+@dataclass
+class Job:
+    """One submitted campaign and everything needed to (re)run it."""
+
+    id: str
+    tenant: str
+    target: str
+    scale: str
+    seq: int
+    seed: Optional[int] = None
+    iterations: Optional[int] = None
+    priority: int = 0
+    state: str = PENDING
+    created_unix: float = 0.0
+    updated_unix: float = 0.0
+    #: Loop runs this job has consumed (a restart-resumed job is >1).
+    attempts: int = 0
+    #: Set while a DELETE is draining a running job to its checkpoint.
+    cancel_requested: bool = False
+    error: Optional[str] = None
+    #: Sampled convergence points, persisted as they land so a
+    #: restarted service can rebuild the full curve:
+    #: ``[iteration, coverage, detection|None, quarantined]``.
+    points: List[List[object]] = field(default_factory=list)
+    #: Operator-facing progress (generation, best coverage so far).
+    progress: Dict[str, object] = field(default_factory=dict)
+    #: The canonical campaign stdout, once done (the byte-identity
+    #: contract's payload).
+    output: Optional[str] = None
+    final_detection: Optional[float] = None
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "id": self.id,
+            "tenant": self.tenant,
+            "target": self.target,
+            "scale": self.scale,
+            "seq": self.seq,
+            "seed": self.seed,
+            "iterations": self.iterations,
+            "priority": self.priority,
+            "state": self.state,
+            "created_unix": self.created_unix,
+            "updated_unix": self.updated_unix,
+            "attempts": self.attempts,
+            "cancel_requested": self.cancel_requested,
+            "error": self.error,
+            "points": [list(point) for point in self.points],
+            "progress": dict(self.progress),
+            "output": self.output,
+            "final_detection": self.final_detection,
+        }
+
+    @classmethod
+    def from_dict(cls, record: Dict[str, object]) -> "Job":
+        job = cls(
+            id=str(record["id"]),
+            tenant=str(record["tenant"]),
+            target=str(record["target"]),
+            scale=str(record["scale"]),
+            seq=int(record["seq"]),
+            seed=(
+                None if record.get("seed") is None
+                else int(record["seed"])
+            ),
+            iterations=(
+                None if record.get("iterations") is None
+                else int(record["iterations"])
+            ),
+            priority=int(record.get("priority", 0)),
+            state=str(record.get("state", PENDING)),
+            created_unix=float(record.get("created_unix", 0.0)),
+            updated_unix=float(record.get("updated_unix", 0.0)),
+            attempts=int(record.get("attempts", 0)),
+            cancel_requested=bool(record.get("cancel_requested", False)),
+            error=(
+                None if record.get("error") is None
+                else str(record["error"])
+            ),
+            points=[list(point) for point in record.get("points", [])],
+            progress=dict(record.get("progress", {})),
+            output=(
+                None if record.get("output") is None
+                else str(record["output"])
+            ),
+        )
+        final = record.get("final_detection")
+        job.final_detection = None if final is None else float(final)
+        return job
+
+
+class JobQueue:
+    """Thread-safe durable queue (see module docstring).
+
+    ``path`` (optional) is the checksummed JSON state file every
+    mutation persists to; ``None`` keeps the queue in memory only
+    (tests).  ``tenant_quota`` bounds live jobs per tenant; quotas for
+    individual tenants can be overridden via ``tenant_quotas``.
+    """
+
+    def __init__(
+        self,
+        path: Optional[str] = None,
+        tenant_quota: int = DEFAULT_TENANT_QUOTA,
+        tenant_quotas: Optional[Dict[str, int]] = None,
+    ):
+        self.path = path
+        self.tenant_quota = max(1, int(tenant_quota))
+        self.tenant_quotas = dict(tenant_quotas or {})
+        self._lock = threading.Lock()
+        self.not_empty = threading.Condition(self._lock)
+        self._jobs: Dict[str, Job] = {}
+        self._next_seq = 1
+
+    # -- persistence -------------------------------------------------------
+
+    def _save_locked(self) -> None:
+        if self.path is None:
+            return
+        write_checksummed(self.path, {
+            "version": QUEUE_STATE_VERSION,
+            "next_seq": self._next_seq,
+            "jobs": [
+                job.as_dict()
+                for _, job in sorted(self._jobs.items())
+            ],
+        })
+
+    @classmethod
+    def load(
+        cls,
+        path: str,
+        tenant_quota: int = DEFAULT_TENANT_QUOTA,
+        tenant_quotas: Optional[Dict[str, int]] = None,
+    ) -> "JobQueue":
+        """Restore a queue from its state file (empty when missing,
+        corrupt — quarantined by the statefile layer — or
+        incompatible).  Jobs that were ``running`` when the service
+        died return to ``pending``: their loop checkpoints carry the
+        actual campaign state, so the next claim resumes them."""
+        queue = cls(
+            path, tenant_quota=tenant_quota, tenant_quotas=tenant_quotas
+        )
+        payload = read_checksummed(path)
+        if payload is None:
+            return queue
+        if payload.get("version") != QUEUE_STATE_VERSION:
+            return queue
+        try:
+            jobs = [
+                Job.from_dict(record)
+                for record in payload.get("jobs", [])
+            ]
+            next_seq = int(payload.get("next_seq", 1))
+        except (KeyError, TypeError, ValueError):
+            return queue
+        for job in jobs:
+            if job.state == RUNNING:
+                job.state = PENDING
+            queue._jobs[job.id] = job
+        queue._next_seq = max(
+            next_seq, 1 + max((job.seq for job in jobs), default=0)
+        )
+        queue._gauge_depth_locked()
+        return queue
+
+    # -- metrics -----------------------------------------------------------
+
+    def _gauge_depth_locked(self) -> None:
+        obs.set_gauge(
+            "repro_service_queue_depth",
+            float(sum(
+                1 for job in self._jobs.values()
+                if job.state == PENDING
+            )),
+            "Campaign jobs waiting to be scheduled",
+        )
+
+    @staticmethod
+    def _count_job(state: str, tenant: str) -> None:
+        obs.inc(
+            "repro_service_jobs_total",
+            help_text="Campaign jobs by state transition",
+            state=state,
+        )
+        if state == "submitted":
+            obs.inc(
+                "repro_service_tenant_jobs_total",
+                help_text="Campaign jobs submitted per tenant",
+                tenant=tenant,
+            )
+
+    # -- submission / scheduling -------------------------------------------
+
+    def _quota_for(self, tenant: str) -> int:
+        return int(self.tenant_quotas.get(tenant, self.tenant_quota))
+
+    def submit(
+        self,
+        target: str,
+        tenant: str = "default",
+        scale: str = "default",
+        seed: Optional[int] = None,
+        iterations: Optional[int] = None,
+        priority: int = 0,
+    ) -> Job:
+        """Accept one campaign; raises :class:`QuotaExceeded` when the
+        tenant is already at its live-job quota."""
+        now = time.time()
+        with self._lock:
+            live = sum(
+                1 for job in self._jobs.values()
+                if job.tenant == tenant
+                and job.state in (PENDING, RUNNING)
+            )
+            if live >= self._quota_for(tenant):
+                raise QuotaExceeded(
+                    f"tenant {tenant!r} already has {live} live "
+                    f"job(s) (quota {self._quota_for(tenant)})"
+                )
+            seq = self._next_seq
+            self._next_seq += 1
+            job = Job(
+                id=f"job-{seq:06d}",
+                tenant=str(tenant),
+                target=str(target),
+                scale=str(scale),
+                seq=seq,
+                seed=seed,
+                iterations=iterations,
+                priority=int(priority),
+                created_unix=now,
+                updated_unix=now,
+            )
+            self._jobs[job.id] = job
+            self._save_locked()
+            self._gauge_depth_locked()
+            self._count_job("submitted", job.tenant)
+            self.not_empty.notify_all()
+            return job
+
+    def claim(self, timeout: Optional[float] = None) -> Optional[Job]:
+        """Pop the next runnable job (priority class, then FIFO) and
+        mark it running.  Blocks up to ``timeout`` seconds for one to
+        appear; returns None when none arrived."""
+        deadline = (
+            None if timeout is None
+            else time.monotonic() + max(0.0, timeout)
+        )
+        with self._lock:
+            while True:
+                runnable = [
+                    job for job in self._jobs.values()
+                    if job.state == PENDING
+                ]
+                if runnable:
+                    job = min(
+                        runnable, key=lambda j: (j.priority, j.seq)
+                    )
+                    job.state = RUNNING
+                    job.attempts += 1
+                    job.updated_unix = time.time()
+                    self._save_locked()
+                    self._gauge_depth_locked()
+                    self._count_job("started", job.tenant)
+                    return job
+                if deadline is None:
+                    self.not_empty.wait()
+                else:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        return None
+                    self.not_empty.wait(remaining)
+
+    # -- state transitions -------------------------------------------------
+
+    def _transition_locked(self, job: Job, state: str) -> None:
+        job.state = state
+        job.updated_unix = time.time()
+        self._save_locked()
+        self._gauge_depth_locked()
+        self._count_job(state, job.tenant)
+
+    def complete(
+        self,
+        job_id: str,
+        output: str,
+        final_detection: float,
+    ) -> None:
+        """Mark a running job done, with its canonical stdout."""
+        with self._lock:
+            job = self._jobs[job_id]
+            job.output = output
+            job.final_detection = final_detection
+            job.error = None
+            self._transition_locked(job, DONE)
+
+    def fail(self, job_id: str, error: str) -> None:
+        with self._lock:
+            job = self._jobs[job_id]
+            job.error = str(error)
+            self._transition_locked(job, FAILED)
+
+    def release(self, job_id: str) -> None:
+        """Return a running job to pending (service shutting down:
+        the campaign drained to its checkpoint and will resume)."""
+        with self._lock:
+            job = self._jobs[job_id]
+            if job.state != RUNNING:
+                return
+            self._transition_locked(job, PENDING)
+            self.not_empty.notify_all()
+
+    def cancel(self, job_id: str) -> Optional[str]:
+        """Cancel a job.
+
+        * pending → ``cancelled`` immediately;
+        * running → ``cancel_requested`` is set; the runner's
+          ``stop_check`` observes it, drains the loop to its
+          checkpoint, and then calls :meth:`finish_cancel` — the reply
+          says ``running`` (with ``cancel_requested`` visible via
+          :meth:`get`) until the drain lands;
+        * terminal states are returned unchanged.
+
+        Returns the job's (new) state, or None for an unknown id.
+        """
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is None:
+                return None
+            if job.state == PENDING:
+                job.cancel_requested = True
+                self._transition_locked(job, CANCELLED)
+            elif job.state == RUNNING:
+                job.cancel_requested = True
+                job.updated_unix = time.time()
+                self._save_locked()
+            return job.state
+
+    def finish_cancel(self, job_id: str) -> None:
+        """A cancelled running job drained to its checkpoint."""
+        with self._lock:
+            job = self._jobs[job_id]
+            self._transition_locked(job, CANCELLED)
+
+    def record_point(self, job_id: str, point: List[object]) -> None:
+        """Persist one sampled convergence point + progress fields."""
+        with self._lock:
+            job = self._jobs[job_id]
+            job.points.append(list(point))
+            job.progress = {
+                "iteration": point[0],
+                "coverage": point[1],
+                "points": len(job.points),
+            }
+            job.updated_unix = time.time()
+            self._save_locked()
+
+    # -- inspection --------------------------------------------------------
+
+    def get(self, job_id: str) -> Optional[Job]:
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def jobs(self) -> List[Job]:
+        """All jobs in submission order (a snapshot copy)."""
+        with self._lock:
+            return sorted(self._jobs.values(), key=lambda j: j.seq)
+
+    def depth(self) -> int:
+        with self._lock:
+            return sum(
+                1 for job in self._jobs.values()
+                if job.state == PENDING
+            )
+
+    def summary(self) -> Dict[str, object]:
+        """The ``GET /queue`` payload."""
+        with self._lock:
+            by_state: Dict[str, int] = {}
+            by_tenant: Dict[str, int] = {}
+            for job in self._jobs.values():
+                by_state[job.state] = by_state.get(job.state, 0) + 1
+                if job.state in (PENDING, RUNNING):
+                    by_tenant[job.tenant] = \
+                        by_tenant.get(job.tenant, 0) + 1
+            return {
+                "depth": sum(
+                    1 for job in self._jobs.values()
+                    if job.state == PENDING
+                ),
+                "by_state": dict(sorted(by_state.items())),
+                "live_by_tenant": dict(sorted(by_tenant.items())),
+                "tenant_quota": self.tenant_quota,
+                "jobs": [
+                    {
+                        "id": job.id,
+                        "tenant": job.tenant,
+                        "target": job.target,
+                        "scale": job.scale,
+                        "priority": job.priority,
+                        "state": job.state,
+                        "progress": dict(job.progress),
+                    }
+                    for job in sorted(
+                        self._jobs.values(), key=lambda j: j.seq
+                    )
+                ],
+            }
+
+    def save(self) -> None:
+        """Force a persistence pass (shutdown path)."""
+        with self._lock:
+            self._save_locked()

@@ -19,6 +19,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import tempfile
 from typing import Dict, Optional
 
 #: Suffix quarantined (torn/truncated/garbage) state files get.  The
@@ -31,21 +32,45 @@ CORRUPT_SUFFIX = ".corrupt"
 def quarantine_file(path: str) -> Optional[str]:
     """Rename a damaged state file out of the way (``*.corrupt``).
 
-    Never overwrites an earlier quarantine (a numeric suffix is added
-    instead) and never raises — quarantining is best-effort cleanup on
-    an already-degraded path.  Returns the new path, or None when the
-    rename failed.
+    Never overwrites an earlier quarantine — each quarantine first
+    *reserves* its destination name with an exclusive create
+    (``O_CREAT | O_EXCL``), walking a numeric suffix until one is free,
+    so two readers quarantining files with the same stem in the same
+    directory (two campaigns sharing a service state dir, or two
+    processes racing on one file) each keep their own ``.corrupt``
+    artifact instead of the later rename silently replacing the
+    earlier one.  Never raises — quarantining is best-effort cleanup
+    on an already-degraded path.  Returns the new path, or None when
+    the rename failed.
     """
     destination = path + CORRUPT_SUFFIX
     serial = 0
-    while os.path.exists(destination):
-        serial += 1
-        destination = f"{path}{CORRUPT_SUFFIX}.{serial}"
-    try:
-        os.replace(path, destination)
-    except OSError:
-        return None
-    return destination
+    while True:
+        try:
+            # Reserve the destination atomically: os.replace would
+            # happily overwrite a concurrent quarantine's artifact, so
+            # the name is claimed with an exclusive create first.
+            os.close(os.open(
+                destination, os.O_CREAT | os.O_EXCL | os.O_WRONLY
+            ))
+        except FileExistsError:
+            serial += 1
+            destination = f"{path}{CORRUPT_SUFFIX}.{serial}"
+            continue
+        except OSError:
+            return None
+        try:
+            os.replace(path, destination)
+        except OSError:
+            # The rename failed (source vanished, cross-device, ...);
+            # release the reservation so it cannot shadow a later
+            # quarantine of the same stem.
+            try:
+                os.unlink(destination)
+            except OSError:
+                pass
+            return None
+        return destination
 
 
 def payload_checksum(payload: Dict[str, object]) -> str:
@@ -74,3 +99,59 @@ def checksum_ok(payload: Dict[str, object]) -> bool:
     if recorded is None:
         return True
     return recorded == payload_checksum(payload)
+
+
+def write_checksummed(path: str, payload: Dict[str, object]) -> str:
+    """Atomically write a checksummed JSON state file.
+
+    Embeds the content checksum, writes to a temp file in the target
+    directory, and ``os.replace``s it into place — a reader never
+    observes a torn file, and :func:`read_checksummed` can prove the
+    content intact.  Returns ``path``.
+    """
+    payload = dict(payload)
+    payload["checksum"] = payload_checksum(payload)
+    directory = os.path.dirname(path) or "."
+    os.makedirs(directory, exist_ok=True)
+    handle, temp_path = tempfile.mkstemp(
+        dir=directory, prefix=".state_", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(handle, "w") as stream:
+            json.dump(payload, stream)
+        os.replace(temp_path, path)
+    except BaseException:
+        try:
+            os.unlink(temp_path)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+def read_checksummed(path: str) -> Optional[Dict[str, object]]:
+    """Read a checksummed JSON state file written by
+    :func:`write_checksummed`.
+
+    Returns the payload dict, or None when the file is missing.  A
+    *corrupt* file — binary garbage, truncated JSON, a checksum
+    mismatch, not a JSON object — is quarantined (``*.corrupt``) and
+    reported as None: the caller starts from empty state instead of
+    aborting, and the damaged bytes survive for post-mortems.
+    """
+    try:
+        with open(path, "rb") as stream:
+            data = stream.read()
+    except FileNotFoundError:
+        return None
+    except OSError:
+        return None
+    try:
+        payload = json.loads(data.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError):
+        quarantine_file(path)
+        return None
+    if not isinstance(payload, dict) or not checksum_ok(payload):
+        quarantine_file(path)
+        return None
+    return payload

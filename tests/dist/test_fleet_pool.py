@@ -1,0 +1,82 @@
+"""FleetPool: admission, least-loaded leasing, release accounting."""
+
+from repro.dist.coordinator import FleetPool
+
+
+class TestAdmission:
+    def test_admit_and_snapshot(self):
+        pool = FleetPool()
+        pool.admit("hostb", 7070, slots=2)
+        pool.admit("hosta", 7070)
+        assert len(pool) == 2
+        assert pool.endpoints() == [("hosta", 7070), ("hostb", 7070)]
+
+    def test_reannounce_refreshes_not_duplicates(self):
+        pool = FleetPool()
+        pool.admit("hosta", 7070, slots=1)
+        pool.admit("hosta", 7070, slots=4)
+        assert len(pool) == 1
+
+    def test_evict(self):
+        pool = FleetPool()
+        pool.admit("hosta", 7070)
+        assert pool.evict("hosta", 7070) is True
+        assert pool.evict("hosta", 7070) is False
+        assert pool.endpoints() == []
+
+
+class TestLeasing:
+    def test_empty_pool_leases_empty(self):
+        lease = FleetPool().lease("job-1")
+        assert lease.empty
+        assert lease.endpoints == []
+
+    def test_lone_campaign_takes_everything(self):
+        pool = FleetPool()
+        pool.admit("hosta", 7070)
+        pool.admit("hostb", 7070)
+        lease = pool.lease("job-1")
+        assert lease.endpoints == [("hosta", 7070), ("hostb", 7070)]
+
+    def test_max_workers_caps_deterministically(self):
+        pool = FleetPool()
+        pool.admit("hostb", 7070)
+        pool.admit("hosta", 7070)
+        lease = pool.lease("job-1", max_workers=1)
+        assert lease.endpoints == [("hosta", 7070)]  # address order
+
+    def test_least_loaded_splits_fleet_between_campaigns(self):
+        pool = FleetPool()
+        pool.admit("hosta", 7070)
+        pool.admit("hostb", 7070)
+        first = pool.lease("job-1", max_workers=1)
+        second = pool.lease("job-2", max_workers=1)
+        assert first.endpoints == [("hosta", 7070)]
+        assert second.endpoints == [("hostb", 7070)]
+
+    def test_release_returns_capacity(self):
+        pool = FleetPool()
+        pool.admit("hosta", 7070)
+        pool.admit("hostb", 7070)
+        first = pool.lease("job-1", max_workers=1)
+        pool.release(first)
+        # With job-1 gone, job-2 gets the least-loaded worker — which
+        # is hosta again, not hostb.
+        second = pool.lease("job-2", max_workers=1)
+        assert second.endpoints == [("hosta", 7070)]
+
+    def test_release_is_idempotent(self):
+        pool = FleetPool()
+        pool.admit("hosta", 7070)
+        lease = pool.lease("job-1")
+        pool.release(lease)
+        pool.release(lease)  # must not drive counts negative
+        assert pool.lease("job-2").endpoints == [("hosta", 7070)]
+
+    def test_late_joiner_is_preferred_for_next_lease(self):
+        pool = FleetPool()
+        pool.admit("hosta", 7070)
+        pool.lease("job-1")
+        pool.admit("hostb", 7070)  # joins after job-1 leased hosta
+        lease = pool.lease("job-2", max_workers=1)
+        assert lease.endpoints == [("hostb", 7070)]

@@ -1,0 +1,61 @@
+"""Satellite: /status surfaces operator counters from the registry."""
+
+from repro import obs
+from repro.obs.status import (
+    OPERATOR_COUNTER_FAMILIES,
+    operator_counters,
+)
+
+
+class TestOperatorCounters:
+    def test_all_keys_present_even_when_registry_empty(self):
+        counters = operator_counters(obs.registry())
+        assert counters == {
+            key: 0.0 for key in OPERATOR_COUNTER_FAMILIES
+        }
+
+    def test_counters_reflect_recorded_values(self):
+        obs.enable()
+        obs.inc("repro_eval_cache_hits_total", 3)
+        obs.inc("repro_eval_cache_misses_total", 5)
+        obs.inc("repro_fleet_joins_total", 2)
+        counters = operator_counters(obs.registry())
+        assert counters["eval_cache_hits"] == 3.0
+        assert counters["eval_cache_misses"] == 5.0
+        assert counters["fleet_joins"] == 2.0
+        assert counters["fleet_drains"] == 0.0
+
+    def test_labelled_children_are_summed(self):
+        obs.enable()
+        obs.inc("repro_fleet_drains_total", 1, worker="a:1")
+        obs.inc("repro_fleet_drains_total", 2, worker="b:2")
+        counters = operator_counters(obs.registry())
+        assert counters["fleet_drains"] == 3.0
+
+
+class TestStatusDict:
+    def test_status_dict_includes_counters(self):
+        obs.enable()
+        obs.inc("repro_eval_cache_hits_total", 7)
+        payload = obs.status_dict()
+        assert payload["counters"]["eval_cache_hits"] == 7.0
+        # The campaign view is still there alongside.
+        assert "campaign" in payload and "workers" in payload
+
+    def test_status_endpoint_serves_counters(self):
+        import json
+        import urllib.request
+
+        from repro.obs.server import MetricsServer
+
+        obs.enable()
+        obs.inc("repro_fleet_joins_total", 4)
+        server = MetricsServer(port=0).start()
+        try:
+            with urllib.request.urlopen(
+                f"http://127.0.0.1:{server.port}/status", timeout=5
+            ) as reply:
+                payload = json.loads(reply.read().decode("utf-8"))
+            assert payload["counters"]["fleet_joins"] == 4.0
+        finally:
+            server.close()

@@ -1,0 +1,93 @@
+"""Satellite: interleaved campaigns match their solo runs, byte-for-byte.
+
+Two campaigns with different seeds run *concurrently* through one
+scheduler — sharing its eval cache, its fleet pool, and its state
+directory — and each must produce exactly the stdout its solo CLI-path
+run produces.  This is the multi-tenant extension of the repo's core
+determinism invariant: tenants can never observe each other through
+the shared infrastructure.
+"""
+
+import time
+
+from repro.core.targets import scaled_targets
+from repro.experiments.fig10 import campaign_stdout, run_target
+from repro.experiments.presets import SMOKE
+from repro.service import CampaignScheduler
+
+
+def solo_output(target, seed, iterations):
+    targets = scaled_targets(
+        program_scale=SMOKE.program_scale,
+        loop_scale=SMOKE.loop_scale,
+    )
+    curve = run_target(
+        targets[target], SMOKE, iterations=iterations, seed=seed
+    )
+    return campaign_stdout(curve)
+
+
+def test_two_interleaved_campaigns_match_their_solo_runs(tmp_path):
+    configs = [("irf", 11, 4), ("irf", 22, 4)]
+    references = {
+        (target, seed): solo_output(target, seed, iterations)
+        for target, seed, iterations in configs
+    }
+    # max_concurrent=2 runs both campaigns simultaneously; their
+    # evaluations genuinely interleave through the shared cache.
+    scheduler = CampaignScheduler(
+        str(tmp_path / "state"), max_concurrent=2
+    ).start()
+    try:
+        jobs = {
+            scheduler.submit(
+                target, scale="smoke", seed=seed, iterations=iterations
+            ).id: (target, seed)
+            for target, seed, iterations in configs
+        }
+        deadline = time.monotonic() + 180
+        while not all(
+            scheduler.queue.get(job_id).state in ("done", "failed")
+            for job_id in jobs
+        ):
+            assert time.monotonic() < deadline, "campaigns wedged"
+            time.sleep(0.05)
+        for job_id, key in jobs.items():
+            job = scheduler.queue.get(job_id)
+            assert job.state == "done", job.error
+            assert job.output == references[key], (
+                f"{key}: service output diverged from solo run"
+            )
+    finally:
+        scheduler.stop()
+
+
+def test_different_targets_interleave_identically(tmp_path):
+    configs = [("irf", 7, 3), ("l1d", 7, 3)]
+    references = {
+        (target, seed): solo_output(target, seed, iterations)
+        for target, seed, iterations in configs
+    }
+    scheduler = CampaignScheduler(
+        str(tmp_path / "state"), max_concurrent=2
+    ).start()
+    try:
+        jobs = {
+            scheduler.submit(
+                target, scale="smoke", seed=seed, iterations=iterations
+            ).id: (target, seed)
+            for target, seed, iterations in configs
+        }
+        deadline = time.monotonic() + 180
+        while not all(
+            scheduler.queue.get(job_id).state in ("done", "failed")
+            for job_id in jobs
+        ):
+            assert time.monotonic() < deadline, "campaigns wedged"
+            time.sleep(0.05)
+        for job_id, key in jobs.items():
+            job = scheduler.queue.get(job_id)
+            assert job.state == "done", job.error
+            assert job.output == references[key]
+    finally:
+        scheduler.stop()

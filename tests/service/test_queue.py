@@ -1,0 +1,178 @@
+"""The durable job queue: ordering, quotas, persistence, cancel."""
+
+import pytest
+
+from repro.service.queue import (
+    CANCELLED,
+    DONE,
+    PENDING,
+    RUNNING,
+    JobQueue,
+    QuotaExceeded,
+)
+from repro.util.statefile import CORRUPT_SUFFIX
+
+
+class TestOrdering:
+    def test_fifo_within_priority(self):
+        queue = JobQueue()
+        first = queue.submit("irf")
+        second = queue.submit("l1d")
+        third = queue.submit("int_adder")
+        claimed = [queue.claim(timeout=0).id for _ in range(3)]
+        assert claimed == [first.id, second.id, third.id]
+
+    def test_lower_priority_number_runs_first(self):
+        queue = JobQueue()
+        routine = queue.submit("irf", priority=5)
+        urgent = queue.submit("l1d", priority=0)
+        backfill = queue.submit("int_adder", priority=9)
+        claimed = [queue.claim(timeout=0).id for _ in range(3)]
+        assert claimed == [urgent.id, routine.id, backfill.id]
+
+    def test_claim_empty_times_out(self):
+        queue = JobQueue()
+        assert queue.claim(timeout=0.01) is None
+
+    def test_claim_marks_running_and_counts_attempts(self):
+        queue = JobQueue()
+        job = queue.submit("irf")
+        claimed = queue.claim(timeout=0)
+        assert claimed.id == job.id
+        assert claimed.state == RUNNING
+        assert claimed.attempts == 1
+        assert queue.depth() == 0
+
+
+class TestQuotas:
+    def test_quota_blocks_live_jobs_only(self):
+        queue = JobQueue(tenant_quota=2)
+        queue.submit("irf", tenant="alice")
+        queue.submit("l1d", tenant="alice")
+        with pytest.raises(QuotaExceeded):
+            queue.submit("int_adder", tenant="alice")
+        # Other tenants are unaffected.
+        queue.submit("int_adder", tenant="bob")
+        # A finished job frees the slot.
+        done = queue.claim(timeout=0)
+        queue.complete(done.id, "output\n", 0.5)
+        queue.submit("int_adder", tenant="alice")
+
+    def test_per_tenant_override(self):
+        queue = JobQueue(tenant_quota=1, tenant_quotas={"vip": 3})
+        queue.submit("irf", tenant="vip")
+        queue.submit("l1d", tenant="vip")
+        queue.submit("irf", tenant="standard")
+        with pytest.raises(QuotaExceeded):
+            queue.submit("l1d", tenant="standard")
+
+
+class TestCancel:
+    def test_pending_cancels_immediately(self):
+        queue = JobQueue()
+        job = queue.submit("irf")
+        assert queue.cancel(job.id) == CANCELLED
+        assert queue.get(job.id).state == CANCELLED
+
+    def test_running_sets_drain_flag(self):
+        queue = JobQueue()
+        job = queue.submit("irf")
+        queue.claim(timeout=0)
+        assert queue.cancel(job.id) == RUNNING
+        assert queue.get(job.id).cancel_requested
+        queue.finish_cancel(job.id)
+        assert queue.get(job.id).state == CANCELLED
+
+    def test_unknown_and_terminal(self):
+        queue = JobQueue()
+        assert queue.cancel("job-999999") is None
+        job = queue.submit("irf")
+        queue.claim(timeout=0)
+        queue.complete(job.id, "output\n", 0.5)
+        assert queue.cancel(job.id) == DONE  # unchanged
+
+
+class TestPersistence:
+    def test_reload_restores_jobs_and_sequence(self, tmp_path):
+        path = str(tmp_path / "queue.json")
+        queue = JobQueue(path)
+        done = queue.submit("irf", tenant="alice", seed=7)
+        waiting = queue.submit("l1d", priority=2, iterations=5)
+        queue.claim(timeout=0)
+        queue.complete(done.id, "the output\n", 0.75)
+
+        reloaded = JobQueue.load(path)
+        assert {job.id for job in reloaded.jobs()} == {
+            done.id, waiting.id,
+        }
+        restored = reloaded.get(done.id)
+        assert restored.state == DONE
+        assert restored.output == "the output\n"
+        assert restored.final_detection == 0.75
+        assert restored.seed == 7
+        assert reloaded.get(waiting.id).iterations == 5
+        # New submissions never reuse an old sequence number.
+        fresh = reloaded.submit("int_adder")
+        assert fresh.seq > waiting.seq
+
+    def test_running_jobs_return_to_pending_on_reload(self, tmp_path):
+        path = str(tmp_path / "queue.json")
+        queue = JobQueue(path)
+        job = queue.submit("irf")
+        queue.claim(timeout=0)
+        queue.record_point(job.id, [0, 0.25, None, 1])
+        queue.record_point(job.id, [1, 0.5, 0.1, 2])
+
+        reloaded = JobQueue.load(path)
+        restored = reloaded.get(job.id)
+        assert restored.state == PENDING
+        assert restored.attempts == 1
+        # The sampled curve survives the crash — this is what makes a
+        # resumed job's final output byte-identical.
+        assert restored.points == [[0, 0.25, None, 1], [1, 0.5, 0.1, 2]]
+        assert reloaded.claim(timeout=0).id == job.id
+
+    def test_corrupt_state_file_starts_empty(self, tmp_path):
+        path = tmp_path / "queue.json"
+        path.write_bytes(b'{"version": 1, "jobs": [truncated')
+        queue = JobQueue.load(str(path))
+        assert queue.jobs() == []
+        assert (tmp_path / ("queue.json" + CORRUPT_SUFFIX)).exists()
+        # The fresh queue persists over the quarantined stem.
+        queue.submit("irf")
+        assert JobQueue.load(str(path)).depth() == 1
+
+    def test_version_mismatch_starts_empty(self, tmp_path):
+        path = str(tmp_path / "queue.json")
+        queue = JobQueue(path)
+        queue.submit("irf")
+        import json
+
+        payload = json.load(open(path))
+        payload["version"] = 99
+        from repro.util.statefile import write_checksummed
+
+        write_checksummed(path, payload)
+        assert JobQueue.load(path).jobs() == []
+
+
+class TestSummary:
+    def test_summary_shape(self):
+        queue = JobQueue(tenant_quota=4)
+        queue.submit("irf", tenant="alice")
+        running = queue.submit("l1d", tenant="bob", priority=-1)
+        queue.claim(timeout=0)
+        queue.record_point(running.id, [0, 0.3, None, 0])
+        summary = queue.summary()
+        assert summary["depth"] == 1
+        assert summary["by_state"] == {"pending": 1, "running": 1}
+        assert summary["live_by_tenant"] == {"alice": 1, "bob": 1}
+        assert summary["tenant_quota"] == 4
+        states = {job["id"]: job["state"] for job in summary["jobs"]}
+        assert states[running.id] == "running"
+        progress = {
+            job["id"]: job["progress"] for job in summary["jobs"]
+        }
+        assert progress[running.id] == {
+            "iteration": 0, "coverage": 0.3, "points": 1,
+        }

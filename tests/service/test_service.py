@@ -1,0 +1,307 @@
+"""The campaign service end-to-end: HTTP API, scheduler, restarts.
+
+The acceptance bar for the whole subsystem: a campaign submitted over
+``POST /campaigns`` yields **byte-identical** output to the same
+target/scale/seed run through the CLI path (`run_target` +
+`campaign_stdout`) — including when the service stops and restarts
+mid-campaign.
+"""
+
+import time
+
+import pytest
+
+from repro.core.targets import scaled_targets
+from repro.experiments.fig10 import campaign_stdout, run_target
+from repro.experiments.presets import SMOKE
+from repro.service import CampaignScheduler, ServiceServer
+from repro.service.api import (
+    ServiceError,
+    cancel_job,
+    get_job,
+    get_queue,
+    submit_job,
+    wait_for_job,
+)
+
+_REFERENCES = {}
+
+
+def reference_output(target="irf", seed=7, iterations=3):
+    """The solo CLI-path output for a config (memoized per session)."""
+    key = (target, seed, iterations)
+    if key not in _REFERENCES:
+        targets = scaled_targets(
+            program_scale=SMOKE.program_scale,
+            loop_scale=SMOKE.loop_scale,
+        )
+        curve = run_target(
+            targets[target], SMOKE, iterations=iterations, seed=seed
+        )
+        _REFERENCES[key] = campaign_stdout(curve)
+    return _REFERENCES[key]
+
+
+@pytest.fixture
+def service(tmp_path):
+    scheduler = CampaignScheduler(
+        str(tmp_path / "state"), max_concurrent=2, local_workers=1
+    ).start()
+    server = ServiceServer(scheduler).start()
+    try:
+        yield f"http://127.0.0.1:{server.port}", scheduler
+    finally:
+        server.close()
+        scheduler.stop()
+
+
+class TestHTTPAPI:
+    def test_submitted_campaign_matches_cli_bytes(self, service):
+        base, _ = service
+        job = submit_job(base, {
+            "target": "irf", "scale": "smoke",
+            "seed": 7, "iterations": 3,
+        })
+        assert job["state"] == "pending"
+        done = wait_for_job(base, job["id"], timeout=120)
+        assert done["state"] == "done"
+        assert done["output"] == reference_output()
+        assert done["error"] is None
+
+    def test_unknown_target_is_400(self, service):
+        base, _ = service
+        with pytest.raises(ServiceError) as excinfo:
+            submit_job(base, {"target": "warp_core", "scale": "smoke"})
+        assert excinfo.value.status == 400
+
+    def test_unknown_scale_is_400(self, service):
+        base, _ = service
+        with pytest.raises(ServiceError) as excinfo:
+            submit_job(base, {"target": "irf", "scale": "galactic"})
+        assert excinfo.value.status == 400
+
+    def test_missing_target_is_400(self, service):
+        base, _ = service
+        with pytest.raises(ServiceError) as excinfo:
+            submit_job(base, {"scale": "smoke"})
+        assert excinfo.value.status == 400
+
+    def test_quota_is_429(self, tmp_path):
+        scheduler = CampaignScheduler(
+            str(tmp_path / "state"), tenant_quota=1
+        )  # never started: jobs stay pending, keeping the quota held
+        server = ServiceServer(scheduler).start()
+        base = f"http://127.0.0.1:{server.port}"
+        try:
+            submit_job(base, {
+                "target": "irf", "scale": "smoke", "tenant": "alice",
+            })
+            with pytest.raises(ServiceError) as excinfo:
+                submit_job(base, {
+                    "target": "l1d", "scale": "smoke",
+                    "tenant": "alice",
+                })
+            assert excinfo.value.status == 429
+        finally:
+            server.close()
+
+    def test_unknown_job_is_404(self, service):
+        base, _ = service
+        with pytest.raises(ServiceError) as excinfo:
+            get_job(base, "job-999999")
+        assert excinfo.value.status == 404
+        with pytest.raises(ServiceError) as excinfo:
+            cancel_job(base, "job-999999")
+        assert excinfo.value.status == 404
+
+    def test_cancel_pending_job(self, tmp_path):
+        scheduler = CampaignScheduler(str(tmp_path / "state"))
+        server = ServiceServer(scheduler).start()
+        base = f"http://127.0.0.1:{server.port}"
+        try:
+            job = submit_job(base, {"target": "irf", "scale": "smoke"})
+            reply = cancel_job(base, job["id"])
+            assert reply["state"] == "cancelled"
+            assert get_job(base, job["id"])["state"] == "cancelled"
+        finally:
+            server.close()
+
+    def test_queue_summary_over_http(self, service):
+        base, _ = service
+        submit_job(base, {
+            "target": "irf", "scale": "smoke",
+            "seed": 7, "iterations": 3, "tenant": "alice",
+        })
+        summary = get_queue(base)
+        assert "depth" in summary
+        assert "by_state" in summary
+        assert summary["jobs"][0]["tenant"] == "alice"
+
+
+class TestRestartResume:
+    def test_restart_mid_campaign_is_byte_identical(self, tmp_path):
+        """Kill the service mid-run; the restarted service resumes the
+        job from its checkpoint and finishes with output byte-equal to
+        an uninterrupted run."""
+        state_dir = str(tmp_path / "state")
+        iterations = 10
+        first = CampaignScheduler(state_dir, max_concurrent=1).start()
+        job = first.submit(
+            "irf", scale="smoke", seed=7, iterations=iterations
+        )
+        # Wait until the campaign has demonstrably made progress...
+        deadline = time.monotonic() + 60
+        while len(first.queue.get(job.id).points) < 2:
+            assert time.monotonic() < deadline, "campaign never started"
+            time.sleep(0.02)
+        # ...then stop mid-flight: the runner drains to a checkpoint
+        # and releases the job back to pending.
+        first.stop()
+        interrupted = first.queue.get(job.id)
+        assert interrupted.state == "pending"
+        assert 0 < len(interrupted.points) < iterations
+
+        second = CampaignScheduler(state_dir, max_concurrent=1)
+        resumed = second.queue.get(job.id)
+        assert resumed is not None and resumed.state == "pending"
+        second.start()
+        try:
+            deadline = time.monotonic() + 120
+            while second.queue.get(job.id).state not in (
+                "done", "failed",
+            ):
+                assert time.monotonic() < deadline, "resume wedged"
+                time.sleep(0.05)
+            finished = second.queue.get(job.id)
+            assert finished.state == "done", finished.error
+            assert finished.attempts == 2
+            assert finished.output == reference_output(
+                "irf", 7, iterations
+            )
+        finally:
+            second.stop()
+
+    def test_cancel_running_job_drains_to_cancelled(self, tmp_path):
+        scheduler = CampaignScheduler(
+            str(tmp_path / "state"), max_concurrent=1
+        ).start()
+        try:
+            job = scheduler.submit(
+                "irf", scale="smoke", seed=3, iterations=40
+            )
+            deadline = time.monotonic() + 60
+            while len(scheduler.queue.get(job.id).points) < 1:
+                assert time.monotonic() < deadline
+                time.sleep(0.02)
+            assert scheduler.cancel(job.id) == "running"
+            deadline = time.monotonic() + 60
+            while scheduler.queue.get(job.id).state != "cancelled":
+                assert time.monotonic() < deadline, "drain wedged"
+                time.sleep(0.05)
+            cancelled = scheduler.queue.get(job.id)
+            assert cancelled.output is None
+            assert 0 < len(cancelled.points) < 40
+        finally:
+            scheduler.stop()
+
+    def test_bad_job_fails_without_killing_runner(self, tmp_path):
+        """A job that explodes marks itself failed; the runner thread
+        survives and completes the next job."""
+        scheduler = CampaignScheduler(
+            str(tmp_path / "state"), max_concurrent=1
+        ).start()
+        try:
+            # Bypass submit()'s validation to simulate a poison job
+            # (e.g. a state file from a newer version's target set).
+            poison = scheduler.queue.submit("warp_core", scale="smoke")
+            good = scheduler.submit(
+                "irf", scale="smoke", seed=7, iterations=3
+            )
+            deadline = time.monotonic() + 120
+            while scheduler.queue.get(good.id).state != "done":
+                assert time.monotonic() < deadline
+                time.sleep(0.05)
+            failed = scheduler.queue.get(poison.id)
+            assert failed.state == "failed"
+            assert "warp_core" in failed.error
+            assert scheduler.queue.get(good.id).output == \
+                reference_output()
+        finally:
+            scheduler.stop()
+
+
+class TestSharedCache:
+    def test_identical_resubmission_is_cache_warm_and_identical(
+        self, tmp_path
+    ):
+        """The second submission of the same config hits the shared
+        cross-campaign cache — and still produces identical bytes
+        (cache hits must never change results)."""
+        scheduler = CampaignScheduler(
+            str(tmp_path / "state"), max_concurrent=1
+        ).start()
+        try:
+            outputs = []
+            for _ in range(2):
+                job = scheduler.submit(
+                    "irf", scale="smoke", seed=7, iterations=3
+                )
+                deadline = time.monotonic() + 120
+                while scheduler.queue.get(job.id).state != "done":
+                    assert time.monotonic() < deadline
+                    time.sleep(0.05)
+                outputs.append(scheduler.queue.get(job.id).output)
+            assert len(scheduler.cache) > 0
+            assert outputs[0] == outputs[1] == reference_output()
+        finally:
+            scheduler.stop()
+
+    def test_shared_cache_persists_across_service_restarts(
+        self, tmp_path
+    ):
+        state_dir = str(tmp_path / "state")
+        first = CampaignScheduler(state_dir, max_concurrent=1).start()
+        job = first.submit("irf", scale="smoke", seed=7, iterations=3)
+        deadline = time.monotonic() + 120
+        while first.queue.get(job.id).state != "done":
+            assert time.monotonic() < deadline
+            time.sleep(0.05)
+        warm = len(first.cache)
+        first.stop()
+        assert warm > 0
+        second = CampaignScheduler(state_dir)
+        assert len(second.cache) == warm
+
+
+class TestConcurrentRunners:
+    def test_runners_share_the_queue_without_double_claiming(
+        self, tmp_path
+    ):
+        """Many tiny jobs across 2 runner threads: each job runs
+        exactly once (attempts == 1) and all finish."""
+        scheduler = CampaignScheduler(
+            str(tmp_path / "state"), max_concurrent=2
+        ).start()
+        try:
+            jobs = [
+                scheduler.submit(
+                    "irf", scale="smoke", seed=seed, iterations=2
+                )
+                for seed in range(4)
+            ]
+            deadline = time.monotonic() + 180
+            while not all(
+                scheduler.queue.get(job.id).state == "done"
+                for job in jobs
+            ):
+                assert time.monotonic() < deadline, [
+                    (job.id, scheduler.queue.get(job.id).state)
+                    for job in jobs
+                ]
+                time.sleep(0.05)
+            assert all(
+                scheduler.queue.get(job.id).attempts == 1
+                for job in jobs
+            )
+        finally:
+            scheduler.stop()

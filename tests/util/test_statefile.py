@@ -1,0 +1,158 @@
+"""Statefile helpers: quarantine naming and checksummed round-trips."""
+
+import json
+import os
+import threading
+
+import pytest
+
+from repro.util.statefile import (
+    CORRUPT_SUFFIX,
+    payload_checksum,
+    quarantine_file,
+    read_checksummed,
+    write_checksummed,
+)
+
+
+class TestQuarantineNaming:
+    def test_basic_quarantine(self, tmp_path):
+        victim = tmp_path / "state.json"
+        victim.write_text("garbage")
+        moved = quarantine_file(str(victim))
+        assert moved == str(victim) + CORRUPT_SUFFIX
+        assert not victim.exists()
+        assert os.path.exists(moved)
+
+    def test_same_stem_never_overwrites(self, tmp_path):
+        """Repeated quarantines of one stem each keep their artifact."""
+        victim = tmp_path / "state.json"
+        artifacts = []
+        for round_number in range(3):
+            victim.write_text(f"garbage round {round_number}")
+            artifacts.append(quarantine_file(str(victim)))
+        assert artifacts == [
+            str(victim) + CORRUPT_SUFFIX,
+            str(victim) + CORRUPT_SUFFIX + ".1",
+            str(victim) + CORRUPT_SUFFIX + ".2",
+        ]
+        contents = sorted(
+            open(artifact).read() for artifact in artifacts
+        )
+        assert contents == [
+            "garbage round 0", "garbage round 1", "garbage round 2",
+        ]
+
+    def test_concurrent_quarantines_all_survive(self, tmp_path):
+        """N threads racing on same-stem files lose no artifact.
+
+        This was the service-motivated fix: two campaigns sharing a
+        state directory could quarantine same-stem files at the same
+        moment, and the second ``os.replace`` silently destroyed the
+        first post-mortem artifact.
+        """
+        count = 8
+        victims = []
+        for index in range(count):
+            subdir = tmp_path / f"job-{index}"
+            subdir.mkdir()
+            victim = subdir / "state.json"
+            victim.write_text(f"payload {index}")
+            victims.append(str(victim))
+        # Same destination directory stresses the reservation loop:
+        # move every victim into one shared dir first.
+        shared = tmp_path / "shared"
+        shared.mkdir()
+        staged = []
+        for index, victim in enumerate(victims):
+            target = shared / "state.json"
+            if index == 0:
+                os.replace(victim, target)
+                staged.append(str(target))
+            else:
+                staged.append(victim)
+        results = [None] * count
+        barrier = threading.Barrier(count)
+
+        def worker(index: int) -> None:
+            barrier.wait()
+            results[index] = quarantine_file(staged[index])
+
+        threads = [
+            threading.Thread(target=worker, args=(index,))
+            for index in range(count)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        survivors = [result for result in results if result is not None]
+        assert len(survivors) == len(set(survivors)) == count
+        payloads = sorted(open(path).read() for path in survivors)
+        assert payloads == sorted(
+            f"payload {index}" for index in range(count)
+        )
+
+    def test_missing_source_returns_none_and_leaves_no_litter(
+        self, tmp_path
+    ):
+        missing = tmp_path / "never-existed.json"
+        assert quarantine_file(str(missing)) is None
+        # The failed reservation must not leave an empty .corrupt file
+        # shadowing a later, real quarantine.
+        assert list(tmp_path.iterdir()) == []
+
+
+class TestChecksummedRoundTrip:
+    def test_round_trip(self, tmp_path):
+        path = str(tmp_path / "queue.json")
+        payload = {"version": 1, "jobs": [{"id": "job-1"}]}
+        write_checksummed(path, payload)
+        loaded = read_checksummed(path)
+        assert loaded is not None
+        assert loaded["version"] == 1
+        assert loaded["jobs"] == [{"id": "job-1"}]
+        assert loaded["checksum"] == payload_checksum(loaded)
+
+    def test_write_does_not_mutate_caller_payload(self, tmp_path):
+        payload = {"version": 1}
+        write_checksummed(str(tmp_path / "s.json"), payload)
+        assert "checksum" not in payload
+
+    def test_missing_file_is_none_not_quarantine(self, tmp_path):
+        assert read_checksummed(str(tmp_path / "absent.json")) is None
+        assert list(tmp_path.iterdir()) == []
+
+    @pytest.mark.parametrize(
+        "content",
+        [
+            b"\x00\xff garbage bytes",
+            b'{"version": 1, "jobs": [',
+            b'[1, 2, 3]',
+        ],
+        ids=["binary", "truncated", "non-object"],
+    )
+    def test_corrupt_file_quarantined(self, tmp_path, content):
+        path = tmp_path / "queue.json"
+        path.write_bytes(content)
+        assert read_checksummed(str(path)) is None
+        assert not path.exists()
+        assert (tmp_path / ("queue.json" + CORRUPT_SUFFIX)).exists()
+
+    def test_checksum_mismatch_quarantined(self, tmp_path):
+        path = str(tmp_path / "queue.json")
+        write_checksummed(path, {"version": 1, "jobs": []})
+        payload = json.load(open(path))
+        payload["jobs"] = [{"id": "forged"}]  # bit-flip simulation
+        with open(path, "w") as stream:
+            json.dump(payload, stream)
+        assert read_checksummed(path) is None
+        assert os.path.exists(path + CORRUPT_SUFFIX)
+
+    def test_no_temp_litter_after_write(self, tmp_path):
+        path = str(tmp_path / "queue.json")
+        for _ in range(3):
+            write_checksummed(path, {"version": 1})
+        assert [entry.name for entry in tmp_path.iterdir()] == [
+            "queue.json"
+        ]
