@@ -1,9 +1,27 @@
-"""Program characterization utilities."""
+"""Program characterization utilities: dynamic profiles and the
+simulation-free static dataflow analyzer."""
 
 from repro.analysis.profile import (
     ProgramProfile,
     characterize,
     compare_profiles,
 )
+from repro.analysis.screen import should_skip, static_bound
+from repro.analysis.static import (
+    InstrFacts,
+    StaticReport,
+    analyze_program,
+    instruction_facts,
+)
 
-__all__ = ["ProgramProfile", "characterize", "compare_profiles"]
+__all__ = [
+    "InstrFacts",
+    "ProgramProfile",
+    "StaticReport",
+    "analyze_program",
+    "characterize",
+    "compare_profiles",
+    "instruction_facts",
+    "should_skip",
+    "static_bound",
+]

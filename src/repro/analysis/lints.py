@@ -1,0 +1,390 @@
+"""Determinism lint rules: AST checks behind ``tools/detlint.py``.
+
+The repo's central invariant — campaign stdout is byte-identical
+across local/distributed/cached/resumed runs — has so far been
+enforced only at test time.  These rules enforce the *sources* of
+nondeterminism at lint time, so a hazard is flagged in CI before a
+determinism test ever has the chance to flake:
+
+* ``unseeded-random`` — module-level :mod:`random` functions share
+  one process-global RNG; any draw order change (a new worker, an
+  extra retry) changes every later draw.  The repo idiom is an
+  explicit ``random.Random(seed)`` instance.
+* ``wallclock`` — ``time.time()`` / ``datetime.now()`` style clock
+  reads differ per run; anything they influence (stdout, checkpoints,
+  digests) diverges.  ``time.monotonic``/``perf_counter`` (durations)
+  are fine and not flagged.
+* ``set-iteration`` — iterating a bare ``set``/``frozenset`` yields
+  hash-seed-dependent order; feeding that into printed or persisted
+  output is a classic heisen-diff.  Wrap in ``sorted(...)``.
+* ``json-sort-keys`` — ``json.dump``/``dumps`` without
+  ``sort_keys=True`` serializes in insertion order, which drifts
+  under refactors; checkpoints and state files must byte-compare.
+* ``nested-locks`` — nested lock acquisitions without the
+  :mod:`repro.util.locks` ordered-lock discipline risk deadlock
+  (which CI observes as a nondeterministic hang).  Importing
+  ``repro.util.locks`` in the module waives the rule: the ordered
+  primitives assert the global acquisition order at runtime.
+
+A finding is waived by an inline ``# detlint: allow`` (any rule) or
+``# detlint: allow[rule-name]`` comment on the offending line, or a
+file-level ``# detlint: skip-file`` anywhere in the file.  Waivers
+are for *justified* hazards — e.g. operator-facing job timestamps
+that never reach stdout — and should say why in a neighboring
+comment.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import re
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+RULES: Dict[str, str] = {
+    "unseeded-random": (
+        "module-level random.* uses the shared global RNG; "
+        "use an explicit random.Random(seed) instance"
+    ),
+    "wallclock": (
+        "wall-clock read can reach stdout/checkpoints; use "
+        "time.monotonic()/perf_counter() for durations or waive "
+        "with a justification"
+    ),
+    "set-iteration": (
+        "iterating a bare set has hash-seed-dependent order; "
+        "wrap in sorted(...)"
+    ),
+    "json-sort-keys": (
+        "json.dump/dumps without sort_keys=True serializes in "
+        "insertion order; persisted JSON must byte-compare"
+    ),
+    "nested-locks": (
+        "nested lock acquisition without repro.util.locks ordering "
+        "discipline risks deadlock; use OrderedLock or waive with "
+        "a justification"
+    ),
+}
+
+#: Module-level :mod:`random` functions that draw from (or perturb)
+#: the process-global RNG.  ``random.Random``/``random.SystemRandom``
+#: construct independent instances and are the sanctioned idiom.
+_GLOBAL_RANDOM_FNS = frozenset(
+    {
+        "betavariate", "choice", "choices", "expovariate",
+        "gammavariate", "gauss", "getrandbits", "lognormvariate",
+        "normalvariate", "paretovariate", "randbytes", "randint",
+        "random", "randrange", "sample", "seed", "setstate",
+        "shuffle", "triangular", "uniform", "vonmisesvariate",
+        "weibullvariate",
+    }
+)
+
+#: ``time.<fn>`` reads that return wall-clock values.
+_WALLCLOCK_TIME_FNS = frozenset({"time", "time_ns", "ctime", "gmtime",
+                                 "localtime", "strftime"})
+
+#: ``datetime``/``date`` constructors that read the wall clock.
+_WALLCLOCK_DATETIME_FNS = frozenset({"now", "utcnow", "today"})
+
+_WAIVER_RE = re.compile(
+    r"#\s*detlint:\s*allow(?:\[([a-z0-9_,\s-]+)\])?"
+)
+_SKIP_FILE_RE = re.compile(r"#\s*detlint:\s*skip-file")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One determinism hazard at a specific source location."""
+
+    path: str
+    line: int
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: {self.rule}: {self.message}"
+
+
+def _waivers(source: str) -> Dict[int, Optional[Set[str]]]:
+    """Line → waived rules (``None`` means every rule) for a file."""
+    waived: Dict[int, Optional[Set[str]]] = {}
+    for number, text in enumerate(source.splitlines(), start=1):
+        match = _WAIVER_RE.search(text)
+        if not match:
+            continue
+        if match.group(1) is None:
+            waived[number] = None
+        else:
+            rules = {
+                part.strip() for part in match.group(1).split(",")
+            }
+            existing = waived.get(number)
+            if existing is None and number in waived:
+                continue  # blanket waiver already present
+            waived[number] = (existing or set()) | rules
+    return waived
+
+
+def _is_set_expr(node: ast.AST) -> bool:
+    """A expression that evaluates to a bare (unordered) set."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in ("set", "frozenset")
+    )
+
+
+def _lockish(node: ast.AST) -> bool:
+    """Heuristic: does this with-item expression acquire a lock?
+
+    Matches names/attributes containing "lock", ``Condition``
+    objects by conventional names, and explicit ``.acquire()``
+    calls.  Deliberately broad — the waiver/import escape hatches
+    keep false positives cheap to silence.
+    """
+    if isinstance(node, ast.Call):
+        return _lockish(node.func)
+    if isinstance(node, ast.Attribute):
+        attr = node.attr.lower()
+        if attr == "acquire":
+            return True
+        return "lock" in attr or "cond" in attr or "mutex" in attr
+    if isinstance(node, ast.Name):
+        name = node.id.lower()
+        return "lock" in name or "cond" in name or "mutex" in name
+    return False
+
+
+class _DeterminismVisitor(ast.NodeVisitor):
+    def __init__(self, path: str, in_util: bool):
+        self.path = path
+        self.in_util = in_util
+        self.findings: List[Finding] = []
+        self.imports_ordered_locks = False
+        self._lock_depth = 0
+
+    # -- helpers -----------------------------------------------------
+
+    def _flag(self, node: ast.AST, rule: str, message: str) -> None:
+        self.findings.append(
+            Finding(
+                path=self.path,
+                line=getattr(node, "lineno", 0),
+                rule=rule,
+                message=message,
+            )
+        )
+
+    # -- imports -----------------------------------------------------
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            if alias.name == "repro.util.locks":
+                self.imports_ordered_locks = True
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module and node.module.startswith("repro.util.locks"):
+            self.imports_ordered_locks = True
+        if node.module == "repro.util" and any(
+            alias.name in ("OrderedLock", "OrderedCondition", "locks")
+            for alias in node.names
+        ):
+            self.imports_ordered_locks = True
+        self.generic_visit(node)
+
+    # -- calls: random / wallclock / json ----------------------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute) and isinstance(
+            func.value, ast.Name
+        ):
+            owner, attr = func.value.id, func.attr
+            if (
+                owner == "random"
+                and attr in _GLOBAL_RANDOM_FNS
+                and not self.in_util
+            ):
+                self._flag(
+                    node,
+                    "unseeded-random",
+                    f"random.{attr}() draws from the process-global "
+                    "RNG; use a random.Random(seed) instance",
+                )
+            elif owner == "time" and attr in _WALLCLOCK_TIME_FNS:
+                self._flag(
+                    node,
+                    "wallclock",
+                    f"time.{attr}() reads the wall clock; anything "
+                    "it influences diverges between runs",
+                )
+            elif (
+                owner in ("datetime", "date")
+                and attr in _WALLCLOCK_DATETIME_FNS
+            ):
+                self._flag(
+                    node,
+                    "wallclock",
+                    f"{owner}.{attr}() reads the wall clock; "
+                    "anything it influences diverges between runs",
+                )
+            elif owner == "json" and attr in ("dump", "dumps"):
+                if not self._json_sorted(node):
+                    self._flag(
+                        node,
+                        "json-sort-keys",
+                        f"json.{attr}(...) without sort_keys=True "
+                        "serializes dicts in insertion order",
+                    )
+        self.generic_visit(node)
+
+    @staticmethod
+    def _json_sorted(node: ast.Call) -> bool:
+        for keyword in node.keywords:
+            if keyword.arg == "sort_keys":
+                value = keyword.value
+                return not (
+                    isinstance(value, ast.Constant)
+                    and value.value is False
+                )
+            if keyword.arg is None:
+                return True  # **kwargs: cannot see inside, trust it
+        return False
+
+    # -- set iteration ----------------------------------------------
+
+    def visit_For(self, node: ast.For) -> None:
+        if _is_set_expr(node.iter):
+            self._flag(
+                node.iter,
+                "set-iteration",
+                "for-loop iterates a bare set (hash-order); "
+                "wrap in sorted(...)",
+            )
+        self.generic_visit(node)
+
+    def _check_comprehension(self, node) -> None:
+        for generator in node.generators:
+            if _is_set_expr(generator.iter):
+                self._flag(
+                    generator.iter,
+                    "set-iteration",
+                    "comprehension iterates a bare set "
+                    "(hash-order); wrap in sorted(...)",
+                )
+        self.generic_visit(node)
+
+    visit_ListComp = _check_comprehension
+    visit_GeneratorExp = _check_comprehension
+    visit_DictComp = _check_comprehension
+
+    def visit_SetComp(self, node: ast.SetComp) -> None:
+        # Building a set from a set keeps everything unordered —
+        # the hazard only materializes where the result is *used*,
+        # which the other visitors cover.
+        self.generic_visit(node)
+
+    # -- nested locks -------------------------------------------------
+
+    def visit_With(self, node: ast.With) -> None:
+        lockish_items = [
+            item
+            for item in node.items
+            if _lockish(item.context_expr)
+        ]
+        for index, item in enumerate(lockish_items):
+            if self._lock_depth + index > 0:
+                self._flag(
+                    item.context_expr,
+                    "nested-locks",
+                    "lock acquired while another is held; order "
+                    "via repro.util.locks.OrderedLock",
+                )
+        self._lock_depth += len(lockish_items)
+        try:
+            self.generic_visit(node)
+        finally:
+            self._lock_depth -= len(lockish_items)
+
+
+def lint_source(
+    source: str, path: str = "<string>"
+) -> List[Finding]:
+    """Lint one Python source text; returns surviving findings."""
+    if _SKIP_FILE_RE.search(source):
+        return []
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                path=path,
+                line=exc.lineno or 0,
+                rule="syntax-error",
+                message=f"file does not parse: {exc.msg}",
+            )
+        ]
+    normalized = path.replace(os.sep, "/")
+    visitor = _DeterminismVisitor(
+        path, in_util="/util/" in normalized
+    )
+    visitor.visit(tree)
+    findings = visitor.findings
+    if visitor.imports_ordered_locks:
+        findings = [
+            finding
+            for finding in findings
+            if finding.rule != "nested-locks"
+        ]
+    waived = _waivers(source)
+    surviving = []
+    for finding in findings:
+        rules = waived.get(finding.line, ())
+        if rules is None or finding.rule in rules:
+            continue
+        surviving.append(finding)
+    surviving.sort(key=lambda f: (f.path, f.line, f.rule))
+    return surviving
+
+
+def iter_python_files(paths: Sequence[str]) -> Iterable[str]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    collected: List[str] = []
+    for path in paths:
+        if os.path.isdir(path):
+            for root, dirs, names in os.walk(path):
+                dirs[:] = sorted(
+                    d for d in dirs
+                    if d != "__pycache__" and not d.startswith(".")
+                )
+                collected.extend(
+                    os.path.join(root, name)
+                    for name in sorted(names)
+                    if name.endswith(".py")
+                )
+        else:
+            collected.append(path)
+    return collected
+
+
+def lint_paths(paths: Sequence[str]) -> List[Finding]:
+    """Lint every ``.py`` file under ``paths``."""
+    findings: List[Finding] = []
+    for file_path in iter_python_files(paths):
+        with open(file_path, "r", encoding="utf-8") as handle:
+            source = handle.read()
+        findings.extend(lint_source(source, file_path))
+    return findings
+
+
+def run_detlint(
+    paths: Sequence[str],
+) -> Tuple[List[Finding], int]:
+    """Entry point shared with ``tools.detlint``: findings + exit code."""
+    findings = lint_paths(paths)
+    return findings, (1 if findings else 0)

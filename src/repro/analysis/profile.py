@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro.analysis.static import StaticReport, analyze_program
 from repro.isa.instructions import FUClass
 from repro.isa.program import Program
 from repro.sim.config import DEFAULT_MACHINE, MachineConfig
@@ -39,6 +40,13 @@ class ProgramProfile:
     dead_value_fraction: float = 0.0
     #: Mean concurrent live (ACE-window) integer register versions.
     mean_live_versions: float = 0.0
+    #: Mean static def→use distance (program order, simulation-free),
+    #: from the static dataflow pass — the compile-time counterpart of
+    #: ``mean_dependency_distance`` for spotting scheduling effects.
+    static_dependency_distance: float = 0.0
+    #: Statically-dead instruction share (see
+    #: :attr:`repro.analysis.static.StaticReport.dead_instruction_fraction`).
+    dead_instruction_fraction: float = 0.0
 
     def mix_share(self, fu_class: FUClass) -> float:
         return self.mix.get(fu_class, 0.0)
@@ -50,7 +58,11 @@ class ProgramProfile:
             ["ipc", f"{self.ipc:.2f}"],
             ["l1d hit rate", f"{self.l1d_hit_rate:.2f}"],
             ["mean dep. distance", f"{self.mean_dependency_distance:.1f}"],
+            ["static dep. distance",
+             f"{self.static_dependency_distance:.1f}"],
             ["dead values", f"{self.dead_value_fraction:.1%}"],
+            ["dead instructions",
+             f"{self.dead_instruction_fraction:.1%}"],
             ["mean live versions", f"{self.mean_live_versions:.1f}"],
         ]
         for fu_class, share in sorted(
@@ -65,8 +77,15 @@ class ProgramProfile:
 def characterize(
     program_or_golden,
     machine: MachineConfig = DEFAULT_MACHINE,
+    static_report: Optional[StaticReport] = None,
 ) -> ProgramProfile:
-    """Profile a program (or an already-computed golden run)."""
+    """Profile a program (or an already-computed golden run).
+
+    ``static_report`` lets callers profiling the same program under
+    several machines/metrics reuse one static dataflow pass; when
+    omitted, :func:`~repro.analysis.static.analyze_program` runs once
+    here (the static def-use chains are machine-independent).
+    """
     if isinstance(program_or_golden, GoldenRun):
         golden = program_or_golden
     elif isinstance(program_or_golden, Program):
@@ -75,6 +94,8 @@ def characterize(
         raise TypeError("expected a Program or GoldenRun")
     if golden.crashed:
         raise ValueError("cannot profile a crashing program")
+    if static_report is None:
+        static_report = analyze_program(golden.program)
 
     records = golden.result.records
     total = max(len(records), 1)
@@ -82,7 +103,11 @@ def characterize(
     for record in records:
         mix[record.fu_class] = mix.get(record.fu_class, 0) + 1
 
-    distances: List[int] = []
+    # One traversal with running accumulators: profiling a large
+    # comparison report used to materialize a per-read distance list
+    # for every profile, which dominated report time at full scale.
+    distance_sum = 0
+    distance_count = 0
     dead = 0
     versions = 0
     ace_cycles = 0
@@ -90,18 +115,21 @@ def characterize(
         if version.writer_dyn is None:
             continue  # wrapper-initialized state
         versions += 1
-        consumer_reads = [
-            dyn for dyn, _cycle in version.reads if dyn >= 0
-        ]
-        if not consumer_reads and not version.end_read:
+        consumed = False
+        for dyn, _cycle in version.reads:
+            if dyn < 0:
+                continue
+            consumed = True
+            distance_sum += dyn - version.writer_dyn
+            distance_count += 1
+        if not consumed and not version.end_read:
             dead += 1
             continue
-        for dyn in consumer_reads:
-            distances.append(dyn - version.writer_dyn)
         last_read = version.last_read_cycle
         if last_read is not None:
             ace_cycles += max(0, last_read - version.ready_cycle)
 
+    static_distances = static_report.def_use_distances
     return ProgramProfile(
         name=golden.program.name,
         instructions=len(golden.program),
@@ -112,10 +140,17 @@ def characterize(
             fu_class: count / total for fu_class, count in mix.items()
         },
         mean_dependency_distance=(
-            sum(distances) / len(distances) if distances else 0.0
+            distance_sum / distance_count if distance_count else 0.0
         ),
         dead_value_fraction=dead / versions if versions else 0.0,
         mean_live_versions=ace_cycles / max(golden.total_cycles, 1),
+        static_dependency_distance=(
+            sum(static_distances) / len(static_distances)
+            if static_distances else 0.0
+        ),
+        dead_instruction_fraction=(
+            static_report.dead_instruction_fraction
+        ),
     )
 
 

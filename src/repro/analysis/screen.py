@@ -1,0 +1,76 @@
+"""Simulation-free candidate screening backed by the static analyzer.
+
+The evaluator consults :func:`static_bound` before paying for a golden
+run: when the static upper bound on a candidate's coverage metric is
+exactly ``0.0``, the dynamic score is *provably* zero (crashing runs
+grade to zero by definition, and :mod:`repro.analysis.static` proves
+the non-crashing case), so the candidate can be scored without
+simulating.  The skip is invisible in campaign output — screened
+candidates receive the same fitness, ranking position (Python's sort
+is stable) and health accounting a simulated zero would get — and is
+counted separately in ``EvalHealth.static_skips``.
+
+Dispatch is by **exact metric type**: a user-defined subclass of one
+of the stock metrics may grade differently, so it never screens.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.analysis.static import StaticReport, analyze_program
+from repro.coverage.metrics import (
+    AceIrfCoverage,
+    AceL1dCoverage,
+    CoverageMetric,
+    IbrCoverage,
+)
+from repro.isa.program import Program
+from repro.sim.config import DEFAULT_MACHINE, MachineConfig
+
+
+def report_bound(
+    report: StaticReport,
+    metric: CoverageMetric,
+    machine: MachineConfig = DEFAULT_MACHINE,
+) -> Optional[float]:
+    """Static upper bound on ``metric`` from an existing report.
+
+    Returns ``None`` when the metric is not one the analyzer can
+    bound (including any subclass of a stock metric).
+    """
+    metric_type = type(metric)
+    if metric_type is AceIrfCoverage:
+        return report.ace_irf_bound(machine)
+    if metric_type is AceL1dCoverage:
+        return report.ace_l1d_bound(machine)
+    if metric_type is IbrCoverage:
+        return report.ibr_bound(metric.fu_class, machine)
+    return None
+
+
+def static_bound(
+    program: Program,
+    metric: CoverageMetric,
+    machine: MachineConfig = DEFAULT_MACHINE,
+) -> Optional[float]:
+    """Static upper bound on ``metric`` for ``program``, or ``None``.
+
+    The bound holds for the machine the evaluator actually simulates
+    on (``machine.for_program(program.data_size)`` — the same
+    derivation :func:`repro.sim.cosim.golden_run` applies).
+    """
+    report = analyze_program(program)
+    return report_bound(
+        report, metric, machine.for_program(program.data_size)
+    )
+
+
+def should_skip(
+    program: Program,
+    metric: CoverageMetric,
+    machine: MachineConfig = DEFAULT_MACHINE,
+) -> bool:
+    """Whether simulation can be skipped: the bound is exactly zero."""
+    bound = static_bound(program, metric, machine)
+    return bound is not None and bound == 0.0

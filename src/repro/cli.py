@@ -139,6 +139,8 @@ def _cmd_loop(args: argparse.Namespace) -> int:
             fleet_listen=fleet_listen,
             iterations=args.iterations,
             seed=args.seed,
+            static_screen=not args.no_static_screen,
+            paranoid=args.paranoid,
         )
     except CheckpointError as exc:
         print(f"checkpoint error: {exc}", file=sys.stderr)
@@ -307,7 +309,10 @@ def _cmd_status(args: argparse.Namespace) -> int:
 
     try:
         if args.job_id is None:
-            print(json.dumps(get_queue(_service_url(args)), indent=2))
+            print(json.dumps(
+                get_queue(_service_url(args)),
+                indent=2, sort_keys=True,
+            ))
             return 0
         if args.wait:
             return _wait_and_print(args, args.job_id)
@@ -318,7 +323,7 @@ def _cmd_status(args: argparse.Namespace) -> int:
     except OSError as exc:
         print(f"service unreachable: {exc}", file=sys.stderr)
         return 2
-    print(json.dumps(job, indent=2))
+    print(json.dumps(job, indent=2, sort_keys=True))
     return 0
 
 
@@ -458,6 +463,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-eval-cache", action="store_true",
         help="disable the evaluation cache (every candidate "
              "re-simulates; results are identical, just slower)",
+    )
+    loop_parser.add_argument(
+        "--no-static-screen", action="store_true",
+        help="disable static zero-bound screening (candidates the "
+             "analyzer proves score zero simulate anyway; output is "
+             "byte-identical, just slower)",
+    )
+    loop_parser.add_argument(
+        "--paranoid", action="store_true",
+        help="differentially check every dynamic score against its "
+             "static upper bound and abort loudly on a violation "
+             "(sanitizer mode for the analyzer and the simulator)",
     )
     loop_parser.add_argument(
         "--fleet-listen", default=None, metavar="HOST:PORT",

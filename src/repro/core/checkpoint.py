@@ -200,7 +200,7 @@ class LoopCheckpoint:
         # Embedded content checksum: a torn or truncated write is
         # detected on load and quarantined instead of resumed from.
         payload["checksum"] = payload_checksum(payload)
-        return json.dumps(payload, indent=2)
+        return json.dumps(payload, indent=2, sort_keys=True)
 
     @classmethod
     def from_json(cls, text: str) -> "LoopCheckpoint":

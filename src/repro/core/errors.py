@@ -79,6 +79,35 @@ class CandidateEvaluationError(EvaluationError):
         self.original_type = original_type
 
 
+class StaticOracleError(EvaluationError):
+    """A dynamic coverage score exceeded its static upper bound.
+
+    Raised only under the evaluator's ``--paranoid`` differential
+    oracle.  This is never a candidate problem: it means either the
+    static analyzer (:mod:`repro.analysis.static`) or the simulator
+    pipeline it over-approximates has a soundness bug, so it
+    deliberately fails the run loudly instead of quarantining.
+    """
+
+    kind = "static_oracle"
+
+    def __init__(
+        self,
+        program_name: str,
+        metric_name: str,
+        fitness: float,
+        bound: float,
+    ):
+        super().__init__(
+            f"static oracle violated for {program_name!r}: dynamic "
+            f"{metric_name}={fitness!r} exceeds static bound {bound!r}",
+            program_name,
+        )
+        self.metric_name = metric_name
+        self.fitness = fitness
+        self.bound = bound
+
+
 class CheckpointError(EvaluationError):
     """A loop checkpoint could not be written, read, or restored."""
 

@@ -247,7 +247,7 @@ class EvaluationCache:
         )
         try:
             with os.fdopen(handle, "w") as stream:
-                json.dump(payload, stream)
+                json.dump(payload, stream, sort_keys=True)
             os.replace(temp_path, path)
         except BaseException:
             try:

@@ -25,6 +25,8 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro import obs
+from repro.analysis.screen import static_bound
+from repro.core.errors import StaticOracleError
 from repro.core.evalcache import (
     EvaluationCache,
     evaluation_context,
@@ -90,6 +92,13 @@ class EvalHealth:
     #: off — operators read the saved work off the
     #: ``repro_eval_cache_*`` obs series instead.
     cache_hits: int = 0
+    #: Candidates scored without simulating because the static
+    #: analyzer proved their coverage bound is zero.  Like
+    #: ``cache_hits``, deliberately absent from :meth:`as_dict` and
+    #: :meth:`summary` so checkpoints and stdout stay byte-identical
+    #: with screening on or off — operators read the saved work off
+    #: the ``repro_static_screen_skips_total`` obs series.
+    static_skips: int = 0
     retries: int = 0
     timeouts: int = 0
     worker_crashes: int = 0
@@ -122,6 +131,7 @@ class EvalHealth:
         """
         self.evaluations += other.evaluations
         self.cache_hits += other.cache_hits
+        self.static_skips += other.static_skips
         self.retries += other.retries
         self.timeouts += other.timeouts
         self.worker_crashes += other.worker_crashes
@@ -253,6 +263,8 @@ class Evaluator:
         eval_timeout: Optional[float] = None,
         max_retries: int = 0,
         cache: Optional[EvaluationCache] = None,
+        static_screen: bool = True,
+        paranoid: bool = False,
     ):
         self.metric = metric
         self.machine = machine
@@ -260,6 +272,8 @@ class Evaluator:
         self.eval_timeout = eval_timeout
         self.max_retries = max_retries
         self.cache = cache
+        self.static_screen = static_screen
+        self.paranoid = paranoid
         self._cache_context: Optional[bytes] = None
         self._health = EvalHealth()
         # One ResilientPool per evaluator lifetime: worker processes
@@ -300,13 +314,94 @@ class Evaluator:
         Never raises for a candidate failure: misbehaving programs come
         back quarantined with :data:`QUARANTINE_FITNESS`.
 
+        With ``static_screen`` enabled (the default), every candidate
+        is first run through the simulation-free static analyzer
+        (:mod:`repro.analysis.screen`): candidates whose static
+        coverage upper bound is exactly zero are scored ``0.0``
+        without simulating or consulting the cache.  A screened
+        candidate is indistinguishable in campaign output from a
+        simulated zero — same fitness, same (stable-sort) ranking
+        position, same health digest — and is tallied in
+        ``health.static_skips`` + ``repro_static_screen_skips_total``.
+
+        With ``paranoid`` enabled, every graded (non-quarantined)
+        result is differentially checked against its static bound and
+        a violation raises :class:`StaticOracleError` loudly — a
+        standing sanitizer for both the analyzer and the simulator.
+        """
+        programs = list(programs)
+        if not programs or not (self.static_screen or self.paranoid):
+            return self._evaluate_cached(programs)
+        bounds = [
+            static_bound(program, self.metric, self.machine)
+            for program in programs
+        ]
+        results: List[Optional[EvaluatedProgram]] = [None] * len(programs)
+        simulate_indices: List[int] = []
+        for index, bound in enumerate(bounds):
+            if self.static_screen and bound == 0.0:
+                results[index] = EvaluatedProgram(
+                    program=programs[index],
+                    fitness=0.0,
+                    total_cycles=0,
+                    crashed=False,
+                )
+            else:
+                simulate_indices.append(index)
+        skipped = len(programs) - len(simulate_indices)
+        if skipped:
+            self._health.evaluations += skipped
+            self._health.static_skips += skipped
+            obs.inc(
+                "repro_evaluations_total",
+                skipped,
+                "Candidate evaluations requested",
+            )
+            obs.inc(
+                "repro_static_screen_skips_total",
+                skipped,
+                "Simulations skipped by the zero-bound static screen",
+            )
+        if simulate_indices:
+            graded = self._evaluate_cached(
+                [programs[index] for index in simulate_indices]
+            )
+            for spot, evaluated in zip(simulate_indices, graded):
+                if self.paranoid:
+                    self._oracle_check(evaluated, bounds[spot])
+                results[spot] = evaluated
+        return [entry for entry in results if entry is not None]
+
+    def _oracle_check(
+        self, evaluated: EvaluatedProgram, bound: Optional[float]
+    ) -> None:
+        """Paranoid differential oracle: dynamic score <= static bound.
+
+        Runs in the parent process on the returned record so it covers
+        every execution substrate uniformly — inline, local pool,
+        distributed fleet, and cache hits.  Quarantined candidates are
+        exempt (their sentinel fitness is not a coverage value)."""
+        if bound is None or evaluated.error_kind is not None:
+            return
+        if evaluated.fitness > bound + 1e-9:
+            raise StaticOracleError(
+                program_name=evaluated.program.name,
+                metric_name=self.metric.name,
+                fitness=evaluated.fitness,
+                bound=bound,
+            )
+
+    def _evaluate_cached(
+        self, programs: List[Program]
+    ) -> List[EvaluatedProgram]:
+        """The cache layer below screening.
+
         With a cache attached, known programs are served without
         simulating and only the misses are dispatched (inline, to the
         local pool, or across the fleet — whichever backend
         :meth:`_evaluate_uncached` provides); results scatter back into
         input order.  A hit reproduces the fresh record exactly, except
         that ``attempts`` is normalized to 1."""
-        programs = list(programs)
         if self.cache is None or not programs:
             return self._evaluate_uncached(programs)
         context = self._context()

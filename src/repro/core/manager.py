@@ -90,6 +90,8 @@ class Manager:
         eval_cache_size: Optional[int] = DEFAULT_EVAL_CACHE_SIZE,
         fleet_listen: Optional[Tuple[str, int]] = None,
         eval_cache: Optional[EvaluationCache] = None,
+        static_screen: bool = True,
+        paranoid: bool = False,
     ):
         self.target = target
         self.generator = Generator(target.generation)
@@ -122,6 +124,8 @@ class Manager:
                 program_scale=dist_scales[0],
                 loop_scale=dist_scales[1],
                 fleet_listen=fleet_listen,
+                static_screen=static_screen,
+                paranoid=paranoid,
             )
         else:
             self.evaluator = Evaluator(
@@ -131,6 +135,8 @@ class Manager:
                 eval_timeout=eval_timeout,
                 max_retries=max_retries,
                 cache=cache,
+                static_screen=static_screen,
+                paranoid=paranoid,
             )
         self.mutator: Mutator = InstructionReplacementMutator(
             self.generator.arch, pool_names=target.pool_names

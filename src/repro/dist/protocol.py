@@ -194,7 +194,9 @@ def send_frame(
     deflates the body when it is large enough to benefit; the
     compressed length carries :data:`COMPRESS_FLAG` in the header.
     """
-    payload = json.dumps(message, separators=(",", ":")).encode("utf-8")
+    payload = json.dumps(
+        message, separators=(",", ":"), sort_keys=True
+    ).encode("utf-8")
     if len(payload) > MAX_FRAME_BYTES:
         raise ProtocolError(
             f"outgoing frame of {len(payload)} bytes exceeds the "

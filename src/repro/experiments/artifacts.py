@@ -102,5 +102,7 @@ def to_jsonable(result) -> Union[dict, list]:
 def save(result, path: Union[str, Path]) -> Path:
     """Serialize a result object to a JSON file; returns the path."""
     path = Path(path)
-    path.write_text(json.dumps(to_jsonable(result), indent=2))
+    path.write_text(
+        json.dumps(to_jsonable(result), indent=2, sort_keys=True)
+    )
     return path

@@ -202,6 +202,8 @@ def run_target(
     stop_check: Optional[Callable[[], bool]] = None,
     on_point: Optional[Callable[[ConvergencePoint], None]] = None,
     resume_points: Optional[Sequence[ConvergencePoint]] = None,
+    static_screen: bool = True,
+    paranoid: bool = False,
 ) -> ConvergenceCurve:
     """Run the loop for one target, sampling detection along the way.
 
@@ -224,6 +226,12 @@ def run_target(
     ``resume_points`` pre-loads the points a previous (interrupted)
     run of this campaign already sampled, so a resumed campaign's
     final output is byte-identical to an uninterrupted one.
+
+    ``static_screen`` (on by default) lets the evaluator score
+    provably-zero-coverage candidates without simulating them —
+    stdout is byte-identical either way; ``paranoid`` additionally
+    cross-checks every dynamic score against its static upper bound
+    and fails the run loudly on a violation.
     """
     if seed is not None:
         target = replace(
@@ -239,6 +247,8 @@ def run_target(
         eval_cache_size=eval_cache_size,
         fleet_listen=fleet_listen,
         eval_cache=eval_cache,
+        static_screen=static_screen,
+        paranoid=paranoid,
     )
     curve = ConvergenceCurve(target=target.key, title=target.title)
     if resume_points:

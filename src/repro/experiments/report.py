@@ -100,7 +100,7 @@ def run_all(
         stream.write(text + "\n\n")
         stream.flush()
 
-    started = time.time()
+    started = time.monotonic()
     emit(f"Harpocrates reproduction report (scale preset: {scale.name})")
     emit(fig1.render())
 
@@ -138,7 +138,7 @@ def run_all(
     emit(comparison.render())
 
     emit(speed.run(scale, workers=workers).render())
-    emit(f"Report complete in {time.time() - started:.0f}s.")
+    emit(f"Report complete in {time.monotonic() - started:.0f}s.")
 
 
 if __name__ == "__main__":

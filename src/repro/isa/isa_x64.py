@@ -667,7 +667,12 @@ def _build_sse(alloc: _OpcodeAllocator) -> List[InstructionDef]:
         ("cvtsd2si_r64_x", "cvtsd2si"),
     ):
         if name.startswith("cvtsi"):
-            operands = (_xmm(128, src=False, dst=True), _gpr(64))
+            # The scalar converts merge into the destination's upper
+            # lanes, so the dst xmm is read as well as written (the
+            # semantics call ``read_operand`` on slot 0 — declaring
+            # src=False here was a latent mismatch surfaced by the
+            # static dataflow oracle).
+            operands = (_xmm(128, dst=True), _gpr(64))
         else:
             operands = (_gpr(64, src=False, dst=True), _xmm(128))
         defs.append(

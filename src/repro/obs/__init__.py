@@ -139,7 +139,10 @@ def shutdown() -> None:
         )
         try:
             with open(path, "w", encoding="utf-8") as fh:
-                json.dump(_state.registry.snapshot(), fh, indent=2)
+                json.dump(
+                    _state.registry.snapshot(), fh,
+                    indent=2, sort_keys=True,
+                )
         except OSError:
             pass
     disable()

@@ -38,7 +38,10 @@ class _Handler(BaseHTTPRequestHandler):
         if path == "/metrics":
             self._reply(obs.render_metrics(), EXPOSITION_CONTENT_TYPE)
         elif path == "/status":
-            payload = json.dumps(obs.status_dict(), indent=2, default=str)
+            payload = json.dumps(
+                obs.status_dict(), indent=2, default=str,
+                sort_keys=True,
+            )
             self._reply(payload, "application/json; charset=utf-8")
         elif path in ("/", "/index.html"):
             self._reply(

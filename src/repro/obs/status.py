@@ -54,11 +54,11 @@ class CampaignStatus:
         self._campaign: Dict[str, object] = {}
         self._workers: Dict[str, Dict[str, object]] = {}
         self._quarantined: List[str] = []
-        self._started = time.time()
+        self._started = time.time()  # detlint: allow[wallclock] — status timestamps are operator-facing, never in stdout
 
     def update(self, **fields) -> None:
         """Merge campaign-level fields (generation, best_fitness, ...)."""
-        now = time.time()
+        now = time.time()  # detlint: allow[wallclock] — ditto
         with self._lock:
             self._campaign.update(fields)
             self._campaign["updated_unix"] = now
@@ -71,7 +71,7 @@ class CampaignStatus:
 
     def set_worker(self, name: str, **fields) -> None:
         """Merge per-worker fields (alive, slots, in_flight, ...)."""
-        now = time.time()
+        now = time.time()  # detlint: allow[wallclock] — ditto
         with self._lock:
             worker = self._workers.setdefault(name, {})
             worker.update(fields)
@@ -87,14 +87,14 @@ class CampaignStatus:
             self._campaign = {}
             self._workers = {}
             self._quarantined = []
-            self._started = time.time()
+            self._started = time.time()  # detlint: allow[wallclock] — ditto
 
     def as_dict(self) -> Dict[str, object]:
         """A serializable copy of the full status."""
         with self._lock:
             return {
                 "started_unix": self._started,
-                "uptime_seconds": time.time() - self._started,
+                "uptime_seconds": time.time() - self._started,  # detlint: allow[wallclock] — ditto
                 "campaign": dict(self._campaign),
                 "workers": {
                     name: dict(fields)

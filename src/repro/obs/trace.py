@@ -81,7 +81,7 @@ class _Span:
         self.parent_id = stack[-1] if stack else None
         self.depth = len(stack)
         stack.append(self.span_id)
-        self.wall = time.time()
+        self.wall = time.time()  # detlint: allow[wallclock] — trace timestamps are diagnostic, never in stdout
         self.started = time.perf_counter()
         return self
 
@@ -135,14 +135,17 @@ class Tracer:
 
     def event(self, name: str, **fields) -> None:
         """Record a point event."""
-        record = {"type": "event", "name": name, "ts": time.time()}
+        record = {"type": "event", "name": name, "ts": time.time()}  # detlint: allow[wallclock] — ditto
         record.update(fields)
         self._write(record)
 
     def _write(self, record: Dict) -> None:
         if self._closed:
             return
-        line = json.dumps(record, separators=(",", ":"), default=str)
+        line = json.dumps(
+            record, separators=(",", ":"), default=str,
+            sort_keys=True,
+        )
         with self._write_lock:
             if self._closed:
                 return

@@ -161,7 +161,8 @@ class _Handler(BaseHTTPRequestHandler):
 
     def _reply_json(self, payload: object, code: int = 200) -> None:
         self._reply(
-            json.dumps(payload, indent=2, default=str), _JSON, code
+            json.dumps(payload, indent=2, default=str, sort_keys=True),
+            _JSON, code,
         )
 
     def _reply(
@@ -249,7 +250,7 @@ def _request(
     data = None
     headers = {"Accept": "application/json"}
     if payload is not None:
-        data = json.dumps(payload).encode("utf-8")
+        data = json.dumps(payload, sort_keys=True).encode("utf-8")
         headers["Content-Type"] = "application/json"
     request = urllib.request.Request(
         url, data=data, headers=headers, method=method

@@ -107,6 +107,8 @@ class CampaignScheduler:
         eval_cache_size: int = DEFAULT_EVAL_CACHE_SIZE,
         eval_timeout: Optional[float] = None,
         max_retries: int = 0,
+        static_screen: bool = True,
+        paranoid: bool = False,
     ):
         self.state_dir = state_dir
         os.makedirs(state_dir, exist_ok=True)
@@ -123,6 +125,8 @@ class CampaignScheduler:
         self.workers_per_campaign = workers_per_campaign
         self.eval_timeout = eval_timeout
         self.max_retries = max_retries
+        self.static_screen = static_screen
+        self.paranoid = paranoid
         self._stopping = threading.Event()
         self._runners: List[threading.Thread] = []
         self._registry: Optional[RegistrationListener] = None
@@ -300,6 +304,8 @@ class CampaignScheduler:
                 stop_check=stop_check,
                 on_point=on_point,
                 resume_points=resume_points,
+                static_screen=self.static_screen,
+                paranoid=self.paranoid,
             )
         finally:
             self.pool.release(lease)

@@ -16,6 +16,11 @@ from repro.util.bitops import (
     to_unsigned,
 )
 from repro.util.checksum import crc64, fold_output_signature
+from repro.util.locks import (
+    LockOrderError,
+    OrderedCondition,
+    OrderedLock,
+)
 from repro.util.tables import format_table
 
 __all__ = [
@@ -35,4 +40,7 @@ __all__ = [
     "crc64",
     "fold_output_signature",
     "format_table",
+    "LockOrderError",
+    "OrderedCondition",
+    "OrderedLock",
 ]

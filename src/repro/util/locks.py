@@ -1,0 +1,179 @@
+"""Ordered locks: a debug-mode lock-order assertion helper.
+
+The service runs many runner threads over shared structures (the job
+queue, the fleet pool, the shared eval cache).  Today each structure
+is single-lock and no code path holds two at once — the cheap,
+deadlock-free design.  This module keeps it that way *verifiably*:
+
+* every shared lock gets a name and a **rank** (a total order);
+* in debug mode every thread tracks the ranks it currently holds, and
+  acquiring out of order (rank not strictly above the last held one)
+  raises :class:`LockOrderError` at the acquisition site — turning a
+  would-be nondeterministic deadlock into a deterministic stack trace;
+* outside debug mode the wrapper is a plain pass-through lock.
+
+Debug mode is enabled by the ``REPRO_LOCK_DEBUG`` environment
+variable (any value but ``""``/``0``/``false``) or
+:func:`set_debug`; tests turn it on unconditionally.
+
+The determinism linter (``tools/detlint.py``) flags nested ``with
+<lock>`` acquisitions in modules that do *not* import this module —
+so new nesting must either adopt the ordered discipline or carry an
+explicit waiver.
+
+Rank registry (total order across the repo — extend here, in one
+place, when a new shared lock appears)::
+
+    100  service.queue      (JobQueue._lock / not_empty)
+    200  dist.fleet_pool    (FleetPool)
+    300  core.evalcache     (SharedEvaluationCache store)
+
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from typing import List, Optional, Tuple
+
+__all__ = [
+    "LockOrderError",
+    "OrderedCondition",
+    "OrderedLock",
+    "lock_debug_enabled",
+    "set_debug",
+]
+
+
+class LockOrderError(RuntimeError):
+    """A lock was acquired out of rank order (potential deadlock)."""
+
+
+_local = threading.local()
+
+
+def _held() -> List[Tuple[int, str]]:
+    stack = getattr(_local, "stack", None)
+    if stack is None:
+        stack = []
+        _local.stack = stack
+    return stack
+
+
+def _env_debug() -> bool:
+    value = os.environ.get("REPRO_LOCK_DEBUG", "")
+    return value.lower() not in ("", "0", "false")
+
+
+_debug: bool = _env_debug()
+
+
+def set_debug(enabled: bool) -> None:
+    """Force lock-order checking on/off (overrides the env var)."""
+    global _debug
+    _debug = bool(enabled)
+
+
+def lock_debug_enabled() -> bool:
+    return _debug
+
+
+class OrderedLock:
+    """A named, ranked mutex asserting global acquisition order.
+
+    Acquisitions on one thread must use strictly increasing ranks;
+    in debug mode a violation raises :class:`LockOrderError`
+    *instead of* risking the deadlock it implies.  The rank is pushed
+    only on acquire **success** and popped on release, so
+    :class:`OrderedCondition.wait` (which releases and reacquires)
+    stays balanced.
+    """
+
+    def __init__(self, name: str, rank: int):
+        self.name = name
+        self.rank = int(rank)
+        self._lock = threading.Lock()
+        self._owner: Optional[int] = None
+
+    def __repr__(self) -> str:
+        return (
+            f"OrderedLock(name={self.name!r}, rank={self.rank}, "
+            f"locked={self._owner is not None})"
+        )
+
+    # -- checking ----------------------------------------------------
+
+    def _check_order(self) -> None:
+        stack = _held()
+        if not stack:
+            return
+        top_rank, top_name = stack[-1]
+        if self.rank <= top_rank:
+            raise LockOrderError(
+                f"acquiring {self.name!r} (rank {self.rank}) while "
+                f"holding {top_name!r} (rank {top_rank}); ranks must "
+                "strictly increase — see the registry in "
+                "repro/util/locks.py"
+            )
+
+    def _push(self) -> None:
+        _held().append((self.rank, self.name))
+
+    def _pop(self) -> None:
+        stack = _held()
+        for index in range(len(stack) - 1, -1, -1):
+            if stack[index] == (self.rank, self.name):
+                del stack[index]
+                return
+        # Debug mode flipped on mid-hold: nothing to pop.
+
+    # -- the lock protocol -------------------------------------------
+
+    def acquire(self, blocking: bool = True, timeout: float = -1):
+        if _debug:
+            self._check_order()
+        acquired = self._lock.acquire(blocking, timeout)
+        if acquired:
+            self._owner = threading.get_ident()
+            if _debug:
+                self._push()
+        return acquired
+
+    def release(self) -> None:
+        self._owner = None
+        if _debug:
+            self._pop()
+        self._lock.release()
+
+    def locked(self) -> bool:
+        return self._lock.locked()
+
+    def _is_owned(self) -> bool:
+        # threading.Condition lifts this method from its lock; having
+        # it avoids Condition's acquire(0)-probe fallback, which would
+        # trip the order check against the very lock being probed.
+        return self._owner == threading.get_ident()
+
+    def __enter__(self) -> "OrderedLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.release()
+
+
+class OrderedCondition(threading.Condition):
+    """A :class:`threading.Condition` over an :class:`OrderedLock`.
+
+    ``wait()`` releases the underlying ordered lock (popping its
+    rank) and reacquires it before returning (pushing it back), so
+    the per-thread held-rank stack stays truthful across waits.
+    """
+
+    def __init__(self, lock: OrderedLock):
+        if not isinstance(lock, OrderedLock):
+            raise TypeError(
+                "OrderedCondition requires an OrderedLock; got "
+                f"{type(lock).__name__}"
+            )
+        super().__init__(lock)

@@ -118,7 +118,7 @@ def write_checksummed(path: str, payload: Dict[str, object]) -> str:
     )
     try:
         with os.fdopen(handle, "w") as stream:
-            json.dump(payload, stream)
+            json.dump(payload, stream, sort_keys=True)
         os.replace(temp_path, path)
     except BaseException:
         try:

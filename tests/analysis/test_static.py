@@ -1,0 +1,139 @@
+"""Unit tests for the static dataflow analyzer."""
+
+import pytest
+
+from repro.analysis import StaticReport, analyze_program  # noqa: F401
+from repro.analysis.static import FLAGS, instruction_facts
+from repro.isa import Program, make, mem, reg, rel, x64
+from repro.isa.instructions import FUClass
+from repro.sim.config import DEFAULT_MACHINE
+
+
+@pytest.fixture(scope="module")
+def isa():
+    return x64()
+
+
+def _program(instructions, data_size=4096, name="static-test"):
+    return Program(
+        instructions=tuple(instructions),
+        name=name,
+        init_seed=1,
+        data_size=data_size,
+    )
+
+
+# -- instruction facts -------------------------------------------------
+
+
+def test_facts_register_add(isa):
+    instr = make(isa.by_name("add_r64_r64"), reg("rax"), reg("rcx"))
+    facts = instruction_facts(0, instr)
+    # add dst, src: dst is read-modify-write, src is read.
+    assert "rax" in facts.reads and "rcx" in facts.reads
+    assert facts.writes == frozenset({"rax"})
+    assert facts.writes_flags
+    assert facts.fu_class is FUClass.INT_ADDER
+    assert not facts.is_memory and not facts.is_branch
+
+
+def test_facts_store_reads_base_register(isa):
+    instr = make(isa.by_name("mov_m64_r64"), mem("rbp", 8), reg("rdx"))
+    facts = instruction_facts(0, instr)
+    assert "rbp" in facts.reads  # address computation
+    assert "rdx" in facts.reads  # stored value
+    assert facts.is_store and facts.mem_bits >= 64
+
+
+def test_facts_branch_displacement(isa):
+    instr = make(isa.by_name("jmp_rel"), rel(3))
+    facts = instruction_facts(0, instr)
+    assert facts.is_branch and facts.branch_always
+    assert facts.branch_disp == 3
+
+
+def test_facts_flags_reader(isa):
+    by_name = isa.by_name
+    names = [d.name for d in isa.definitions]
+    flag_readers = [n for n in names if "cmov" in n or n.startswith("adc")]
+    if not flag_readers:
+        pytest.skip("ISA has no flag-consuming instructions")
+    definition = by_name(flag_readers[0])
+    assert definition.reads_flags
+
+
+# -- whole-program reports ---------------------------------------------
+
+
+def test_straight_line_report(isa):
+    program = _program([
+        make(isa.by_name("add_r64_r64"), reg("rax"), reg("rcx")),
+        make(isa.by_name("imul_r64_r64"), reg("rdx"), reg("rax")),
+    ])
+    report = analyze_program(program)
+    assert report.straight_line
+    assert not report.has_backward_branch
+    assert report.reachable == 2
+    assert report.min_path_instructions == 2
+    assert report.class_counts.get(FUClass.INT_MUL) == 1
+    assert report.mix[FUClass.INT_ADDER] == pytest.approx(0.5)
+
+
+def test_backward_branch_forces_trivial_bounds(isa):
+    program = _program([
+        make(isa.by_name("add_r64_r64"), reg("rax"), reg("rcx")),
+        make(isa.by_name("jmp_rel"), rel(-2)),
+    ])
+    report = analyze_program(program)
+    assert report.has_backward_branch
+    machine = DEFAULT_MACHINE
+    assert report.ace_irf_bound(machine) == 1.0
+    # No memory instruction is reachable, so even with a loop the
+    # L1D stays provably untouched.
+    assert report.ace_l1d_bound(machine) == 0.0
+    assert report.ibr_bound(FUClass.INT_MUL, machine) == 0.0
+    assert report.ibr_bound(FUClass.INT_ADDER, machine) == 1.0
+
+
+def test_forward_jump_makes_code_unreachable(isa):
+    program = _program([
+        make(isa.by_name("jmp_rel"), rel(1)),
+        make(isa.by_name("imul_r64_r64"), reg("rdx"), reg("rax")),
+        make(isa.by_name("add_r64_r64"), reg("rax"), reg("rcx")),
+    ])
+    report = analyze_program(program)
+    assert report.reachable == 2  # the jump and the add
+    assert report.class_counts.get(FUClass.INT_MUL, 0) == 0
+    assert report.ibr_bound(FUClass.INT_MUL, DEFAULT_MACHINE) == 0.0
+
+
+def test_zero_class_zero_memory_bounds(isa):
+    program = _program([
+        make(isa.by_name("add_r64_r64"), reg("rax"), reg("rcx")),
+    ])
+    report = analyze_program(program)
+    assert report.memory_instructions == 0
+    machine = DEFAULT_MACHINE
+    assert report.ace_l1d_bound(machine) == 0.0
+    assert report.ibr_bound(FUClass.FP_MUL, machine) == 0.0
+    assert report.ibr_bound(FUClass.INT_ADDER, machine) > 0.0
+
+
+def test_flags_reader_marks_def_live(isa):
+    facts = instruction_facts(
+        0, make(isa.by_name("add_r64_r64"), reg("rax"), reg("rcx"))
+    )
+    assert facts.writes_flags
+    assert FLAGS not in facts.writes  # flags tracked out of band
+
+
+def test_dead_instruction_fraction_bounded(isa):
+    program = _program([
+        make(isa.by_name("add_r64_r64"), reg("rax"), reg("rcx")),
+        make(isa.by_name("add_r64_r64"), reg("rax"), reg("rdx")),
+    ])
+    report = analyze_program(program)
+    assert 0.0 <= report.dead_instruction_fraction <= 1.0
+    # Both results land in rax, which the wrapper dumps at exit, so
+    # the final def can never be dead.
+    assert report.live_gpr_defs >= 1

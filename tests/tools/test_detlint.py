@@ -1,0 +1,222 @@
+"""The determinism linter: every rule, waivers, and the CLI."""
+
+import textwrap
+
+from repro.analysis.lints import RULES, lint_paths, lint_source
+from tools.detlint import main as detlint_main
+
+
+def _lint(snippet, path="src/repro/example.py"):
+    return lint_source(textwrap.dedent(snippet), path)
+
+
+def _rules(findings):
+    return [finding.rule for finding in findings]
+
+
+# -- unseeded-random ---------------------------------------------------
+
+
+def test_flags_global_random():
+    findings = _lint("""
+        import random
+        def pick(items):
+            return random.choice(items)
+    """)
+    assert _rules(findings) == ["unseeded-random"]
+
+
+def test_allows_random_instances():
+    findings = _lint("""
+        import random
+        def pick(items, seed):
+            return random.Random(seed).choice(items)
+    """)
+    assert findings == []
+
+
+def test_util_modules_exempt_from_random_rule():
+    findings = _lint(
+        "import random\nx = random.random()\n",
+        path="src/repro/util/rng.py",
+    )
+    assert findings == []
+
+
+# -- wallclock ---------------------------------------------------------
+
+
+def test_flags_wallclock_reads():
+    findings = _lint("""
+        import time
+        from datetime import datetime
+        a = time.time()
+        b = datetime.now()
+    """)
+    assert _rules(findings) == ["wallclock", "wallclock"]
+
+
+def test_monotonic_clocks_are_fine():
+    findings = _lint("""
+        import time
+        a = time.monotonic()
+        b = time.perf_counter()
+    """)
+    assert findings == []
+
+
+# -- set-iteration -----------------------------------------------------
+
+
+def test_flags_bare_set_iteration():
+    findings = _lint("""
+        for name in {"b", "a"}:
+            print(name)
+        out = [x for x in set(range(3))]
+    """)
+    assert _rules(findings) == ["set-iteration", "set-iteration"]
+
+
+def test_sorted_set_iteration_is_fine():
+    findings = _lint("""
+        for name in sorted({"b", "a"}):
+            print(name)
+    """)
+    assert findings == []
+
+
+# -- json-sort-keys ----------------------------------------------------
+
+
+def test_flags_unsorted_json_dumps():
+    findings = _lint("""
+        import json
+        text = json.dumps({"b": 1})
+    """)
+    assert _rules(findings) == ["json-sort-keys"]
+
+
+def test_sorted_json_dumps_is_fine():
+    findings = _lint("""
+        import json
+        text = json.dumps({"b": 1}, sort_keys=True)
+    """)
+    assert findings == []
+
+
+# -- nested-locks ------------------------------------------------------
+
+
+def test_flags_nested_lock_acquisition():
+    findings = _lint("""
+        def transfer(a_lock, b_lock):
+            with a_lock:
+                with b_lock:
+                    pass
+    """)
+    assert _rules(findings) == ["nested-locks"]
+
+
+def test_multi_item_with_counts_as_nesting():
+    findings = _lint("""
+        def transfer(a_lock, b_lock):
+            with a_lock, b_lock:
+                pass
+    """)
+    assert _rules(findings) == ["nested-locks"]
+
+
+def test_ordered_locks_import_waives_nesting():
+    findings = _lint("""
+        from repro.util.locks import OrderedLock
+        def transfer(a_lock, b_lock):
+            with a_lock:
+                with b_lock:
+                    pass
+    """)
+    assert findings == []
+
+
+def test_single_lock_is_fine():
+    findings = _lint("""
+        def update(lock, items):
+            with lock:
+                items.append(1)
+    """)
+    assert findings == []
+
+
+# -- waivers -----------------------------------------------------------
+
+
+def test_inline_waiver_suppresses_named_rule():
+    findings = _lint("""
+        import time
+        a = time.time()  # detlint: allow[wallclock] — operator only
+    """)
+    assert findings == []
+
+
+def test_inline_waiver_is_rule_scoped():
+    findings = _lint("""
+        import time
+        a = time.time()  # detlint: allow[set-iteration]
+    """)
+    assert _rules(findings) == ["wallclock"]
+
+
+def test_blanket_waiver_and_skip_file():
+    blanket = _lint("""
+        import time
+        a = time.time()  # detlint: allow
+    """)
+    assert blanket == []
+    skipped = _lint("""
+        # detlint: skip-file
+        import time
+        a = time.time()
+    """)
+    assert skipped == []
+
+
+def test_syntax_errors_are_reported_not_raised():
+    findings = _lint("def broken(:\n")
+    assert _rules(findings) == ["syntax-error"]
+
+
+# -- paths + CLI -------------------------------------------------------
+
+
+def test_lint_paths_walks_directories(tmp_path):
+    package = tmp_path / "pkg"
+    package.mkdir()
+    (package / "clean.py").write_text("x = 1\n")
+    (package / "dirty.py").write_text(
+        "import time\nts = time.time()\n"
+    )
+    findings = lint_paths([str(tmp_path)])
+    assert len(findings) == 1
+    assert findings[0].rule == "wallclock"
+    assert findings[0].path.endswith("dirty.py")
+
+
+def test_cli_exit_codes(tmp_path, capsys):
+    dirty = tmp_path / "dirty.py"
+    dirty.write_text("import time\nts = time.time()\n")
+    assert detlint_main([str(dirty)]) == 1
+    out = capsys.readouterr().out
+    assert "wallclock" in out
+    dirty.write_text("x = 1\n")
+    assert detlint_main([str(dirty)]) == 0
+
+
+def test_cli_list_rules(capsys):
+    assert detlint_main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule in RULES:
+        assert rule in out
+
+
+def test_repo_tree_is_clean():
+    """The shipped tree must pass its own linter (the CI gate)."""
+    assert lint_paths(["src/repro"]) == []

@@ -1,0 +1,126 @@
+"""Ordered locks: rank discipline, debug gating, condition waits."""
+
+import threading
+
+import pytest
+
+from repro.util.locks import (
+    LockOrderError,
+    OrderedCondition,
+    OrderedLock,
+    lock_debug_enabled,
+    set_debug,
+)
+
+
+@pytest.fixture(autouse=True)
+def debug_mode():
+    previous = lock_debug_enabled()
+    set_debug(True)
+    yield
+    set_debug(previous)
+
+
+def test_in_order_acquisition_passes():
+    low = OrderedLock("low", rank=10)
+    high = OrderedLock("high", rank=20)
+    with low:
+        with high:
+            pass
+    # And again, proving the held-rank stack unwound cleanly.
+    with low:
+        pass
+
+
+def test_out_of_order_acquisition_raises():
+    low = OrderedLock("low", rank=10)
+    high = OrderedLock("high", rank=20)
+    with high:
+        with pytest.raises(LockOrderError) as excinfo:
+            low.acquire()
+    message = str(excinfo.value)
+    assert "low" in message and "high" in message
+    # The refused acquisition must not have locked anything.
+    assert not low.locked()
+
+
+def test_equal_rank_counts_as_violation():
+    first = OrderedLock("first", rank=10)
+    second = OrderedLock("second", rank=10)
+    with first:
+        with pytest.raises(LockOrderError):
+            second.acquire()
+
+
+def test_debug_off_disables_checking():
+    set_debug(False)
+    low = OrderedLock("low", rank=10)
+    high = OrderedLock("high", rank=20)
+    with high:
+        with low:  # would raise in debug mode
+            pass
+
+
+def test_is_owned_tracks_owner_thread():
+    lock = OrderedLock("owned", rank=10)
+    assert not lock._is_owned()
+    with lock:
+        assert lock._is_owned()
+        seen = []
+        thread = threading.Thread(
+            target=lambda: seen.append(lock._is_owned())
+        )
+        thread.start()
+        thread.join()
+        assert seen == [False]
+    assert not lock._is_owned()
+
+
+def test_condition_wait_rebalances_rank_stack():
+    lock = OrderedLock("queue", rank=10)
+    condition = OrderedCondition(lock)
+    higher = OrderedLock("cache", rank=20)
+    results = []
+
+    def consumer():
+        with condition:
+            while not results:
+                condition.wait(timeout=5.0)
+            # wait() reacquired the ordered lock: the rank stack must
+            # allow a higher-ranked acquisition, exactly as before.
+            with higher:
+                results.append("consumed")
+
+    thread = threading.Thread(target=consumer)
+    thread.start()
+    with condition:
+        results.append("produced")
+        condition.notify_all()
+    thread.join(timeout=5.0)
+    assert results == ["produced", "consumed"]
+
+
+def test_condition_requires_ordered_lock():
+    with pytest.raises(TypeError):
+        OrderedCondition(threading.Lock())
+
+
+def test_nonblocking_acquire_reports_failure():
+    lock = OrderedLock("contended", rank=10)
+    grabbed = threading.Event()
+    release = threading.Event()
+
+    def holder():
+        with lock:
+            grabbed.set()
+            release.wait(timeout=5.0)
+
+    thread = threading.Thread(target=holder)
+    thread.start()
+    grabbed.wait(timeout=5.0)
+    assert lock.acquire(blocking=False) is False
+    release.set()
+    thread.join(timeout=5.0)
+    # Now uncontended: acquire succeeds and the stack stays balanced.
+    assert lock.acquire(blocking=False) is True
+    lock.release()

@@ -1,0 +1,1 @@
+"""Repo maintenance tools (run as ``python -m tools.<name>``)."""

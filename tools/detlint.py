@@ -1,0 +1,75 @@
+"""detlint — the repo's determinism linter.
+
+Usage::
+
+    python -m tools.detlint src/repro [more paths...]
+    python -m tools.detlint --list-rules
+
+Walks the given files/directories, runs the AST determinism rules
+from :mod:`repro.analysis.lints` over every ``.py`` file, prints one
+``path:line: rule: message`` line per finding, and exits non-zero if
+anything survives the waivers.  CI runs this next to ruff: a hazard
+(unseeded global RNG, wall-clock read, bare-set iteration, unsorted
+JSON dump, undisciplined nested locks) fails the build before it can
+flake a determinism test.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+
+def _ensure_repro_importable() -> None:
+    """Allow ``python -m tools.detlint`` from a fresh checkout where
+    ``src/`` is not yet on ``sys.path``."""
+    try:
+        import repro.analysis.lints  # noqa: F401
+        return
+    except ImportError:
+        pass
+    here = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    src = os.path.join(here, "src")
+    if os.path.isdir(src) and src not in sys.path:
+        sys.path.insert(0, src)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="detlint",
+        description="Determinism lints for the Harpocrates repo.",
+    )
+    parser.add_argument(
+        "paths", nargs="*",
+        help="files or directories to lint (default: src/repro)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalog and exit",
+    )
+    args = parser.parse_args(argv)
+
+    _ensure_repro_importable()
+    from repro.analysis.lints import RULES, run_detlint
+
+    if args.list_rules:
+        for name in sorted(RULES):
+            print(f"{name}: {RULES[name]}")
+        return 0
+
+    paths = args.paths or ["src/repro"]
+    findings, exit_code = run_detlint(paths)
+    for finding in findings:
+        print(finding.render())
+    if findings:
+        print(
+            f"detlint: {len(findings)} finding(s); waive deliberate "
+            "hazards with '# detlint: allow[rule]' plus a reason",
+            file=sys.stderr,
+        )
+    return exit_code
+
+
+if __name__ == "__main__":
+    sys.exit(main())
