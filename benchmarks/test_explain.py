@@ -1,0 +1,67 @@
+"""Witness minimization benchmarks: reduction quality and latency.
+
+The explain subsystem's claims, measured: a smoke-corpus gate-fault
+detection minimizes to ≤ 25% of the original instruction count, the
+whole pipeline (minimize + localize + render) stays interactive, and
+reruns are byte-identical.  Emits ``BENCH_explain.json`` with the
+reduction ratio and end-to-end latency so perf tracking can diff runs.
+"""
+
+import time
+
+from repro.core.generator import Generator
+from repro.core.targets import scaled_targets
+from repro.experiments.presets import SMOKE
+from repro.explain import explain_detection, render_witness_json
+from repro.sim.cosim import golden_run
+
+TARGET_KEY = "int_adder"
+MAX_WITNESS_FRACTION = 0.25
+
+
+def test_minimization_reduction_and_latency(bench_artifact):
+    spec = scaled_targets(
+        SMOKE.program_scale, SMOKE.loop_scale
+    )[TARGET_KEY]
+    program = Generator(spec.generation).initial_population(
+        1, base_seed=SMOKE.seed
+    )[0]
+    golden = golden_run(program, spec.machine)
+    assert not golden.crashed
+    report = spec.campaign(golden, SMOKE.injections, SMOKE.seed)
+    faults = report.top_detections(1)
+    assert faults, "smoke campaign detected nothing"
+
+    started = time.perf_counter()
+    witness = explain_detection(
+        golden, faults[0], target_key=TARGET_KEY
+    )
+    first_json = render_witness_json(witness)
+    elapsed = time.perf_counter() - started
+
+    # Reduction gate: the CI invariant, enforced at bench scale too.
+    bound = MAX_WITNESS_FRACTION * witness.original_instructions
+    assert witness.minimized_instructions <= bound
+    # Determinism gate: a rerun renders the same bytes.
+    rerun = explain_detection(
+        golden, faults[0], target_key=TARGET_KEY
+    )
+    assert render_witness_json(rerun) == first_json
+    # Latency gate: one smoke-scale witness must stay interactive
+    # (generous margin for CI noise; measured well under a second).
+    assert elapsed < 30.0
+
+    print()
+    print(
+        f"explain: {witness.original_instructions} -> "
+        f"{witness.minimized_instructions} instructions "
+        f"({witness.reduction:.0%} removed) in {elapsed:.2f}s"
+    )
+    bench_artifact("explain", {
+        "target": TARGET_KEY,
+        "original_instructions": witness.original_instructions,
+        "minimized_instructions": witness.minimized_instructions,
+        "reduction": witness.reduction,
+        "seconds": elapsed,
+        "outcome": witness.outcome,
+    })

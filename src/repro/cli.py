@@ -58,12 +58,28 @@ def _parse_workers(value: str):
     ``host:port[,host:port...]`` fleet of ``repro-worker`` agents.
 
     Returns ``(local_count, endpoints)`` — exactly one is meaningful.
+    Raises ``ValueError`` with a one-line message for anything else
+    (the CLI turns it into an exit-2 usage error, never a traceback).
     """
     from repro.dist.coordinator import parse_endpoints
 
+    value = value.strip()
     if ":" in value:
-        return 1, parse_endpoints(value)
-    return int(value), None
+        try:
+            return 1, parse_endpoints(value)
+        except ValueError as exc:
+            raise ValueError(
+                f"expected host:port[,host:port...], got {value!r} ({exc})"
+            ) from exc
+    try:
+        count = int(value)
+    except ValueError:
+        raise ValueError(
+            f"expected a process count or a host:port fleet, got {value!r}"
+        ) from None
+    if count < 1:
+        raise ValueError(f"process count must be >= 1, got {count}")
+    return count, None
 
 
 def _cmd_loop(args: argparse.Namespace) -> int:
@@ -141,6 +157,8 @@ def _cmd_loop(args: argparse.Namespace) -> int:
             seed=args.seed,
             static_screen=not args.no_static_screen,
             paranoid=args.paranoid,
+            explain_top=args.explain_top,
+            explain_dir=args.explain_dir,
         )
     except CheckpointError as exc:
         print(f"checkpoint error: {exc}", file=sys.stderr)
@@ -160,6 +178,86 @@ def _cmd_loop(args: argparse.Namespace) -> int:
     latency = curve.render_latency()
     if latency:
         print(latency, file=sys.stderr)
+    for witness in curve.witnesses:
+        # Witness digests are operator chatter; the artifacts live in
+        # --explain-dir.  stdout stays the canonical campaign report.
+        print(witness.summary(), file=sys.stderr)
+    return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    from repro.core import CheckpointError, LoopCheckpoint, scaled_targets
+    from repro.core.checkpoint import decode_evaluated
+    from repro.core.generator import Generator
+    from repro.explain import explain_detections, render_witness_text
+    from repro.sim.cosim import golden_run
+
+    scale = _PRESETS[args.scale]
+    targets = scaled_targets(
+        program_scale=scale.program_scale, loop_scale=scale.loop_scale
+    )
+    if args.target not in targets:
+        print(f"unknown target {args.target!r}; "
+              f"choose one of {sorted(targets)}", file=sys.stderr)
+        return 2
+    try:
+        workers, endpoints = _parse_workers(args.workers)
+    except ValueError as exc:
+        print(f"bad --workers value: {exc}", file=sys.stderr)
+        return 2
+    if endpoints is not None:
+        print("explain minimizes locally; --workers takes a process "
+              "count, not a fleet", file=sys.stderr)
+        return 2
+    spec = targets[args.target]
+    generator = Generator(spec.generation)
+    if args.resume is not None:
+        try:
+            checkpoint = LoopCheckpoint.load(args.resume)
+        except CheckpointError as exc:
+            print(f"checkpoint error: {exc}", file=sys.stderr)
+            return 2
+        if not checkpoint.best:
+            print("checkpoint records no best program yet",
+                  file=sys.stderr)
+            return 1
+        program = decode_evaluated(
+            checkpoint.best[0], generator
+        ).program
+    else:
+        program = generator.initial_population(
+            1, base_seed=args.program_seed
+        )[0]
+    golden = golden_run(program, spec.machine)
+    if golden.crashed:
+        print(f"program {program.name!r} crashes fault-free; "
+              "nothing to explain", file=sys.stderr)
+        return 1
+    injections = (
+        args.injections if args.injections is not None
+        else scale.injections
+    )
+    seed = args.seed if args.seed is not None else scale.seed
+    report = spec.campaign(golden, injections, seed)
+    # Campaign chatter goes to stderr: stdout carries only the witness
+    # reports, so they can be redirected/diffed on their own.
+    print(report.summary(), file=sys.stderr)
+    witnesses = explain_detections(
+        golden, report, top=args.top, target_key=spec.key,
+        workers=workers, out_dir=args.out,
+    )
+    if not witnesses:
+        print("no detections to explain "
+              "(try more --injections or another seed)", file=sys.stderr)
+        return 1
+    for index, witness in enumerate(witnesses):
+        if index:
+            sys.stdout.write("\n")
+        sys.stdout.write(render_witness_text(witness))
+        print(witness.summary(), file=sys.stderr)
+    if args.out is not None:
+        print(f"witness artifacts written to {args.out}",
+              file=sys.stderr)
     return 0
 
 
@@ -217,6 +315,7 @@ def _cmd_service(args: argparse.Namespace) -> int:
         fleet_listen=fleet_listen,
         eval_timeout=args.eval_timeout,
         max_retries=args.max_retries,
+        explain_top=args.explain_top,
     ).start()
     server = ServiceServer(
         scheduler, host=listen[0], port=listen[1]
@@ -503,7 +602,58 @@ def build_parser() -> argparse.ArgumentParser:
              "(JSON) on this loopback port while the campaign runs "
              "(0 binds an ephemeral port, printed to stderr)",
     )
+    loop_parser.add_argument(
+        "--explain-top", type=int, default=0, metavar="N",
+        help="after the campaign, minimize + localize the first N "
+             "distinct detections into witness artifacts (default 0 = "
+             "off; summaries go to stderr, stdout is unchanged)",
+    )
+    loop_parser.add_argument(
+        "--explain-dir", default=None, metavar="DIR",
+        help="write witness .json/.txt artifacts into DIR "
+             "(with --explain-top)",
+    )
     loop_parser.set_defaults(handler=_cmd_loop)
+
+    explain_parser = subparsers.add_parser(
+        "explain",
+        help="minimize + localize campaign detections into witnesses",
+    )
+    explain_parser.add_argument(
+        "target",
+        help="irf | l1d | int_adder | int_mul | fp_adder | fp_mul",
+    )
+    _add_scale_argument(explain_parser)
+    explain_parser.add_argument(
+        "--top", type=int, default=1, metavar="N",
+        help="explain the first N distinct detections (default 1)",
+    )
+    explain_parser.add_argument(
+        "--out", default=None, metavar="DIR",
+        help="write witness .json/.txt artifacts into DIR",
+    )
+    explain_parser.add_argument(
+        "--workers", default="1", metavar="N",
+        help="parallel minimization-candidate validation processes",
+    )
+    explain_parser.add_argument(
+        "--injections", type=int, default=None, metavar="N",
+        help="fault-campaign injection count (default: the preset's)",
+    )
+    explain_parser.add_argument(
+        "--seed", type=int, default=None,
+        help="fault-campaign sampling seed (default: the preset's)",
+    )
+    explain_parser.add_argument(
+        "--program-seed", type=int, default=0, metavar="S",
+        help="generation seed of the program to explain (default 0)",
+    )
+    explain_parser.add_argument(
+        "--resume", default=None, metavar="PATH",
+        help="explain a campaign checkpoint's best program instead of "
+             "generating one (a file, or the latest in a directory)",
+    )
+    explain_parser.set_defaults(handler=_cmd_explain)
 
     worker_parser = subparsers.add_parser(
         "worker",
@@ -586,6 +736,12 @@ def build_parser() -> argparse.ArgumentParser:
     service_parser.add_argument(
         "--max-retries", type=int, default=0,
         help="extra attempts for transiently failing evaluations",
+    )
+    service_parser.add_argument(
+        "--explain-top", type=int, default=0, metavar="N",
+        help="per finished campaign, write witness artifacts for the "
+             "first N distinct detections into the job's checkpoint "
+             "directory (default 0 = off; job output is unchanged)",
     )
     service_parser.add_argument(
         "--trace-dir", default=None, metavar="DIR",

@@ -213,6 +213,43 @@ class Manager:
             stop_check=stop_check,
         )
 
+    # -- explanation ---------------------------------------------------------
+
+    def explain_program(
+        self,
+        program: Program,
+        injections: int,
+        seed: int = 0,
+        top: int = 1,
+        workers: int = 1,
+        out_dir: Optional[str] = None,
+    ) -> List:
+        """Campaign ``program`` and explain its top detections.
+
+        Runs the target's fault campaign against the program's golden
+        run, then minimizes + localizes the first ``top`` distinct
+        detections into :class:`~repro.explain.report.Witness`
+        artifacts (written under ``out_dir`` when given).  Returns an
+        empty list when the program crashes fault-free or the campaign
+        detects nothing.
+        """
+        # Imported lazily: repro.explain sits above the core layer.
+        from repro.explain import explain_detections
+        from repro.sim.cosim import golden_run
+
+        golden = golden_run(program, self.target.machine)
+        if golden.crashed:
+            return []
+        report = self.target.campaign(golden, injections, seed)
+        return explain_detections(
+            golden,
+            report,
+            top=top,
+            target_key=self.target.key,
+            workers=workers,
+            out_dir=out_dir,
+        )
+
     # -- Table I instrumentation ---------------------------------------------
 
     def timed_loop_step(

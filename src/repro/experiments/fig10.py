@@ -24,6 +24,7 @@ from repro.core.manager import Manager
 from repro.obs.metrics import HistogramSnapshot
 from repro.core.targets import TargetSpec, scaled_targets
 from repro.experiments.presets import DEFAULT, ExperimentScale
+from repro.explain import Witness, explain_detections
 from repro.sim.cosim import golden_run
 from repro.util.tables import format_table
 
@@ -60,6 +61,10 @@ class ConvergenceCurve:
     #: ``KeyboardInterrupt``): the curve covers a prefix of the
     #: campaign, durable in its checkpoint, not a final result.
     interrupted: bool = False
+    #: Explained witnesses for the top detections (empty unless the
+    #: run requested ``explain_top > 0``).  Never rendered to stdout —
+    #: the campaign-stdout byte-identity contract stays intact.
+    witnesses: List[Witness] = field(default_factory=list)
 
     @property
     def final_coverage(self) -> float:
@@ -204,6 +209,8 @@ def run_target(
     resume_points: Optional[Sequence[ConvergencePoint]] = None,
     static_screen: bool = True,
     paranoid: bool = False,
+    explain_top: int = 0,
+    explain_dir: Optional[str] = None,
 ) -> ConvergenceCurve:
     """Run the loop for one target, sampling detection along the way.
 
@@ -232,6 +239,11 @@ def run_target(
     stdout is byte-identical either way; ``paranoid`` additionally
     cross-checks every dynamic score against its static upper bound
     and fails the run loudly on a violation.
+
+    ``explain_top`` (0 = off) minimizes + localizes that many of the
+    final campaign's detections into ``curve.witnesses`` (written to
+    ``explain_dir`` when set).  Witnesses are side artifacts: campaign
+    stdout is byte-identical whether or not they are produced.
     """
     if seed is not None:
         target = replace(
@@ -310,6 +322,15 @@ def run_target(
     if not golden.crashed:
         report = target.campaign(golden, scale.injections, scale.seed)
         curve.final_detection = report.detection_capability
+        if explain_top > 0:
+            curve.witnesses = explain_detections(
+                golden,
+                report,
+                top=explain_top,
+                target_key=target.key,
+                workers=workers,
+                out_dir=explain_dir,
+            )
     return curve
 
 

@@ -84,6 +84,34 @@ def campaign_latency(curves) -> str:
     )
 
 
+def campaign_operators(curves) -> str:
+    """Cache/screening effectiveness digest across the Fig 10 runs.
+
+    ``EvalHealth`` deliberately keeps ``cache_hits`` and
+    ``static_skips`` out of its stdout summary — they vary with cache
+    and screening settings while the report's stdout must stay
+    byte-comparable across them — so this digest surfaces the "how
+    much simulation did the platform avoid?" numbers on stderr, next
+    to the latency table.  Empty string when no loop ran.
+    """
+    evaluations = cache_hits = static_skips = 0
+    for curve in curves.values():
+        if curve.health is None:
+            continue
+        evaluations += curve.health.evaluations
+        cache_hits += curve.health.cache_hits
+        static_skips += curve.health.static_skips
+    if evaluations == 0:
+        return ""
+    return (
+        f"Evaluation savings (all Fig 10 runs): "
+        f"evaluations={evaluations} "
+        f"cache_hits={cache_hits} "
+        f"(hit rate {cache_hits / evaluations:.1%}) "
+        f"static_skips={static_skips}"
+    )
+
+
 def run_all(
     scale: Optional[ExperimentScale] = None,
     stream=None,
@@ -128,6 +156,11 @@ def run_all(
         # stderr, not the report stream: latencies vary run to run and
         # would break the report's byte-stability.
         print(latency, file=sys.stderr)
+    operators = campaign_operators(curves)
+    if operators:
+        # Also stderr: cache hits and static skips vary with cache
+        # and screening settings, which must not move stdout.
+        print(operators, file=sys.stderr)
 
     comparison = fig11.run(
         scale,

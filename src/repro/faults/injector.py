@@ -111,10 +111,17 @@ class FaultInjector:
         ] = None
         self._residencies = None
         self._units: Dict[FUClass, GradedUnit] = {}
+        #: The value overrides behind the most recent :meth:`inject`
+        #: verdict — ``None`` for masked faults, populated for every
+        #: detected one (including fast-path SDC verdicts that skip the
+        #: re-run).  `repro.explain.localize` replays these to diff the
+        #: faulty execution against the golden trace.
+        self.last_overrides: Optional[Overrides] = None
 
     # -- shared helpers ------------------------------------------------
 
     def _rerun(self, overrides: Overrides, fault: object) -> InjectionResult:
+        self.last_overrides = overrides
         result = self._simulator.run(
             self.golden.program, overrides, collect_records=False
         )
@@ -181,6 +188,7 @@ class FaultInjector:
         if end_hit and not instruction_hit:
             # The flipped bit sits in an architected output register and
             # nothing consumes it earlier: the output dump exposes it.
+            self.last_overrides = overrides
             return InjectionResult(fault, Outcome.SDC)
         return self._rerun(overrides, fault)
 
@@ -305,6 +313,7 @@ class FaultInjector:
         if not loads_hit and overrides.final_mem_xor:
             # Faulty dirty data reached memory and nothing consumed it
             # earlier: the output signature over the data region flags it.
+            self.last_overrides = overrides
             return InjectionResult(fault, Outcome.SDC)
         return self._rerun(overrides, fault)
 
@@ -408,7 +417,12 @@ class FaultInjector:
     # -- dispatch ----------------------------------------------------------
 
     def inject(self, fault) -> InjectionResult:
-        """Inject any supported fault model."""
+        """Inject any supported fault model.
+
+        Resets :attr:`last_overrides` first, so after the call it holds
+        exactly the overrides behind this verdict (``None`` if masked).
+        """
+        self.last_overrides = None
         if isinstance(fault, RegisterTransient):
             return self.inject_register_transient(fault)
         if isinstance(fault, RegisterIntermittent):

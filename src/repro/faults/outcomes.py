@@ -72,6 +72,35 @@ class DetectionReport:
             return 0.0
         return self.detected / self.total
 
+    def detected_injections(self) -> List[InjectionResult]:
+        """Detected (SDC/crash) injections, in injection order."""
+        return [
+            result for result in self.injections
+            if result.outcome.detected
+        ]
+
+    def top_detections(self, limit: int) -> List[object]:
+        """The first ``limit`` *distinct* detected fault descriptors.
+
+        Injection order is deterministic for a fixed campaign seed, so
+        this selection is too — ``harpocrates explain`` relies on that
+        for byte-stable witness artifacts.  Duplicate descriptors (the
+        sampler can draw the same site twice) are collapsed to the
+        first occurrence.
+        """
+        if limit <= 0:
+            return []
+        seen = set()
+        faults: List[object] = []
+        for result in self.detected_injections():
+            if result.fault in seen:
+                continue
+            seen.add(result.fault)
+            faults.append(result.fault)
+            if len(faults) >= limit:
+                break
+        return faults
+
     def breakdown(self) -> Dict[str, float]:
         """Outcome fractions, for reporting."""
         if not self.injections:

@@ -22,6 +22,7 @@ from typing import Dict, List, Optional
 OPERATOR_COUNTER_FAMILIES: Dict[str, str] = {
     "eval_cache_hits": "repro_eval_cache_hits_total",
     "eval_cache_misses": "repro_eval_cache_misses_total",
+    "static_screen_skips": "repro_static_screen_skips_total",
     "fleet_joins": "repro_fleet_joins_total",
     "fleet_drains": "repro_fleet_drains_total",
 }
@@ -33,7 +34,9 @@ def operator_counters(registry) -> Dict[str, float]:
     Each family is summed across its label children (a merged fleet
     series carries per-worker labels).  Families that have never been
     touched report 0.0, so the ``/status`` payload always has a stable
-    shape.
+    shape.  One derived gauge rides along: ``eval_cache_hit_rate``,
+    hits / (hits + misses), the single number operators watch to see
+    whether the shared cache is earning its memory (0.0 when idle).
     """
     counters: Dict[str, float] = {}
     for key, family_name in OPERATOR_COUNTER_FAMILIES.items():
@@ -43,6 +46,10 @@ def operator_counters(registry) -> Dict[str, float]:
             for _values, child in family.children():
                 total += child.value
         counters[key] = total
+    lookups = counters["eval_cache_hits"] + counters["eval_cache_misses"]
+    counters["eval_cache_hit_rate"] = (
+        counters["eval_cache_hits"] / lookups if lookups > 0 else 0.0
+    )
     return counters
 
 

@@ -109,6 +109,7 @@ class CampaignScheduler:
         max_retries: int = 0,
         static_screen: bool = True,
         paranoid: bool = False,
+        explain_top: int = 0,
     ):
         self.state_dir = state_dir
         os.makedirs(state_dir, exist_ok=True)
@@ -127,6 +128,9 @@ class CampaignScheduler:
         self.max_retries = max_retries
         self.static_screen = static_screen
         self.paranoid = paranoid
+        #: Witnesses per finished campaign (0 = off).  Artifacts land
+        #: under the job's checkpoint dir; job output is unchanged.
+        self.explain_top = max(0, int(explain_top))
         self._stopping = threading.Event()
         self._runners: List[threading.Thread] = []
         self._registry: Optional[RegistrationListener] = None
@@ -306,6 +310,11 @@ class CampaignScheduler:
                 resume_points=resume_points,
                 static_screen=self.static_screen,
                 paranoid=self.paranoid,
+                explain_top=self.explain_top,
+                explain_dir=(
+                    os.path.join(checkpoint_dir, "witnesses")
+                    if self.explain_top > 0 else None
+                ),
             )
         finally:
             self.pool.release(lease)

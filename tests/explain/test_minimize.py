@@ -1,0 +1,181 @@
+"""Unit tests for the witness minimizer (ddmin + slicing stages)."""
+
+import pytest
+
+from repro.explain.minimize import (
+    MinimizeConfig,
+    WitnessMinimizer,
+    _removal_safe,
+    _split_chunks,
+    _static_slice,
+    check_witness,
+    minimize_witness,
+)
+from repro.faults.injector import campaign_gate_permanent
+from repro.faults.models import GatePermanent, RegisterTransient
+from repro.gatelevel.netlist import StuckAt
+from repro.isa import Program, imm, make, reg, rel
+from repro.isa.instructions import FUClass
+from repro.sim.cosim import golden_run
+
+
+def _golden(isa, instructions, seed=1):
+    program = Program(
+        instructions=tuple(instructions), name="mini", init_seed=seed,
+        data_size=4096, source="test",
+    )
+    golden = golden_run(program)
+    assert not golden.crashed
+    return golden
+
+
+def _adder_golden(isa):
+    """A small program with adder work plus removable junk."""
+    instructions = [
+        make(isa.by_name("mov_r64_imm64"), reg("rax"), imm(5, 64)),
+        make(isa.by_name("add_r64_r64"), reg("rbx"), reg("rax")),
+        make(isa.by_name("mov_r64_imm64"), reg("rcx"), imm(9, 64)),
+        make(isa.by_name("mov_r64_imm64"), reg("rdx"), imm(11, 64)),
+        make(isa.by_name("nop")),
+        make(isa.by_name("nop")),
+        make(isa.by_name("add_r64_r64"), reg("rsi"), reg("rbx")),
+        make(isa.by_name("nop")),
+    ]
+    return _golden(isa, instructions)
+
+
+def _detecting_fault(golden):
+    report = campaign_gate_permanent(
+        golden, FUClass.INT_ADDER, num_injections=40, seed=0
+    )
+    faults = report.top_detections(1)
+    assert faults, "no adder fault detected on the fixture program"
+    return faults[0]
+
+
+class TestSplitChunks:
+    def test_even_split(self):
+        assert _split_chunks([1, 2, 3, 4], 2) == [[1, 2], [3, 4]]
+
+    def test_uneven_split_covers_everything(self):
+        chunks = _split_chunks([1, 2, 3, 4, 5], 2)
+        assert chunks == [[1, 2], [3, 4, 5]]
+
+    def test_more_parts_than_items(self):
+        assert _split_chunks([7, 8], 5) == [[7], [8]]
+
+    def test_single_part(self):
+        assert _split_chunks([1, 2, 3], 1) == [[1, 2, 3]]
+
+
+class TestRemovalSafe:
+    def test_straight_line_is_safe(self, isa):
+        golden = _adder_golden(isa)
+        assert _removal_safe(golden.program)
+
+    def test_fall_through_branch_is_safe(self, isa):
+        golden = _golden(isa, [
+            make(isa.by_name("mov_r64_imm64"), reg("rax"), imm(1, 64)),
+            make(isa.by_name("jmp_rel"), rel(0)),
+            make(isa.by_name("nop")),
+        ])
+        assert _removal_safe(golden.program)
+
+    def test_real_displacement_is_unsafe(self, isa):
+        program = Program(
+            instructions=(
+                make(isa.by_name("jmp_rel"), rel(1)),
+                make(isa.by_name("nop")),
+                make(isa.by_name("nop")),
+            ),
+            name="jump", init_seed=1, data_size=4096, source="test",
+        )
+        assert not _removal_safe(program)
+
+
+class TestStaticSlice:
+    def test_keeps_faulted_class_and_producers(self, isa):
+        golden = _golden(isa, [
+            make(isa.by_name("mov_r64_imm64"), reg("rax"), imm(5, 64)),
+            make(isa.by_name("add_r64_r64"), reg("rbx"), reg("rax")),
+            make(isa.by_name("mov_r64_imm64"), reg("rcx"), imm(9, 64)),
+        ])
+        fault = GatePermanent(FUClass.INT_ADDER, 0, StuckAt(0, 0))
+        kept = _static_slice(golden.program, fault)
+        assert kept == [0, 1]  # the add and the mov feeding it
+
+    def test_no_class_affinity_returns_none(self, isa):
+        golden = _adder_golden(isa)
+        fault = RegisterTransient(preg=3, bit=0, cycle=1)
+        assert _static_slice(golden.program, fault) is None
+
+    def test_slice_covering_everything_returns_none(self, isa):
+        golden = _golden(isa, [
+            make(isa.by_name("add_r64_r64"), reg("rbx"), reg("rax")),
+        ])
+        fault = GatePermanent(FUClass.INT_ADDER, 0, StuckAt(0, 0))
+        assert _static_slice(golden.program, fault) is None
+
+
+class TestCheckWitness:
+    def test_masked_fault_is_rejected(self, isa):
+        golden = _adder_golden(isa)
+        # No FP instructions: an FP-adder gate fault cannot be observed.
+        fault = GatePermanent(FUClass.FP_ADD, 0, StuckAt(0, 0))
+        assert check_witness(golden.program, fault) is None
+
+    def test_detected_fault_returns_result(self, isa):
+        golden = _adder_golden(isa)
+        fault = _detecting_fault(golden)
+        result = check_witness(golden.program, fault)
+        assert result is not None
+        assert result.outcome.detected
+
+
+class TestMinimize:
+    def test_reduces_and_still_detects(self, isa):
+        golden = _adder_golden(isa)
+        fault = _detecting_fault(golden)
+        result = minimize_witness(golden.program, fault)
+        assert len(result.program) < len(golden.program)
+        assert result.stats.original_instructions == len(golden.program)
+        assert result.stats.minimized_instructions == len(result.program)
+        assert result.program.name == f"{golden.program.name}-min"
+        recheck = check_witness(result.program, fault)
+        assert recheck is not None
+        assert recheck.outcome is result.outcome
+
+    def test_non_detecting_program_raises(self, isa):
+        golden = _adder_golden(isa)
+        fault = GatePermanent(FUClass.FP_ADD, 0, StuckAt(0, 0))
+        with pytest.raises(ValueError, match="does not detect"):
+            minimize_witness(golden.program, fault)
+
+    def test_deterministic_reruns(self, isa):
+        golden = _adder_golden(isa)
+        fault = _detecting_fault(golden)
+        first = minimize_witness(golden.program, fault)
+        second = minimize_witness(golden.program, fault)
+        assert first.steps == second.steps
+        assert [i.to_asm() for i in first.program] == \
+            [i.to_asm() for i in second.program]
+
+    def test_worker_count_does_not_change_result(self, isa):
+        golden = _adder_golden(isa)
+        fault = _detecting_fault(golden)
+        sequential = minimize_witness(golden.program, fault)
+        parallel = minimize_witness(
+            golden.program, fault, config=MinimizeConfig(workers=2)
+        )
+        assert sequential.steps == parallel.steps
+        assert [i.to_asm() for i in sequential.program] == \
+            [i.to_asm() for i in parallel.program]
+
+    def test_minimizer_reusable_stats_reset(self, isa):
+        golden = _adder_golden(isa)
+        fault = _detecting_fault(golden)
+        minimizer = WitnessMinimizer(fault)
+        first = minimizer.minimize(golden.program)
+        second = minimizer.minimize(golden.program)
+        assert first.stats.instructions_removed == \
+            second.stats.instructions_removed

@@ -1,6 +1,13 @@
 """Unit tests for outcome classification and detection reports."""
 
+import dataclasses
+
+from repro.faults.injector import FaultInjector
 from repro.faults.outcomes import DetectionReport, InjectionResult, Outcome
+from repro.isa import Program, imm, make, mem, reg, rel
+from repro.sim.config import DEFAULT_MACHINE
+from repro.sim.cosim import golden_run
+from repro.sim.overrides import Overrides
 
 
 class TestOutcome:
@@ -48,3 +55,144 @@ class TestDetectionReport:
         text = report.summary()
         assert "detection=50.0%" in text
         assert "s/transient" in text
+
+
+class TestDetectedSelection:
+    """The explain subsystem's view of a report: detected_injections
+    and top_detections (dedupe + deterministic ordering)."""
+
+    def _report(self, entries):
+        report = DetectionReport("s", "transient")
+        for fault, outcome in entries:
+            report.add(InjectionResult(fault, outcome))
+        return report
+
+    def test_detected_injections_preserve_order(self):
+        report = self._report([
+            ("a", Outcome.MASKED),
+            ("b", Outcome.SDC),
+            ("c", Outcome.MASKED),
+            ("d", Outcome.CRASH),
+        ])
+        assert [r.fault for r in report.detected_injections()] == \
+            ["b", "d"]
+
+    def test_hang_crash_counts_as_detected(self):
+        report = DetectionReport("s", "transient")
+        report.add(InjectionResult("f", Outcome.CRASH,
+                                   crash_kind="hang"))
+        assert report.detected == 1
+        assert report.top_detections(1) == ["f"]
+
+    def test_top_detections_dedupes_repeated_faults(self):
+        report = self._report([
+            ("a", Outcome.SDC),
+            ("a", Outcome.CRASH),  # same site drawn twice
+            ("b", Outcome.SDC),
+        ])
+        assert report.top_detections(5) == ["a", "b"]
+
+    def test_top_detections_limit_edges(self):
+        report = self._report([
+            ("a", Outcome.SDC),
+            ("b", Outcome.CRASH),
+        ])
+        assert report.top_detections(0) == []
+        assert report.top_detections(-1) == []
+        assert report.top_detections(1) == ["a"]
+        assert report.top_detections(10) == ["a", "b"]
+
+    def test_top_detections_empty_report(self):
+        assert DetectionReport("s", "permanent").top_detections(3) == []
+
+
+def _golden(isa, instructions, machine=DEFAULT_MACHINE, seed=1):
+    program = Program(
+        instructions=tuple(instructions), name="edges", init_seed=seed,
+        data_size=4096, source="test",
+    )
+    golden = golden_run(program, machine)
+    assert not golden.crashed
+    return golden
+
+
+class TestClassificationEdges:
+    """Boundary cases of the masked / SDC / crash classification,
+    driven through the injector's re-run path with hand-built
+    overrides so each edge is hit deliberately."""
+
+    def test_empty_overrides_is_masked(self, isa):
+        golden = _golden(isa, [
+            make(isa.by_name("mov_r64_imm64"), reg("rax"), imm(1, 64)),
+            make(isa.by_name("nop")),
+        ])
+        injector = FaultInjector(golden)
+        result = injector._rerun(Overrides(), fault="f")
+        assert result.outcome is Outcome.MASKED
+        assert result.crash_kind is None
+        assert not result.outcome.detected
+
+    def test_overwritten_corruption_is_masked(self, isa):
+        # The corrupted load value is clobbered before anything
+        # architecturally visible consumes it: masked, not SDC.
+        golden = _golden(isa, [
+            make(isa.by_name("mov_r64_m64"), reg("rax"),
+                 mem("rbp", 0)),
+            make(isa.by_name("mov_r64_imm64"), reg("rax"), imm(7, 64)),
+        ])
+        injector = FaultInjector(golden)
+        result = injector._rerun(
+            Overrides(load_xor={0: 1 << 13}), fault="f"
+        )
+        assert result.outcome is Outcome.MASKED
+
+    def test_single_output_bit_flip_is_sdc(self, isa):
+        # Minimal observable deviation: one bit in one architected
+        # output register, flipped after the last write.
+        golden = _golden(isa, [
+            make(isa.by_name("mov_r64_imm64"), reg("rax"), imm(1, 64)),
+            make(isa.by_name("nop")),
+        ])
+        injector = FaultInjector(golden)
+        result = injector._rerun(
+            Overrides(final_reg_xor={"rax": 1}), fault="f"
+        )
+        assert result.outcome is Outcome.SDC
+        assert result.crash_kind is None
+        assert result.outcome.detected
+
+    def test_corrupted_load_base_is_memory_fault(self, isa):
+        # Forcing the address base out of the mapped data region turns
+        # an SDC-looking value fault into an architectural trap.
+        golden = _golden(isa, [
+            make(isa.by_name("mov_r64_r64"), reg("rsi"), reg("rbp")),
+            make(isa.by_name("mov_r64_m64"), reg("rax"),
+                 mem("rsi", 0)),
+        ])
+        injector = FaultInjector(golden)
+        result = injector._rerun(
+            Overrides(reg_read_force={(1, "rsi"): (0, 1 << 50)}),
+            fault="f",
+        )
+        assert result.outcome is Outcome.CRASH
+        assert result.crash_kind == "memory_fault"
+
+    def test_runaway_loop_is_hang(self, isa):
+        # Corrupting the loop counter's first read makes the backward
+        # branch spin past the dynamic-instruction budget: the timeout
+        # boundary classifies as CRASH with kind "hang".
+        machine = dataclasses.replace(
+            DEFAULT_MACHINE, max_dynamic_instructions=2_000
+        )
+        golden = _golden(isa, [
+            make(isa.by_name("mov_r64_imm64"), reg("rcx"), imm(3, 64)),
+            make(isa.by_name("sub_r64_imm32"), reg("rcx"), imm(1, 32)),
+            make(isa.by_name("jnz_rel"), rel(-2)),
+        ], machine=machine)
+        injector = FaultInjector(golden)
+        result = injector._rerun(
+            Overrides(reg_read_xor={(1, "rcx"): 1 << 40}), fault="f"
+        )
+        assert result.outcome is Outcome.CRASH
+        assert result.crash_kind == "hang"
+        assert result.outcome.detected

@@ -10,20 +10,24 @@ from repro.obs.status import (
 class TestOperatorCounters:
     def test_all_keys_present_even_when_registry_empty(self):
         counters = operator_counters(obs.registry())
-        assert counters == {
-            key: 0.0 for key in OPERATOR_COUNTER_FAMILIES
-        }
+        expected = {key: 0.0 for key in OPERATOR_COUNTER_FAMILIES}
+        # Derived gauge: 0.0 (not NaN) when the cache is idle.
+        expected["eval_cache_hit_rate"] = 0.0
+        assert counters == expected
 
     def test_counters_reflect_recorded_values(self):
         obs.enable()
         obs.inc("repro_eval_cache_hits_total", 3)
         obs.inc("repro_eval_cache_misses_total", 5)
         obs.inc("repro_fleet_joins_total", 2)
+        obs.inc("repro_static_screen_skips_total", 4)
         counters = operator_counters(obs.registry())
         assert counters["eval_cache_hits"] == 3.0
         assert counters["eval_cache_misses"] == 5.0
         assert counters["fleet_joins"] == 2.0
         assert counters["fleet_drains"] == 0.0
+        assert counters["static_screen_skips"] == 4.0
+        assert counters["eval_cache_hit_rate"] == 3.0 / 8.0
 
     def test_labelled_children_are_summed(self):
         obs.enable()

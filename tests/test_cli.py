@@ -79,6 +79,107 @@ class TestLoop:
         assert exit_code == 2
         assert "checkpoint" in capsys.readouterr().err
 
+class TestUsageErrors:
+    """Malformed invocations exit 2 with a one-line usage error —
+    never a traceback."""
+
+    def test_unknown_subcommand_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["frobnicate"])
+        assert excinfo.value.code == 2
+        assert "invalid choice" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("value", ["abc", "", "  ", "0", "-2"])
+    def test_malformed_worker_count_exits_2(self, capsys, value):
+        exit_code = main([
+            "loop", "irf", "--scale", "smoke", "--workers", value,
+        ])
+        assert exit_code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("bad --workers value:")
+        assert len(err.strip().splitlines()) == 1
+        assert "Traceback" not in err
+
+    def test_malformed_worker_endpoint_exits_2(self, capsys):
+        exit_code = main([
+            "loop", "irf", "--scale", "smoke",
+            "--workers", "localhost:not_a_port",
+        ])
+        assert exit_code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("bad --workers value:")
+        assert "host:port" in err
+        assert len(err.strip().splitlines()) == 1
+
+    def test_fleet_listen_requires_a_fleet(self, capsys):
+        exit_code = main([
+            "loop", "irf", "--scale", "smoke", "--workers", "2",
+            "--fleet-listen", "127.0.0.1:0",
+        ])
+        assert exit_code == 2
+        err = capsys.readouterr().err
+        assert "--fleet-listen requires a distributed fleet" in err
+
+    def test_malformed_fleet_listen_exits_2(self, capsys):
+        exit_code = main([
+            "loop", "irf", "--scale", "smoke",
+            "--workers", "127.0.0.1:7070",
+            "--fleet-listen", "nonsense",
+        ])
+        assert exit_code == 2
+        assert "bad --fleet-listen value" in capsys.readouterr().err
+
+
+class TestExplain:
+    def test_defaults_parse(self):
+        parser = build_parser()
+        args = parser.parse_args(["explain", "int_adder"])
+        assert args.top == 1
+        assert args.workers == "1"
+        assert args.program_seed == 0
+        assert args.out is None
+        assert args.resume is None
+
+    def test_unknown_target_rejected(self, capsys):
+        exit_code = main(["explain", "nonsense", "--scale", "smoke"])
+        assert exit_code == 2
+        assert "unknown target" in capsys.readouterr().err
+
+    def test_bad_workers_rejected(self, capsys):
+        exit_code = main([
+            "explain", "int_adder", "--scale", "smoke",
+            "--workers", "zero",
+        ])
+        assert exit_code == 2
+        assert "bad --workers value" in capsys.readouterr().err
+
+    def test_fleet_workers_rejected(self, capsys):
+        exit_code = main([
+            "explain", "int_adder", "--scale", "smoke",
+            "--workers", "127.0.0.1:7070",
+        ])
+        assert exit_code == 2
+        assert "minimizes locally" in capsys.readouterr().err
+
+    def test_end_to_end_witness_on_stdout(self, capsys, tmp_path):
+        out_dir = str(tmp_path / "witnesses")
+        exit_code = main([
+            "explain", "int_adder", "--scale", "smoke",
+            "--out", out_dir,
+        ])
+        assert exit_code == 0
+        captured = capsys.readouterr()
+        assert "Witness — int_adder" in captured.out
+        assert "minimized:" in captured.out
+        # Campaign chatter and the witness digest stay on stderr.
+        assert "detection=" in captured.err
+        import os
+        names = sorted(os.listdir(out_dir))
+        assert any(name.endswith(".json") for name in names)
+        assert any(name.endswith(".txt") for name in names)
+
+
+class TestLoopResume:
     def test_checkpointed_run_then_resume(self, capsys, tmp_path):
         checkpoint_dir = str(tmp_path / "ck")
         exit_code = main([
